@@ -1,0 +1,59 @@
+// E2 — Figure 1 of the paper: "Comparison of Update Functions, d=8.
+// Scales are Logarithmic."
+//
+// Emits the three series (PS, RPS, DDC) as plot-ready columns over
+// n = 10^1 .. 10^9: both the raw cost-function values and their log10, which
+// is the y-axis of the paper's figure (1E+00 .. 1E+78 gridlines). The
+// qualitative shape to verify: PS and RPS are straight lines of slope d and
+// d/2 on the log-log plot; the DDC curve is nearly flat (polylog).
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/cost_model.h"
+#include "common/table_printer.h"
+
+int main() {
+  using ddc::TablePrinter;
+  std::printf("== Figure 1: update functions, d=8 (log-log series) ==\n");
+  TablePrinter table({"n", "PS", "RPS", "DDC", "log10(PS)", "log10(RPS)",
+                      "log10(DDC)"});
+  const int d = 8;
+  for (int exp = 1; exp <= 9; ++exp) {
+    const double n = std::pow(10.0, exp);
+    const double ps = ddc::PrefixSumUpdateCost(n, d);
+    const double rps = ddc::RelativePrefixSumUpdateCost(n, d);
+    const double dcube = ddc::DynamicDataCubeUpdateCost(n, d);
+    char n_label[16];
+    std::snprintf(n_label, sizeof(n_label), "1E+%02d", exp);
+    table.AddRow({n_label, TablePrinter::FormatScientific(ps),
+                  TablePrinter::FormatScientific(rps),
+                  TablePrinter::FormatScientific(dcube),
+                  TablePrinter::FormatDouble(std::log10(ps), 2),
+                  TablePrinter::FormatDouble(std::log10(rps), 2),
+                  TablePrinter::FormatDouble(std::log10(dcube), 2)});
+  }
+  table.Print();
+
+  // Slope check on the log-log plot (the "shape" of Figure 1): least-squares
+  // slope of log10(cost) vs log10(n).
+  auto slope = [](double (*fn)(double, int)) {
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    const int count = 9;
+    for (int exp = 1; exp <= count; ++exp) {
+      const double x = exp;
+      const double y = std::log10(fn(std::pow(10.0, exp), 8));
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      sxy += x * y;
+    }
+    return (count * sxy - sx * sy) / (count * sxx - sx * sx);
+  };
+  std::printf("log-log slopes: PS=%.2f (expect 8), RPS=%.2f (expect 4), "
+              "DDC=%.2f (expect ~0, polylog)\n",
+              slope(ddc::PrefixSumUpdateCost),
+              slope(ddc::RelativePrefixSumUpdateCost),
+              slope(ddc::DynamicDataCubeUpdateCost));
+  return 0;
+}

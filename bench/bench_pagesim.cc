@@ -1,0 +1,89 @@
+// Secondary-storage simulation (Section 4.4's traversal argument):
+//
+// "This cost is offset by the fact that the deletion of tree levels will
+//  have a positive impact on tree traversal times, since the number of
+//  levels in the tree affects the number of accesses to secondary storage
+//  during traversal."
+//
+// Model: each primary-tree node (its 2^d overlay boxes) and each leaf block
+// is one disk page, cached in an LRU buffer pool. We replay a uniform
+// prefix-query workload over a dense cube for each elision level h and
+// several pool sizes, reporting steady-state faults per query. The expected
+// shape: fewer levels -> shorter root-to-leaf page chains and a smaller hot
+// set -> fewer faults, at the CPU cost quantified in bench_space_opt.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "common/workload.h"
+#include "ddc/dynamic_data_cube.h"
+#include "pagesim/paged_cube_probe.h"
+
+namespace ddc {
+namespace {
+
+struct ProbeResult {
+  double faults_per_query;
+  double accesses_per_query;
+  int64_t distinct_pages;
+};
+
+ProbeResult Run(int h, int64_t pool_pages, int64_t n,
+                const std::vector<UpdateOp>& ops) {
+  DdcOptions options;
+  options.elide_levels = h;
+  DynamicDataCube cube(2, n, options);
+  for (const UpdateOp& op : ops) cube.Add(op.cell, op.delta);
+
+  PagedCubeProbe probe(&cube, pool_pages);
+  WorkloadGenerator probes(Shape::Cube(2, n), 23);
+  const int kWarmup = 200;
+  const int kMeasured = 1000;
+  for (int i = 0; i < kWarmup; ++i) cube.PrefixSum(probes.UniformCell());
+  probe.pool().ResetStats();
+  for (int i = 0; i < kMeasured; ++i) cube.PrefixSum(probes.UniformCell());
+
+  ProbeResult result;
+  result.faults_per_query =
+      static_cast<double>(probe.pool().faults()) / kMeasured;
+  result.accesses_per_query =
+      static_cast<double>(probe.pool().accesses()) / kMeasured;
+  result.distinct_pages = probe.distinct_pages();
+  return result;
+}
+
+}  // namespace
+}  // namespace ddc
+
+int main() {
+  using ddc::TablePrinter;
+  const int64_t n = 256;
+  ddc::WorkloadGenerator gen(ddc::Shape::Cube(2, n), 5);
+  const std::vector<ddc::UpdateOp> ops = gen.UniformUpdates(20000, 1, 9);
+
+  std::printf("== Secondary-storage simulation: dense DDC, d=2, n=%lld, "
+              "uniform prefix queries ==\n",
+              static_cast<long long>(n));
+  std::printf("(one page per tree node / leaf block; steady-state after "
+              "warm-up)\n");
+  for (int64_t pool : {int64_t{32}, int64_t{256}, int64_t{2048}}) {
+    TablePrinter table({"h", "pages touched (total)", "accesses/query",
+                        "faults/query", "hit rate"});
+    for (int h = 0; h <= 4; ++h) {
+      const ddc::ProbeResult r = ddc::Run(h, pool, n, ops);
+      char hit_rate[16];
+      std::snprintf(hit_rate, sizeof(hit_rate), "%.1f%%",
+                    100.0 * (1.0 - r.faults_per_query / r.accesses_per_query));
+      table.AddRow({TablePrinter::FormatInt(h),
+                    TablePrinter::FormatInt(r.distinct_pages),
+                    TablePrinter::FormatDouble(r.accesses_per_query, 2),
+                    TablePrinter::FormatDouble(r.faults_per_query, 2),
+                    hit_rate});
+    }
+    std::printf("\n-- buffer pool = %lld pages --\n",
+                static_cast<long long>(pool));
+    table.Print();
+  }
+  return 0;
+}

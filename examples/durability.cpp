@@ -1,0 +1,83 @@
+// Durability: dynamic updates that survive a crash.
+//
+// The paper removes the batch-update bottleneck; this example shows the
+// operational pattern that makes those dynamic updates durable: every
+// update appends one record to a write-ahead log before it is applied, a
+// periodic checkpoint writes a snapshot and resets the log, and recovery
+// replays the log over the latest snapshot — discarding a torn tail if the
+// process died mid-append.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "wal/cube_log.h"
+
+namespace {
+
+constexpr const char* kBasePath = "/tmp/ddc_durability_example";
+
+void CleanSlate() {
+  std::remove((std::string(kBasePath) + ".snap").c_str());
+  std::remove((std::string(kBasePath) + ".log").c_str());
+}
+
+}  // namespace
+
+int main() {
+  CleanSlate();
+
+  // Session 1: ingest trades, checkpoint mid-stream, keep ingesting.
+  {
+    ddc::DurableCube trades(/*dims=*/2, /*initial_side=*/256, kBasePath);
+    std::printf("session 1: durable=%s\n",
+                trades.durable() ? "true" : "false");
+    for (ddc::Coord t = 0; t < 500; ++t) {
+      trades.Add({t % 97, t}, 100 + t % 7, /*sync=*/t % 100 == 0);
+    }
+    trades.Checkpoint();
+    std::printf("  checkpoint at total=%lld\n",
+                static_cast<long long>(trades.cube().TotalSum()));
+    for (ddc::Coord t = 500; t < 800; ++t) {
+      trades.Add({t % 97, t}, 100 + t % 7, t % 100 == 0);
+    }
+    std::printf("  session 1 ends at total=%lld (no clean shutdown "
+                "needed)\n",
+                static_cast<long long>(trades.cube().TotalSum()));
+  }
+
+  // Session 2: plain restart — snapshot + log replay restore everything.
+  {
+    ddc::DurableCube trades(2, 256, kBasePath);
+    std::printf("session 2: recovered %lld post-checkpoint records, "
+                "total=%lld\n",
+                static_cast<long long>(trades.recovery().applied),
+                static_cast<long long>(trades.cube().TotalSum()));
+  }
+
+  // Simulate a crash mid-append: chop bytes off the log tail.
+  {
+    const std::string log_path = std::string(kBasePath) + ".log";
+    std::ifstream in(log_path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(log_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - 7));
+  }
+
+  // Session 3: recovery detects the torn tail, keeps every complete
+  // record, and self-heals with a fresh checkpoint.
+  {
+    ddc::DurableCube trades(2, 256, kBasePath);
+    std::printf("session 3 (after simulated crash): clean_tail=%s, "
+                "replayed=%lld, total=%lld\n",
+                trades.recovery().clean_tail ? "true" : "false",
+                static_cast<long long>(trades.recovery().applied),
+                static_cast<long long>(trades.cube().TotalSum()));
+  }
+
+  CleanSlate();
+  return 0;
+}

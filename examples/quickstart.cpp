@@ -1,0 +1,58 @@
+// Quickstart: build a Dynamic Data Cube, run range-sum queries, update
+// cells dynamically, and watch the cube grow in any direction.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "ddc/dynamic_data_cube.h"
+
+int main() {
+  using ddc::Box;
+  using ddc::Cell;
+
+  // A 2-dimensional cube: SALES by CUSTOMER_AGE (dim 0) and DAY (dim 1).
+  // The initial domain is 64x64 cells; it will grow on demand.
+  ddc::DynamicDataCube sales(/*dims=*/2, /*initial_side=*/64);
+
+  // Record sales: sales.Add({age, day}, amount).
+  sales.Add({37, 220}, 150);
+  sales.Add({37, 221}, 75);
+  sales.Add({37, 222}, 25);
+  sales.Add({45, 220}, 300);
+  sales.Add({28, 300}, 90);
+
+  // "Total sales to 37-year-old customers from days 220 to 222."
+  const int64_t q1 = sales.RangeSum(Box{{37, 220}, {37, 222}});
+  std::printf("sales[age=37, day=220..222]       = %lld\n",
+              static_cast<long long>(q1));
+
+  // "Total sales to customers aged 27-45 over all recorded days."
+  const int64_t q2 = sales.RangeSum(Box{{27, 0}, {45, 365}});
+  std::printf("sales[age=27..45, day=0..365]     = %lld\n",
+              static_cast<long long>(q2));
+
+  // Dynamic updates are cheap (polylogarithmic), so interactive what-if
+  // loops are practical: bump a cell and re-ask.
+  sales.Add({37, 221}, 1000);
+  std::printf("after +1000 at (37, 221)          = %lld\n",
+              static_cast<long long>(sales.RangeSum(Box{{37, 220}, {37, 222}})));
+
+  // The cube grows in any direction: negative coordinates are fine.
+  sales.Add({-5, -10}, 42);  // E.g. a correction bucketed before the epoch.
+  std::printf("domain grew to side %lld, lo=%s\n",
+              static_cast<long long>(sales.side()),
+              ddc::CellToString(sales.DomainLo()).c_str());
+  std::printf("grand total                       = %lld\n",
+              static_cast<long long>(sales.TotalSum()));
+
+  // Iterate the nonzero cells (sparse: only populated cells exist).
+  std::printf("nonzero cells:\n");
+  sales.ForEachNonZero([](const Cell& cell, int64_t value) {
+    std::printf("  %-12s -> %lld\n", ddc::CellToString(cell).c_str(),
+                static_cast<long long>(value));
+  });
+  return 0;
+}

@@ -1,0 +1,104 @@
+// What-if analysis: the paper's interactive-scenario argument (Section 1).
+//
+// "Business leaders might wish to construct interactive 'what-if' scenarios
+// using their data cubes, in much the same way that they construct what-if
+// scenarios using spreadsheets now."
+//
+// A what-if loop alternates hypothesis updates with aggregate queries — the
+// worst possible workload for batch-oriented prefix-sum cubes. This example
+// runs the same scenario script against the Prefix Sum cube and the Dynamic
+// Data Cube and prints the per-step latency of each, demonstrating the
+// interactivity gap on a revenue-projection cube (PRODUCT x WEEK).
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "common/workload.h"
+#include "ddc/dynamic_data_cube.h"
+#include "prefix/prefix_sum_cube.h"
+
+namespace {
+
+using ddc::Box;
+using ddc::Cell;
+using ddc::Coord;
+using ddc::TablePrinter;
+
+constexpr int64_t kProducts = 512;  // Dimension 0.
+constexpr int64_t kWeeks = 512;     // Dimension 1.
+
+// One hypothesis: shift projected weekly revenue of a product line.
+struct Hypothesis {
+  const char* description;
+  Cell cell;
+  int64_t delta;
+};
+
+template <typename CubeT>
+double RunScenario(CubeT* cube, const std::vector<Hypothesis>& script,
+                   int64_t* final_answer) {
+  const Box next_quarter{{0, 26}, {kProducts - 1, 38}};
+  const auto start = std::chrono::steady_clock::now();
+  int64_t answer = 0;
+  for (const Hypothesis& h : script) {
+    cube->Add(h.cell, h.delta);             // Apply the hypothesis...
+    answer = cube->RangeSum(next_quarter);  // ...and re-ask immediately.
+  }
+  const auto end = std::chrono::steady_clock::now();
+  *final_answer = answer;
+  return std::chrono::duration<double, std::milli>(end - start).count() /
+         static_cast<double>(script.size());
+}
+
+}  // namespace
+
+int main() {
+  // Baseline projections: dense random revenue for every (product, week).
+  ddc::WorkloadGenerator gen(ddc::Shape::Cube(2, kProducts), 2026);
+  ddc::MdArray<int64_t> baseline = gen.RandomDenseArray(100, 5000);
+
+  ddc::PrefixSumCube ps = ddc::PrefixSumCube::FromArray(baseline);
+  ddc::DynamicDataCube ddc_cube(2, kProducts);
+  baseline.ForEach(
+      [&](const Cell& c, const int64_t& v) { ddc_cube.Add(c, v); });
+
+  // The what-if script: 60 hypothesis tweaks across the planning horizon.
+  std::vector<Hypothesis> script;
+  for (int i = 0; i < 60; ++i) {
+    const Coord product = gen.UniformCell()[0];
+    const Coord week = gen.UniformCell()[1] % 52;
+    script.push_back(Hypothesis{"shift product-week revenue",
+                                Cell{product, week},
+                                (i % 2 == 0) ? 2500 : -1800});
+  }
+
+  int64_t ps_answer = 0;
+  int64_t ddc_answer = 0;
+  const double ps_ms = RunScenario(&ps, script, &ps_answer);
+  const double ddc_ms = RunScenario(&ddc_cube, script, &ddc_answer);
+
+  std::printf("what-if loop: %zu (update + full-quarter query) steps on a "
+              "%lldx%lld cube\n\n",
+              script.size(), static_cast<long long>(kProducts),
+              static_cast<long long>(kWeeks));
+  TablePrinter table({"method", "ms per what-if step", "steps per second",
+                      "final projection"});
+  table.AddRow({"prefix_sum", TablePrinter::FormatDouble(ps_ms, 3),
+                TablePrinter::FormatDouble(1000.0 / ps_ms, 1),
+                TablePrinter::FormatInt(ps_answer)});
+  table.AddRow({"dynamic_data_cube", TablePrinter::FormatDouble(ddc_ms, 3),
+                TablePrinter::FormatDouble(1000.0 / ddc_ms, 1),
+                TablePrinter::FormatInt(ddc_answer)});
+  table.Print();
+
+  if (ps_answer != ddc_answer) {
+    std::printf("ERROR: methods disagree!\n");
+    return 1;
+  }
+  std::printf("\nboth methods agree on every projection; the DDC sustains "
+              "%.0fx more what-if steps per second\n",
+              ps_ms / ddc_ms);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// BasicDdc: the Basic Dynamic Data Cube of Section 3.
+//
+// A tree recursively halves array A in every dimension. Each node stores
+// 2^d overlay boxes — one per child region — with the box values held
+// directly in dense arrays (OverlayBoxArray). Queries implement the
+// Figure 10 algorithm (exactly one child descended per level, at most one
+// value contributed by each non-descended box); updates implement the
+// Figure 12 bottom-up algorithm (one box adjusted per level).
+//
+// Costs (verified by the E4/E5 benches): queries touch O(2^d log n) values;
+// updates cost the Section 3.2 series d*(n/2)^{d-1} + d*(n/4)^{d-1} + ... =
+// O(n^{d-1}) in the worst case, which is the motivation for the full DDC of
+// Section 4.
+//
+// Nodes and boxes are materialized lazily, so an all-zero (or sparse) cube
+// occupies memory proportional to its populated regions only.
+
+#ifndef DDC_BASIC_DDC_BASIC_DDC_H_
+#define DDC_BASIC_DDC_BASIC_DDC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "basic_ddc/overlay_box.h"
+#include "common/cube_interface.h"
+#include "common/md_array.h"
+#include "common/shape.h"
+
+namespace ddc {
+
+class BasicDdc : public CubeInterface {
+ public:
+  // `side` must be a power of two >= 2; the domain is [0, side)^dims.
+  BasicDdc(int dims, int64_t side);
+
+  // Dense bulk build: materializes the full tree, computing every overlay
+  // value directly from one prefix sweep over `array` (O(2^d) per stored
+  // value) instead of paying the O(n^{d-1}) cascade per cell. `array` must
+  // be a power-of-two cube.
+  static std::unique_ptr<BasicDdc> FromArray(const MdArray<int64_t>& array);
+
+  int dims() const override { return dims_; }
+  Cell DomainLo() const override { return UniformCell(dims_, 0); }
+  Cell DomainHi() const override { return UniformCell(dims_, side_ - 1); }
+
+  void Set(const Cell& cell, int64_t value) override;
+  void Add(const Cell& cell, int64_t delta) override;
+  int64_t Get(const Cell& cell) const override;
+  int64_t PrefixSum(const Cell& cell) const override;
+  int64_t StorageCells() const override { return storage_cells_; }
+  std::string name() const override { return "basic_ddc"; }
+
+  int64_t side() const { return side_; }
+  // Number of tree levels (root has level log2(side) - 1, leaf-level nodes
+  // have overlay boxes of side 1, matching Figure 9's numbering).
+  int num_levels() const { return num_levels_; }
+
+ private:
+  struct Node {
+    // Indexed by child mask: bit i set means the child occupies the upper
+    // half of dimension i. Both vectors are sized 2^d on first use.
+    std::vector<std::unique_ptr<OverlayBoxArray>> boxes;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  Node* EnsureNode(std::unique_ptr<Node>* slot);
+  OverlayBoxArray* EnsureBox(Node* node, uint32_t child_mask, int64_t box_side);
+
+  void AddRec(Node* node, int64_t node_side, const Cell& node_anchor,
+              const Cell& cell, int64_t delta);
+  void BuildNodeFromPrefix(Node* node, int64_t node_side,
+                           const Cell& node_anchor,
+                           const MdArray<int64_t>& prefix);
+  int64_t PrefixSumRec(const Node* node, int64_t node_side,
+                       const Cell& node_anchor, const Cell& target) const;
+  int64_t GetRec(const Node* node, int64_t node_side, const Cell& node_anchor,
+                 const Cell& cell) const;
+
+  int dims_;
+  int64_t side_;
+  int num_levels_;
+  uint32_t num_children_;  // 2^d
+  int64_t storage_cells_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_BASIC_DDC_BASIC_DDC_H_

@@ -1,0 +1,204 @@
+#include "bctree/bc_tree.h"
+
+#include "common/check.h"
+
+namespace ddc {
+
+BcTree::BcTree(int64_t capacity, int fanout)
+    : capacity_(capacity), fanout_(fanout) {
+  DDC_CHECK(capacity_ >= 1);
+  DDC_CHECK(fanout_ >= 2);
+  height_ = 1;
+  root_span_ = fanout_;
+  while (root_span_ < capacity_) {
+    root_span_ *= fanout_;
+    ++height_;
+  }
+}
+
+BcTree::Node* BcTree::EnsureChild(Node* node, size_t child_index,
+                                  bool child_is_leaf) {
+  DDC_DCHECK(!node->is_leaf);
+  if (node->children.empty()) {
+    node->children.resize(static_cast<size_t>(fanout_));
+  }
+  std::unique_ptr<Node>& slot = node->children[child_index];
+  if (slot == nullptr) {
+    slot = std::make_unique<Node>();
+    slot->is_leaf = child_is_leaf;
+    slot->sums.assign(static_cast<size_t>(fanout_), 0);
+    allocated_entries_ += fanout_;
+  }
+  return slot.get();
+}
+
+std::unique_ptr<BcTree::Node> BcTree::BuildRange(
+    const std::vector<int64_t>& values, int64_t lo, int64_t span,
+    int64_t* subtree_total) {
+  *subtree_total = 0;
+  if (lo >= static_cast<int64_t>(values.size())) return nullptr;
+  auto node = std::make_unique<Node>();
+  node->sums.assign(static_cast<size_t>(fanout_), 0);
+  if (span == fanout_) {
+    node->is_leaf = true;
+    for (int64_t i = 0; i < fanout_; ++i) {
+      const int64_t idx = lo + i;
+      if (idx >= static_cast<int64_t>(values.size())) break;
+      node->sums[static_cast<size_t>(i)] = values[static_cast<size_t>(idx)];
+      *subtree_total += values[static_cast<size_t>(idx)];
+    }
+  } else {
+    const int64_t child_span = span / fanout_;
+    node->children.resize(static_cast<size_t>(fanout_));
+    for (int64_t i = 0; i < fanout_; ++i) {
+      int64_t child_total = 0;
+      node->children[static_cast<size_t>(i)] =
+          BuildRange(values, lo + i * child_span, child_span, &child_total);
+      node->sums[static_cast<size_t>(i)] = child_total;
+      *subtree_total += child_total;
+    }
+  }
+  if (*subtree_total == 0) {
+    // Only keep all-zero subtrees if some leaf is explicitly nonzero; the
+    // values cancel check: a subtree whose every entry is zero (totals and
+    // children all empty) carries no information.
+    bool any_nonzero = false;
+    if (node->is_leaf) {
+      for (int64_t v : node->sums) any_nonzero |= (v != 0);
+    } else {
+      for (const auto& child : node->children) any_nonzero |= (child != nullptr);
+    }
+    if (!any_nonzero) return nullptr;
+  }
+  allocated_entries_ += fanout_;
+  return node;
+}
+
+void BcTree::BuildFrom(const std::vector<int64_t>& values) {
+  DDC_CHECK(root_ == nullptr && total_ == 0);
+  DDC_CHECK(static_cast<int64_t>(values.size()) <= capacity_);
+  int64_t total = 0;
+  root_ = BuildRange(values, 0, root_span_, &total);
+  total_ = total;
+}
+
+void BcTree::Add(int64_t index, int64_t delta) {
+  DDC_CHECK(index >= 0 && index < capacity_);
+  if (delta == 0) return;
+  total_ += delta;
+  if (root_ == nullptr) {
+    root_ = std::make_unique<Node>();
+    root_->is_leaf = (height_ == 1);
+    root_->sums.assign(static_cast<size_t>(fanout_), 0);
+    allocated_entries_ += fanout_;
+  }
+  Node* node = root_.get();
+  int64_t span = root_span_;
+  int64_t offset = index;
+  while (!node->is_leaf) {
+    CountNode();
+    const int64_t child_span = span / fanout_;
+    const size_t child = static_cast<size_t>(offset / child_span);
+    // One STS adjusted per visited node (the subtree containing the changed
+    // cell), exactly as in the paper's bottom-up walkthrough.
+    node->sums[child] += delta;
+    CountWrite(1);
+    node = EnsureChild(node, child, /*child_is_leaf=*/child_span == fanout_);
+    offset %= child_span;
+    span = child_span;
+  }
+  CountNode();
+  node->sums[static_cast<size_t>(offset)] += delta;
+  CountWrite(1);
+}
+
+int64_t BcTree::CumulativeSum(int64_t index) const {
+  DDC_CHECK(index >= 0 && index < capacity_);
+  if (root_ == nullptr) return 0;
+  const Node* node = root_.get();
+  int64_t span = root_span_;
+  int64_t offset = index;
+  int64_t sum = 0;
+  while (true) {
+    CountNode();
+    if (node->is_leaf) {
+      // Sum of the individual row values up to and including `offset`.
+      for (int64_t i = 0; i <= offset; ++i) {
+        sum += node->sums[static_cast<size_t>(i)];
+      }
+      CountRead(offset + 1);
+      return sum;
+    }
+    const int64_t child_span = span / fanout_;
+    const size_t child = static_cast<size_t>(offset / child_span);
+    // Add every STS preceding the branch we descend.
+    for (size_t i = 0; i < child; ++i) {
+      sum += node->sums[i];
+    }
+    CountRead(static_cast<int64_t>(child));
+    if (node->children.empty() || node->children[child] == nullptr) {
+      return sum;  // Unmaterialized subtree: all zero.
+    }
+    node = node->children[child].get();
+    offset %= child_span;
+    span = child_span;
+  }
+}
+
+int64_t BcTree::Value(int64_t index) const {
+  DDC_CHECK(index >= 0 && index < capacity_);
+  if (root_ == nullptr) return 0;
+  const Node* node = root_.get();
+  int64_t span = root_span_;
+  int64_t offset = index;
+  while (!node->is_leaf) {
+    const int64_t child_span = span / fanout_;
+    const size_t child = static_cast<size_t>(offset / child_span);
+    if (node->children.empty() || node->children[child] == nullptr) return 0;
+    node = node->children[child].get();
+    offset %= child_span;
+    span = child_span;
+  }
+  CountRead(1);
+  return node->sums[static_cast<size_t>(offset)];
+}
+
+int64_t BcTree::NodeTotal(const Node* node) {
+  int64_t total = 0;
+  for (int64_t v : node->sums) total += v;
+  return total;
+}
+
+bool BcTree::CheckNode(const Node* node, int64_t span) const {
+  if (node->is_leaf) {
+    return span == fanout_;
+  }
+  if (span <= fanout_) return false;
+  const int64_t child_span = span / fanout_;
+  if (node->children.empty()) {
+    // All STS must then be zero... not necessarily: children vector is only
+    // created on first materialization, so an interior node always has it
+    // once any STS is nonzero. An interior node without children must be
+    // all-zero.
+    return NodeTotal(node) == 0;
+  }
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const Node* child = node->children[i].get();
+    const int64_t sts = node->sums[i];
+    if (child == nullptr) {
+      if (sts != 0) return false;
+      continue;
+    }
+    if (NodeTotal(child) != sts) return false;
+    if (!CheckNode(child, child_span)) return false;
+  }
+  return true;
+}
+
+bool BcTree::CheckInvariants() const {
+  if (root_ == nullptr) return total_ == 0;
+  if (NodeTotal(root_.get()) != total_) return false;
+  return CheckNode(root_.get(), root_span_);
+}
+
+}  // namespace ddc

@@ -1,0 +1,99 @@
+// The Cumulative B Tree (B_c tree) of Section 4.1.
+//
+// A B_c tree stores one set of overlay row-sum values. It modifies a
+// standard b-tree in two ways (quoting the paper):
+//
+//  1. Keys are the *indices* of the row-sum cells, not their data values, so
+//     leaves appear in the same order as the row-sum cells in the overlay
+//     box. Leaves store the sum of each *individual* row; cumulative row
+//     sums are generated on demand.
+//  2. Interior nodes additionally maintain subtree sums (STS): for each
+//     entry, the sum of the subtree reached through the branch left of the
+//     entry. A cumulative query descends the tree adding every preceding STS
+//     in each visited node (O(f log_f k)); an update adjusts at most one STS
+//     per visited node (O(log_f k)).
+//
+// Because keys are the dense integers 0..capacity-1 known a priori, the tree
+// shape is fixed by (capacity, fanout) and nodes are materialized lazily:
+// subtrees that are entirely zero occupy no memory. This gives the sparse
+// behaviour Section 5 relies on while keeping the paper's node layout
+// (per-entry STS, data in the leaves, bottom-up update of one STS per level).
+
+#ifndef DDC_BCTREE_BC_TREE_H_
+#define DDC_BCTREE_BC_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bctree/cumulative_store.h"
+
+namespace ddc {
+
+class BcTree : public CumulativeStore1D {
+ public:
+  static constexpr int kDefaultFanout = 8;
+
+  // Creates an all-zero tree holding `capacity` row sums. `fanout` is the
+  // maximum number of children per node (>= 2).
+  explicit BcTree(int64_t capacity, int fanout = kDefaultFanout);
+
+  BcTree(const BcTree&) = delete;
+  BcTree& operator=(const BcTree&) = delete;
+
+  // Bulk-builds the tree bottom-up from `values` (one per index; shorter
+  // vectors are zero-extended). The tree must be empty. Writes each stored
+  // entry exactly once — O(capacity) instead of O(capacity log capacity)
+  // repeated Adds — and materializes only subtrees with nonzero content.
+  void BuildFrom(const std::vector<int64_t>& values);
+
+  void Add(int64_t index, int64_t delta) override;
+  int64_t CumulativeSum(int64_t index) const override;
+  int64_t Value(int64_t index) const override;
+  int64_t TotalSum() const override { return total_; }
+  int64_t capacity() const override { return capacity_; }
+  int64_t StorageCells() const override { return allocated_entries_; }
+
+  int fanout() const { return fanout_; }
+
+  // Height of the (conceptual) tree: number of levels including the leaf
+  // level; a single-leaf tree has height 1.
+  int height() const { return height_; }
+
+  // Verifies the STS invariant over all materialized nodes: every interior
+  // entry equals the total of the child subtree it summarizes. Returns true
+  // when consistent. Test-support API.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node {
+    // Interior: sums[i] is the STS of children[i] (the paper stores f-1 STS
+    // values and derives the last branch; storing all f child sums is an
+    // equivalent layout and is what we count as storage).
+    // Leaf: sums[i] is the individual row-sum value at index lo + i.
+    std::vector<int64_t> sums;
+    std::vector<std::unique_ptr<Node>> children;  // Empty in leaves.
+    bool is_leaf = false;
+  };
+
+  Node* EnsureChild(Node* node, size_t child_index, bool child_is_leaf);
+  // Builds the subtree covering values[lo, lo+span); returns nullptr when
+  // the range is entirely zero. Sets *subtree_total.
+  std::unique_ptr<Node> BuildRange(const std::vector<int64_t>& values,
+                                   int64_t lo, int64_t span,
+                                   int64_t* subtree_total);
+  bool CheckNode(const Node* node, int64_t span) const;
+  static int64_t NodeTotal(const Node* node);
+
+  int64_t capacity_;
+  int fanout_;
+  int height_;
+  int64_t root_span_;  // fanout_^(height_-1) * fanout_ covers >= capacity_
+  int64_t total_ = 0;
+  int64_t allocated_entries_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_BCTREE_BC_TREE_H_

@@ -1,0 +1,37 @@
+#include "bctree/fenwick_tree.h"
+
+#include "common/check.h"
+
+namespace ddc {
+
+FenwickTree::FenwickTree(int64_t capacity)
+    : capacity_(capacity), tree_(static_cast<size_t>(capacity + 1), 0) {
+  DDC_CHECK(capacity_ >= 1);
+}
+
+void FenwickTree::Add(int64_t index, int64_t delta) {
+  DDC_CHECK(index >= 0 && index < capacity_);
+  if (delta == 0) return;
+  total_ += delta;
+  for (int64_t i = index + 1; i <= capacity_; i += i & (-i)) {
+    tree_[static_cast<size_t>(i)] += delta;
+    CountWrite(1);
+  }
+}
+
+int64_t FenwickTree::CumulativeSum(int64_t index) const {
+  DDC_CHECK(index >= 0 && index < capacity_);
+  int64_t sum = 0;
+  for (int64_t i = index + 1; i > 0; i -= i & (-i)) {
+    sum += tree_[static_cast<size_t>(i)];
+    CountRead(1);
+  }
+  return sum;
+}
+
+int64_t FenwickTree::Value(int64_t index) const {
+  const int64_t hi = CumulativeSum(index);
+  return index == 0 ? hi : hi - CumulativeSum(index - 1);
+}
+
+}  // namespace ddc

@@ -1,0 +1,38 @@
+// FenwickTree: a binary-indexed tree over a fixed capacity, used as an
+// ablation comparator for the B_c tree (same O(log k) cumulative-sum and
+// update complexity, different constant factors and storage profile: the
+// Fenwick tree is dense, the B_c tree is lazily materialized).
+
+#ifndef DDC_BCTREE_FENWICK_TREE_H_
+#define DDC_BCTREE_FENWICK_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bctree/cumulative_store.h"
+
+namespace ddc {
+
+class FenwickTree : public CumulativeStore1D {
+ public:
+  explicit FenwickTree(int64_t capacity);
+
+  FenwickTree(const FenwickTree&) = delete;
+  FenwickTree& operator=(const FenwickTree&) = delete;
+
+  void Add(int64_t index, int64_t delta) override;
+  int64_t CumulativeSum(int64_t index) const override;
+  int64_t Value(int64_t index) const override;
+  int64_t TotalSum() const override { return total_; }
+  int64_t capacity() const override { return capacity_; }
+  int64_t StorageCells() const override { return capacity_; }
+
+ private:
+  int64_t capacity_;
+  int64_t total_ = 0;
+  std::vector<int64_t> tree_;  // 1-based implicit binary indexed tree.
+};
+
+}  // namespace ddc
+
+#endif  // DDC_BCTREE_FENWICK_TREE_H_

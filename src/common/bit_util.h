@@ -1,0 +1,39 @@
+// Small integer helpers shared across modules.
+
+#ifndef DDC_COMMON_BIT_UTIL_H_
+#define DDC_COMMON_BIT_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace ddc {
+
+inline bool IsPowerOfTwo(int64_t v) {
+  return v > 0 && (v & (v - 1)) == 0;
+}
+
+// floor(log2(v)); v must be positive.
+inline int FloorLog2(int64_t v) {
+  DDC_DCHECK(v > 0);
+  return 63 - std::countl_zero(static_cast<uint64_t>(v));
+}
+
+// Smallest power of two >= v; v must be positive.
+inline int64_t CeilPowerOfTwo(int64_t v) {
+  DDC_DCHECK(v > 0);
+  return static_cast<int64_t>(std::bit_ceil(static_cast<uint64_t>(v)));
+}
+
+// Integer exponentiation; asserts against int64 overflow in debug builds.
+inline int64_t IPow(int64_t base, int exp) {
+  DDC_DCHECK(exp >= 0);
+  int64_t result = 1;
+  for (int i = 0; i < exp; ++i) result *= base;
+  return result;
+}
+
+}  // namespace ddc
+
+#endif  // DDC_COMMON_BIT_UTIL_H_

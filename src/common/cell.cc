@@ -1,0 +1,71 @@
+#include "common/cell.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace ddc {
+
+Cell UniformCell(int dims, Coord value) {
+  return Cell(static_cast<size_t>(dims), value);
+}
+
+bool DominatedBy(const Cell& a, const Cell& b) {
+  DDC_DCHECK(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+bool StrictlyDominatedBy(const Cell& a, const Cell& b) {
+  DDC_DCHECK(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] >= b[i]) return false;
+  }
+  return true;
+}
+
+Cell CellMin(const Cell& a, const Cell& b) {
+  DDC_DCHECK(a.size() == b.size());
+  Cell out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = std::min(a[i], b[i]);
+  return out;
+}
+
+Cell CellMax(const Cell& a, const Cell& b) {
+  DDC_DCHECK(a.size() == b.size());
+  Cell out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = std::max(a[i], b[i]);
+  return out;
+}
+
+Cell CellAdd(const Cell& a, const Cell& b) {
+  DDC_DCHECK(a.size() == b.size());
+  Cell out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Cell CellSub(const Cell& a, const Cell& b) {
+  DDC_DCHECK(a.size() == b.size());
+  Cell out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::string CellToString(const Cell& cell) {
+  std::string out = "(";
+  for (size_t i = 0; i < cell.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(cell[i]));
+    if (i > 0) out += ", ";
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace ddc

@@ -1,0 +1,49 @@
+// Cell: a point in the d-dimensional integer index space of a data cube.
+//
+// A Cell is simply a vector of signed 64-bit coordinates. Coordinates are
+// signed because the Dynamic Data Cube supports growth in any direction
+// (Section 5 of the paper): after growth the domain anchor may be negative.
+// The helpers in this header implement the dominance tests used throughout
+// the overlay-box algorithms (Figure 10 of the paper).
+
+#ifndef DDC_COMMON_CELL_H_
+#define DDC_COMMON_CELL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddc {
+
+// One coordinate of a cell.
+using Coord = int64_t;
+
+// A point in index space. The vector length is the cube dimensionality d.
+// Guaranteed to stay a std::vector<Coord>; client code may rely on vector
+// semantics (size(), operator[], iteration).
+using Cell = std::vector<Coord>;
+
+// Returns a cell of `dims` coordinates, all equal to `value`.
+Cell UniformCell(int dims, Coord value);
+
+// Returns true when a[i] <= b[i] for every dimension ("a dominates from
+// below"), i.e. b lies in the closed dominance region of a.
+bool DominatedBy(const Cell& a, const Cell& b);
+
+// Returns true when a[i] < b[i] for every dimension.
+bool StrictlyDominatedBy(const Cell& a, const Cell& b);
+
+// Componentwise minimum / maximum. Both cells must have equal arity.
+Cell CellMin(const Cell& a, const Cell& b);
+Cell CellMax(const Cell& a, const Cell& b);
+
+// Componentwise sum / difference.
+Cell CellAdd(const Cell& a, const Cell& b);
+Cell CellSub(const Cell& a, const Cell& b);
+
+// Renders "(c0, c1, ..., cd-1)" for diagnostics and test failure messages.
+std::string CellToString(const Cell& cell);
+
+}  // namespace ddc
+
+#endif  // DDC_COMMON_CELL_H_

@@ -1,0 +1,44 @@
+// Lightweight runtime-check macros.
+//
+// The library does not use C++ exceptions (constructor failure and contract
+// violations are programming errors); DDC_CHECK aborts with a diagnostic when
+// a stated invariant does not hold. DDC_DCHECK compiles away in NDEBUG builds
+// and is used on hot paths.
+
+#ifndef DDC_COMMON_CHECK_H_
+#define DDC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ddc {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "DDC_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace ddc
+
+// Variadic so that expressions containing unparenthesized commas (e.g.
+// brace initializers) work.
+#define DDC_CHECK(...)                                     \
+  do {                                                     \
+    if (!(__VA_ARGS__)) {                                  \
+      ::ddc::internal::CheckFailed(__FILE__, __LINE__,     \
+                                   #__VA_ARGS__);          \
+    }                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define DDC_DCHECK(...) \
+  do {                  \
+  } while (0)
+#else
+#define DDC_DCHECK(...) DDC_CHECK(__VA_ARGS__)
+#endif
+
+#endif  // DDC_COMMON_CHECK_H_

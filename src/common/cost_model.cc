@@ -1,0 +1,48 @@
+#include "common/cost_model.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/bit_util.h"
+#include "common/check.h"
+
+namespace ddc {
+
+double FullCubeSizeCost(double n, int d) { return std::pow(n, d); }
+
+double PrefixSumUpdateCost(double n, int d) { return std::pow(n, d); }
+
+double RelativePrefixSumUpdateCost(double n, int d) {
+  return std::pow(n, static_cast<double>(d) / 2.0);
+}
+
+double DynamicDataCubeUpdateCost(double n, int d) {
+  return std::pow(std::log2(n), d);
+}
+
+double BasicDdcUpdateCost(double n, int d) {
+  DDC_CHECK(d >= 1);
+  if (d == 1) {
+    // One value per level, log2(n) levels.
+    return std::log2(n);
+  }
+  const double pow_term = std::pow(n, d - 1);
+  const double denom = std::pow(2.0, d - 1) - 1.0;
+  return d * (pow_term - 1.0) / denom;
+}
+
+int64_t OverlayBoxStorageCells(int64_t k, int d) {
+  return IPow(k, d) - IPow(k - 1, d);
+}
+
+int64_t OverlayBoxRegionCells(int64_t k, int d) { return IPow(k, d); }
+
+std::string RoundToPowerOfTenString(double value) {
+  DDC_CHECK(value > 0);
+  const int exponent = static_cast<int>(std::lround(std::log10(value)));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "1E+%02d", exponent);
+  return buf;
+}
+
+}  // namespace ddc

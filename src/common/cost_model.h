@@ -1,0 +1,49 @@
+// Closed-form cost models from the paper, used by the Table 1 / Figure 1 /
+// Table 2 reproduction benches and validated against measured operation
+// counts in the test suite.
+//
+// All functions return double because Table 1 evaluates them up to 1e78,
+// far beyond int64 range. n is the size of each dimension, d the number of
+// dimensions.
+
+#ifndef DDC_COMMON_COST_MODEL_H_
+#define DDC_COMMON_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ddc {
+
+// Size of the complete data cube: n^d (Table 1, "Full Data Cube Size").
+double FullCubeSizeCost(double n, int d);
+
+// Prefix Sum method worst-case update: n^d (Table 1, "Prefix Sum").
+double PrefixSumUpdateCost(double n, int d);
+
+// Relative Prefix Sum worst-case update: n^(d/2) (Table 1, "Relative PS").
+double RelativePrefixSumUpdateCost(double n, int d);
+
+// Dynamic Data Cube update: (log2 n)^d (Table 1, "Dynamic Data Cube").
+double DynamicDataCubeUpdateCost(double n, int d);
+
+// Basic DDC worst-case update, the Section 3.2 series
+//   d * [ (n/2)^(d-1) + (n/4)^(d-1) + ... + 1 ]
+// which the paper closes to d * (n^(d-1) - 1) / (2^(d-1) - 1) for d >= 2,
+// and to log2(n) terms of d*1 for d == 1.
+double BasicDdcUpdateCost(double n, int d);
+
+// Storage of one overlay box of side k in d dimensions: k^d - (k-1)^d
+// (Section 3.1; Table 2 uses d = 2).
+int64_t OverlayBoxStorageCells(int64_t k, int d);
+
+// Size of the region of A covered by one overlay box: k^d.
+int64_t OverlayBoxRegionCells(int64_t k, int d);
+
+// Rounds to the nearest power of ten, as Table 1 does ("values are rounded
+// to the nearest power of 10"), and renders it as "1E+NN" / exact small
+// values. Returns e.g. "1E+16".
+std::string RoundToPowerOfTenString(double value);
+
+}  // namespace ddc
+
+#endif  // DDC_COMMON_COST_MODEL_H_

@@ -1,0 +1,12 @@
+#include "common/cube_interface.h"
+
+namespace ddc {
+
+int64_t CubeInterface::RangeSum(const Box& box) const {
+  const Box clipped = IntersectBoxes(box, Box{DomainLo(), DomainHi()});
+  if (clipped.IsEmpty()) return 0;
+  return RangeSumFromPrefix(clipped, DomainLo(),
+                            [this](const Cell& c) { return PrefixSum(c); });
+}
+
+}  // namespace ddc

@@ -1,0 +1,68 @@
+// CubeInterface: the common contract implemented by every range-sum
+// structure in this library (naive array, Prefix Sum, Relative Prefix Sum,
+// Basic DDC, Dynamic Data Cube).
+//
+// All structures answer the same queries over the same logical array A
+// (Section 2 of the paper); they differ only in cost. Integration tests and
+// benchmark harnesses exercise them uniformly through this interface.
+
+#ifndef DDC_COMMON_CUBE_INTERFACE_H_
+#define DDC_COMMON_CUBE_INTERFACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/cell.h"
+#include "common/op_counter.h"
+#include "common/range.h"
+
+namespace ddc {
+
+class CubeInterface {
+ public:
+  virtual ~CubeInterface() = default;
+
+  // Number of dimensions d.
+  virtual int dims() const = 0;
+
+  // The lowest / highest cell of the current domain (inclusive). For the
+  // fixed-size structures the anchor is the origin; the Dynamic Data Cube
+  // may move its anchor when it grows toward negative coordinates.
+  virtual Cell DomainLo() const = 0;
+  virtual Cell DomainHi() const = 0;
+
+  // Sets A[cell] to `value`.
+  virtual void Set(const Cell& cell, int64_t value) = 0;
+
+  // Adds `delta` to A[cell].
+  virtual void Add(const Cell& cell, int64_t delta) = 0;
+
+  // Returns A[cell].
+  virtual int64_t Get(const Cell& cell) const = 0;
+
+  // Returns SUM(A[DomainLo() .. cell]). `cell` must be inside the domain.
+  virtual int64_t PrefixSum(const Cell& cell) const = 0;
+
+  // Returns SUM over the closed box [box.lo .. box.hi]; the box is clipped to
+  // the domain. Default implementation: inclusion-exclusion over 2^d prefix
+  // sums (Figure 4).
+  virtual int64_t RangeSum(const Box& box) const;
+
+  // Total stored values (cells of auxiliary arrays, tree entries, ...). Used
+  // for the Table 2 storage experiments.
+  virtual int64_t StorageCells() const = 0;
+
+  // Measured-cost counters; mutated by const queries as well, so they are
+  // conceptually mutable statistics.
+  const OpCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_.Reset(); }
+
+  virtual std::string name() const = 0;
+
+ protected:
+  mutable OpCounters counters_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_COMMON_CUBE_INTERFACE_H_

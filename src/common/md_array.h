@@ -1,0 +1,79 @@
+// MdArray: a dense row-major d-dimensional array.
+//
+// This is the representation of array A in Section 2 of the paper, and the
+// backing store for the Prefix Sum array P, the Relative Prefix Sum tables,
+// and the Basic DDC overlay boxes.
+
+#ifndef DDC_COMMON_MD_ARRAY_H_
+#define DDC_COMMON_MD_ARRAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cell.h"
+#include "common/check.h"
+#include "common/shape.h"
+
+namespace ddc {
+
+template <typename T>
+class MdArray {
+ public:
+  MdArray() = default;
+  explicit MdArray(Shape shape, T initial = T())
+      : shape_(std::move(shape)),
+        data_(static_cast<size_t>(shape_.num_cells()), initial) {}
+
+  const Shape& shape() const { return shape_; }
+  int dims() const { return shape_.dims(); }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+
+  T& at(const Cell& cell) {
+    return data_[static_cast<size_t>(shape_.LinearIndex(cell))];
+  }
+  const T& at(const Cell& cell) const {
+    return data_[static_cast<size_t>(shape_.LinearIndex(cell))];
+  }
+
+  T& at_linear(int64_t index) {
+    DDC_DCHECK(index >= 0 && index < size());
+    return data_[static_cast<size_t>(index)];
+  }
+  const T& at_linear(int64_t index) const {
+    DDC_DCHECK(index >= 0 && index < size());
+    return data_[static_cast<size_t>(index)];
+  }
+
+  void Fill(T value) { data_.assign(data_.size(), value); }
+
+  // Invokes fn(cell, value&) for every cell in row-major order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    if (data_.empty()) return;
+    Cell cell(static_cast<size_t>(shape_.dims()), 0);
+    int64_t index = 0;
+    do {
+      fn(cell, data_[static_cast<size_t>(index)]);
+      ++index;
+    } while (shape_.NextCell(&cell));
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (data_.empty()) return;
+    Cell cell(static_cast<size_t>(shape_.dims()), 0);
+    int64_t index = 0;
+    do {
+      fn(cell, data_[static_cast<size_t>(index)]);
+      ++index;
+    } while (shape_.NextCell(&cell));
+  }
+
+ private:
+  Shape shape_;
+  std::vector<T> data_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_COMMON_MD_ARRAY_H_

@@ -1,0 +1,38 @@
+// Operation counters used to reproduce the paper's cost analyses with
+// measured numbers (Table 1, Sections 3.2 and 4.3).
+//
+// Counters are machine-independent: they count stored values touched, not
+// nanoseconds, so measured results can be compared directly against the
+// closed-form cost functions in cost_model.h.
+
+#ifndef DDC_COMMON_OP_COUNTER_H_
+#define DDC_COMMON_OP_COUNTER_H_
+
+#include <cstdint>
+
+namespace ddc {
+
+struct OpCounters {
+  // Stored values read while answering queries.
+  int64_t values_read = 0;
+  // Stored values written (created or modified) while applying updates.
+  int64_t values_written = 0;
+  // Tree nodes (or blocks) visited.
+  int64_t nodes_visited = 0;
+
+  void Reset() { *this = OpCounters(); }
+
+  OpCounters operator-(const OpCounters& other) const {
+    OpCounters out;
+    out.values_read = values_read - other.values_read;
+    out.values_written = values_written - other.values_written;
+    out.nodes_visited = nodes_visited - other.nodes_visited;
+    return out;
+  }
+
+  int64_t total_touched() const { return values_read + values_written; }
+};
+
+}  // namespace ddc
+
+#endif  // DDC_COMMON_OP_COUNTER_H_

@@ -1,0 +1,74 @@
+#include "common/range.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+
+namespace ddc {
+
+bool Box::IsEmpty() const {
+  DDC_DCHECK(lo.size() == hi.size());
+  for (size_t i = 0; i < lo.size(); ++i) {
+    if (lo[i] > hi[i]) return true;
+  }
+  return false;
+}
+
+int64_t Box::NumCells() const {
+  if (IsEmpty()) return 0;
+  int64_t cells = 1;
+  for (size_t i = 0; i < lo.size(); ++i) cells *= hi[i] - lo[i] + 1;
+  return cells;
+}
+
+bool Box::Contains(const Cell& cell) const {
+  DDC_DCHECK(cell.size() == lo.size());
+  for (size_t i = 0; i < lo.size(); ++i) {
+    if (cell[i] < lo[i] || cell[i] > hi[i]) return false;
+  }
+  return true;
+}
+
+std::string Box::ToString() const {
+  return "[" + CellToString(lo) + " .. " + CellToString(hi) + "]";
+}
+
+Box IntersectBoxes(const Box& a, const Box& b) {
+  return Box{CellMax(a.lo, b.lo), CellMin(a.hi, b.hi)};
+}
+
+int64_t RangeSumFromPrefix(
+    const Box& box, const Cell& anchor,
+    const std::function<int64_t(const Cell&)>& prefix) {
+  DDC_CHECK(box.lo.size() == box.hi.size());
+  DDC_CHECK(anchor.size() == box.lo.size());
+  if (box.IsEmpty()) return 0;
+
+  const int d = box.dims();
+  const uint32_t num_corners = 1u << d;
+  int64_t total = 0;
+  Cell corner(static_cast<size_t>(d));
+  for (uint32_t mask = 0; mask < num_corners; ++mask) {
+    // Bit i set: take lo[i]-1 in dimension i; clear: take hi[i].
+    bool below_anchor = false;
+    for (int i = 0; i < d; ++i) {
+      size_t ui = static_cast<size_t>(i);
+      if (mask & (1u << i)) {
+        corner[ui] = box.lo[ui] - 1;
+        if (corner[ui] < anchor[ui]) {
+          below_anchor = true;
+          break;
+        }
+      } else {
+        corner[ui] = box.hi[ui];
+      }
+    }
+    if (below_anchor) continue;  // Empty prefix region contributes zero.
+    const int sign = (std::popcount(mask) % 2 == 0) ? 1 : -1;
+    total += sign * prefix(corner);
+  }
+  return total;
+}
+
+}  // namespace ddc

@@ -1,0 +1,50 @@
+// Box: a closed axis-aligned hyper-rectangle of cells, and the
+// inclusion-exclusion identity of Figure 4 in the paper:
+//
+//   Sum(Area_E) = Sum(Area_A) - Sum(Area_B) - Sum(Area_C) + Sum(Area_D)
+//
+// generalized to d dimensions: the sum over [lo..hi] equals the signed sum of
+// 2^d prefix sums, one per corner subset, with sign (-1)^|subset|.
+
+#ifndef DDC_COMMON_RANGE_H_
+#define DDC_COMMON_RANGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/cell.h"
+
+namespace ddc {
+
+// A closed box [lo, hi] (both corners inclusive, matching the paper's range
+// query notation A[lo]:A[hi]). A box with lo[i] > hi[i] in any dimension is
+// empty.
+struct Box {
+  Cell lo;
+  Cell hi;
+
+  int dims() const { return static_cast<int>(lo.size()); }
+  bool IsEmpty() const;
+  // Number of cells in the box (0 if empty).
+  int64_t NumCells() const;
+  bool Contains(const Cell& cell) const;
+  std::string ToString() const;
+};
+
+// Returns the box clipped to `bounds` (may be empty).
+Box IntersectBoxes(const Box& a, const Box& b);
+
+// Evaluates SUM over the closed box [lo, hi] given a prefix-sum oracle.
+//
+// `prefix(c)` must return SUM(A[anchor .. c]), where `anchor` is the lowest
+// cell of the structure's domain; for corner cells with any coordinate below
+// `anchor` the term is zero and `prefix` is not invoked for it. This is the
+// generalized Figure 4 computation and costs at most 2^d oracle calls.
+int64_t RangeSumFromPrefix(
+    const Box& box, const Cell& anchor,
+    const std::function<int64_t(const Cell&)>& prefix);
+
+}  // namespace ddc
+
+#endif  // DDC_COMMON_RANGE_H_

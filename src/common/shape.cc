@@ -1,0 +1,66 @@
+#include "common/shape.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace ddc {
+
+Shape::Shape(std::vector<Coord> extents) : extents_(std::move(extents)) {
+  DDC_CHECK(!extents_.empty());
+  strides_.resize(extents_.size());
+  num_cells_ = 1;
+  for (int i = static_cast<int>(extents_.size()) - 1; i >= 0; --i) {
+    DDC_CHECK(extents_[static_cast<size_t>(i)] >= 1);
+    strides_[static_cast<size_t>(i)] = num_cells_;
+    num_cells_ *= extents_[static_cast<size_t>(i)];
+  }
+}
+
+Shape Shape::Cube(int dims, Coord side) {
+  DDC_CHECK(dims >= 1);
+  return Shape(std::vector<Coord>(static_cast<size_t>(dims), side));
+}
+
+bool Shape::Contains(const Cell& cell) const {
+  if (cell.size() != extents_.size()) return false;
+  for (size_t i = 0; i < cell.size(); ++i) {
+    if (cell[i] < 0 || cell[i] >= extents_[i]) return false;
+  }
+  return true;
+}
+
+int64_t Shape::LinearIndex(const Cell& cell) const {
+  DDC_DCHECK(Contains(cell));
+  int64_t index = 0;
+  for (size_t i = 0; i < cell.size(); ++i) {
+    index += cell[i] * strides_[i];
+  }
+  return index;
+}
+
+Cell Shape::CellAt(int64_t linear_index) const {
+  DDC_DCHECK(linear_index >= 0 && linear_index < num_cells_);
+  Cell cell(extents_.size());
+  for (size_t i = 0; i < extents_.size(); ++i) {
+    cell[i] = linear_index / strides_[i];
+    linear_index %= strides_[i];
+  }
+  return cell;
+}
+
+bool Shape::NextCell(Cell* cell) const {
+  DDC_DCHECK(cell != nullptr && cell->size() == extents_.size());
+  for (int i = static_cast<int>(extents_.size()) - 1; i >= 0; --i) {
+    size_t ui = static_cast<size_t>(i);
+    if (++(*cell)[ui] < extents_[ui]) return true;
+    (*cell)[ui] = 0;
+  }
+  return false;
+}
+
+std::string Shape::ToString() const {
+  return "shape" + CellToString(extents_);
+}
+
+}  // namespace ddc

@@ -1,0 +1,64 @@
+// Shape: the extents of a d-dimensional array, with row-major linearization.
+
+#ifndef DDC_COMMON_SHAPE_H_
+#define DDC_COMMON_SHAPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cell.h"
+
+namespace ddc {
+
+// Describes the extents of a d-dimensional box of cells anchored at the
+// origin, and converts between cells and row-major linear offsets.
+class Shape {
+ public:
+  Shape() = default;
+
+  // `extents[i]` is the number of distinct indices in dimension i; every
+  // extent must be >= 1.
+  explicit Shape(std::vector<Coord> extents);
+
+  // Cube shape: `dims` dimensions, every extent equal to `side`.
+  static Shape Cube(int dims, Coord side);
+
+  int dims() const { return static_cast<int>(extents_.size()); }
+  Coord extent(int dim) const { return extents_[static_cast<size_t>(dim)]; }
+  const std::vector<Coord>& extents() const { return extents_; }
+
+  // Total number of cells (product of extents).
+  int64_t num_cells() const { return num_cells_; }
+
+  // Returns true when 0 <= cell[i] < extent(i) for every dimension.
+  bool Contains(const Cell& cell) const;
+
+  // Row-major linear offset of `cell`; `cell` must be contained.
+  int64_t LinearIndex(const Cell& cell) const;
+
+  // Inverse of LinearIndex.
+  Cell CellAt(int64_t linear_index) const;
+
+  // Advances `cell` to the row-major successor within this shape. Returns
+  // false (leaving `cell` at all-zeros) after the last cell. Start iteration
+  // from the all-zero cell; the canonical loop is:
+  //   Cell c(shape.dims(), 0);
+  //   do { ... } while (shape.NextCell(&c));
+  bool NextCell(Cell* cell) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    return a.extents_ == b.extents_;
+  }
+
+ private:
+  std::vector<Coord> extents_;
+  std::vector<int64_t> strides_;  // row-major strides, strides_[d-1] == 1
+  int64_t num_cells_ = 1;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_COMMON_SHAPE_H_

@@ -1,0 +1,39 @@
+// TablePrinter: fixed-width console tables for the benchmark harnesses that
+// regenerate the paper's tables and figure series.
+
+#ifndef DDC_COMMON_TABLE_PRINTER_H_
+#define DDC_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddc {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table with a header rule, column-width autosizing, and
+  // right-aligned cells (numbers dominate).
+  std::string ToString() const;
+
+  // Convenience: renders and writes to stdout.
+  void Print() const;
+
+  // Formatting helpers for row construction.
+  static std::string FormatInt(int64_t value);
+  static std::string FormatDouble(double value, int precision);
+  // Scientific "1.2E+34" style used for the huge Table 1 magnitudes.
+  static std::string FormatScientific(double value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_COMMON_TABLE_PRINTER_H_

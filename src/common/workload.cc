@@ -1,0 +1,116 @@
+#include "common/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ddc {
+
+WorkloadGenerator::WorkloadGenerator(Shape domain, uint64_t seed)
+    : domain_(std::move(domain)), rng_(seed) {}
+
+Cell WorkloadGenerator::UniformCell() {
+  Cell cell(static_cast<size_t>(domain_.dims()));
+  for (int i = 0; i < domain_.dims(); ++i) {
+    std::uniform_int_distribution<Coord> dist(0, domain_.extent(i) - 1);
+    cell[static_cast<size_t>(i)] = dist(rng_);
+  }
+  return cell;
+}
+
+Cell WorkloadGenerator::ZipfCell(double theta) {
+  DDC_CHECK(theta >= 0.0);
+  Cell cell(static_cast<size_t>(domain_.dims()));
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (int i = 0; i < domain_.dims(); ++i) {
+    const double extent = static_cast<double>(domain_.extent(i));
+    // Inverse-power transform of a uniform variate: u^(1+theta) concentrates
+    // mass near zero as theta grows while staying uniform at theta == 0.
+    const double u = unit(rng_);
+    const double skewed = std::pow(u, 1.0 + theta);
+    Coord index = static_cast<Coord>(skewed * extent);
+    cell[static_cast<size_t>(i)] = std::min<Coord>(index, domain_.extent(i) - 1);
+  }
+  return cell;
+}
+
+Box WorkloadGenerator::UniformBox() {
+  Cell a = UniformCell();
+  Cell b = UniformCell();
+  return Box{CellMin(a, b), CellMax(a, b)};
+}
+
+Box WorkloadGenerator::BoxWithSideFraction(double side_fraction) {
+  DDC_CHECK(side_fraction > 0.0 && side_fraction <= 1.0);
+  Cell lo(static_cast<size_t>(domain_.dims()));
+  Cell hi(static_cast<size_t>(domain_.dims()));
+  for (int i = 0; i < domain_.dims(); ++i) {
+    const Coord extent = domain_.extent(i);
+    Coord side = std::max<Coord>(
+        1, static_cast<Coord>(std::llround(side_fraction * extent)));
+    side = std::min(side, extent);
+    std::uniform_int_distribution<Coord> dist(0, extent - side);
+    const Coord start = dist(rng_);
+    lo[static_cast<size_t>(i)] = start;
+    hi[static_cast<size_t>(i)] = start + side - 1;
+  }
+  return Box{lo, hi};
+}
+
+int64_t WorkloadGenerator::Value(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(rng_);
+}
+
+std::vector<UpdateOp> WorkloadGenerator::UniformUpdates(int64_t count,
+                                                        int64_t value_lo,
+                                                        int64_t value_hi) {
+  std::vector<UpdateOp> updates;
+  updates.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    updates.push_back(UpdateOp{UniformCell(), Value(value_lo, value_hi)});
+  }
+  return updates;
+}
+
+MdArray<int64_t> WorkloadGenerator::RandomDenseArray(int64_t value_lo,
+                                                     int64_t value_hi) {
+  MdArray<int64_t> array(domain_);
+  std::uniform_int_distribution<int64_t> dist(value_lo, value_hi);
+  array.ForEach([&](const Cell&, int64_t& v) { v = dist(rng_); });
+  return array;
+}
+
+ClusteredGenerator::ClusteredGenerator(Shape domain, int num_clusters,
+                                       double sigma_fraction, uint64_t seed)
+    : domain_(std::move(domain)),
+      sigma_fraction_(sigma_fraction),
+      rng_(seed) {
+  DDC_CHECK(num_clusters >= 1);
+  DDC_CHECK(sigma_fraction_ > 0.0);
+  WorkloadGenerator center_gen(domain_, seed ^ 0x9e3779b97f4a7c15ull);
+  centers_.reserve(static_cast<size_t>(num_clusters));
+  for (int i = 0; i < num_clusters; ++i) {
+    centers_.push_back(center_gen.UniformCell());
+  }
+}
+
+Cell ClusteredGenerator::NextCell() {
+  std::uniform_int_distribution<size_t> pick(0, centers_.size() - 1);
+  const Cell& center = centers_[pick(rng_)];
+  Cell cell(static_cast<size_t>(domain_.dims()));
+  for (int i = 0; i < domain_.dims(); ++i) {
+    const double extent = static_cast<double>(domain_.extent(i));
+    std::normal_distribution<double> gauss(
+        static_cast<double>(center[static_cast<size_t>(i)]),
+        sigma_fraction_ * extent);
+    Coord index = static_cast<Coord>(std::llround(gauss(rng_)));
+    index = std::clamp<Coord>(index, 0, domain_.extent(i) - 1);
+    cell[static_cast<size_t>(i)] = index;
+  }
+  return cell;
+}
+
+}  // namespace ddc

@@ -1,0 +1,92 @@
+// Synthetic workload generators.
+//
+// The paper motivates the Dynamic Data Cube with three workload classes
+// (Sections 1 and 5): dense business cubes (uniform updates), sparse and
+// clustered scientific data (point sources: stars, EOSDIS methane readings),
+// and skewed commercial activity. These generators reproduce those
+// statistical shapes so that every experiment can run on a laptop without
+// the original proprietary traces.
+
+#ifndef DDC_COMMON_WORKLOAD_H_
+#define DDC_COMMON_WORKLOAD_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/cell.h"
+#include "common/md_array.h"
+#include "common/range.h"
+#include "common/shape.h"
+
+namespace ddc {
+
+// A single point update: A[cell] += delta.
+struct UpdateOp {
+  Cell cell;
+  int64_t delta;
+};
+
+// Uniform-and-skewed generator over a fixed domain.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(Shape domain, uint64_t seed);
+
+  const Shape& domain() const { return domain_; }
+
+  // A cell uniformly distributed over the domain.
+  Cell UniformCell();
+
+  // A cell whose per-dimension index follows a Zipf-like distribution with
+  // parameter `theta` (theta = 0 is uniform; larger values skew towards low
+  // indices, modelling hot regions).
+  Cell ZipfCell(double theta);
+
+  // A uniformly random non-empty closed box inside the domain.
+  Box UniformBox();
+
+  // A random box whose side in every dimension is ~`side_fraction` of the
+  // extent (clamped to at least one cell), placed uniformly.
+  Box BoxWithSideFraction(double side_fraction);
+
+  // A value uniform in [lo, hi].
+  int64_t Value(int64_t lo, int64_t hi);
+
+  // `count` uniform updates with values in [value_lo, value_hi].
+  std::vector<UpdateOp> UniformUpdates(int64_t count, int64_t value_lo,
+                                       int64_t value_hi);
+
+  // A dense random array over the domain with values in [value_lo, value_hi].
+  MdArray<int64_t> RandomDenseArray(int64_t value_lo, int64_t value_hi);
+
+  std::mt19937_64& rng() { return rng_; }
+
+ private:
+  Shape domain_;
+  std::mt19937_64 rng_;
+};
+
+// Clustered point-source generator: `num_clusters` Gaussian clusters with
+// standard deviation `sigma_fraction * extent`, matching the paper's
+// geographically clustered examples. Cells are clamped to the domain.
+class ClusteredGenerator {
+ public:
+  ClusteredGenerator(Shape domain, int num_clusters, double sigma_fraction,
+                     uint64_t seed);
+
+  // A cell drawn from a random cluster.
+  Cell NextCell();
+
+  // Cluster centers chosen at construction time.
+  const std::vector<Cell>& centers() const { return centers_; }
+
+ private:
+  Shape domain_;
+  double sigma_fraction_;
+  std::vector<Cell> centers_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_COMMON_WORKLOAD_H_

@@ -1,0 +1,77 @@
+#include "concurrent/concurrent_cube.h"
+
+#include <mutex>
+
+namespace ddc {
+
+namespace {
+
+DdcOptions WithoutCounters(DdcOptions options) {
+  options.enable_counters = false;
+  return options;
+}
+
+}  // namespace
+
+ConcurrentCube::ConcurrentCube(int dims, int64_t initial_side,
+                               DdcOptions options)
+    : cube_(dims, initial_side, WithoutCounters(options)) {}
+
+void ConcurrentCube::Add(const Cell& cell, int64_t delta) {
+  std::unique_lock lock(mutex_);
+  cube_.Add(cell, delta);
+}
+
+void ConcurrentCube::Set(const Cell& cell, int64_t value) {
+  std::unique_lock lock(mutex_);
+  cube_.Set(cell, value);
+}
+
+void ConcurrentCube::ShrinkToFit(int64_t min_side) {
+  std::unique_lock lock(mutex_);
+  cube_.ShrinkToFit(min_side);
+}
+
+int64_t ConcurrentCube::Get(const Cell& cell) const {
+  std::shared_lock lock(mutex_);
+  return cube_.Get(cell);
+}
+
+int64_t ConcurrentCube::RangeSum(const Box& box) const {
+  std::shared_lock lock(mutex_);
+  return cube_.RangeSum(box);
+}
+
+int64_t ConcurrentCube::TotalSum() const {
+  std::shared_lock lock(mutex_);
+  return cube_.TotalSum();
+}
+
+int64_t ConcurrentCube::StorageCells() const {
+  std::shared_lock lock(mutex_);
+  return cube_.StorageCells();
+}
+
+Cell ConcurrentCube::DomainLo() const {
+  std::shared_lock lock(mutex_);
+  return cube_.DomainLo();
+}
+
+Cell ConcurrentCube::DomainHi() const {
+  std::shared_lock lock(mutex_);
+  return cube_.DomainHi();
+}
+
+void ConcurrentCube::ForEachNonZero(
+    const std::function<void(const Cell&, int64_t)>& fn) const {
+  std::shared_lock lock(mutex_);
+  cube_.ForEachNonZero(fn);
+}
+
+void ConcurrentCube::WithExclusive(
+    const std::function<void(DynamicDataCube*)>& fn) {
+  std::unique_lock lock(mutex_);
+  fn(&cube_);
+}
+
+}  // namespace ddc

@@ -1,0 +1,68 @@
+// ConcurrentCube: a thread-safe facade over the Dynamic Data Cube.
+//
+// Writers take an exclusive lock; readers share a lock and run in parallel.
+// Operation counters are disabled on the wrapped cube (queries would
+// otherwise mutate shared counter state), making query paths strictly
+// const — which is what the shared lock requires.
+//
+// This is a coarse-grained design: the DDC's polylog operations are so
+// short that a single reader-writer lock sustains high mixed throughput,
+// and it keeps the wrapped structure's invariants trivially intact across
+// growth re-rooting (which swaps the entire core).
+
+#ifndef DDC_CONCURRENT_CONCURRENT_CUBE_H_
+#define DDC_CONCURRENT_CONCURRENT_CUBE_H_
+
+#include <cstdint>
+#include <functional>
+#include <shared_mutex>
+
+#include "common/cell.h"
+#include "common/range.h"
+#include "ddc/ddc_options.h"
+#include "ddc/dynamic_data_cube.h"
+
+namespace ddc {
+
+class ConcurrentCube {
+ public:
+  // `options.enable_counters` is forced off (see header comment).
+  ConcurrentCube(int dims, int64_t initial_side, DdcOptions options = {});
+
+  ConcurrentCube(const ConcurrentCube&) = delete;
+  ConcurrentCube& operator=(const ConcurrentCube&) = delete;
+
+  int dims() const { return cube_.dims(); }
+
+  // Writers (exclusive).
+  void Add(const Cell& cell, int64_t delta);
+  void Set(const Cell& cell, int64_t value);
+  void ShrinkToFit(int64_t min_side = 2);
+
+  // Readers (shared).
+  int64_t Get(const Cell& cell) const;
+  int64_t RangeSum(const Box& box) const;
+  int64_t TotalSum() const;
+  int64_t StorageCells() const;
+  Cell DomainLo() const;
+  Cell DomainHi() const;
+
+  // Consistent iteration: holds the shared lock for the whole walk, so the
+  // callback sees one atomic snapshot of the cube. The callback must not
+  // call back into this object (deadlock with writers waiting).
+  void ForEachNonZero(
+      const std::function<void(const Cell&, int64_t)>& fn) const;
+
+  // Runs `fn` with exclusive access to the underlying cube, for compound
+  // read-modify-write transactions (e.g. move value from one cell to
+  // another atomically).
+  void WithExclusive(const std::function<void(DynamicDataCube*)>& fn);
+
+ private:
+  mutable std::shared_mutex mutex_;
+  DynamicDataCube cube_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_CONCURRENT_CONCURRENT_CUBE_H_

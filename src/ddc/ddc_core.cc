@@ -1,0 +1,442 @@
+#include "ddc/ddc_core.h"
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+#include "common/check.h"
+#include "common/shape.h"
+
+namespace ddc {
+
+namespace {
+
+// Drops coordinate `skip_dim`, yielding the transverse position used to
+// index a face store.
+Cell Transverse(const Cell& offset, int skip_dim) {
+  Cell out;
+  out.reserve(offset.size() - 1);
+  for (size_t i = 0; i < offset.size(); ++i) {
+    if (static_cast<int>(i) == skip_dim) continue;
+    out.push_back(offset[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+DdcCore::DdcCore(int dims, int64_t side, const DdcOptions& options,
+                 OpCounters* counters)
+    : dims_(dims), side_(side), options_(options), counters_(counters) {
+  DDC_CHECK(dims_ >= 1 && dims_ <= 20);
+  DDC_CHECK(side_ >= 2 && IsPowerOfTwo(side_));
+  DDC_CHECK(options_.elide_levels >= 0 && options_.elide_levels < 62);
+  num_children_ = 1u << dims_;
+  min_box_side_ = std::min<int64_t>(side_, int64_t{1}
+                                               << (options_.elide_levels + 1));
+}
+
+DdcCore::Node* DdcCore::EnsureNode(std::unique_ptr<Node>* slot) {
+  if (*slot == nullptr) {
+    *slot = std::make_unique<Node>();
+    Node* node = slot->get();
+    node->boxes.resize(num_children_);
+    node->box_present.resize(num_children_, false);
+    node->child_nodes.resize(num_children_);
+    node->child_raw.resize(num_children_);
+  }
+  return slot->get();
+}
+
+DdcCore::BoxData* DdcCore::EnsureBox(Node* node, uint32_t mask,
+                                     int64_t box_side) {
+  BoxData* box = &node->boxes[mask];
+  if (!node->box_present[mask]) {
+    node->box_present[mask] = true;
+    if (dims_ > 1) {
+      box->faces.reserve(static_cast<size_t>(dims_));
+      for (int j = 0; j < dims_; ++j) {
+        box->faces.push_back(
+            FaceStore::Create(dims_ - 1, box_side, options_, counters_));
+      }
+    }
+  }
+  return box;
+}
+
+MdArray<int64_t>* DdcCore::EnsureRaw(Node* node, uint32_t mask,
+                                     int64_t box_side) {
+  std::unique_ptr<MdArray<int64_t>>& slot = node->child_raw[mask];
+  if (slot == nullptr) {
+    slot = std::make_unique<MdArray<int64_t>>(Shape::Cube(dims_, box_side));
+  }
+  return slot.get();
+}
+
+void DdcCore::Add(const Cell& cell, int64_t delta) {
+  DDC_DCHECK(static_cast<int>(cell.size()) == dims_);
+  if (delta == 0) return;
+  total_ += delta;
+  if (side_ <= min_box_side_) {
+    if (root_raw_ == nullptr) {
+      root_raw_ = std::make_unique<MdArray<int64_t>>(
+          Shape::Cube(dims_, side_));
+    }
+    CountNode(root_raw_.get());
+    root_raw_->at(cell) += delta;
+    CountWrite(1);
+    return;
+  }
+  EnsureNode(&root_);
+  AddRec(root_.get(), side_, cell, delta);
+}
+
+void DdcCore::AddRec(Node* node, int64_t node_side,
+                     const Cell& offset_in_node, int64_t delta) {
+  CountNode(node);
+  const int64_t k = node_side / 2;
+  uint32_t mask = 0;
+  Cell box_offset = offset_in_node;
+  for (int i = 0; i < dims_; ++i) {
+    size_t ui = static_cast<size_t>(i);
+    if (box_offset[ui] >= k) {
+      mask |= 1u << i;
+      box_offset[ui] -= k;
+    }
+  }
+
+  BoxData* box = EnsureBox(node, mask, k);
+  box->subtotal += delta;
+  CountWrite(1);
+  // One point update per row-sum group: the dimension-j line sum through the
+  // updated cell changes by delta (Section 4.2).
+  for (int j = 0; j < dims_ && dims_ > 1; ++j) {
+    box->faces[static_cast<size_t>(j)]->Add(Transverse(box_offset, j), delta);
+  }
+
+  if (k > min_box_side_) {
+    Node* child = EnsureNode(&node->child_nodes[mask]);
+    AddRec(child, k, box_offset, delta);
+  } else {
+    MdArray<int64_t>* raw = EnsureRaw(node, mask, k);
+    CountNode(raw);
+    raw->at(box_offset) += delta;
+    CountWrite(1);
+  }
+}
+
+void DdcCore::BuildFromArray(const MdArray<int64_t>& array) {
+  DDC_CHECK(total_ == 0 && root_ == nullptr && root_raw_ == nullptr);
+  DDC_CHECK(array.shape() == Shape::Cube(dims_, side_));
+  if (side_ <= min_box_side_) {
+    int64_t total = 0;
+    bool any_nonzero = false;
+    array.ForEach([&](const Cell&, const int64_t& v) {
+      total += v;
+      any_nonzero |= (v != 0);
+    });
+    if (any_nonzero) {
+      root_raw_ = std::make_unique<MdArray<int64_t>>(array);
+    }
+    total_ = total;
+    return;
+  }
+  EnsureNode(&root_);
+  total_ = BuildNodeFromArray(root_.get(), side_, UniformCell(dims_, 0),
+                              array);
+}
+
+int64_t DdcCore::BuildNodeFromArray(Node* node, int64_t node_side,
+                                    const Cell& anchor,
+                                    const MdArray<int64_t>& array) {
+  const int64_t k = node_side / 2;
+  int64_t total = 0;
+  for (uint32_t mask = 0; mask < num_children_; ++mask) {
+    Cell box_anchor = anchor;
+    for (int i = 0; i < dims_; ++i) {
+      if (mask & (1u << i)) box_anchor[static_cast<size_t>(i)] += k;
+    }
+
+    // One scan of the box region: subtotal, occupancy, and (for d > 1) the
+    // d line-sum arrays G_j that seed the face stores.
+    int64_t box_total = 0;
+    bool any_nonzero = false;
+    std::vector<MdArray<int64_t>> line_sums;
+    if (dims_ > 1) {
+      line_sums.reserve(static_cast<size_t>(dims_));
+      for (int j = 0; j < dims_; ++j) {
+        line_sums.emplace_back(Shape::Cube(dims_ - 1, k));
+      }
+    }
+    const Shape box_shape = Shape::Cube(dims_, k);
+    Cell offset(static_cast<size_t>(dims_), 0);
+    do {
+      const int64_t v = array.at(CellAdd(box_anchor, offset));
+      if (v == 0) continue;
+      any_nonzero = true;
+      box_total += v;
+      for (int j = 0; j < dims_ && dims_ > 1; ++j) {
+        line_sums[static_cast<size_t>(j)].at(Transverse(offset, j)) += v;
+      }
+    } while (box_shape.NextCell(&offset));
+    total += box_total;
+    if (!any_nonzero) continue;
+
+    BoxData* box = EnsureBox(node, mask, k);
+    box->subtotal = box_total;
+    CountWrite(1);
+    for (int j = 0; j < dims_ && dims_ > 1; ++j) {
+      box->faces[static_cast<size_t>(j)]->BuildFromDense(
+          line_sums[static_cast<size_t>(j)]);
+    }
+
+    if (k > min_box_side_) {
+      Node* child = EnsureNode(&node->child_nodes[mask]);
+      const int64_t child_total =
+          BuildNodeFromArray(child, k, box_anchor, array);
+      DDC_CHECK(child_total == box_total);
+    } else {
+      MdArray<int64_t>* raw = EnsureRaw(node, mask, k);
+      Cell cursor(static_cast<size_t>(dims_), 0);
+      do {
+        raw->at(cursor) = array.at(CellAdd(box_anchor, cursor));
+      } while (box_shape.NextCell(&cursor));
+      CountWrite(raw->size());
+    }
+  }
+  return total;
+}
+
+int64_t DdcCore::PrefixSum(const Cell& cell) const {
+  DDC_DCHECK(static_cast<int>(cell.size()) == dims_);
+  if (root_raw_ != nullptr) return RawPrefix(*root_raw_, cell);
+  if (root_ == nullptr) return 0;
+  return PrefixSumRec(root_.get(), side_, cell);
+}
+
+int64_t DdcCore::PrefixSumRec(const Node* node, int64_t node_side,
+                              const Cell& offset_in_node) const {
+  CountNode(node);
+  const int64_t k = node_side / 2;
+  int64_t sum = 0;
+  Cell clamped(static_cast<size_t>(dims_));
+  for (uint32_t mask = 0; mask < num_children_; ++mask) {
+    if (!node->box_present[mask]) continue;  // All-zero region.
+    // Classify the target against this box (Figure 10): before the box in
+    // some dimension -> no contribution; covered -> descend; completely
+    // after -> subtotal; otherwise one row-sum value.
+    bool before = false;
+    bool covered = true;
+    int first_beyond = -1;
+    for (int i = 0; i < dims_; ++i) {
+      size_t ui = static_cast<size_t>(i);
+      const Coord rel =
+          offset_in_node[ui] - ((mask & (1u << i)) ? k : 0);
+      if (rel < 0) {
+        before = true;
+        break;
+      }
+      if (rel >= k) {
+        covered = false;
+        clamped[ui] = k - 1;
+        if (first_beyond < 0) first_beyond = i;
+      } else {
+        clamped[ui] = rel;
+      }
+    }
+    if (before) continue;
+
+    if (covered) {
+      if (k <= min_box_side_) {
+        // Raw leaf block: sum the covered prefix of A cells directly (the
+        // Section 4.4 compensation for the elided levels).
+        const MdArray<int64_t>* raw = node->child_raw[mask].get();
+        DDC_DCHECK(raw != nullptr);
+        sum += RawPrefix(*raw, clamped);
+      } else {
+        const Node* child = node->child_nodes[mask].get();
+        DDC_DCHECK(child != nullptr);
+        sum += PrefixSumRec(child, k, clamped);
+      }
+      continue;
+    }
+
+    if (first_beyond >= 0) {
+      // When the clamped offset is the all-maxed corner the needed stored
+      // value is the subtotal S itself; serve it from the O(1) cache (this
+      // subsumes the paper's "target completely after the box" case).
+      bool all_maxed = true;
+      for (int i = 0; i < dims_; ++i) {
+        if (clamped[static_cast<size_t>(i)] != k - 1) {
+          all_maxed = false;
+          break;
+        }
+      }
+      if (all_maxed || dims_ == 1) {
+        sum += node->boxes[mask].subtotal;
+        CountRead(1);
+      } else {
+        // The needed row-sum value has coordinate first_beyond maxed; read
+        // it from that face as a (d-1)-dimensional prefix query.
+        sum += node->boxes[mask]
+                   .faces[static_cast<size_t>(first_beyond)]
+                   ->PrefixSum(Transverse(clamped, first_beyond));
+      }
+    }
+  }
+  return sum;
+}
+
+int64_t DdcCore::RawPrefix(const MdArray<int64_t>& raw,
+                           const Cell& offset) const {
+  CountNode(&raw);  // A leaf block is one secondary-storage unit.
+  int64_t sum = 0;
+  Cell cursor(static_cast<size_t>(dims_), 0);
+  int64_t reads = 0;
+  while (true) {
+    sum += raw.at(cursor);
+    ++reads;
+    int dim = dims_ - 1;
+    while (dim >= 0) {
+      size_t ud = static_cast<size_t>(dim);
+      if (++cursor[ud] <= offset[ud]) break;
+      cursor[ud] = 0;
+      --dim;
+    }
+    if (dim < 0) break;
+  }
+  CountRead(reads);
+  return sum;
+}
+
+int64_t DdcCore::Get(const Cell& cell) const {
+  DDC_DCHECK(static_cast<int>(cell.size()) == dims_);
+  if (root_raw_ != nullptr) {
+    CountRead(1);
+    return root_raw_->at(cell);
+  }
+  const Node* node = root_.get();
+  int64_t node_side = side_;
+  Cell offset = cell;
+  while (node != nullptr) {
+    const int64_t k = node_side / 2;
+    uint32_t mask = 0;
+    for (int i = 0; i < dims_; ++i) {
+      size_t ui = static_cast<size_t>(i);
+      if (offset[ui] >= k) {
+        mask |= 1u << i;
+        offset[ui] -= k;
+      }
+    }
+    if (!node->box_present[mask]) return 0;
+    if (k <= min_box_side_) {
+      const MdArray<int64_t>* raw = node->child_raw[mask].get();
+      if (raw == nullptr) return 0;
+      CountRead(1);
+      return raw->at(offset);
+    }
+    node = node->child_nodes[mask].get();
+    node_side = k;
+  }
+  return 0;
+}
+
+int64_t DdcCore::StorageCells() const {
+  if (root_raw_ != nullptr) return root_raw_->size();
+  if (root_ == nullptr) return 0;
+  return NodeStorage(root_.get(), side_);
+}
+
+int64_t DdcCore::NodeStorage(const Node* node, int64_t node_side) const {
+  const int64_t k = node_side / 2;
+  int64_t total = 0;
+  for (uint32_t mask = 0; mask < num_children_; ++mask) {
+    if (!node->box_present[mask]) continue;
+    total += 1;  // Subtotal.
+    for (const auto& face : node->boxes[mask].faces) {
+      total += face->StorageCells();
+    }
+    if (k <= min_box_side_) {
+      if (node->child_raw[mask] != nullptr) {
+        total += node->child_raw[mask]->size();
+      }
+    } else if (node->child_nodes[mask] != nullptr) {
+      total += NodeStorage(node->child_nodes[mask].get(), k);
+    }
+  }
+  return total;
+}
+
+DdcStats DdcCore::Stats() const {
+  DdcStats stats;
+  if (root_raw_ != nullptr) {
+    stats.raw_blocks = 1;
+    stats.raw_cells = root_raw_->size();
+    root_raw_->ForEach([&](const Cell&, const int64_t& v) {
+      if (v != 0) ++stats.nonzero_cells;
+    });
+    return stats;
+  }
+  if (root_ == nullptr) return stats;
+  NodeStats(root_.get(), side_, &stats);
+  return stats;
+}
+
+void DdcCore::NodeStats(const Node* node, int64_t node_side,
+                        DdcStats* stats) const {
+  ++stats->nodes;
+  const int64_t k = node_side / 2;
+  for (uint32_t mask = 0; mask < num_children_; ++mask) {
+    if (!node->box_present[mask]) continue;
+    ++stats->boxes;
+    stats->face_stores +=
+        static_cast<int64_t>(node->boxes[mask].faces.size());
+    if (k <= min_box_side_) {
+      const MdArray<int64_t>* raw = node->child_raw[mask].get();
+      if (raw != nullptr) {
+        ++stats->raw_blocks;
+        stats->raw_cells += raw->size();
+        raw->ForEach([&](const Cell&, const int64_t& v) {
+          if (v != 0) ++stats->nonzero_cells;
+        });
+      }
+    } else if (node->child_nodes[mask] != nullptr) {
+      NodeStats(node->child_nodes[mask].get(), k, stats);
+    }
+  }
+}
+
+void DdcCore::ForEachNonZero(
+    const std::function<void(const Cell&, int64_t)>& fn) const {
+  if (root_raw_ != nullptr) {
+    root_raw_->ForEach([&](const Cell& cell, const int64_t& value) {
+      if (value != 0) fn(cell, value);
+    });
+    return;
+  }
+  if (root_ == nullptr) return;
+  NodeForEachNonZero(root_.get(), side_, UniformCell(dims_, 0), fn);
+}
+
+void DdcCore::NodeForEachNonZero(
+    const Node* node, int64_t node_side, const Cell& node_anchor,
+    const std::function<void(const Cell&, int64_t)>& fn) const {
+  const int64_t k = node_side / 2;
+  for (uint32_t mask = 0; mask < num_children_; ++mask) {
+    if (!node->box_present[mask]) continue;
+    Cell box_anchor = node_anchor;
+    for (int i = 0; i < dims_; ++i) {
+      if (mask & (1u << i)) box_anchor[static_cast<size_t>(i)] += k;
+    }
+    if (k <= min_box_side_) {
+      const MdArray<int64_t>* raw = node->child_raw[mask].get();
+      if (raw == nullptr) continue;
+      raw->ForEach([&](const Cell& cell, const int64_t& value) {
+        if (value != 0) fn(CellAdd(box_anchor, cell), value);
+      });
+    } else if (node->child_nodes[mask] != nullptr) {
+      NodeForEachNonZero(node->child_nodes[mask].get(), k, box_anchor, fn);
+    }
+  }
+}
+
+}  // namespace ddc

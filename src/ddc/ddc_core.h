@@ -1,0 +1,185 @@
+// DdcCore: the recursive engine of the Dynamic Data Cube (Section 4).
+//
+// A DdcCore instance manages a d-dimensional cube of side 2^m in *local*
+// coordinates [0, side)^d. It is used both as the primary tree of a
+// DynamicDataCube and, recursively, as the secondary structure holding a
+// (d-1)-dimensional overlay face (Section 4.2).
+//
+// Structure. The tree recursively halves the region (Figure 9). Each node
+// stores up to 2^d overlay boxes, one per child region of side k. A box
+// holds:
+//   * its subtotal S (cached as a plain integer, so "box entirely before the
+//     target" costs O(1));
+//   * d FaceStores — the cumulative row-sum groups, each a (d-1)-dimensional
+//     prefix structure (B_c tree when one-dimensional, nested DdcCore
+//     otherwise);
+//   * a child: either a deeper Node (while the child boxes would still be
+//     larger than the Section 4.4 elision threshold) or a raw block of A
+//     cells of side k (the leaf level; with elide_levels == h the raw blocks
+//     have side 2^(h+1) and replace the h elided tree levels plus the
+//     leaves).
+//
+// Queries implement the Figure 10 descent; updates the Figure 12 bottom-up
+// propagation with one box touched per level and one point update per face.
+// Nodes, boxes, faces and raw blocks are all materialized lazily: untouched
+// regions occupy no memory, which is what makes sparse and clustered cubes
+// (Section 5) cheap.
+
+#ifndef DDC_DDC_DDC_CORE_H_
+#define DDC_DDC_DDC_CORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/cell.h"
+#include "common/md_array.h"
+#include "common/op_counter.h"
+#include "ddc/ddc_options.h"
+#include "ddc/face_store.h"
+
+namespace ddc {
+
+// Structural statistics of a DdcCore's primary tree (nested face structures
+// contribute to StorageCells() but are not broken out here).
+struct DdcStats {
+  int64_t nodes = 0;          // Materialized tree nodes.
+  int64_t boxes = 0;          // Materialized overlay boxes.
+  int64_t raw_blocks = 0;     // Materialized leaf blocks.
+  int64_t raw_cells = 0;      // Cells held in leaf blocks.
+  int64_t face_stores = 0;    // Face structures (d per materialized box).
+  int64_t nonzero_cells = 0;  // Populated cells of A.
+};
+
+class DdcCore {
+ public:
+  // `side` must be a power of two >= 2. `counters` (may be null) receives
+  // cost accounting for every operation, including work done inside nested
+  // structures; it is not owned.
+  DdcCore(int dims, int64_t side, const DdcOptions& options,
+          OpCounters* counters);
+
+  DdcCore(const DdcCore&) = delete;
+  DdcCore& operator=(const DdcCore&) = delete;
+
+  int dims() const { return dims_; }
+  int64_t side() const { return side_; }
+  // Side of the smallest overlay boxes / raw leaf blocks: 2^(elide_levels+1)
+  // clamped to the cube side.
+  int64_t min_box_side() const { return min_box_side_; }
+
+  // A[cell] += delta; local coordinates in [0, side).
+  void Add(const Cell& cell, int64_t delta);
+
+  // Bulk-builds the cube from a dense array (shape must be the cube's
+  // domain). The cube must be empty. A single bottom-up pass writes each
+  // stored value once — O(n^d * d * log n) cell visits — instead of paying
+  // the O(log^d n) update path per cell, and materializes only nonzero
+  // regions.
+  void BuildFromArray(const MdArray<int64_t>& array);
+
+  // SUM(A[(0,...,0) .. cell]).
+  int64_t PrefixSum(const Cell& cell) const;
+
+  // A[cell].
+  int64_t Get(const Cell& cell) const;
+
+  // Sum over the whole cube; O(1).
+  int64_t TotalSum() const { return total_; }
+
+  // Currently allocated stored values across the node boxes, face
+  // structures and raw leaf blocks (computed by traversal).
+  int64_t StorageCells() const;
+
+  // Invokes fn(cell, value) for every cell with a nonzero value, in no
+  // particular order. Used for growth re-rooting, iteration and export.
+  void ForEachNonZero(
+      const std::function<void(const Cell&, int64_t)>& fn) const;
+
+  // Structural statistics (computed by traversal).
+  DdcStats Stats() const;
+
+  // Observer invoked once per *primary-tree* node (or leaf block) touched
+  // by queries and updates, with a stable identity pointer for the node.
+  // Used by the pagesim module to model secondary-storage accesses
+  // (Section 4.4's traversal-cost discussion). Nested face structures are
+  // not reported. Pass nullptr to detach. Not owned.
+  using NodeVisitListener = std::function<void(const void*)>;
+  void set_node_visit_listener(const NodeVisitListener* listener) {
+    node_visit_listener_ = listener;
+  }
+
+ private:
+  struct Node;
+
+  // One overlay box (side box_side): cached subtotal plus d face stores.
+  struct BoxData {
+    int64_t subtotal = 0;
+    std::vector<std::unique_ptr<FaceStore>> faces;
+  };
+
+  struct Node {
+    // All vectors indexed by child mask (bit i set = upper half of dim i)
+    // and sized 2^d on creation. child_nodes is used while the child region
+    // still subdivides; child_raw holds leaf blocks of side min_box_side_.
+    std::vector<BoxData> boxes;
+    std::vector<bool> box_present;
+    std::vector<std::unique_ptr<Node>> child_nodes;
+    std::vector<std::unique_ptr<MdArray<int64_t>>> child_raw;
+  };
+
+  Node* EnsureNode(std::unique_ptr<Node>* slot);
+  BoxData* EnsureBox(Node* node, uint32_t mask, int64_t box_side);
+  MdArray<int64_t>* EnsureRaw(Node* node, uint32_t mask, int64_t box_side);
+
+  void AddRec(Node* node, int64_t node_side, const Cell& offset_in_node,
+              int64_t delta);
+  // Builds the subtree for the region [anchor, anchor + node_side) of
+  // `array`; returns the region total. `node` may be discarded by the
+  // caller if the total is zero and nothing was materialized.
+  int64_t BuildNodeFromArray(Node* node, int64_t node_side,
+                             const Cell& anchor,
+                             const MdArray<int64_t>& array);
+  int64_t PrefixSumRec(const Node* node, int64_t node_side,
+                       const Cell& offset_in_node) const;
+
+  // Sums raw-block cells over the component-wise range [0 .. offset].
+  int64_t RawPrefix(const MdArray<int64_t>& raw, const Cell& offset) const;
+
+  int64_t NodeStorage(const Node* node, int64_t node_side) const;
+  void NodeStats(const Node* node, int64_t node_side, DdcStats* stats) const;
+  void NodeForEachNonZero(
+      const Node* node, int64_t node_side, const Cell& node_anchor,
+      const std::function<void(const Cell&, int64_t)>& fn) const;
+
+  void CountRead(int64_t n) const {
+    if (counters_ != nullptr) counters_->values_read += n;
+  }
+  void CountWrite(int64_t n) const {
+    if (counters_ != nullptr) counters_->values_written += n;
+  }
+  void CountNode(const void* node_identity) const {
+    if (counters_ != nullptr) ++counters_->nodes_visited;
+    if (node_visit_listener_ != nullptr && *node_visit_listener_) {
+      (*node_visit_listener_)(node_identity);
+    }
+  }
+
+  int dims_;
+  int64_t side_;
+  DdcOptions options_;
+  OpCounters* counters_;
+  uint32_t num_children_;
+  int64_t min_box_side_;
+  int64_t total_ = 0;
+  const NodeVisitListener* node_visit_listener_ = nullptr;
+  // Exactly one of root_ / root_raw_ is set once data exists: root_raw_ when
+  // side_ <= min_box_side_ (the whole cube is one leaf block).
+  std::unique_ptr<Node> root_;
+  std::unique_ptr<MdArray<int64_t>> root_raw_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_DDC_DDC_CORE_H_

@@ -1,0 +1,36 @@
+// Tuning options for the Dynamic Data Cube.
+
+#ifndef DDC_DDC_DDC_OPTIONS_H_
+#define DDC_DDC_DDC_OPTIONS_H_
+
+#include "bctree/bc_tree.h"
+
+namespace ddc {
+
+struct DdcOptions {
+  // Fanout of the B_c trees storing one-dimensional row-sum groups
+  // (Section 4.1).
+  int bc_fanout = BcTree::kDefaultFanout;
+
+  // Ablation: store one-dimensional row-sum groups in Fenwick trees instead
+  // of B_c trees (same asymptotics, different constants/storage).
+  bool use_fenwick = false;
+
+  // When false, the cube does not record operation counters. Queries are
+  // then strictly const (no mutable state touched), which ConcurrentCube
+  // relies on to run readers in parallel under a shared lock.
+  bool enable_counters = true;
+
+  // The Section 4.4 space optimization: number of tree levels elided
+  // immediately above the leaves. With elide_levels == h, the smallest
+  // overlay boxes have side 2^(h+1) and the regions below them are stored as
+  // raw arrays of A cells; queries may then have to sum up to 2^((h+1)*d)
+  // adjacent leaf cells at the bottom of the descent. h == 0 reproduces the
+  // full tree of Figure 9. The option propagates into nested (secondary)
+  // DDCs.
+  int elide_levels = 0;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_DDC_DDC_OPTIONS_H_

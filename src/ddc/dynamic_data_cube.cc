@@ -1,0 +1,158 @@
+#include "ddc/dynamic_data_cube.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/bit_util.h"
+#include "common/check.h"
+
+namespace ddc {
+
+DynamicDataCube::DynamicDataCube(int dims, int64_t initial_side,
+                                 DdcOptions options)
+    : DynamicDataCube(dims, initial_side, options, UniformCell(dims, 0)) {}
+
+DynamicDataCube::DynamicDataCube(int dims, int64_t initial_side,
+                                 DdcOptions options, Cell origin)
+    : dims_(dims),
+      options_(options),
+      origin_(std::move(origin)),
+      core_(std::make_unique<DdcCore>(dims, initial_side, options,
+                                      CountersPtr())) {
+  DDC_CHECK(static_cast<int>(origin_.size()) == dims_);
+}
+
+std::unique_ptr<DynamicDataCube> DynamicDataCube::FromArray(
+    const MdArray<int64_t>& array, DdcOptions options) {
+  const Shape& shape = array.shape();
+  const int dims = shape.dims();
+  const Coord side = shape.extent(0);
+  for (int i = 1; i < dims; ++i) DDC_CHECK(shape.extent(i) == side);
+  auto cube = std::make_unique<DynamicDataCube>(dims, side, options);
+  cube->core_->BuildFromArray(array);
+  return cube;
+}
+
+Cell DynamicDataCube::DomainHi() const {
+  Cell hi = origin_;
+  for (int i = 0; i < dims_; ++i) hi[static_cast<size_t>(i)] += side() - 1;
+  return hi;
+}
+
+bool DynamicDataCube::InDomain(const Cell& cell) const {
+  DDC_CHECK(static_cast<int>(cell.size()) == dims_);
+  for (int i = 0; i < dims_; ++i) {
+    size_t ui = static_cast<size_t>(i);
+    const Coord rel = cell[ui] - origin_[ui];
+    if (rel < 0 || rel >= side()) return false;
+  }
+  return true;
+}
+
+void DynamicDataCube::EnsureContains(const Cell& cell) {
+  DDC_CHECK(static_cast<int>(cell.size()) == dims_);
+  while (!InDomain(cell)) {
+    // Double the cube, moving the origin toward the out-of-range cell: in
+    // every dimension where the cell lies below the current origin the old
+    // region becomes the upper half, otherwise the lower half. This is the
+    // "growth in any direction" of Section 5.
+    const int64_t old_side = side();
+    Cell new_origin = origin_;
+    for (int i = 0; i < dims_; ++i) {
+      size_t ui = static_cast<size_t>(i);
+      if (cell[ui] < origin_[ui]) new_origin[ui] -= old_side;
+    }
+    auto new_core = std::make_unique<DdcCore>(dims_, old_side * 2, options_,
+                                              CountersPtr());
+    const Cell shift = CellSub(origin_, new_origin);
+    core_->ForEachNonZero([&](const Cell& local, int64_t value) {
+      new_core->Add(CellAdd(local, shift), value);
+    });
+    core_ = std::move(new_core);
+    ReattachListener();
+    origin_ = std::move(new_origin);
+    ++growth_doublings_;
+  }
+}
+
+void DynamicDataCube::ShrinkToFit(int64_t min_side) {
+  DDC_CHECK(min_side >= 2 && IsPowerOfTwo(min_side));
+  // Bounding box of the populated cells.
+  bool any = false;
+  Cell lo;
+  Cell hi;
+  core_->ForEachNonZero([&](const Cell& local, int64_t) {
+    if (!any) {
+      lo = local;
+      hi = local;
+      any = true;
+    } else {
+      lo = CellMin(lo, local);
+      hi = CellMax(hi, local);
+    }
+  });
+  if (!any) {
+    core_ = std::make_unique<DdcCore>(dims_, min_side, options_,
+                                      CountersPtr());
+    ReattachListener();
+    return;
+  }
+  Coord max_extent = 1;
+  for (int i = 0; i < dims_; ++i) {
+    size_t ui = static_cast<size_t>(i);
+    max_extent = std::max(max_extent, hi[ui] - lo[ui] + 1);
+  }
+  const int64_t new_side = std::max(min_side, CeilPowerOfTwo(max_extent));
+  if (new_side >= side()) return;  // Nothing to gain.
+
+  const Cell new_origin = CellAdd(origin_, lo);
+  auto new_core =
+      std::make_unique<DdcCore>(dims_, new_side, options_,
+                                      CountersPtr());
+  core_->ForEachNonZero([&](const Cell& local, int64_t value) {
+    new_core->Add(CellSub(local, lo), value);
+  });
+  core_ = std::move(new_core);
+  ReattachListener();
+  origin_ = new_origin;
+}
+
+void DynamicDataCube::Add(const Cell& cell, int64_t delta) {
+  if (delta == 0) return;
+  EnsureContains(cell);
+  core_->Add(ToLocal(cell), delta);
+}
+
+void DynamicDataCube::Set(const Cell& cell, int64_t value) {
+  Add(cell, value - Get(cell));
+}
+
+int64_t DynamicDataCube::Get(const Cell& cell) const {
+  if (!InDomain(cell)) return 0;
+  return core_->Get(ToLocal(cell));
+}
+
+int64_t DynamicDataCube::PrefixSum(const Cell& cell) const {
+  DDC_CHECK(InDomain(cell));
+  return core_->PrefixSum(ToLocal(cell));
+}
+
+void DynamicDataCube::SetNodeVisitListener(
+    DdcCore::NodeVisitListener listener) {
+  node_visit_listener_ = std::move(listener);
+  ReattachListener();
+}
+
+void DynamicDataCube::ReattachListener() {
+  core_->set_node_visit_listener(
+      node_visit_listener_ ? &node_visit_listener_ : nullptr);
+}
+
+void DynamicDataCube::ForEachNonZero(
+    const std::function<void(const Cell&, int64_t)>& fn) const {
+  core_->ForEachNonZero([&](const Cell& local, int64_t value) {
+    fn(CellAdd(local, origin_), value);
+  });
+}
+
+}  // namespace ddc

@@ -1,0 +1,113 @@
+// DynamicDataCube: the paper's primary contribution (Section 4), wrapped
+// with the Section 5 capabilities — growth of the cube in any direction and
+// graceful handling of sparse/clustered data.
+//
+// The cube manages a domain [origin, origin + side) in global coordinates
+// (origin may become negative after growth). Updates outside the current
+// domain trigger growth: the side doubles, moving the origin toward the new
+// cell, until the cell fits. Growth direction is chosen per dimension from
+// the data, not a priori — the star-catalog behaviour the paper motivates.
+// Re-rooting re-inserts only the nonzero cells (lazy structure), so growing
+// a sparse cube costs O(nnz * polylog) per doubling and empty space costs
+// nothing, in contrast to the prefix-sum methods which must materialize and
+// recompute the full bounding box (Figure 16).
+
+#ifndef DDC_DDC_DYNAMIC_DATA_CUBE_H_
+#define DDC_DDC_DYNAMIC_DATA_CUBE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/cube_interface.h"
+#include "ddc/ddc_core.h"
+#include "ddc/ddc_options.h"
+
+namespace ddc {
+
+class DynamicDataCube : public CubeInterface {
+ public:
+  // Domain starts at [origin, origin + initial_side) with origin at the
+  // global origin. `initial_side` must be a power of two >= 2.
+  DynamicDataCube(int dims, int64_t initial_side, DdcOptions options = {});
+
+  // Places the initial domain at an explicit origin (used e.g. to restore
+  // snapshots with their exact domain geometry).
+  DynamicDataCube(int dims, int64_t initial_side, DdcOptions options,
+                  Cell origin);
+
+  // Not copyable or movable: the core holds a back-pointer to this object's
+  // operation counters.
+  DynamicDataCube(const DynamicDataCube&) = delete;
+  DynamicDataCube& operator=(const DynamicDataCube&) = delete;
+
+  // Bulk-builds a cube from a dense array in one bottom-up pass (each
+  // stored value written once). The array must be a power-of-two cube of
+  // side >= 2; the resulting domain is anchored at the origin.
+  static std::unique_ptr<DynamicDataCube> FromArray(
+      const MdArray<int64_t>& array, DdcOptions options = {});
+
+  int dims() const override { return dims_; }
+  Cell DomainLo() const override { return origin_; }
+  Cell DomainHi() const override;
+
+  // Set/Add grow the domain automatically when `cell` lies outside it.
+  void Set(const Cell& cell, int64_t value) override;
+  void Add(const Cell& cell, int64_t delta) override;
+  // Get/PrefixSum/RangeSum treat cells outside the domain as zero.
+  int64_t Get(const Cell& cell) const override;
+  int64_t PrefixSum(const Cell& cell) const override;
+  int64_t StorageCells() const override { return core_->StorageCells(); }
+  std::string name() const override { return "dynamic_data_cube"; }
+
+  // Sum over the entire cube; O(1).
+  int64_t TotalSum() const { return core_->TotalSum(); }
+
+  int64_t side() const { return core_->side(); }
+  const DdcOptions& options() const { return options_; }
+
+  // Number of re-rooting doublings performed so far.
+  int64_t growth_doublings() const { return growth_doublings_; }
+
+  // Grows the domain (if needed) until `cell` is inside it.
+  void EnsureContains(const Cell& cell);
+
+  // The inverse of growth: rebuilds the cube into the smallest power-of-two
+  // domain (side >= min_side) containing every nonzero cell. Useful after
+  // mass deletions or when data has drifted away from the original domain.
+  // Costs O(nnz * polylog); an empty cube shrinks to side min_side at the
+  // current origin.
+  void ShrinkToFit(int64_t min_side = 2);
+
+  // Structural statistics of the primary tree.
+  DdcStats Stats() const { return core_->Stats(); }
+
+  // Observer for primary-tree node/leaf-block touches (see
+  // DdcCore::set_node_visit_listener); survives growth and shrink
+  // re-rooting. Pass an empty function to detach.
+  void SetNodeVisitListener(DdcCore::NodeVisitListener listener);
+
+  // Invokes fn(cell, value) for every nonzero cell, in global coordinates.
+  void ForEachNonZero(
+      const std::function<void(const Cell&, int64_t)>& fn) const;
+
+ private:
+  bool InDomain(const Cell& cell) const;
+  Cell ToLocal(const Cell& cell) const { return CellSub(cell, origin_); }
+  OpCounters* CountersPtr() {
+    return options_.enable_counters ? &counters_ : nullptr;
+  }
+  void ReattachListener();
+
+  int dims_;
+  DdcOptions options_;
+  Cell origin_;
+  std::unique_ptr<DdcCore> core_;
+  int64_t growth_doublings_ = 0;
+  DdcCore::NodeVisitListener node_visit_listener_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_DDC_DYNAMIC_DATA_CUBE_H_

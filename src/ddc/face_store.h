@@ -1,0 +1,70 @@
+// FaceStore: one group of overlay-box row-sum values, stored so that both
+// reading a cumulative row sum and absorbing a point update cost polylog
+// time (Section 4.2, "Storing Overlay Box Values Recursively").
+//
+// For a d-dimensional overlay box of side k, face j is conceptually the
+// (d-1)-dimensional array F_j over the transverse coordinates y (every
+// dimension except j, each in [0, k)):
+//
+//   F_j[y] = SUM( A[anchor .. anchor + (y with coordinate j set to k-1)] )
+//
+// i.e. the box-local prefix sums with dimension j fully extended. F_j is
+// exactly the prefix-sum array of the line-sum array
+// G_j[y] = SUM over the dimension-j line of the box at transverse position y,
+// which is the "concordance with array P" observation of Section 4.2. A
+// FaceStore therefore holds G_j in a structure with polylog prefix queries
+// and point updates:
+//
+//   * d-1 == 1: a B_c tree (Section 4.1) or, for ablation, a Fenwick tree;
+//   * d-1 >= 2: a nested (d-1)-dimensional Dynamic Data Cube.
+//
+// Reading a row-sum value is PrefixSum(y); updating A[anchor + off] is
+// Add(transverse(off), delta): the line sum through the updated cell changes
+// by delta.
+
+#ifndef DDC_DDC_FACE_STORE_H_
+#define DDC_DDC_FACE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "bctree/cumulative_store.h"
+#include "common/cell.h"
+#include "common/md_array.h"
+#include "common/op_counter.h"
+#include "ddc/ddc_options.h"
+
+namespace ddc {
+
+class DdcCore;
+
+class FaceStore {
+ public:
+  virtual ~FaceStore() = default;
+
+  // Adds `delta` to the line sum at transverse position `y` (d-1 coords,
+  // each in [0, side)).
+  virtual void Add(const Cell& y, int64_t delta) = 0;
+
+  // Returns F_j at `y`: the cumulative row sum over transverse prefix
+  // [0 .. y].
+  virtual int64_t PrefixSum(const Cell& y) const = 0;
+
+  virtual int64_t StorageCells() const = 0;
+
+  // Bulk-builds the store from the dense line-sum array G_j (shape: d-1
+  // dimensions of extent `side`). The store must be empty. Used by the
+  // bottom-up bulk loader.
+  virtual void BuildFromDense(const MdArray<int64_t>& line_sums) = 0;
+
+  // Creates the appropriate store for a face with `transverse_dims` (= d-1)
+  // dimensions of extent `side`. `counters` routes cost accounting to the
+  // owning cube; may be null.
+  static std::unique_ptr<FaceStore> Create(int transverse_dims, int64_t side,
+                                           const DdcOptions& options,
+                                           OpCounters* counters);
+};
+
+}  // namespace ddc
+
+#endif  // DDC_DDC_FACE_STORE_H_

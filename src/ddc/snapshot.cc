@@ -1,0 +1,120 @@
+#include "ddc/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "common/bit_util.h"
+
+namespace ddc {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'D', 'C', 'S', 'N', 'A', 'P', '1'};
+
+template <typename T>
+void WritePod(std::ostream* out, T value) {
+  out->write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadPod(std::istream* in, T* value) {
+  in->read(reinterpret_cast<char*>(value), sizeof(*value));
+  return in->good();
+}
+
+}  // namespace
+
+bool WriteSnapshot(const DynamicDataCube& cube, std::ostream* out) {
+  out->write(kMagic, sizeof(kMagic));
+  WritePod<int32_t>(out, cube.dims());
+  WritePod<int64_t>(out, cube.side());
+  for (Coord c : cube.DomainLo()) WritePod<int64_t>(out, c);
+  WritePod<int32_t>(out, cube.options().bc_fanout);
+  WritePod<int8_t>(out, cube.options().use_fenwick ? 1 : 0);
+  WritePod<int32_t>(out, cube.options().elide_levels);
+
+  // Count first (ForEachNonZero order is deterministic for a given cube).
+  int64_t count = 0;
+  cube.ForEachNonZero([&](const Cell&, int64_t) { ++count; });
+  WritePod<int64_t>(out, count);
+  cube.ForEachNonZero([&](const Cell& cell, int64_t value) {
+    for (Coord c : cell) WritePod<int64_t>(out, c);
+    WritePod<int64_t>(out, value);
+  });
+  return out->good();
+}
+
+std::unique_ptr<DynamicDataCube> ReadSnapshot(std::istream* in) {
+  char magic[8];
+  in->read(magic, sizeof(magic));
+  if (!in->good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return nullptr;
+  }
+  int32_t dims = 0;
+  int64_t side = 0;
+  if (!ReadPod(in, &dims) || !ReadPod(in, &side)) return nullptr;
+  if (dims < 1 || dims > 20 || side < 2 || !IsPowerOfTwo(side)) {
+    return nullptr;
+  }
+  Cell origin(static_cast<size_t>(dims));
+  for (int i = 0; i < dims; ++i) {
+    if (!ReadPod(in, &origin[static_cast<size_t>(i)])) return nullptr;
+  }
+  DdcOptions options;
+  int8_t use_fenwick = 0;
+  if (!ReadPod(in, &options.bc_fanout) || !ReadPod(in, &use_fenwick) ||
+      !ReadPod(in, &options.elide_levels)) {
+    return nullptr;
+  }
+  // Bound the fanout: values beyond 1024 are never produced by this library
+  // and would let a corrupted stream trigger huge node allocations.
+  if (options.bc_fanout < 2 || options.bc_fanout > 1024 ||
+      options.elide_levels < 0 || options.elide_levels >= 62) {
+    return nullptr;
+  }
+  options.use_fenwick = use_fenwick != 0;
+
+  int64_t count = 0;
+  if (!ReadPod(in, &count) || count < 0) return nullptr;
+
+  // Restore the exact domain placement so prefix-sum anchors match the
+  // original cube.
+  auto cube = std::make_unique<DynamicDataCube>(dims, side, options, origin);
+
+  Cell cell(static_cast<size_t>(dims));
+  for (int64_t r = 0; r < count; ++r) {
+    bool in_domain = true;
+    for (int i = 0; i < dims; ++i) {
+      if (!ReadPod(in, &cell[static_cast<size_t>(i)])) return nullptr;
+      const Coord rel = cell[static_cast<size_t>(i)] -
+                        origin[static_cast<size_t>(i)];
+      in_domain = in_domain && rel >= 0 && rel < side;
+    }
+    int64_t value = 0;
+    if (!ReadPod(in, &value)) return nullptr;
+    // A well-formed snapshot only records cells inside its declared domain;
+    // anything else is corruption. Validating here also keeps a hostile
+    // stream from driving unbounded domain growth during the replay.
+    if (!in_domain) return nullptr;
+    cube->Add(cell, value);
+  }
+  return cube;
+}
+
+bool SaveSnapshotToFile(const DynamicDataCube& cube, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return false;
+  return WriteSnapshot(cube, &out) && out.good();
+}
+
+std::unique_ptr<DynamicDataCube> LoadSnapshotFromFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return nullptr;
+  return ReadSnapshot(&in);
+}
+
+}  // namespace ddc

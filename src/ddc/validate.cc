@@ -1,0 +1,147 @@
+#include "ddc/validate.h"
+
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ddc {
+
+namespace {
+
+struct NonZero {
+  Cell cell;
+  int64_t value;
+};
+
+int64_t BrutePrefix(const std::vector<NonZero>& cells, const Cell& target) {
+  int64_t sum = 0;
+  for (const NonZero& nz : cells) {
+    if (DominatedBy(nz.cell, target)) sum += nz.value;
+  }
+  return sum;
+}
+
+int64_t BruteRange(const std::vector<NonZero>& cells, const Box& box) {
+  int64_t sum = 0;
+  for (const NonZero& nz : cells) {
+    if (box.Contains(nz.cell)) sum += nz.value;
+  }
+  return sum;
+}
+
+std::string Describe(const char* what, const Cell& at, int64_t got,
+                     int64_t want) {
+  return std::string(what) + " at " + CellToString(at) + ": structure says " +
+         std::to_string(got) + ", raw content says " + std::to_string(want);
+}
+
+}  // namespace
+
+ValidationResult ValidateCube(const DynamicDataCube& cube,
+                              int64_t exhaustive_limit, int64_t samples,
+                              uint64_t seed) {
+  ValidationResult result;
+
+  std::vector<NonZero> cells;
+  int64_t total = 0;
+  cube.ForEachNonZero([&](const Cell& cell, int64_t value) {
+    cells.push_back(NonZero{cell, value});
+    total += value;
+  });
+
+  if (cube.TotalSum() != total) {
+    result.ok = false;
+    result.error = "TotalSum() = " + std::to_string(cube.TotalSum()) +
+                   " but nonzero cells sum to " + std::to_string(total);
+    return result;
+  }
+
+  const Cell lo = cube.DomainLo();
+  const Cell hi = cube.DomainHi();
+  const int dims = cube.dims();
+
+  auto check_prefix = [&](const Cell& probe) {
+    const int64_t got = cube.PrefixSum(probe);
+    const int64_t want = BrutePrefix(cells, probe);
+    ++result.checked_prefix_sums;
+    if (got != want) {
+      result.ok = false;
+      result.error = Describe("prefix sum", probe, got, want);
+    }
+    return result.ok;
+  };
+  auto check_point = [&](const Cell& probe) {
+    const int64_t got = cube.Get(probe);
+    int64_t want = 0;
+    for (const NonZero& nz : cells) {
+      if (nz.cell == probe) want = nz.value;
+    }
+    ++result.checked_points;
+    if (got != want) {
+      result.ok = false;
+      result.error = Describe("point read", probe, got, want);
+    }
+    return result.ok;
+  };
+
+  // Domain size (guard against overflow for huge grown domains).
+  double domain_cells = 1.0;
+  for (int i = 0; i < dims; ++i) {
+    domain_cells *= static_cast<double>(cube.side());
+  }
+
+  if (domain_cells <= static_cast<double>(exhaustive_limit)) {
+    Cell probe = lo;
+    while (true) {
+      if (!check_prefix(probe) || !check_point(probe)) return result;
+      int dim = dims - 1;
+      while (dim >= 0) {
+        size_t ud = static_cast<size_t>(dim);
+        if (++probe[ud] <= hi[ud]) break;
+        probe[ud] = lo[ud];
+        --dim;
+      }
+      if (dim < 0) break;
+    }
+  } else {
+    std::mt19937_64 rng(seed);
+    auto random_cell = [&]() {
+      Cell c(static_cast<size_t>(dims));
+      for (int i = 0; i < dims; ++i) {
+        size_t ui = static_cast<size_t>(i);
+        std::uniform_int_distribution<Coord> dist(lo[ui], hi[ui]);
+        c[ui] = dist(rng);
+      }
+      return c;
+    };
+    // Every nonzero cell, the domain corners, then random probes.
+    for (const NonZero& nz : cells) {
+      if (!check_prefix(nz.cell) || !check_point(nz.cell)) return result;
+    }
+    if (!check_prefix(lo) || !check_prefix(hi)) return result;
+    for (int64_t i = 0; i < samples; ++i) {
+      if (!check_prefix(random_cell())) return result;
+    }
+    // Random boxes.
+    for (int64_t i = 0; i < samples / 4 + 1; ++i) {
+      const Cell a = random_cell();
+      const Cell b = random_cell();
+      const Box box{CellMin(a, b), CellMax(a, b)};
+      const int64_t got = cube.RangeSum(box);
+      const int64_t want = BruteRange(cells, box);
+      ++result.checked_range_sums;
+      if (got != want) {
+        result.ok = false;
+        result.error = "range sum over " + box.ToString() +
+                       ": structure says " + std::to_string(got) +
+                       ", raw content says " + std::to_string(want);
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ddc

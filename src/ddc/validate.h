@@ -1,0 +1,43 @@
+// Validation of a Dynamic Data Cube against its own raw content.
+//
+// The cube's only ground truth is its set of nonzero cells (enumerated by
+// ForEachNonZero, which reads raw leaf blocks only). Every derived value —
+// box subtotals, face-store row sums, the cached grand total — feeds some
+// prefix sum, so checking prefix sums, range sums and point reads against a
+// brute-force recomputation over the nonzero set validates the entire
+// derived state. Exhaustive over small domains; sampled (plus every nonzero
+// cell and all domain corners) over large ones.
+//
+// Intended for tests and debugging; cost is O(probes * nnz).
+
+#ifndef DDC_DDC_VALIDATE_H_
+#define DDC_DDC_VALIDATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ddc/dynamic_data_cube.h"
+
+namespace ddc {
+
+struct ValidationResult {
+  bool ok = true;
+  // Human-readable description of the first inconsistency found (empty when
+  // ok).
+  std::string error;
+
+  int64_t checked_prefix_sums = 0;
+  int64_t checked_range_sums = 0;
+  int64_t checked_points = 0;
+};
+
+// Validates `cube`. Domains with at most `exhaustive_limit` cells are
+// probed exhaustively; larger ones use `samples` random probes (plus every
+// nonzero cell and the domain corners). `seed` drives the sampling.
+ValidationResult ValidateCube(const DynamicDataCube& cube,
+                              int64_t exhaustive_limit = 4096,
+                              int64_t samples = 256, uint64_t seed = 1);
+
+}  // namespace ddc
+
+#endif  // DDC_DDC_VALIDATE_H_

@@ -1,0 +1,182 @@
+#include "minmax/extrema_cube.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/bit_util.h"
+#include "common/check.h"
+
+namespace ddc {
+
+ExtremaCube::Extrema ExtremaCube::Extrema::Empty() {
+  return Extrema{std::numeric_limits<int64_t>::max(),
+                 std::numeric_limits<int64_t>::min()};
+}
+
+bool ExtremaCube::Extrema::IsEmpty() const {
+  return min == std::numeric_limits<int64_t>::max() &&
+         max == std::numeric_limits<int64_t>::min();
+}
+
+ExtremaCube::Extrema ExtremaCube::Extrema::CombinedWith(
+    const Extrema& other) const {
+  return Extrema{std::min(min, other.min), std::max(max, other.max)};
+}
+
+ExtremaCube::ExtremaCube(int dims, int64_t side)
+    : dims_(dims), side_(side) {
+  DDC_CHECK(dims_ >= 1 && dims_ <= 20);
+  DDC_CHECK(side_ >= 2 && IsPowerOfTwo(side_));
+}
+
+void ExtremaCube::Set(const Cell& cell, int64_t value) {
+  SetExtrema(cell, Extrema::Of(value));
+}
+
+void ExtremaCube::Clear(const Cell& cell) {
+  SetExtrema(cell, Extrema::Empty());
+}
+
+void ExtremaCube::SetExtrema(const Cell& cell, const Extrema& extrema) {
+  DDC_CHECK(static_cast<int>(cell.size()) == dims_);
+  DDC_CHECK(cell[0] >= 0 && cell[0] < side_);
+  if (root_ == nullptr) {
+    root_ = std::make_unique<Node>();
+    root_->extrema = Extrema::Empty();
+  }
+  SetRec(root_.get(), 0, side_ - 1, cell, extrema);
+}
+
+void ExtremaCube::SetRec(Node* node, int64_t lo, int64_t hi, const Cell& cell,
+                         const Extrema& extrema) {
+  if (lo == hi) {
+    // A leaf of this layer's segment tree over dimension 0.
+    if (dims_ == 1) {
+      node->extrema = extrema;
+    } else {
+      if (node->nested == nullptr) {
+        node->nested = std::make_unique<ExtremaCube>(dims_ - 1, side_);
+      }
+      node->nested->SetExtrema(Rest(cell), extrema);
+    }
+    return;
+  }
+  const int64_t mid = lo + (hi - lo) / 2;
+  std::unique_ptr<Node>* child_slot =
+      (cell[0] <= mid) ? &node->left : &node->right;
+  if (*child_slot == nullptr) {
+    *child_slot = std::make_unique<Node>();
+    (*child_slot)->extrema = Extrema::Empty();
+  }
+  if (cell[0] <= mid) {
+    SetRec(child_slot->get(), lo, mid, cell, extrema);
+  } else {
+    SetRec(child_slot->get(), mid + 1, hi, cell, extrema);
+  }
+  // Refresh this node's fold at the transverse position: the combine of the
+  // two children's folds there.
+  const Cell rest = (dims_ == 1) ? Cell{} : Rest(cell);
+  const Extrema combined =
+      PointExtrema(node->left.get(), rest)
+          .CombinedWith(PointExtrema(node->right.get(), rest));
+  if (dims_ == 1) {
+    node->extrema = combined;
+  } else {
+    if (node->nested == nullptr) {
+      node->nested = std::make_unique<ExtremaCube>(dims_ - 1, side_);
+    }
+    node->nested->SetExtrema(rest, combined);
+  }
+}
+
+ExtremaCube::Extrema ExtremaCube::GetPoint(const Cell& cell) const {
+  const Node* cursor = root_.get();
+  int64_t lo = 0;
+  int64_t hi = side_ - 1;
+  while (cursor != nullptr && lo != hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (cell[0] <= mid) {
+      cursor = cursor->left.get();
+      hi = mid;
+    } else {
+      cursor = cursor->right.get();
+      lo = mid + 1;
+    }
+  }
+  if (cursor == nullptr) return Extrema::Empty();
+  if (dims_ == 1) return cursor->extrema;
+  if (cursor->nested == nullptr) return Extrema::Empty();
+  return cursor->nested->GetPoint(Rest(cell));
+}
+
+ExtremaCube::Extrema ExtremaCube::PointExtrema(const Node* node,
+                                               const Cell& rest) const {
+  if (node == nullptr) return Extrema::Empty();
+  if (dims_ == 1) return node->extrema;
+  if (node->nested == nullptr) return Extrema::Empty();
+  return node->nested->GetPoint(rest);
+}
+
+std::optional<int64_t> ExtremaCube::Get(const Cell& cell) const {
+  DDC_CHECK(static_cast<int>(cell.size()) == dims_);
+  DDC_CHECK(cell[0] >= 0 && cell[0] < side_);
+  if (root_ == nullptr) return std::nullopt;
+  const Extrema e = GetPoint(cell);
+  if (e.IsEmpty()) return std::nullopt;
+  return e.min;
+}
+
+std::optional<int64_t> ExtremaCube::RangeMin(const Box& box) const {
+  const Box clipped = IntersectBoxes(
+      box, Box{UniformCell(dims_, 0), UniformCell(dims_, side_ - 1)});
+  if (clipped.IsEmpty() || root_ == nullptr) return std::nullopt;
+  const Extrema e = QueryRec(root_.get(), 0, side_ - 1, clipped);
+  if (e.IsEmpty()) return std::nullopt;
+  return e.min;
+}
+
+std::optional<int64_t> ExtremaCube::RangeMax(const Box& box) const {
+  const Box clipped = IntersectBoxes(
+      box, Box{UniformCell(dims_, 0), UniformCell(dims_, side_ - 1)});
+  if (clipped.IsEmpty() || root_ == nullptr) return std::nullopt;
+  const Extrema e = QueryRec(root_.get(), 0, side_ - 1, clipped);
+  if (e.IsEmpty()) return std::nullopt;
+  return e.max;
+}
+
+ExtremaCube::Extrema ExtremaCube::QueryRec(const Node* node, int64_t lo,
+                                           int64_t hi, const Box& box) const {
+  if (node == nullptr) return Extrema::Empty();
+  const Coord b_lo = box.lo[0];
+  const Coord b_hi = box.hi[0];
+  if (hi < b_lo || lo > b_hi) return Extrema::Empty();
+  if (b_lo <= lo && hi <= b_hi) {
+    // Canonical node: fold its whole dimension-0 interval, restricted to
+    // the remaining box coordinates.
+    if (dims_ == 1) return node->extrema;
+    if (node->nested == nullptr) return Extrema::Empty();
+    Box rest_box{Rest(box.lo), Rest(box.hi)};
+    if (node->nested->root_ == nullptr) return Extrema::Empty();
+    return node->nested->QueryRec(node->nested->root_.get(), 0, side_ - 1,
+                                  rest_box);
+  }
+  const int64_t mid = lo + (hi - lo) / 2;
+  return QueryRec(node->left.get(), lo, mid, box)
+      .CombinedWith(QueryRec(node->right.get(), mid + 1, hi, box));
+}
+
+int64_t ExtremaCube::StorageCells() const {
+  if (root_ == nullptr) return 0;
+  return NodeStorage(root_.get());
+}
+
+int64_t ExtremaCube::NodeStorage(const Node* node) const {
+  int64_t total = (dims_ == 1)
+                      ? 1
+                      : (node->nested ? node->nested->StorageCells() : 0);
+  if (node->left != nullptr) total += NodeStorage(node->left.get());
+  if (node->right != nullptr) total += NodeStorage(node->right.get());
+  return total;
+}
+
+}  // namespace ddc

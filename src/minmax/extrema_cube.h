@@ -1,0 +1,108 @@
+// ExtremaCube: range MIN / MAX over a d-dimensional cube.
+//
+// The paper's prefix-sum technique covers "any binary operator + for which
+// there exists an inverse binary operator -" (Section 2) — which excludes
+// MIN and MAX. This companion structure fills that gap with a recursively
+// nested segment tree: a binary segment tree over dimension 0 whose every
+// node holds a (d-1)-dimensional ExtremaCube aggregating its interval. Point
+// updates and arbitrary box queries both cost O(log^d n), the same envelope
+// as the Dynamic Data Cube, so an OLAP deployment can pair one ExtremaCube
+// with a DDC per measure to serve SUM/COUNT/AVG *and* MIN/MAX.
+//
+// Cells start "empty" (they contribute to no extremum); Set assigns a
+// value, Clear re-empties a cell. Nodes and nested structures materialize
+// lazily, so sparse cubes stay small.
+
+#ifndef DDC_MINMAX_EXTREMA_CUBE_H_
+#define DDC_MINMAX_EXTREMA_CUBE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/cell.h"
+#include "common/range.h"
+
+namespace ddc {
+
+class ExtremaCube {
+ public:
+  // `side` must be a power of two >= 2; the domain is [0, side)^dims.
+  ExtremaCube(int dims, int64_t side);
+
+  ExtremaCube(const ExtremaCube&) = delete;
+  ExtremaCube& operator=(const ExtremaCube&) = delete;
+
+  int dims() const { return dims_; }
+  int64_t side() const { return side_; }
+
+  // Assigns A[cell] = value (the cell becomes non-empty).
+  void Set(const Cell& cell, int64_t value);
+
+  // Re-empties the cell (it no longer contributes to any extremum).
+  void Clear(const Cell& cell);
+
+  // Value at `cell`, or nullopt when empty.
+  std::optional<int64_t> Get(const Cell& cell) const;
+
+  // Extremum over the closed box clipped to the domain; nullopt when the
+  // clipped box contains no non-empty cell.
+  std::optional<int64_t> RangeMin(const Box& box) const;
+  std::optional<int64_t> RangeMax(const Box& box) const;
+
+  // Allocated entries across the nested trees.
+  int64_t StorageCells() const;
+
+ private:
+  // Sentinels: an empty cell holds {+inf min, -inf max} so combining is a
+  // plain (min, max) fold.
+  struct Extrema {
+    int64_t min;
+    int64_t max;
+
+    static Extrema Empty();
+    static Extrema Of(int64_t value) { return Extrema{value, value}; }
+    bool IsEmpty() const;
+    Extrema CombinedWith(const Extrema& other) const;
+  };
+
+  // One segment-tree layer over dimension `depth` (= dims_ - remaining
+  // dims). Leaves at d == 1 store Extrema directly; interior layers store a
+  // nested ExtremaCube-like layer of lower dimensionality.
+  struct Node {
+    // d == 1: the fold of this interval.
+    Extrema extrema = Extrema{0, 0};  // Overwritten on creation.
+    // d > 1: nested layer over the remaining dimensions, aggregated across
+    // this node's dimension-0 interval.
+    std::unique_ptr<ExtremaCube> nested;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  void SetExtrema(const Cell& cell, const Extrema& extrema);
+  // Updates the tree for the leading coordinate and writes the new fold of
+  // the remaining coordinates bottom-up. Returns nothing; reads of sibling
+  // folds use PointExtrema.
+  void SetRec(Node* node, int64_t lo, int64_t hi, const Cell& cell,
+              const Extrema& extrema);
+  // Fold of this cube at point `cell` (empty sentinel when absent).
+  Extrema GetPoint(const Cell& cell) const;
+  // Fold of `node`'s dimension-0 interval at transverse point `rest`.
+  Extrema PointExtrema(const Node* node, const Cell& rest) const;
+  Extrema QueryRec(const Node* node, int64_t lo, int64_t hi, const Box& box)
+      const;
+  int64_t NodeStorage(const Node* node) const;
+
+  static Cell Rest(const Cell& cell) {
+    return Cell(cell.begin() + 1, cell.end());
+  }
+
+  int dims_;
+  int64_t side_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_MINMAX_EXTREMA_CUBE_H_

@@ -1,0 +1,43 @@
+// NaiveCube: the unadorned array A of Section 2.
+//
+// Queries scan every cell of the requested region (O(n^d) worst case);
+// updates write one cell (O(1)). This is both the simplest baseline in the
+// paper's comparison and the reference oracle for the integration tests.
+
+#ifndef DDC_NAIVE_NAIVE_CUBE_H_
+#define DDC_NAIVE_NAIVE_CUBE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/cube_interface.h"
+#include "common/md_array.h"
+#include "common/shape.h"
+
+namespace ddc {
+
+class NaiveCube : public CubeInterface {
+ public:
+  explicit NaiveCube(Shape shape);
+
+  int dims() const override { return array_.dims(); }
+  Cell DomainLo() const override;
+  Cell DomainHi() const override;
+
+  void Set(const Cell& cell, int64_t value) override;
+  void Add(const Cell& cell, int64_t delta) override;
+  int64_t Get(const Cell& cell) const override;
+  int64_t PrefixSum(const Cell& cell) const override;
+  int64_t RangeSum(const Box& box) const override;
+  int64_t StorageCells() const override { return array_.size(); }
+  std::string name() const override { return "naive"; }
+
+  const MdArray<int64_t>& array() const { return array_; }
+
+ private:
+  MdArray<int64_t> array_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_NAIVE_NAIVE_CUBE_H_

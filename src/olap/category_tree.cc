@@ -1,0 +1,131 @@
+#include "olap/category_tree.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace ddc {
+
+namespace {
+
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> segments;
+  size_t start = 0;
+  while (start <= path.size()) {
+    const size_t slash = path.find('/', start);
+    if (slash == std::string::npos) {
+      if (start < path.size()) segments.push_back(path.substr(start));
+      break;
+    }
+    if (slash > start) segments.push_back(path.substr(start, slash - start));
+    start = slash + 1;
+  }
+  return segments;
+}
+
+}  // namespace
+
+void CategoryTree::AddPath(const std::string& path) {
+  DDC_CHECK(!finalized_);
+  Node* node = &root_;
+  for (const std::string& segment : SplitPath(path)) {
+    auto [it, inserted] = node->children.emplace(segment, nullptr);
+    if (inserted) it->second = std::make_unique<Node>();
+    node = it->second.get();
+  }
+}
+
+void CategoryTree::AssignIds(Node* node, const std::string& path) {
+  if (node->children.empty()) {
+    node->first_leaf = static_cast<Coord>(num_leaves_);
+    node->last_leaf = node->first_leaf;
+    leaf_paths_.push_back(path);
+    ++num_leaves_;
+    return;
+  }
+  node->first_leaf = static_cast<Coord>(num_leaves_);
+  for (auto& [segment, child] : node->children) {
+    AssignIds(child.get(), path.empty() ? segment : path + "/" + segment);
+  }
+  node->last_leaf = static_cast<Coord>(num_leaves_ - 1);
+}
+
+void CategoryTree::Finalize() {
+  DDC_CHECK(!finalized_);
+  DDC_CHECK(!root_.children.empty());  // At least one category.
+  AssignIds(&root_, "");
+  finalized_ = true;
+}
+
+const CategoryTree::Node* CategoryTree::Find(const std::string& path) const {
+  const Node* node = &root_;
+  for (const std::string& segment : SplitPath(path)) {
+    auto it = node->children.find(segment);
+    if (it == node->children.end()) return nullptr;
+    node = it->second.get();
+  }
+  return node;
+}
+
+bool CategoryTree::Contains(const std::string& path) const {
+  return Find(path) != nullptr;
+}
+
+Coord CategoryTree::LeafId(const std::string& path) const {
+  DDC_CHECK(finalized_);
+  const Node* node = Find(path);
+  DDC_CHECK(node != nullptr);
+  DDC_CHECK(node->children.empty());  // Must be a leaf.
+  return node->first_leaf;
+}
+
+std::pair<Coord, Coord> CategoryTree::Interval(const std::string& path) const {
+  DDC_CHECK(finalized_);
+  const Node* node = Find(path);
+  DDC_CHECK(node != nullptr);
+  DDC_CHECK(node->first_leaf >= 0);  // Subtree contains at least one leaf.
+  return {node->first_leaf, node->last_leaf};
+}
+
+std::vector<std::string> CategoryTree::ChildrenOf(
+    const std::string& path) const {
+  const Node* node = Find(path);
+  DDC_CHECK(node != nullptr);
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [segment, child] : node->children) {
+    names.push_back(segment);
+  }
+  return names;
+}
+
+const std::string& CategoryTree::LeafPath(Coord id) const {
+  DDC_CHECK(finalized_);
+  DDC_CHECK(id >= 0 && id < num_leaves_);
+  return leaf_paths_[static_cast<size_t>(id)];
+}
+
+HierarchicalDimension::HierarchicalDimension(std::string name,
+                                             CategoryTree tree)
+    : name_(std::move(name)), tree_(std::move(tree)) {
+  DDC_CHECK(tree_.finalized());
+}
+
+Coord HierarchicalDimension::Encode(const AttributeValue& value) {
+  DDC_CHECK(std::holds_alternative<std::string>(value));
+  return tree_.LeafId(std::get<std::string>(value));
+}
+
+std::pair<Coord, Coord> HierarchicalDimension::EncodeRange(
+    const AttributeValue& lo, const AttributeValue& hi) {
+  DDC_CHECK(std::holds_alternative<std::string>(lo) &&
+            std::holds_alternative<std::string>(hi));
+  DDC_CHECK(std::get<std::string>(lo) == std::get<std::string>(hi));
+  return tree_.Interval(std::get<std::string>(lo));
+}
+
+std::string HierarchicalDimension::BinLabel(Coord index) const {
+  return tree_.LeafPath(index);
+}
+
+}  // namespace ddc

@@ -1,0 +1,102 @@
+// CategoryTree: hierarchical categorical dimensions with range-queryable
+// rollups.
+//
+// Real dimensions are usually hierarchies (product -> category ->
+// department; city -> state -> country). Assigning leaf categories ids in
+// depth-first order makes every internal node own one *contiguous* id
+// interval, so a rollup over any subtree is a single range predicate on the
+// cube — no enumeration of leaves. The tree is declared up front and then
+// finalized (ids must be stable before data is keyed by them); late
+// AddPath calls after finalization are rejected.
+//
+// Paths are slash-separated ("electronics/phones/smartphone"); the empty
+// path denotes the root (all leaves). Sibling order is lexicographic, so id
+// assignment is deterministic for a given set of paths.
+
+#ifndef DDC_OLAP_CATEGORY_TREE_H_
+#define DDC_OLAP_CATEGORY_TREE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cell.h"
+#include "olap/dimension_encoder.h"
+
+namespace ddc {
+
+class CategoryTree {
+ public:
+  CategoryTree() = default;
+
+  // Registers a leaf category. Ancestors are created implicitly. Must be
+  // called before Finalize(); re-adding an existing path is a no-op.
+  // A path that is a strict prefix of another becomes an internal node, not
+  // a leaf.
+  void AddPath(const std::string& path);
+
+  // Freezes the tree and assigns depth-first leaf ids.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  int64_t num_leaves() const { return num_leaves_; }
+
+  // Id of a leaf category; the path must name a leaf. Finalized only.
+  Coord LeafId(const std::string& path) const;
+
+  // Inclusive id interval [first, second] of every leaf under `path`
+  // ("" = all leaves). The path must exist. Finalized only.
+  std::pair<Coord, Coord> Interval(const std::string& path) const;
+
+  // Returns true when `path` names an existing node (leaf or internal).
+  bool Contains(const std::string& path) const;
+
+  // Names of the direct children of `path`, in id order.
+  std::vector<std::string> ChildrenOf(const std::string& path) const;
+
+  // Full path of the leaf with the given id. Finalized only.
+  const std::string& LeafPath(Coord id) const;
+
+ private:
+  struct Node {
+    std::map<std::string, std::unique_ptr<Node>> children;  // Sorted.
+    Coord first_leaf = -1;
+    Coord last_leaf = -1;
+  };
+
+  const Node* Find(const std::string& path) const;
+  void AssignIds(Node* node, const std::string& path);
+
+  Node root_;
+  bool finalized_ = false;
+  int64_t num_leaves_ = 0;
+  std::vector<std::string> leaf_paths_;  // Indexed by leaf id.
+};
+
+// DimensionEncoder adapter: Encode takes a full leaf path; EncodeRange
+// takes lo == hi naming *any* node and expands to its subtree interval —
+// which is what makes "total sales for department X" one range query.
+class HierarchicalDimension : public DimensionEncoder {
+ public:
+  // Takes ownership of a finalized tree (move it in).
+  HierarchicalDimension(std::string name, CategoryTree tree);
+
+  Coord Encode(const AttributeValue& value) override;
+  std::pair<Coord, Coord> EncodeRange(const AttributeValue& lo,
+                                      const AttributeValue& hi) override;
+  std::string BinLabel(Coord index) const override;
+  std::string name() const override { return name_; }
+
+  const CategoryTree& tree() const { return tree_; }
+
+ private:
+  std::string name_;
+  CategoryTree tree_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_OLAP_CATEGORY_TREE_H_

@@ -1,0 +1,64 @@
+#include "olap/dimension_encoder.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace ddc {
+
+NumericDimension::NumericDimension(std::string name, double origin,
+                                   double bin_width)
+    : name_(std::move(name)), origin_(origin), bin_width_(bin_width) {
+  DDC_CHECK(bin_width_ > 0.0);
+}
+
+Coord NumericDimension::Encode(const AttributeValue& value) {
+  DDC_CHECK(std::holds_alternative<double>(value));
+  const double v = std::get<double>(value);
+  return static_cast<Coord>(std::floor((v - origin_) / bin_width_));
+}
+
+std::pair<Coord, Coord> NumericDimension::EncodeRange(
+    const AttributeValue& lo, const AttributeValue& hi) {
+  const Coord a = Encode(lo);
+  const Coord b = Encode(hi);
+  DDC_CHECK(a <= b);
+  return {a, b};
+}
+
+std::string NumericDimension::BinLabel(Coord index) const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "[%g, %g)",
+                origin_ + static_cast<double>(index) * bin_width_,
+                origin_ + static_cast<double>(index + 1) * bin_width_);
+  return buf;
+}
+
+CategoricalDimension::CategoricalDimension(std::string name)
+    : name_(std::move(name)) {}
+
+Coord CategoricalDimension::Encode(const AttributeValue& value) {
+  DDC_CHECK(std::holds_alternative<std::string>(value));
+  const std::string& label = std::get<std::string>(value);
+  auto [it, inserted] =
+      ids_.emplace(label, static_cast<Coord>(labels_.size()));
+  if (inserted) labels_.push_back(label);
+  return it->second;
+}
+
+std::pair<Coord, Coord> CategoricalDimension::EncodeRange(
+    const AttributeValue& lo, const AttributeValue& hi) {
+  DDC_CHECK(std::holds_alternative<std::string>(lo) &&
+            std::holds_alternative<std::string>(hi));
+  DDC_CHECK(std::get<std::string>(lo) == std::get<std::string>(hi));
+  const Coord id = Encode(lo);
+  return {id, id};
+}
+
+std::string CategoricalDimension::BinLabel(Coord index) const {
+  DDC_CHECK(index >= 0 && index < num_categories());
+  return labels_[static_cast<size_t>(index)];
+}
+
+}  // namespace ddc

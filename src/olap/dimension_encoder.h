@@ -1,0 +1,89 @@
+// Dimension encoders: map attribute values of a functional attribute
+// (dimension) to the dense integer indices the cube structures expect, and
+// value ranges to index ranges.
+//
+// The paper's examples use numeric dimensions (CUSTOMER_AGE, DATE_AND_TIME,
+// latitude/longitude) and implicitly categorical ones; both are supported.
+// Numeric dimensions may be unbounded: indices can be negative or grow
+// arbitrarily, which composes with the Dynamic Data Cube's growth in any
+// direction.
+
+#ifndef DDC_OLAP_DIMENSION_ENCODER_H_
+#define DDC_OLAP_DIMENSION_ENCODER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/cell.h"
+
+namespace ddc {
+
+// A raw attribute value: numeric or categorical.
+using AttributeValue = std::variant<double, std::string>;
+
+class DimensionEncoder {
+ public:
+  virtual ~DimensionEncoder() = default;
+
+  // Index of the bin containing `value`.
+  virtual Coord Encode(const AttributeValue& value) = 0;
+
+  // Index range [first, second] covering all values in [lo, hi].
+  virtual std::pair<Coord, Coord> EncodeRange(const AttributeValue& lo,
+                                              const AttributeValue& hi) = 0;
+
+  // Human-readable label of a bin, for report output.
+  virtual std::string BinLabel(Coord index) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Numeric dimension: value v falls into bin floor((v - origin) / bin_width).
+// Negative and unbounded indices are allowed.
+class NumericDimension : public DimensionEncoder {
+ public:
+  NumericDimension(std::string name, double origin, double bin_width);
+
+  Coord Encode(const AttributeValue& value) override;
+  std::pair<Coord, Coord> EncodeRange(const AttributeValue& lo,
+                                      const AttributeValue& hi) override;
+  std::string BinLabel(Coord index) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  double origin_;
+  double bin_width_;
+};
+
+// Categorical dimension: distinct values get dense indices in first-seen
+// order. EncodeRange only supports lo == hi (a single category); categorical
+// predicates over multiple categories should issue one query per category.
+class CategoricalDimension : public DimensionEncoder {
+ public:
+  explicit CategoricalDimension(std::string name);
+
+  Coord Encode(const AttributeValue& value) override;
+  std::pair<Coord, Coord> EncodeRange(const AttributeValue& lo,
+                                      const AttributeValue& hi) override;
+  std::string BinLabel(Coord index) const override;
+  std::string name() const override { return name_; }
+
+  int64_t num_categories() const {
+    return static_cast<int64_t>(labels_.size());
+  }
+
+ private:
+  std::string name_;
+  std::unordered_map<std::string, Coord> ids_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_OLAP_DIMENSION_ENCODER_H_

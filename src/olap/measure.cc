@@ -1,0 +1,68 @@
+#include "olap/measure.h"
+
+#include "common/check.h"
+
+namespace ddc {
+
+MeasureCube::MeasureCube(int dims, int64_t initial_side, DdcOptions options)
+    : sum_(dims, initial_side, options), count_(dims, initial_side, options) {}
+
+void MeasureCube::AddObservation(const Cell& cell, int64_t value) {
+  sum_.Add(cell, value);
+  count_.Add(cell, 1);
+}
+
+void MeasureCube::RemoveObservation(const Cell& cell, int64_t value) {
+  sum_.Add(cell, -value);
+  count_.Add(cell, -1);
+}
+
+int64_t MeasureCube::RangeSum(const Box& box) const {
+  return sum_.RangeSum(box);
+}
+
+int64_t MeasureCube::RangeCount(const Box& box) const {
+  return count_.RangeSum(box);
+}
+
+std::optional<double> MeasureCube::RangeAverage(const Box& box) const {
+  const int64_t count = RangeCount(box);
+  if (count == 0) return std::nullopt;
+  return static_cast<double>(RangeSum(box)) / static_cast<double>(count);
+}
+
+std::vector<int64_t> MeasureCube::RollingSum(const Box& box, int dim,
+                                             int64_t window) const {
+  DDC_CHECK(dim >= 0 && dim < dims());
+  DDC_CHECK(window >= 1);
+  DDC_CHECK(!box.IsEmpty());
+  std::vector<int64_t> out;
+  const size_t ud = static_cast<size_t>(dim);
+  out.reserve(static_cast<size_t>(box.hi[ud] - box.lo[ud] + 1));
+  for (Coord pos = box.lo[ud]; pos <= box.hi[ud]; ++pos) {
+    Box slice = box;
+    slice.lo[ud] = pos - window + 1;
+    slice.hi[ud] = pos;
+    out.push_back(RangeSum(slice));
+  }
+  return out;
+}
+
+std::vector<std::optional<double>> MeasureCube::RollingAverage(
+    const Box& box, int dim, int64_t window) const {
+  DDC_CHECK(dim >= 0 && dim < dims());
+  DDC_CHECK(window >= 1);
+  DDC_CHECK(!box.IsEmpty());
+  std::vector<std::optional<double>> out;
+  const size_t ud = static_cast<size_t>(dim);
+  out.reserve(static_cast<size_t>(box.hi[ud] - box.lo[ud] + 1));
+  for (Coord pos = box.lo[ud]; pos <= box.hi[ud]; ++pos) {
+    Box slice = box;
+    slice.lo[ud] = pos - window + 1;
+    slice.hi[ud] = pos;
+    out.push_back(RangeAverage(slice));
+  }
+  return out;
+}
+
+}  // namespace ddc

@@ -1,0 +1,61 @@
+// MeasureCube: a measure attribute with the full family of invertible
+// aggregates the paper lists — SUM, COUNT, AVERAGE, ROLLING SUM and ROLLING
+// AVERAGE ("any binary operator + for which there exists an inverse binary
+// operator -", Section 2).
+//
+// SUM and COUNT are maintained as two Dynamic Data Cubes over the same
+// dimension space; AVERAGE is their quotient; the rolling variants slide a
+// window of range queries along one dimension.
+
+#ifndef DDC_OLAP_MEASURE_H_
+#define DDC_OLAP_MEASURE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/cell.h"
+#include "common/range.h"
+#include "ddc/ddc_options.h"
+#include "ddc/dynamic_data_cube.h"
+
+namespace ddc {
+
+class MeasureCube {
+ public:
+  MeasureCube(int dims, int64_t initial_side, DdcOptions options = {});
+
+  int dims() const { return sum_.dims(); }
+
+  // Records one observation: the measure contributes `value` at `cell`.
+  void AddObservation(const Cell& cell, int64_t value);
+
+  // Removes a previously recorded observation (the inverse operator).
+  void RemoveObservation(const Cell& cell, int64_t value);
+
+  // Aggregates over a closed box.
+  int64_t RangeSum(const Box& box) const;
+  int64_t RangeCount(const Box& box) const;
+  // Empty ranges have no average.
+  std::optional<double> RangeAverage(const Box& box) const;
+
+  // Rolling aggregate along `dim`: for each window position p in
+  // [box.lo[dim], box.hi[dim]], the aggregate over the box restricted to
+  // dimension-dim range [p - window + 1, p] (a trailing window). Returns one
+  // entry per position.
+  std::vector<int64_t> RollingSum(const Box& box, int dim,
+                                  int64_t window) const;
+  std::vector<std::optional<double>> RollingAverage(const Box& box, int dim,
+                                                    int64_t window) const;
+
+  const DynamicDataCube& sum_cube() const { return sum_; }
+  const DynamicDataCube& count_cube() const { return count_; }
+
+ private:
+  DynamicDataCube sum_;
+  DynamicDataCube count_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_OLAP_MEASURE_H_

@@ -1,0 +1,59 @@
+#include "olap/olap_cube.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace ddc {
+
+OlapCube::OlapCube(std::vector<std::unique_ptr<DimensionEncoder>> dimensions,
+                   int64_t initial_side, DdcOptions options)
+    : dimensions_(std::move(dimensions)),
+      measure_(static_cast<int>(dimensions_.size()), initial_side, options) {
+  DDC_CHECK(!dimensions_.empty());
+}
+
+Cell OlapCube::EncodeCell(const std::vector<AttributeValue>& values) {
+  DDC_CHECK(values.size() == dimensions_.size());
+  Cell cell(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    cell[i] = dimensions_[i]->Encode(values[i]);
+  }
+  return cell;
+}
+
+void OlapCube::Insert(const std::vector<AttributeValue>& values,
+                      int64_t measure) {
+  measure_.AddObservation(EncodeCell(values), measure);
+}
+
+void OlapCube::Remove(const std::vector<AttributeValue>& values,
+                      int64_t measure) {
+  measure_.RemoveObservation(EncodeCell(values), measure);
+}
+
+Box OlapCube::EncodeBox(const std::vector<AttributeRange>& ranges) {
+  DDC_CHECK(ranges.size() == dimensions_.size());
+  Box box{Cell(ranges.size()), Cell(ranges.size())};
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    auto [lo, hi] = dimensions_[i]->EncodeRange(ranges[i].lo, ranges[i].hi);
+    box.lo[i] = lo;
+    box.hi[i] = hi;
+  }
+  return box;
+}
+
+int64_t OlapCube::RangeSum(const std::vector<AttributeRange>& ranges) {
+  return measure_.RangeSum(EncodeBox(ranges));
+}
+
+int64_t OlapCube::RangeCount(const std::vector<AttributeRange>& ranges) {
+  return measure_.RangeCount(EncodeBox(ranges));
+}
+
+std::optional<double> OlapCube::RangeAverage(
+    const std::vector<AttributeRange>& ranges) {
+  return measure_.RangeAverage(EncodeBox(ranges));
+}
+
+}  // namespace ddc

@@ -1,0 +1,70 @@
+// OlapCube: the user-facing front end of the library.
+//
+// An OlapCube is configured with a list of dimension encoders and maintains
+// a MeasureCube (SUM + COUNT over Dynamic Data Cubes) keyed by the encoded
+// indices. Records are inserted one observation at a time — the dynamic
+// update capability the paper argues is the enabling threshold — and range
+// queries are posed in attribute space ("total sales to customers aged 27
+// to 45 from day 220 to day 222").
+
+#ifndef DDC_OLAP_OLAP_CUBE_H_
+#define DDC_OLAP_OLAP_CUBE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/range.h"
+#include "olap/dimension_encoder.h"
+#include "olap/measure.h"
+
+namespace ddc {
+
+// A per-dimension query predicate: closed value range [lo, hi].
+struct AttributeRange {
+  AttributeValue lo;
+  AttributeValue hi;
+};
+
+class OlapCube {
+ public:
+  // Takes ownership of the encoders; one per dimension, in order.
+  OlapCube(std::vector<std::unique_ptr<DimensionEncoder>> dimensions,
+           int64_t initial_side = 16, DdcOptions options = {});
+
+  int dims() const { return static_cast<int>(dimensions_.size()); }
+
+  const DimensionEncoder& dimension(int i) const {
+    return *dimensions_[static_cast<size_t>(i)];
+  }
+
+  // Records one observation: `values` holds one attribute value per
+  // dimension; `measure` is the measure attribute's value (scaled to an
+  // integer by the caller, e.g. cents).
+  void Insert(const std::vector<AttributeValue>& values, int64_t measure);
+
+  // Removes a previously inserted observation.
+  void Remove(const std::vector<AttributeValue>& values, int64_t measure);
+
+  // Translates per-dimension attribute ranges into an index box.
+  Box EncodeBox(const std::vector<AttributeRange>& ranges);
+
+  int64_t RangeSum(const std::vector<AttributeRange>& ranges);
+  int64_t RangeCount(const std::vector<AttributeRange>& ranges);
+  std::optional<double> RangeAverage(const std::vector<AttributeRange>& ranges);
+
+  const MeasureCube& measure_cube() const { return measure_; }
+  MeasureCube& measure_cube() { return measure_; }
+
+ private:
+  Cell EncodeCell(const std::vector<AttributeValue>& values);
+
+  std::vector<std::unique_ptr<DimensionEncoder>> dimensions_;
+  MeasureCube measure_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_OLAP_OLAP_CUBE_H_

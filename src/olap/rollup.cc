@@ -1,0 +1,62 @@
+#include "olap/rollup.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ddc {
+
+namespace {
+
+// Floor division that rounds toward negative infinity (group alignment
+// must be stable across negative coordinates).
+Coord FloorDiv(Coord a, Coord b) {
+  Coord q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+}  // namespace
+
+std::vector<RollupRow> GroupBy(const MeasureCube& cube, const Box& box,
+                               int dim, int64_t group_size) {
+  DDC_CHECK(dim >= 0 && dim < cube.dims());
+  DDC_CHECK(group_size >= 1);
+  std::vector<RollupRow> rows;
+  if (box.IsEmpty()) return rows;
+  const size_t ud = static_cast<size_t>(dim);
+
+  Coord group_start = FloorDiv(box.lo[ud], group_size) * group_size;
+  while (group_start <= box.hi[ud]) {
+    const Coord group_end = group_start + group_size - 1;
+    Box slice = box;
+    slice.lo[ud] = std::max(box.lo[ud], group_start);
+    slice.hi[ud] = std::min(box.hi[ud], group_end);
+    RollupRow row;
+    row.group_start = slice.lo[ud];
+    row.group_end = slice.hi[ud];
+    row.sum = cube.RangeSum(slice);
+    row.count = cube.RangeCount(slice);
+    rows.push_back(row);
+    group_start = group_end + 1;
+  }
+  return rows;
+}
+
+std::vector<RollupRow> DrillDown(const MeasureCube& cube, const Box& box,
+                                 int dim) {
+  return GroupBy(cube, box, dim, 1);
+}
+
+std::vector<std::vector<RollupRow>> RollupLadder(
+    const MeasureCube& cube, const Box& box, int dim,
+    const std::vector<int64_t>& group_sizes) {
+  std::vector<std::vector<RollupRow>> reports;
+  reports.reserve(group_sizes.size());
+  for (int64_t size : group_sizes) {
+    reports.push_back(GroupBy(cube, box, dim, size));
+  }
+  return reports;
+}
+
+}  // namespace ddc

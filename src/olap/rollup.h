@@ -1,0 +1,55 @@
+// Roll-up / drill-down helpers: GROUP BY at a chosen granularity over one
+// dimension, computed as one range query per group — the OLAP operations
+// the paper's interactive-analysis motivation implies (e.g. daily sales
+// rolled up to weeks, then months, then quarters).
+
+#ifndef DDC_OLAP_ROLLUP_H_
+#define DDC_OLAP_ROLLUP_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/cell.h"
+#include "common/range.h"
+#include "olap/measure.h"
+
+namespace ddc {
+
+// One aggregate row of a grouped query.
+struct RollupRow {
+  // First index of the group along the grouped dimension (groups are
+  // aligned to multiples of group_size).
+  Coord group_start;
+  // Last index of the group (clipped to the queried box).
+  Coord group_end;
+  int64_t sum = 0;
+  int64_t count = 0;
+
+  std::optional<double> average() const {
+    if (count == 0) return std::nullopt;
+    return static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+// Splits `box` along dimension `dim` into groups of `group_size`
+// consecutive indices aligned to multiples of group_size (the first and
+// last group may be partial), and returns one aggregate per group, in
+// ascending order. Cost: O(#groups) range queries.
+std::vector<RollupRow> GroupBy(const MeasureCube& cube, const Box& box,
+                               int dim, int64_t group_size);
+
+// Convenience: a full drill-down (one row per index along `dim`).
+std::vector<RollupRow> DrillDown(const MeasureCube& cube, const Box& box,
+                                 int dim);
+
+// Successive roll-ups of the same box at each granularity in
+// `group_sizes`, e.g. {7, 28, 84} for weekly/lunar-monthly/quarterly over
+// a day dimension. Returns one report per granularity, in input order.
+std::vector<std::vector<RollupRow>> RollupLadder(
+    const MeasureCube& cube, const Box& box, int dim,
+    const std::vector<int64_t>& group_sizes);
+
+}  // namespace ddc
+
+#endif  // DDC_OLAP_ROLLUP_H_

@@ -1,0 +1,38 @@
+#include "pagesim/buffer_pool.h"
+
+namespace ddc {
+
+BufferPool::BufferPool(int64_t capacity_pages) : capacity_(capacity_pages) {
+  DDC_CHECK(capacity_ >= 1);
+}
+
+bool BufferPool::Touch(uint64_t page_id) {
+  auto it = resident_.find(page_id);
+  if (it != resident_.end()) {
+    // Hit: move to the MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++faults_;
+  if (static_cast<int64_t>(lru_.size()) == capacity_) {
+    resident_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(page_id);
+  resident_[page_id] = lru_.begin();
+  return false;
+}
+
+void BufferPool::Reset() {
+  lru_.clear();
+  resident_.clear();
+  ResetStats();
+}
+
+void BufferPool::ResetStats() {
+  hits_ = 0;
+  faults_ = 0;
+}
+
+}  // namespace ddc

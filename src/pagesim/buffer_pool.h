@@ -1,0 +1,56 @@
+// BufferPool: an LRU page-cache simulator used to model secondary-storage
+// behaviour of tree traversals (the Section 4.4 discussion: "the number of
+// levels in the tree affects the number of accesses to secondary storage
+// during traversal").
+//
+// Pages are abstract 64-bit ids; Touch() records an access, evicting the
+// least-recently-used resident page when the pool is full. The pool only
+// counts — no data moves — so it can replay arbitrarily large traces.
+
+#ifndef DDC_PAGESIM_BUFFER_POOL_H_
+#define DDC_PAGESIM_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace ddc {
+
+class BufferPool {
+ public:
+  // `capacity_pages` is the number of simultaneously resident pages (>= 1).
+  explicit BufferPool(int64_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Records an access to `page_id`. Returns true on a hit (page resident),
+  // false on a fault (page fetched, LRU page evicted if the pool was full).
+  bool Touch(uint64_t page_id);
+
+  int64_t capacity_pages() const { return capacity_; }
+  int64_t hits() const { return hits_; }
+  int64_t faults() const { return faults_; }
+  int64_t accesses() const { return hits_ + faults_; }
+  int64_t resident_pages() const { return static_cast<int64_t>(lru_.size()); }
+
+  // Forgets all resident pages and zeroes the statistics.
+  void Reset();
+  // Zeroes the statistics but keeps the resident set (for steady-state
+  // measurements after a warm-up phase).
+  void ResetStats();
+
+ private:
+  int64_t capacity_;
+  int64_t hits_ = 0;
+  int64_t faults_ = 0;
+  // Most-recently-used at the front.
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> resident_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_PAGESIM_BUFFER_POOL_H_

@@ -1,0 +1,18 @@
+#include "pagesim/paged_cube_probe.h"
+
+namespace ddc {
+
+PagedCubeProbe::PagedCubeProbe(DynamicDataCube* cube, int64_t capacity_pages)
+    : cube_(cube), pool_(capacity_pages) {
+  cube_->SetNodeVisitListener([this](const void* node) {
+    const uint64_t page = reinterpret_cast<uintptr_t>(node);
+    if (seen_.insert(page).second) ++distinct_pages_;
+    pool_.Touch(page);
+  });
+}
+
+PagedCubeProbe::~PagedCubeProbe() {
+  cube_->SetNodeVisitListener(nullptr);
+}
+
+}  // namespace ddc

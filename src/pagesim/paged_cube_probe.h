@@ -1,0 +1,46 @@
+// PagedCubeProbe: attaches a BufferPool to a DynamicDataCube's primary-tree
+// traversal, treating every tree node / leaf block as one disk page (the
+// natural paging of a disk-based overlay tree: one node's boxes per page).
+//
+// This realizes the Section 4.4 argument empirically: eliding the h lowest
+// tree levels removes the densest levels from the page working set, so the
+// same buffer pool yields fewer faults per operation. Nested face
+// structures are not paged (a disk implementation would co-locate each
+// box's B_c trees with its node); the model is documented in DESIGN.md.
+
+#ifndef DDC_PAGESIM_PAGED_CUBE_PROBE_H_
+#define DDC_PAGESIM_PAGED_CUBE_PROBE_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "ddc/dynamic_data_cube.h"
+#include "pagesim/buffer_pool.h"
+
+namespace ddc {
+
+class PagedCubeProbe {
+ public:
+  // Attaches to `cube` (not owned; must outlive the probe).
+  PagedCubeProbe(DynamicDataCube* cube, int64_t capacity_pages);
+  ~PagedCubeProbe();
+
+  PagedCubeProbe(const PagedCubeProbe&) = delete;
+  PagedCubeProbe& operator=(const PagedCubeProbe&) = delete;
+
+  BufferPool& pool() { return pool_; }
+  const BufferPool& pool() const { return pool_; }
+
+  // Distinct pages (nodes/leaf blocks) ever touched while attached.
+  int64_t distinct_pages() const { return distinct_pages_; }
+
+ private:
+  DynamicDataCube* cube_;
+  BufferPool pool_;
+  int64_t distinct_pages_ = 0;
+  std::unordered_set<uint64_t> seen_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_PAGESIM_PAGED_CUBE_PROBE_H_

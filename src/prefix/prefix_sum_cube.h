@@ -1,0 +1,48 @@
+// PrefixSumCube: the prefix sum method of Ho, Agrawal, Megiddo and Srikant
+// (HAMS97), the primary constant-time-query baseline in the paper
+// (Section 2, Figures 3 and 5).
+//
+// Array P stores, at every cell, the sum of all cells of A that precede it:
+// P[c] = SUM(A[0..c]). Queries read one cell (prefix) or at most 2^d cells
+// (arbitrary range, Figure 4). Updating A[u] must add the delta to every
+// P cell dominated by u — the cascading update of Figure 5, O(n^d) worst
+// case when u is the origin.
+
+#ifndef DDC_PREFIX_PREFIX_SUM_CUBE_H_
+#define DDC_PREFIX_PREFIX_SUM_CUBE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/cube_interface.h"
+#include "common/md_array.h"
+#include "common/shape.h"
+
+namespace ddc {
+
+class PrefixSumCube : public CubeInterface {
+ public:
+  explicit PrefixSumCube(Shape shape);
+
+  // Builds P from an existing dense array in O(d * n^d) by the standard
+  // running-sum sweep along each dimension in turn.
+  static PrefixSumCube FromArray(const MdArray<int64_t>& array);
+
+  int dims() const override { return p_.dims(); }
+  Cell DomainLo() const override;
+  Cell DomainHi() const override;
+
+  void Set(const Cell& cell, int64_t value) override;
+  void Add(const Cell& cell, int64_t delta) override;
+  int64_t Get(const Cell& cell) const override;
+  int64_t PrefixSum(const Cell& cell) const override;
+  int64_t StorageCells() const override { return p_.size(); }
+  std::string name() const override { return "prefix_sum"; }
+
+ private:
+  MdArray<int64_t> p_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_PREFIX_PREFIX_SUM_CUBE_H_

@@ -1,0 +1,186 @@
+#include "query/executor.h"
+
+#include <algorithm>
+
+#include "common/table_printer.h"
+#include "olap/rollup.h"
+#include "query/parser.h"
+
+namespace ddc {
+
+namespace {
+
+// Builds the query box over [lo, hi] (the structure's domain) from the
+// predicates. Returns false with *error on a bad dimension or an empty
+// intersection.
+bool BuildBox(const Query& query, int dims, const Cell& lo, const Cell& hi,
+              Box* box, std::string* error) {
+  box->lo = lo;
+  box->hi = hi;
+  for (const Predicate& pred : query.predicates) {
+    if (pred.dim < 0 || pred.dim >= dims) {
+      *error = "query references d" + std::to_string(pred.dim) +
+               " but the cube has " + std::to_string(dims) + " dimensions";
+      return false;
+    }
+    size_t ud = static_cast<size_t>(pred.dim);
+    box->lo[ud] = std::max(box->lo[ud], pred.lo);
+    box->hi[ud] = std::min(box->hi[ud], pred.hi);
+  }
+  if (query.group_by.has_value() &&
+      (query.group_by->dim < 0 || query.group_by->dim >= dims)) {
+    *error = "GROUP BY references d" + std::to_string(query.group_by->dim) +
+             " but the cube has " + std::to_string(dims) + " dimensions";
+    return false;
+  }
+  return true;
+}
+
+QueryResultRow MakeRow(Aggregate aggregate, Coord start, Coord end,
+                       int64_t sum, int64_t count) {
+  QueryResultRow row;
+  row.group_start = start;
+  row.group_end = end;
+  row.sum = sum;
+  row.count = count;
+  switch (aggregate) {
+    case Aggregate::kSum:
+      row.value = static_cast<double>(sum);
+      break;
+    case Aggregate::kCount:
+      row.value = static_cast<double>(count);
+      break;
+    case Aggregate::kAvg:
+      if (count > 0) {
+        row.value = static_cast<double>(sum) / static_cast<double>(count);
+      }
+      break;
+  }
+  return row;
+}
+
+}  // namespace
+
+QueryResult ExecuteQuery(const Query& query, const MeasureCube& cube) {
+  QueryResult result;
+  result.aggregate = query.aggregate;
+  const DynamicDataCube& sum_cube = cube.sum_cube();
+  Box box;
+  if (!BuildBox(query, cube.dims(), sum_cube.DomainLo(), sum_cube.DomainHi(),
+                &box, &result.error)) {
+    return result;
+  }
+  if (box.IsEmpty()) {
+    result.ok = true;  // Legal query over an empty region: no rows.
+    return result;
+  }
+
+  if (!query.group_by.has_value()) {
+    result.rows.push_back(MakeRow(query.aggregate, box.lo[0], box.hi[0],
+                                  cube.RangeSum(box), cube.RangeCount(box)));
+    result.ok = true;
+    return result;
+  }
+
+  const std::vector<RollupRow> groups =
+      GroupBy(cube, box, query.group_by->dim, query.group_by->group_size);
+  result.rows.reserve(groups.size());
+  for (const RollupRow& group : groups) {
+    result.rows.push_back(MakeRow(query.aggregate, group.group_start,
+                                  group.group_end, group.sum, group.count));
+  }
+  result.ok = true;
+  return result;
+}
+
+QueryResult ExecuteQuery(const Query& query, const DynamicDataCube& cube) {
+  QueryResult result;
+  result.aggregate = query.aggregate;
+  if (query.aggregate != Aggregate::kSum) {
+    result.error = "this cube stores sums only; COUNT/AVG need a MeasureCube";
+    return result;
+  }
+  Box box;
+  if (!BuildBox(query, cube.dims(), cube.DomainLo(), cube.DomainHi(), &box,
+                &result.error)) {
+    return result;
+  }
+  if (box.IsEmpty()) {
+    result.ok = true;
+    return result;
+  }
+  if (!query.group_by.has_value()) {
+    const int64_t sum = cube.RangeSum(box);
+    result.rows.push_back(
+        MakeRow(Aggregate::kSum, box.lo[0], box.hi[0], sum, 0));
+    result.ok = true;
+    return result;
+  }
+  // Grouped SUM over the bare cube: slice per aligned group.
+  const int dim = query.group_by->dim;
+  const int64_t size = query.group_by->group_size;
+  const size_t ud = static_cast<size_t>(dim);
+  auto floor_div = [](Coord a, Coord b) {
+    Coord q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+    return q;
+  };
+  Coord group_start = floor_div(box.lo[ud], size) * size;
+  while (group_start <= box.hi[ud]) {
+    const Coord group_end = group_start + size - 1;
+    Box slice = box;
+    slice.lo[ud] = std::max(box.lo[ud], group_start);
+    slice.hi[ud] = std::min(box.hi[ud], group_end);
+    result.rows.push_back(MakeRow(Aggregate::kSum, slice.lo[ud],
+                                  slice.hi[ud], cube.RangeSum(slice), 0));
+    group_start = group_end + 1;
+  }
+  result.ok = true;
+  return result;
+}
+
+namespace {
+
+template <typename CubeT>
+QueryResult RunQueryImpl(const std::string& text, const CubeT& cube) {
+  std::string error;
+  const std::optional<Query> query = ParseQuery(text, &error);
+  if (!query.has_value()) {
+    QueryResult result;
+    result.error = "parse error: " + error;
+    return result;
+  }
+  return ExecuteQuery(*query, cube);
+}
+
+}  // namespace
+
+QueryResult RunQuery(const std::string& text, const MeasureCube& cube) {
+  return RunQueryImpl(text, cube);
+}
+
+QueryResult RunQuery(const std::string& text, const DynamicDataCube& cube) {
+  return RunQueryImpl(text, cube);
+}
+
+std::string FormatResult(const QueryResult& result) {
+  if (!result.ok) return "error: " + result.error + "\n";
+  TablePrinter table({"group", AggregateName(result.aggregate)});
+  for (const QueryResultRow& row : result.rows) {
+    std::string group =
+        (row.group_start == row.group_end)
+            ? std::to_string(row.group_start)
+            : "[" + std::to_string(row.group_start) + ", " +
+                  std::to_string(row.group_end) + "]";
+    std::string value = "-";
+    if (row.value.has_value()) {
+      value = (result.aggregate == Aggregate::kAvg)
+                  ? TablePrinter::FormatDouble(*row.value, 3)
+                  : TablePrinter::FormatInt(static_cast<int64_t>(*row.value));
+    }
+    table.AddRow({group, value});
+  }
+  return table.ToString();
+}
+
+}  // namespace ddc

@@ -1,0 +1,59 @@
+// Executor for parsed queries (query.h) against cube structures.
+//
+// A query compiles to one box per result row: the WHERE predicates pin the
+// box (unconstrained dimensions span the full domain); GROUP BY splits it
+// along one dimension into aligned groups. Each row is served by range
+// aggregates on the underlying structure — polylog per row on a Dynamic
+// Data Cube.
+
+#ifndef DDC_QUERY_EXECUTOR_H_
+#define DDC_QUERY_EXECUTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/range.h"
+#include "ddc/dynamic_data_cube.h"
+#include "olap/measure.h"
+#include "query/query.h"
+
+namespace ddc {
+
+struct QueryResultRow {
+  // Group interval along the grouped dimension (whole box when the query
+  // has no GROUP BY; then group_start/end are the box bounds of dim 0).
+  Coord group_start = 0;
+  Coord group_end = 0;
+  // Populated per the aggregate: sum and count always, value is the
+  // aggregate's headline number (AVG may be empty on zero-count groups).
+  int64_t sum = 0;
+  int64_t count = 0;
+  std::optional<double> value;
+};
+
+struct QueryResult {
+  bool ok = false;
+  std::string error;  // Set when !ok.
+  Aggregate aggregate = Aggregate::kSum;
+  std::vector<QueryResultRow> rows;
+};
+
+// Executes against a MeasureCube (supports SUM, COUNT and AVG).
+QueryResult ExecuteQuery(const Query& query, const MeasureCube& cube);
+
+// Executes against a bare DynamicDataCube (SUM only; COUNT/AVG produce an
+// error result because the cube carries no observation counts).
+QueryResult ExecuteQuery(const Query& query, const DynamicDataCube& cube);
+
+// Convenience: parse + execute.
+QueryResult RunQuery(const std::string& text, const MeasureCube& cube);
+QueryResult RunQuery(const std::string& text, const DynamicDataCube& cube);
+
+// Renders a result as a fixed-width table (one line per row).
+std::string FormatResult(const QueryResult& result);
+
+}  // namespace ddc
+
+#endif  // DDC_QUERY_EXECUTOR_H_

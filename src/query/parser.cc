@@ -1,0 +1,199 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace ddc {
+
+namespace {
+
+struct Token {
+  std::string text;   // Upper-cased for keywords; verbatim otherwise.
+  std::string raw;    // Original spelling, for error messages.
+  size_t position;    // Byte offset in the input.
+};
+
+// Splits on whitespace; brackets, commas and '=' are their own tokens.
+std::vector<Token> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+      continue;
+    }
+    const char c = text[i];
+    if (c == '[' || c == ']' || c == ',' || c == '=') {
+      tokens.push_back(Token{std::string(1, c), std::string(1, c), i});
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i])) &&
+           text[i] != '[' && text[i] != ']' && text[i] != ',' &&
+           text[i] != '=') {
+      ++i;
+    }
+    std::string raw = text.substr(start, i - start);
+    std::string upper = raw;
+    for (char& ch : upper) {
+      ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+    }
+    tokens.push_back(Token{upper, raw, start});
+  }
+  return tokens;
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::string* error)
+      : tokens_(std::move(tokens)), error_(error) {}
+
+  std::optional<Query> Parse() {
+    Query query;
+    // Aggregate.
+    if (AtEnd()) return Fail("expected SUM, COUNT or AVG");
+    const std::string head = Next().text;
+    if (head == "SUM") {
+      query.aggregate = Aggregate::kSum;
+    } else if (head == "COUNT") {
+      query.aggregate = Aggregate::kCount;
+    } else if (head == "AVG" || head == "AVERAGE") {
+      query.aggregate = Aggregate::kAvg;
+    } else {
+      return Fail("expected SUM, COUNT or AVG, got '" + Prev().raw + "'");
+    }
+
+    // Optional GROUP BY.
+    if (!AtEnd() && Peek().text == "GROUP") {
+      Next();
+      if (AtEnd() || Next().text != "BY") return Fail("expected BY");
+      GroupBySpec spec;
+      if (!ParseDim(&spec.dim)) return std::nullopt;
+      if (!AtEnd() && Peek().text == "SIZE") {
+        Next();
+        int64_t size = 0;
+        if (!ParseInt(&size)) return std::nullopt;
+        if (size < 1) return Fail("GROUP BY SIZE must be >= 1");
+        spec.group_size = size;
+      }
+      query.group_by = spec;
+    }
+
+    // Optional WHERE.
+    if (!AtEnd() && Peek().text == "WHERE") {
+      Next();
+      while (true) {
+        Predicate pred;
+        if (!ParseDim(&pred.dim)) return std::nullopt;
+        if (AtEnd()) return Fail("expected IN or = after dimension");
+        const std::string op = Next().text;
+        if (op == "IN") {
+          if (!Expect("[")) return std::nullopt;
+          int64_t lo = 0;
+          int64_t hi = 0;
+          if (!ParseInt(&lo)) return std::nullopt;
+          if (!Expect(",")) return std::nullopt;
+          if (!ParseInt(&hi)) return std::nullopt;
+          if (!Expect("]")) return std::nullopt;
+          if (lo > hi) return Fail("empty range: lo > hi");
+          pred.lo = lo;
+          pred.hi = hi;
+        } else if (op == "=") {
+          int64_t v = 0;
+          if (!ParseInt(&v)) return std::nullopt;
+          pred.lo = v;
+          pred.hi = v;
+        } else {
+          return Fail("expected IN or =, got '" + Prev().raw + "'");
+        }
+        query.predicates.push_back(pred);
+        if (AtEnd()) break;
+        if (Peek().text != "AND") {
+          return Fail("expected AND or end of query, got '" + Peek().raw +
+                      "'");
+        }
+        Next();
+      }
+    }
+
+    if (!AtEnd()) {
+      return Fail("unexpected trailing token '" + Peek().raw + "'");
+    }
+    return query;
+  }
+
+ private:
+  bool AtEnd() const { return index_ >= tokens_.size(); }
+  const Token& Peek() const { return tokens_[index_]; }
+  const Token& Next() { return tokens_[index_++]; }
+  const Token& Prev() const { return tokens_[index_ - 1]; }
+
+  std::nullopt_t Fail(const std::string& message) {
+    const size_t position =
+        AtEnd() ? (tokens_.empty() ? 0 : tokens_.back().position)
+                : Peek().position;
+    *error_ = message + " (near byte " + std::to_string(position) + ")";
+    return std::nullopt;
+  }
+
+  bool Expect(const std::string& token) {
+    if (AtEnd() || Peek().text != token) {
+      Fail("expected '" + token + "'");
+      return false;
+    }
+    Next();
+    return true;
+  }
+
+  bool ParseDim(int* dim) {
+    if (AtEnd()) {
+      Fail("expected dimension (d0, d1, ...)");
+      return false;
+    }
+    const Token& token = Next();
+    if (token.text.size() < 2 || token.text[0] != 'D') {
+      Fail("expected dimension (d0, d1, ...), got '" + token.raw + "'");
+      return false;
+    }
+    char* end = nullptr;
+    const long value = std::strtol(token.text.c_str() + 1, &end, 10);
+    if (*end != '\0' || value < 0 || value > 19) {
+      Fail("bad dimension '" + token.raw + "'");
+      return false;
+    }
+    *dim = static_cast<int>(value);
+    return true;
+  }
+
+  bool ParseInt(int64_t* value) {
+    if (AtEnd()) {
+      Fail("expected integer");
+      return false;
+    }
+    const Token& token = Next();
+    char* end = nullptr;
+    const long long parsed = std::strtoll(token.raw.c_str(), &end, 10);
+    if (token.raw.empty() || *end != '\0') {
+      Fail("expected integer, got '" + token.raw + "'");
+      return false;
+    }
+    *value = parsed;
+    return true;
+  }
+
+  std::vector<Token> tokens_;
+  std::string* error_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+std::optional<Query> ParseQuery(const std::string& text, std::string* error) {
+  Parser parser(Tokenize(text), error);
+  return parser.Parse();
+}
+
+}  // namespace ddc

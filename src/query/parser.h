@@ -1,0 +1,19 @@
+// Parser for the query language of query.h.
+
+#ifndef DDC_QUERY_PARSER_H_
+#define DDC_QUERY_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "query/query.h"
+
+namespace ddc {
+
+// Parses `text` into a Query. On failure returns nullopt and describes the
+// problem (with its token position) in *error.
+std::optional<Query> ParseQuery(const std::string& text, std::string* error);
+
+}  // namespace ddc
+
+#endif  // DDC_QUERY_PARSER_H_

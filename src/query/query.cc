@@ -1,0 +1,40 @@
+#include "query/query.h"
+
+namespace ddc {
+
+const char* AggregateName(Aggregate aggregate) {
+  switch (aggregate) {
+    case Aggregate::kSum:
+      return "SUM";
+    case Aggregate::kCount:
+      return "COUNT";
+    case Aggregate::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+std::string QueryToString(const Query& query) {
+  std::string out = AggregateName(query.aggregate);
+  if (query.group_by.has_value()) {
+    out += " GROUP BY d" + std::to_string(query.group_by->dim);
+    if (query.group_by->group_size != 1) {
+      out += " SIZE " + std::to_string(query.group_by->group_size);
+    }
+  }
+  bool first = true;
+  for (const Predicate& pred : query.predicates) {
+    out += first ? " WHERE " : " AND ";
+    first = false;
+    out += "d" + std::to_string(pred.dim);
+    if (pred.lo == pred.hi) {
+      out += " = " + std::to_string(pred.lo);
+    } else {
+      out += " IN [" + std::to_string(pred.lo) + ", " +
+             std::to_string(pred.hi) + "]";
+    }
+  }
+  return out;
+}
+
+}  // namespace ddc

@@ -1,0 +1,61 @@
+// A minimal range-aggregate query language over data cubes.
+//
+// Grammar (case-insensitive keywords, whitespace-separated):
+//
+//   query     := aggregate groupby? where?
+//   aggregate := "SUM" | "COUNT" | "AVG"
+//   groupby   := "GROUP" "BY" dim ("SIZE" int)?        -- default SIZE 1
+//   where     := "WHERE" pred ("AND" pred)*
+//   pred      := dim "IN" "[" int "," int "]"
+//              | dim "=" int
+//   dim       := "d" int                               -- d0, d1, ...
+//
+// Examples:
+//   SUM WHERE d0 IN [27, 45] AND d1 IN [220, 222]
+//   AVG GROUP BY d1 SIZE 7 WHERE d0 = 3
+//   COUNT
+//
+// Dimensions without a predicate span the cube's whole domain. Repeated
+// predicates on one dimension intersect. The language is deliberately tiny:
+// every query maps to range aggregates (one per group), which is exactly
+// what the underlying structures serve in polylog time.
+
+#ifndef DDC_QUERY_QUERY_H_
+#define DDC_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cell.h"
+
+namespace ddc {
+
+enum class Aggregate { kSum, kCount, kAvg };
+
+struct Predicate {
+  int dim = 0;
+  Coord lo = 0;
+  Coord hi = 0;
+};
+
+struct GroupBySpec {
+  int dim = 0;
+  int64_t group_size = 1;
+};
+
+struct Query {
+  Aggregate aggregate = Aggregate::kSum;
+  std::optional<GroupBySpec> group_by;
+  std::vector<Predicate> predicates;
+};
+
+// Renders a query back to its canonical text (for diagnostics and tests).
+std::string QueryToString(const Query& query);
+
+const char* AggregateName(Aggregate aggregate);
+
+}  // namespace ddc
+
+#endif  // DDC_QUERY_QUERY_H_

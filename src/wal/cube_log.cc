@@ -1,0 +1,184 @@
+#include "wal/cube_log.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "ddc/snapshot.h"
+
+namespace ddc {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'D', 'C', 'W', 'L', 'O', 'G', '1'};
+
+// Record checksum: a simple multiply-xor mix over the fields. Not
+// cryptographic — it detects torn writes and bit flips, which is all a
+// local WAL needs.
+uint64_t Mix(const Cell& cell, int64_t delta) {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  auto fold = [&h](int64_t v) {
+    h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
+    h *= 0xff51afd7ed558ccdull;
+  };
+  for (Coord c : cell) fold(c);
+  fold(delta);
+  return h;
+}
+
+template <typename T>
+void WritePod(std::ostream* out, T value) {
+  out->write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadPod(std::istream* in, T* value) {
+  in->read(reinterpret_cast<char*>(value), sizeof(*value));
+  return in->gcount() == static_cast<std::streamsize>(sizeof(*value));
+}
+
+bool WriteHeader(const std::string& path, int dims) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out.write(kMagic, sizeof(kMagic));
+  WritePod<int32_t>(&out, dims);
+  return out.good();
+}
+
+// Returns the header's dims, or -1 when missing/invalid.
+int ReadHeader(std::istream* in) {
+  char magic[8];
+  in->read(magic, sizeof(magic));
+  if (in->gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return -1;
+  }
+  int32_t dims = 0;
+  if (!ReadPod(in, &dims) || dims < 1 || dims > 20) return -1;
+  return dims;
+}
+
+}  // namespace
+
+CubeLog::CubeLog(std::ofstream out, int dims)
+    : out_(std::move(out)), dims_(dims) {}
+
+std::unique_ptr<CubeLog> CubeLog::Open(const std::string& path, int dims) {
+  DDC_CHECK(dims >= 1 && dims <= 20);
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (probe.is_open()) {
+      const int existing = ReadHeader(&probe);
+      if (existing != dims) return nullptr;  // Mismatch or corrupt header.
+    } else if (!WriteHeader(path, dims)) {
+      return nullptr;
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out.is_open()) return nullptr;
+  return std::unique_ptr<CubeLog>(new CubeLog(std::move(out), dims));
+}
+
+bool CubeLog::Append(const Cell& cell, int64_t delta) {
+  DDC_CHECK(static_cast<int>(cell.size()) == dims_);
+  for (Coord c : cell) WritePod<int64_t>(&out_, c);
+  WritePod<int64_t>(&out_, delta);
+  WritePod<uint64_t>(&out_, Mix(cell, delta));
+  ++appended_;
+  return out_.good();
+}
+
+bool CubeLog::Sync() {
+  out_.flush();
+  return out_.good();
+}
+
+ReplayResult CubeLog::Replay(const std::string& path, DynamicDataCube* cube) {
+  ReplayResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return result;
+  const int dims = ReadHeader(&in);
+  if (dims < 0 || dims != cube->dims()) return result;
+  result.header_ok = true;
+
+  Cell cell(static_cast<size_t>(dims));
+  while (true) {
+    // The first field decides between clean EOF (nothing of a record read)
+    // and a torn record (any bytes of a record present).
+    if (!ReadPod(&in, &cell[0])) {
+      result.clean_tail = (in.gcount() == 0);
+      break;
+    }
+    bool complete = true;
+    for (int i = 1; i < dims && complete; ++i) {
+      complete = ReadPod(&in, &cell[static_cast<size_t>(i)]);
+    }
+    int64_t delta = 0;
+    uint64_t checksum = 0;
+    complete = complete && ReadPod(&in, &delta) && ReadPod(&in, &checksum);
+    if (!complete) {
+      result.clean_tail = false;  // Mid-record EOF: torn tail.
+      break;
+    }
+    if (checksum != Mix(cell, delta)) {
+      result.clean_tail = false;
+      break;
+    }
+    cube->Add(cell, delta);
+    ++result.applied;
+  }
+  return result;
+}
+
+bool CubeLog::Reset(const std::string& path, int dims) {
+  return WriteHeader(path, dims);
+}
+
+DurableCube::DurableCube(int dims, int64_t initial_side,
+                         const std::string& base_path, DdcOptions options)
+    : snapshot_path_(base_path + ".snap"), log_path_(base_path + ".log") {
+  // Recover: snapshot first (if present), then replay the log on top.
+  cube_ = LoadSnapshotFromFile(snapshot_path_);
+  if (cube_ == nullptr) {
+    cube_ = std::make_unique<DynamicDataCube>(dims, initial_side, options);
+  }
+  DDC_CHECK(cube_->dims() == dims);
+  {
+    std::ifstream probe(log_path_, std::ios::binary);
+    if (probe.is_open()) {
+      probe.close();
+      recovery_ = CubeLog::Replay(log_path_, cube_.get());
+      if (!recovery_.clean_tail) {
+        // Discard the torn tail by checkpointing the recovered state.
+        if (SaveSnapshotToFile(*cube_, snapshot_path_)) {
+          CubeLog::Reset(log_path_, dims);
+        }
+      }
+    }
+  }
+  log_ = CubeLog::Open(log_path_, dims);
+}
+
+bool DurableCube::Add(const Cell& cell, int64_t delta, bool sync) {
+  bool logged = false;
+  if (log_ != nullptr) {
+    logged = log_->Append(cell, delta);
+    if (sync) logged = log_->Sync() && logged;
+  }
+  cube_->Add(cell, delta);
+  return logged;
+}
+
+bool DurableCube::Checkpoint() {
+  if (log_ != nullptr && !log_->Sync()) return false;
+  if (!SaveSnapshotToFile(*cube_, snapshot_path_)) return false;
+  // Reset the log; reopen the append handle.
+  log_.reset();
+  if (!CubeLog::Reset(log_path_, cube_->dims())) return false;
+  log_ = CubeLog::Open(log_path_, cube_->dims());
+  return log_ != nullptr;
+}
+
+}  // namespace ddc

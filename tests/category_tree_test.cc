@@ -1,0 +1,116 @@
+#include "olap/category_tree.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "olap/olap_cube.h"
+
+namespace ddc {
+namespace {
+
+CategoryTree ProductTree() {
+  CategoryTree tree;
+  tree.AddPath("electronics/phones/smartphone");
+  tree.AddPath("electronics/phones/feature");
+  tree.AddPath("electronics/laptops/ultrabook");
+  tree.AddPath("electronics/laptops/gaming");
+  tree.AddPath("groceries/produce/apples");
+  tree.AddPath("groceries/produce/bananas");
+  tree.AddPath("groceries/dairy/milk");
+  tree.Finalize();
+  return tree;
+}
+
+TEST(CategoryTreeTest, DfsIdsAreContiguousPerSubtree) {
+  CategoryTree tree = ProductTree();
+  EXPECT_EQ(tree.num_leaves(), 7);
+  // Lexicographic sibling order: electronics < groceries;
+  // laptops < phones; gaming < ultrabook; feature < smartphone.
+  EXPECT_EQ(tree.LeafId("electronics/laptops/gaming"), 0);
+  EXPECT_EQ(tree.LeafId("electronics/laptops/ultrabook"), 1);
+  EXPECT_EQ(tree.LeafId("electronics/phones/feature"), 2);
+  EXPECT_EQ(tree.LeafId("electronics/phones/smartphone"), 3);
+  EXPECT_EQ(tree.Interval("electronics"), (std::pair<Coord, Coord>{0, 3}));
+  EXPECT_EQ(tree.Interval("electronics/phones"),
+            (std::pair<Coord, Coord>{2, 3}));
+  EXPECT_EQ(tree.Interval("groceries"), (std::pair<Coord, Coord>{4, 6}));
+  EXPECT_EQ(tree.Interval(""), (std::pair<Coord, Coord>{0, 6}));
+  // Leaves map back to paths.
+  EXPECT_EQ(tree.LeafPath(3), "electronics/phones/smartphone");
+  // A leaf's interval is itself (dairy sorts before produce: milk = 4).
+  EXPECT_EQ(tree.Interval("groceries/dairy/milk"),
+            (std::pair<Coord, Coord>{4, 4}));
+}
+
+TEST(CategoryTreeTest, ContainsAndChildren) {
+  CategoryTree tree = ProductTree();
+  EXPECT_TRUE(tree.Contains("electronics"));
+  EXPECT_TRUE(tree.Contains("groceries/dairy/milk"));
+  EXPECT_FALSE(tree.Contains("toys"));
+  EXPECT_FALSE(tree.Contains("electronics/fridges"));
+  EXPECT_EQ(tree.ChildrenOf("electronics"),
+            (std::vector<std::string>{"laptops", "phones"}));
+  EXPECT_EQ(tree.ChildrenOf(""),
+            (std::vector<std::string>{"electronics", "groceries"}));
+}
+
+TEST(CategoryTreeTest, DuplicateAddIsNoOp) {
+  CategoryTree tree;
+  tree.AddPath("a/b");
+  tree.AddPath("a/b");
+  tree.AddPath("a/c");
+  tree.Finalize();
+  EXPECT_EQ(tree.num_leaves(), 2);
+}
+
+TEST(CategoryTreeTest, PathNormalization) {
+  CategoryTree tree;
+  tree.AddPath("a//b/");  // Empty segments collapse.
+  tree.Finalize();
+  EXPECT_EQ(tree.num_leaves(), 1);
+  EXPECT_EQ(tree.LeafId("a/b"), 0);
+}
+
+// End-to-end: an OlapCube keyed by (product hierarchy, day); rollups at
+// every hierarchy level are single range queries.
+TEST(CategoryTreeTest, RollupQueriesOnOlapCube) {
+  std::vector<std::unique_ptr<DimensionEncoder>> dims;
+  dims.push_back(std::make_unique<HierarchicalDimension>("product",
+                                                         ProductTree()));
+  dims.push_back(std::make_unique<NumericDimension>("day", 0, 1));
+  OlapCube cube(std::move(dims));
+
+  using S = std::string;
+  cube.Insert({S("electronics/phones/smartphone"), 1.0}, 900);
+  cube.Insert({S("electronics/phones/feature"), 1.0}, 100);
+  cube.Insert({S("electronics/laptops/gaming"), 2.0}, 1500);
+  cube.Insert({S("groceries/produce/apples"), 1.0}, 3);
+  cube.Insert({S("groceries/dairy/milk"), 2.0}, 2);
+
+  auto query = [&](const std::string& node) {
+    return cube.RangeSum({{S(node), S(node)}, {0.0, 10.0}});
+  };
+  EXPECT_EQ(query("electronics/phones"), 1000);
+  EXPECT_EQ(query("electronics/laptops"), 1500);
+  EXPECT_EQ(query("electronics"), 2500);
+  EXPECT_EQ(query("groceries"), 5);
+  EXPECT_EQ(query(""), 2505);
+  // Drill down to a single leaf.
+  EXPECT_EQ(query("electronics/phones/smartphone"), 900);
+}
+
+TEST(CategoryTreeTest, AddAfterFinalizeAborts) {
+  CategoryTree tree = ProductTree();
+  EXPECT_DEATH(tree.AddPath("toys/blocks"), "DDC_CHECK");
+}
+
+TEST(CategoryTreeTest, UnknownLeafAborts) {
+  CategoryTree tree = ProductTree();
+  EXPECT_DEATH(tree.LeafId("nope"), "DDC_CHECK");
+  // Internal node is not a leaf.
+  EXPECT_DEATH(tree.LeafId("electronics"), "DDC_CHECK");
+}
+
+}  // namespace
+}  // namespace ddc

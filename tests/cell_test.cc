@@ -1,0 +1,51 @@
+#include "common/cell.h"
+
+#include <gtest/gtest.h>
+
+namespace ddc {
+namespace {
+
+TEST(CellTest, UniformCell) {
+  Cell c = UniformCell(3, 7);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], 7);
+  EXPECT_EQ(c[1], 7);
+  EXPECT_EQ(c[2], 7);
+}
+
+TEST(CellTest, DominatedBy) {
+  EXPECT_TRUE(DominatedBy({1, 2}, {1, 2}));
+  EXPECT_TRUE(DominatedBy({0, 0}, {5, 5}));
+  EXPECT_FALSE(DominatedBy({2, 0}, {1, 5}));
+  EXPECT_FALSE(DominatedBy({0, 6}, {5, 5}));
+}
+
+TEST(CellTest, StrictlyDominatedBy) {
+  EXPECT_TRUE(StrictlyDominatedBy({0, 0}, {1, 1}));
+  EXPECT_FALSE(StrictlyDominatedBy({1, 0}, {1, 1}));
+  EXPECT_FALSE(StrictlyDominatedBy({1, 1}, {1, 1}));
+}
+
+TEST(CellTest, MinMax) {
+  EXPECT_EQ(CellMin({3, 1}, {2, 4}), (Cell{2, 1}));
+  EXPECT_EQ(CellMax({3, 1}, {2, 4}), (Cell{3, 4}));
+}
+
+TEST(CellTest, AddSub) {
+  EXPECT_EQ(CellAdd({1, 2}, {3, -5}), (Cell{4, -3}));
+  EXPECT_EQ(CellSub({1, 2}, {3, -5}), (Cell{-2, 7}));
+}
+
+TEST(CellTest, NegativeCoordinatesSupported) {
+  Cell c{-10, 5};
+  EXPECT_TRUE(DominatedBy({-20, 0}, c));
+  EXPECT_EQ(CellToString(c), "(-10, 5)");
+}
+
+TEST(CellTest, ToString) {
+  EXPECT_EQ(CellToString({1}), "(1)");
+  EXPECT_EQ(CellToString({1, 2, 3}), "(1, 2, 3)");
+}
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,89 @@
+#include "common/cost_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ddc {
+namespace {
+
+// Table 1 of the paper, d = 8: spot-check the four columns at the paper's
+// n values (all entries rounded to the nearest power of ten).
+TEST(CostModelTest, Table1Entries) {
+  const int d = 8;
+  // n = 10^2: full cube size = prefix-sum update = 1E+16.
+  EXPECT_EQ(RoundToPowerOfTenString(FullCubeSizeCost(1e2, d)), "1E+16");
+  EXPECT_EQ(RoundToPowerOfTenString(PrefixSumUpdateCost(1e2, d)), "1E+16");
+  // RPS update = n^(d/2) = 1E+08.
+  EXPECT_EQ(RoundToPowerOfTenString(RelativePrefixSumUpdateCost(1e2, d)),
+            "1E+08");
+  // n = 10^4: RPS = 1E+16 (the "231 days" entry), PS = 1E+32.
+  EXPECT_EQ(RoundToPowerOfTenString(RelativePrefixSumUpdateCost(1e4, d)),
+            "1E+16");
+  EXPECT_EQ(RoundToPowerOfTenString(PrefixSumUpdateCost(1e4, d)), "1E+32");
+  // n = 10^9 full cube = 1E+72.
+  EXPECT_EQ(RoundToPowerOfTenString(FullCubeSizeCost(1e9, d)), "1E+72");
+}
+
+TEST(CostModelTest, DdcUpdateIsPolylog) {
+  // (log2 10^2)^8 ~ 6.6^8 ~ 3.6e6 -> rounds to 1E+07.
+  const double cost = DynamicDataCubeUpdateCost(1e2, 8);
+  EXPECT_NEAR(cost, std::pow(std::log2(1e2), 8), 1.0);
+  EXPECT_LT(cost, RelativePrefixSumUpdateCost(1e2, 8));
+  // The gap grows with n: at n = 10^4 DDC is at least 10^6 times cheaper.
+  EXPECT_LT(DynamicDataCubeUpdateCost(1e4, 8) * 1e6,
+            RelativePrefixSumUpdateCost(1e4, 8));
+}
+
+TEST(CostModelTest, BasicDdcClosedFormMatchesSeries) {
+  // d * sum_{l=1..log2 n} (n / 2^l)^(d-1) == d * (n^(d-1) - 1) / (2^(d-1)-1)
+  for (int d = 2; d <= 5; ++d) {
+    for (double n : {4.0, 16.0, 64.0, 256.0}) {
+      double series = 0;
+      for (double k = n / 2; k >= 1.0; k /= 2) {
+        series += std::pow(k, d - 1);
+      }
+      series *= d;
+      EXPECT_NEAR(BasicDdcUpdateCost(n, d), series, series * 1e-9)
+          << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(CostModelTest, BasicDdcOneDimensional) {
+  EXPECT_DOUBLE_EQ(BasicDdcUpdateCost(8.0, 1), 3.0);
+}
+
+// Table 2 of the paper (d = 2): overlay box storage vs covered region.
+TEST(CostModelTest, Table2OverlayStorage) {
+  struct Row {
+    int64_t k;
+    int64_t region;
+    int64_t storage;
+  };
+  // k^2 and k^2 - (k-1)^2 = 2k - 1.
+  const Row rows[] = {
+      {4, 16, 7}, {8, 64, 15}, {16, 256, 31}, {32, 1024, 63}, {64, 4096, 127},
+  };
+  for (const Row& row : rows) {
+    EXPECT_EQ(OverlayBoxRegionCells(row.k, 2), row.region);
+    EXPECT_EQ(OverlayBoxStorageCells(row.k, 2), row.storage);
+  }
+}
+
+TEST(CostModelTest, OverlayStorageHigherDims) {
+  // k=4, d=3: 64 - 27 = 37.
+  EXPECT_EQ(OverlayBoxStorageCells(4, 3), 37);
+  // k=1: a single subtotal cell in any dimensionality.
+  EXPECT_EQ(OverlayBoxStorageCells(1, 2), 1);
+  EXPECT_EQ(OverlayBoxStorageCells(1, 5), 1);
+}
+
+TEST(CostModelTest, RoundToPowerOfTen) {
+  EXPECT_EQ(RoundToPowerOfTenString(1e16), "1E+16");
+  EXPECT_EQ(RoundToPowerOfTenString(3.6e6), "1E+07");  // log10 ~ 6.56 -> 7.
+  EXPECT_EQ(RoundToPowerOfTenString(2.0e6), "1E+06");  // log10 ~ 6.30 -> 6.
+}
+
+}  // namespace
+}  // namespace ddc

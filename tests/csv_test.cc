@@ -1,0 +1,126 @@
+#include "tools/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace ddc {
+namespace tools {
+namespace {
+
+TEST(SplitCsvLineTest, Basics) {
+  EXPECT_EQ(SplitCsvLine("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitCsvLine(" 1 ,\t2 , 3\r"),
+            (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(SplitCsvLine("solo"), (std::vector<std::string>{"solo"}));
+  EXPECT_EQ(SplitCsvLine("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(ParseInt64Test, StrictParsing) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("x12", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+  EXPECT_FALSE(ParseInt64("99999999999999999999999", &v));  // Overflow.
+}
+
+TEST(LoadCsvTest, BasicRows) {
+  DynamicDataCube cube(2, 8);
+  std::istringstream in("1,2,10\n3,4,20\n1,2,5\n");
+  int64_t rows = 0;
+  std::string error;
+  ASSERT_TRUE(LoadCsvIntoCube(&in, &cube, &rows, &error)) << error;
+  EXPECT_EQ(rows, 3);
+  EXPECT_EQ(cube.Get({1, 2}), 15);
+  EXPECT_EQ(cube.Get({3, 4}), 20);
+  EXPECT_EQ(cube.TotalSum(), 35);
+}
+
+TEST(LoadCsvTest, SkipsHeaderCommentsAndBlankLines) {
+  DynamicDataCube cube(2, 8);
+  std::istringstream in(
+      "age,day,value\n"
+      "# a comment\n"
+      "\n"
+      "1,1,100\n");
+  int64_t rows = 0;
+  std::string error;
+  ASSERT_TRUE(LoadCsvIntoCube(&in, &cube, &rows, &error)) << error;
+  EXPECT_EQ(rows, 1);
+  EXPECT_EQ(cube.TotalSum(), 100);
+}
+
+TEST(LoadCsvTest, GrowsForOutOfDomainCells) {
+  DynamicDataCube cube(2, 4);
+  std::istringstream in("-50,900,3\n");
+  int64_t rows = 0;
+  std::string error;
+  ASSERT_TRUE(LoadCsvIntoCube(&in, &cube, &rows, &error)) << error;
+  EXPECT_EQ(cube.Get({-50, 900}), 3);
+}
+
+TEST(LoadCsvTest, RejectsWrongArity) {
+  DynamicDataCube cube(3, 8);
+  std::istringstream in("1,2,3\n");  // 3 fields but needs 4 for d=3.
+  int64_t rows = 0;
+  std::string error;
+  EXPECT_FALSE(LoadCsvIntoCube(&in, &cube, &rows, &error));
+  EXPECT_NE(error.find("expected 4 fields"), std::string::npos);
+}
+
+TEST(LoadCsvTest, RejectsNonIntegerAfterHeader) {
+  DynamicDataCube cube(2, 8);
+  std::istringstream in("a,b,c\n1,2,3\nx,y,z\n");
+  int64_t rows = 0;
+  std::string error;
+  EXPECT_FALSE(LoadCsvIntoCube(&in, &cube, &rows, &error));
+  EXPECT_NE(error.find("line 3"), std::string::npos);
+}
+
+TEST(ExportCsvTest, RoundTrip) {
+  DynamicDataCube cube(2, 8);
+  cube.Add({1, 2}, 10);
+  cube.Add({-5, 7}, -3);
+  std::ostringstream out;
+  ASSERT_TRUE(ExportCubeToCsv(cube, &out));
+
+  DynamicDataCube restored(2, 8);
+  std::istringstream in(out.str());
+  int64_t rows = 0;
+  std::string error;
+  ASSERT_TRUE(LoadCsvIntoCube(&in, &restored, &rows, &error)) << error;
+  EXPECT_EQ(rows, 2);
+  EXPECT_EQ(restored.Get({1, 2}), 10);
+  EXPECT_EQ(restored.Get({-5, 7}), -3);
+}
+
+TEST(ParseRangeSpecTest, Valid) {
+  Box box;
+  std::string error;
+  ASSERT_TRUE(ParseRangeSpec("1:5,2:3", 2, &box, &error)) << error;
+  EXPECT_EQ(box.lo, (Cell{1, 2}));
+  EXPECT_EQ(box.hi, (Cell{5, 3}));
+  // Single values mean point ranges; negatives allowed.
+  ASSERT_TRUE(ParseRangeSpec("-4,0:0", 2, &box, &error)) << error;
+  EXPECT_EQ(box.lo, (Cell{-4, 0}));
+  EXPECT_EQ(box.hi, (Cell{-4, 0}));
+}
+
+TEST(ParseRangeSpecTest, Invalid) {
+  Box box;
+  std::string error;
+  EXPECT_FALSE(ParseRangeSpec("1:5", 2, &box, &error));  // Wrong arity.
+  EXPECT_FALSE(ParseRangeSpec("1:z,2:3", 2, &box, &error));
+  EXPECT_FALSE(ParseRangeSpec("5:1,2:3", 2, &box, &error));  // lo > hi.
+  EXPECT_FALSE(ParseRangeSpec("", 1, &box, &error));
+}
+
+}  // namespace
+}  // namespace tools
+}  // namespace ddc

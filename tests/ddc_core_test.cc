@@ -1,0 +1,208 @@
+#include "ddc/ddc_core.h"
+
+#include <map>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "common/workload.h"
+#include "ddc/dynamic_data_cube.h"
+#include "naive/naive_cube.h"
+#include "paper_example.h"
+
+namespace ddc {
+namespace {
+
+using testing_support::kTargetCell;
+using testing_support::kTargetRegionSum;
+using testing_support::LoadPaperArray;
+
+TEST(DdcCoreTest, PaperWalkthrough) {
+  DynamicDataCube cube(2, 8);
+  LoadPaperArray(&cube);
+  EXPECT_EQ(cube.PrefixSum({3, 3}), 51);
+  EXPECT_EQ(cube.PrefixSum(kTargetCell), kTargetRegionSum);
+  cube.Set(kTargetCell, 6);
+  EXPECT_EQ(cube.PrefixSum(kTargetCell), kTargetRegionSum + 1);
+  EXPECT_EQ(cube.Get(kTargetCell), 6);
+}
+
+TEST(DdcCoreTest, EmptyCube) {
+  DdcCore core(3, 16, DdcOptions{}, nullptr);
+  EXPECT_EQ(core.PrefixSum({15, 15, 15}), 0);
+  EXPECT_EQ(core.Get({0, 0, 0}), 0);
+  EXPECT_EQ(core.TotalSum(), 0);
+  EXPECT_EQ(core.StorageCells(), 0);
+}
+
+TEST(DdcCoreTest, TotalSumIsMaintained) {
+  DdcCore core(2, 32, DdcOptions{}, nullptr);
+  core.Add({0, 0}, 5);
+  core.Add({31, 31}, 7);
+  core.Add({16, 3}, -2);
+  EXPECT_EQ(core.TotalSum(), 10);
+  EXPECT_EQ(core.PrefixSum({31, 31}), 10);
+}
+
+struct CoreParam {
+  int dims;
+  int64_t side;
+  int elide_levels;
+  bool use_fenwick;
+  int bc_fanout;
+};
+
+class DdcCoreRandomTest : public ::testing::TestWithParam<CoreParam> {};
+
+TEST_P(DdcCoreRandomTest, AgreesWithNaive) {
+  const CoreParam p = GetParam();
+  DdcOptions options;
+  options.elide_levels = p.elide_levels;
+  options.use_fenwick = p.use_fenwick;
+  options.bc_fanout = p.bc_fanout;
+  const Shape shape = Shape::Cube(p.dims, p.side);
+  NaiveCube naive(shape);
+  DdcCore core(p.dims, p.side, options, nullptr);
+  WorkloadGenerator gen(shape, static_cast<uint64_t>(
+                                   p.dims * 7919 + p.side * 13 +
+                                   p.elide_levels * 3 + (p.use_fenwick ? 1 : 0)));
+  for (int i = 0; i < 120; ++i) {
+    UpdateOp op{gen.UniformCell(), gen.Value(-9, 9)};
+    naive.Add(op.cell, op.delta);
+    core.Add(op.cell, op.delta);
+    const Cell probe = gen.UniformCell();
+    ASSERT_EQ(core.PrefixSum(probe), naive.PrefixSum(probe))
+        << CellToString(probe) << " after op " << i;
+    ASSERT_EQ(core.Get(op.cell), naive.Get(op.cell));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimSideSweep, DdcCoreRandomTest,
+    ::testing::Values(
+        CoreParam{1, 2, 0, false, 8}, CoreParam{1, 64, 0, false, 8},
+        CoreParam{2, 2, 0, false, 8}, CoreParam{2, 4, 0, false, 8},
+        CoreParam{2, 16, 0, false, 8}, CoreParam{2, 64, 0, false, 2},
+        CoreParam{3, 8, 0, false, 8}, CoreParam{3, 16, 0, false, 4},
+        CoreParam{4, 4, 0, false, 8}, CoreParam{4, 8, 0, false, 8},
+        // Section 4.4 space optimization: elided levels.
+        CoreParam{2, 32, 1, false, 8}, CoreParam{2, 32, 2, false, 8},
+        CoreParam{2, 32, 3, false, 8}, CoreParam{3, 16, 1, false, 8},
+        CoreParam{3, 16, 2, false, 8},
+        // Fenwick ablation.
+        CoreParam{2, 32, 0, true, 8}, CoreParam{3, 8, 0, true, 8}));
+
+// Answer-equivalence across every elision level h: the optimization trades
+// space and query cost but never answers (Section 4.4).
+TEST(DdcCoreTest, ElisionLevelsAreAnswerEquivalent) {
+  const Shape shape = Shape::Cube(2, 64);
+  WorkloadGenerator gen(shape, 99);
+  std::vector<UpdateOp> ops = gen.UniformUpdates(200, -9, 9);
+
+  DdcOptions base;
+  DdcCore reference(2, 64, base, nullptr);
+  for (const UpdateOp& op : ops) reference.Add(op.cell, op.delta);
+
+  for (int h = 1; h <= 5; ++h) {
+    DdcOptions options;
+    options.elide_levels = h;
+    DdcCore core(2, 64, options, nullptr);
+    for (const UpdateOp& op : ops) core.Add(op.cell, op.delta);
+    WorkloadGenerator probes(shape, 100 + static_cast<uint64_t>(h));
+    for (int i = 0; i < 100; ++i) {
+      const Cell probe = probes.UniformCell();
+      ASSERT_EQ(core.PrefixSum(probe), reference.PrefixSum(probe))
+          << "h=" << h << " " << CellToString(probe);
+    }
+  }
+}
+
+// Storage decreases as h grows (the Table 2 motivation): the lowest tree
+// levels are the dense ones.
+TEST(DdcCoreTest, ElisionSavesStorage) {
+  const Shape shape = Shape::Cube(2, 64);
+  WorkloadGenerator gen(shape, 7);
+  std::vector<UpdateOp> ops = gen.UniformUpdates(2000, 1, 9);
+
+  int64_t prev = INT64_MAX;
+  for (int h = 0; h <= 3; ++h) {
+    DdcOptions options;
+    options.elide_levels = h;
+    DdcCore core(2, 64, options, nullptr);
+    for (const UpdateOp& op : ops) core.Add(op.cell, op.delta);
+    EXPECT_LT(core.StorageCells(), prev) << "h=" << h;
+    prev = core.StorageCells();
+  }
+}
+
+TEST(DdcCoreTest, ForEachNonZeroEnumeratesExactly) {
+  const Shape shape = Shape::Cube(2, 32);
+  DdcCore core(2, 32, DdcOptions{}, nullptr);
+  std::map<std::pair<Coord, Coord>, int64_t> reference;
+  WorkloadGenerator gen(shape, 17);
+  for (int i = 0; i < 100; ++i) {
+    Cell c = gen.UniformCell();
+    int64_t d = gen.Value(-3, 3);
+    core.Add(c, d);
+    reference[{c[0], c[1]}] += d;
+    if (reference[{c[0], c[1]}] == 0) reference.erase({c[0], c[1]});
+  }
+  std::map<std::pair<Coord, Coord>, int64_t> seen;
+  core.ForEachNonZero([&](const Cell& c, int64_t v) {
+    EXPECT_TRUE(seen.emplace(std::make_pair(c[0], c[1]), v).second)
+        << "duplicate " << CellToString(c);
+  });
+  EXPECT_EQ(seen, reference);
+}
+
+// Sparse clustered cubes: storage is proportional to populated regions,
+// not the domain (Section 5's clustered-data claim).
+TEST(DdcCoreTest, ClusteredDataStaysSparse) {
+  const int64_t side = 4096;
+  DdcCore core(2, side, DdcOptions{}, nullptr);
+  ClusteredGenerator gen(Shape::Cube(2, side), 4, 0.002, 23);
+  for (int i = 0; i < 1000; ++i) {
+    core.Add(gen.NextCell(), 1);
+  }
+  // The dense array would be 16.7M cells; the clustered cube stays far
+  // below 1% of that.
+  EXPECT_LT(core.StorageCells(), side * side / 100);
+  EXPECT_EQ(core.TotalSum(), 1000);
+}
+
+// Cost counters: updates and queries stay polylog. For d=2, n=1024 the
+// bound O(log^2 n) with modest constants.
+TEST(DdcCoreTest, PolylogCosts) {
+  OpCounters counters;
+  DdcCore core(2, 1024, DdcOptions{}, &counters);
+  WorkloadGenerator gen(Shape::Cube(2, 1024), 31);
+  for (const UpdateOp& op : gen.UniformUpdates(400, 1, 9)) {
+    core.Add(op.cell, op.delta);
+  }
+  // log2(1024) = 10; allow generous constants: per level, one subtotal +
+  // d B_c-tree updates of O(log k) writes each.
+  counters.Reset();
+  core.Add({0, 0}, 1);
+  EXPECT_LE(counters.values_written, 250);
+
+  counters.Reset();
+  core.PrefixSum({1023, 1023});
+  EXPECT_LE(counters.values_read, 50);  // All-subtotal fast path.
+
+  counters.Reset();
+  core.PrefixSum({513, 511});
+  EXPECT_LE(counters.values_read, 800);  // O(log^2 n) with B_c constants.
+}
+
+TEST(DdcCoreTest, MinBoxSideClamping) {
+  DdcOptions options;
+  options.elide_levels = 10;  // Larger than the tree: whole cube raw.
+  DdcCore core(2, 16, options, nullptr);
+  EXPECT_EQ(core.min_box_side(), 16);
+  core.Add({3, 3}, 5);
+  EXPECT_EQ(core.PrefixSum({15, 15}), 5);
+  EXPECT_EQ(core.StorageCells(), 256);  // One dense raw block.
+}
+
+}  // namespace
+}  // namespace ddc

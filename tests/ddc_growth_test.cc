@@ -1,0 +1,147 @@
+#include <map>
+#include <random>
+#include <tuple>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/workload.h"
+#include "ddc/dynamic_data_cube.h"
+#include "naive/naive_cube.h"
+
+namespace ddc {
+namespace {
+
+TEST(DdcGrowthTest, GrowsUpward) {
+  DynamicDataCube cube(2, 4);
+  cube.Set({1, 1}, 5);
+  EXPECT_EQ(cube.DomainHi(), (Cell{3, 3}));
+  cube.Set({10, 2}, 7);  // Outside: forces growth to side 16.
+  EXPECT_EQ(cube.side(), 16);
+  EXPECT_EQ(cube.DomainLo(), (Cell{0, 0}));
+  EXPECT_EQ(cube.Get({1, 1}), 5);
+  EXPECT_EQ(cube.Get({10, 2}), 7);
+  EXPECT_EQ(cube.TotalSum(), 12);
+  EXPECT_EQ(cube.growth_doublings(), 2);
+}
+
+// Section 5's central requirement: growth in ANY direction, not just
+// appending at the high end.
+TEST(DdcGrowthTest, GrowsIntoNegativeCoordinates) {
+  DynamicDataCube cube(2, 4);
+  cube.Set({0, 0}, 3);
+  cube.Set({-5, -1}, 4);
+  EXPECT_LE(cube.DomainLo()[0], -5);
+  EXPECT_LE(cube.DomainLo()[1], -1);
+  EXPECT_EQ(cube.Get({-5, -1}), 4);
+  EXPECT_EQ(cube.Get({0, 0}), 3);
+  EXPECT_EQ(cube.RangeSum(Box{{-8, -8}, {8, 8}}), 7);
+}
+
+TEST(DdcGrowthTest, MixedDirectionGrowth) {
+  DynamicDataCube cube(2, 4);
+  cube.Set({2, 2}, 1);
+  cube.Set({-3, 9}, 2);   // Low in dim 0, high in dim 1.
+  cube.Set({9, -3}, 4);   // High in dim 0, low in dim 1.
+  EXPECT_EQ(cube.TotalSum(), 7);
+  EXPECT_EQ(cube.Get({-3, 9}), 2);
+  EXPECT_EQ(cube.Get({9, -3}), 4);
+  EXPECT_EQ(cube.RangeSum(Box{{-3, -3}, {2, 9}}), 3);
+}
+
+TEST(DdcGrowthTest, QueriesOutsideDomainAreZero) {
+  DynamicDataCube cube(2, 8);
+  cube.Set({1, 1}, 5);
+  EXPECT_EQ(cube.Get({100, 100}), 0);
+  EXPECT_EQ(cube.Get({-100, 0}), 0);
+  EXPECT_EQ(cube.RangeSum(Box{{50, 50}, {60, 60}}), 0);
+  // No growth happened for reads.
+  EXPECT_EQ(cube.side(), 8);
+}
+
+// Randomized equivalence against a large fixed naive cube with an offset:
+// interleave updates scattered around the origin (both signs) with range
+// queries.
+TEST(DdcGrowthTest, RandomizedEquivalenceAroundOrigin) {
+  const Coord kOffset = 64;  // Naive cube covers [-64, 64)^2.
+  NaiveCube naive(Shape::Cube(2, 128));
+  DynamicDataCube cube(2, 4);
+  WorkloadGenerator gen(Shape::Cube(2, 128), 57);
+  for (int i = 0; i < 250; ++i) {
+    Cell c = gen.UniformCell();
+    Cell global{c[0] - kOffset, c[1] - kOffset};
+    int64_t delta = gen.Value(-9, 9);
+    naive.Add(c, delta);
+    cube.Add(global, delta);
+
+    Box nb = gen.UniformBox();
+    Box gb{{nb.lo[0] - kOffset, nb.lo[1] - kOffset},
+           {nb.hi[0] - kOffset, nb.hi[1] - kOffset}};
+    ASSERT_EQ(cube.RangeSum(gb), naive.RangeSum(nb)) << i;
+  }
+  EXPECT_GE(cube.growth_doublings(), 5);  // 4 -> at least 128 wide.
+}
+
+// The star-catalog scenario: start tiny, stream clustered discoveries whose
+// clusters sit far from the initial domain in different directions.
+TEST(DdcGrowthTest, StarCatalogScenario) {
+  DynamicDataCube cube(3, 2);
+  std::mt19937_64 rng(5);
+  std::map<std::tuple<Coord, Coord, Coord>, int64_t> reference;
+  const Cell centers[] = {
+      {1000, -500, 200}, {-800, 300, -900}, {50, 50, 50}};
+  std::normal_distribution<double> noise(0.0, 10.0);
+  for (int i = 0; i < 600; ++i) {
+    const Cell& center = centers[static_cast<size_t>(i) % 3];
+    Cell c{center[0] + static_cast<Coord>(noise(rng)),
+           center[1] + static_cast<Coord>(noise(rng)),
+           center[2] + static_cast<Coord>(noise(rng))};
+    cube.Add(c, 1);
+    reference[{c[0], c[1], c[2]}] += 1;
+  }
+  EXPECT_EQ(cube.TotalSum(), 600);
+  // Count stars near each cluster center.
+  for (const Cell& center : centers) {
+    Box box{{center[0] - 40, center[1] - 40, center[2] - 40},
+            {center[0] + 40, center[1] + 40, center[2] + 40}};
+    int64_t expected = 0;
+    for (const auto& [pos, count] : reference) {
+      Cell p{std::get<0>(pos), std::get<1>(pos), std::get<2>(pos)};
+      if (box.Contains(p)) expected += count;
+    }
+    EXPECT_EQ(cube.RangeSum(box), expected);
+  }
+  // Storage stays proportional to the clusters, not the bounding box: the
+  // final domain covers >= 2048^3 ~ 8.6e9 cells; the structure must stay
+  // under ~0.2% of that.
+  EXPECT_LT(cube.StorageCells(), 20'000'000);
+}
+
+TEST(DdcGrowthTest, ForEachNonZeroUsesGlobalCoordinates) {
+  DynamicDataCube cube(2, 4);
+  cube.Set({-10, 5}, 3);
+  cube.Set({2, 2}, 4);
+  std::map<std::pair<Coord, Coord>, int64_t> seen;
+  cube.ForEachNonZero(
+      [&](const Cell& c, int64_t v) { seen[{c[0], c[1]}] = v; });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ((seen[{-10, 5}]), 3);
+  EXPECT_EQ((seen[{2, 2}]), 4);
+}
+
+TEST(DdcGrowthTest, EnsureContainsWithoutData) {
+  DynamicDataCube cube(2, 4);
+  cube.EnsureContains({100, 100});
+  EXPECT_GE(cube.side(), 128);
+  EXPECT_EQ(cube.TotalSum(), 0);
+  EXPECT_EQ(cube.StorageCells(), 0);  // Growth of an empty cube is free.
+}
+
+TEST(DdcGrowthTest, ZeroDeltaDoesNotGrow) {
+  DynamicDataCube cube(2, 4);
+  cube.Add({1000, 1000}, 0);
+  EXPECT_EQ(cube.side(), 4);
+}
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,166 @@
+// End-to-end tests of the ddctool command set, driven through the command
+// dispatcher with in-memory streams and temp files.
+
+#include "tools/commands.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ddc {
+namespace tools {
+namespace {
+
+class DdcToolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cube_path_ = "/tmp/ddctool_test_cube.snap";
+    csv_path_ = "/tmp/ddctool_test_data.csv";
+    std::remove(cube_path_.c_str());
+    std::remove(csv_path_.c_str());
+  }
+
+  void TearDown() override {
+    std::remove(cube_path_.c_str());
+    std::remove(csv_path_.c_str());
+  }
+
+  // Runs the tool and returns the exit code; captures stdout into *out.
+  int Run(const std::vector<std::string>& args, std::string* out = nullptr,
+          std::string* err = nullptr) {
+    std::ostringstream out_stream;
+    std::ostringstream err_stream;
+    const int code = RunDdcTool(args, out_stream, err_stream);
+    if (out != nullptr) *out = out_stream.str();
+    if (err != nullptr) *err = err_stream.str();
+    return code;
+  }
+
+  std::string cube_path_;
+  std::string csv_path_;
+};
+
+TEST_F(DdcToolTest, CreateAddQueryRoundTrip) {
+  EXPECT_EQ(Run({"create", "--dims", "2", "--side", "16", cube_path_}), 0);
+
+  std::string out;
+  EXPECT_EQ(Run({"add", cube_path_, "3", "4", "100"}, &out), 0);
+  EXPECT_NE(out.find("total 100"), std::string::npos);
+  EXPECT_EQ(Run({"add", cube_path_, "5", "6", "50"}), 0);
+
+  EXPECT_EQ(Run({"query", cube_path_, "--range", "0:10,0:10"}, &out), 0);
+  EXPECT_NE(out.find("sum = 150"), std::string::npos);
+  EXPECT_EQ(Run({"query", cube_path_, "--range", "3:3,4:4"}, &out), 0);
+  EXPECT_NE(out.find("sum = 100"), std::string::npos);
+}
+
+TEST_F(DdcToolTest, LoadCsvAndInfo) {
+  {
+    std::ofstream csv(csv_path_);
+    csv << "x,y,value\n";
+    csv << "1,1,10\n2,2,20\n-100,3,5\n";
+  }
+  std::string out;
+  ASSERT_EQ(Run({"load", "--dims", "2", "--csv", csv_path_, cube_path_},
+                &out),
+            0);
+  EXPECT_NE(out.find("loaded 3 rows"), std::string::npos);
+  EXPECT_NE(out.find("total=35"), std::string::npos);
+
+  ASSERT_EQ(Run({"info", cube_path_}, &out), 0);
+  EXPECT_NE(out.find("total sum:     35"), std::string::npos);
+  EXPECT_NE(out.find("nonzero cells: 3"), std::string::npos);
+}
+
+TEST_F(DdcToolTest, ExportReimportsIdentically) {
+  ASSERT_EQ(Run({"create", "--dims", "2", cube_path_}), 0);
+  ASSERT_EQ(Run({"add", cube_path_, "7", "8", "42"}), 0);
+  ASSERT_EQ(Run({"add", cube_path_, "-2", "30", "17"}), 0);
+  ASSERT_EQ(Run({"export", cube_path_, "--csv", csv_path_}), 0);
+
+  const std::string second_cube = "/tmp/ddctool_test_cube2.snap";
+  std::string out;
+  ASSERT_EQ(
+      Run({"load", "--dims", "2", "--csv", csv_path_, second_cube}, &out), 0);
+  EXPECT_NE(out.find("total=59"), std::string::npos);
+  ASSERT_EQ(Run({"query", second_cube, "--range", "7,8"}, &out), 0);
+  EXPECT_NE(out.find("sum = 42"), std::string::npos);
+  std::remove(second_cube.c_str());
+}
+
+TEST_F(DdcToolTest, ShrinkReducesDomain) {
+  ASSERT_EQ(Run({"create", "--dims", "2", "--side", "4", cube_path_}), 0);
+  ASSERT_EQ(Run({"add", cube_path_, "5000", "5000", "1"}), 0);
+  ASSERT_EQ(Run({"add", cube_path_, "5000", "5000", "-1"}), 0);
+  ASSERT_EQ(Run({"add", cube_path_, "1", "1", "9"}), 0);
+  std::string out;
+  ASSERT_EQ(Run({"shrink", cube_path_}, &out), 0);
+  EXPECT_NE(out.find("-> 2"), std::string::npos);
+  ASSERT_EQ(Run({"query", cube_path_, "--range", "1,1"}, &out), 0);
+  EXPECT_NE(out.find("sum = 9"), std::string::npos);
+}
+
+TEST_F(DdcToolTest, OptionsFlagsAreApplied) {
+  ASSERT_EQ(Run({"create", "--dims", "2", "--fanout", "4", "--elide", "2",
+                 cube_path_}),
+            0);
+  std::string out;
+  ASSERT_EQ(Run({"info", cube_path_}, &out), 0);
+  EXPECT_NE(out.find("fanout=4"), std::string::npos);
+  EXPECT_NE(out.find("elide=2"), std::string::npos);
+}
+
+TEST_F(DdcToolTest, ErrorHandling) {
+  std::string err;
+  EXPECT_NE(Run({"query", "/tmp/ddctool_no_such.snap", "--range", "1,1"},
+                nullptr, &err),
+            0);
+  EXPECT_NE(err.find("cannot load"), std::string::npos);
+
+  EXPECT_NE(Run({"create", cube_path_}, nullptr, &err), 0);  // Missing dims.
+  EXPECT_NE(Run({"create", "--dims", "2", "--side", "100", cube_path_},
+                nullptr, &err),
+            0);  // Bad side.
+  EXPECT_NE(Run({"definitely-not-a-command"}, nullptr, &err), 0);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+
+  ASSERT_EQ(Run({"create", "--dims", "2", cube_path_}), 0);
+  EXPECT_NE(Run({"add", cube_path_, "1", "2"}, nullptr, &err), 0);  // Arity.
+  EXPECT_NE(Run({"query", cube_path_, "--range", "1:2"}, nullptr, &err), 0);
+}
+
+TEST_F(DdcToolTest, SelectRunsQueries) {
+  ASSERT_EQ(Run({"create", "--dims", "2", cube_path_}), 0);
+  ASSERT_EQ(Run({"add", cube_path_, "3", "4", "100"}), 0);
+  ASSERT_EQ(Run({"add", cube_path_, "5", "4", "50"}), 0);
+  ASSERT_EQ(Run({"add", cube_path_, "5", "9", "7"}), 0);
+
+  std::string out;
+  ASSERT_EQ(Run({"select", cube_path_, "SUM WHERE d1 = 4"}, &out), 0);
+  EXPECT_NE(out.find("150"), std::string::npos);
+
+  ASSERT_EQ(Run({"select", cube_path_, "SUM GROUP BY d0 SIZE 4"}, &out), 0);
+  EXPECT_NE(out.find("[0, 3]"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_NE(out.find("57"), std::string::npos);  // d0 in [4,7]: 50 + 7.
+
+  std::string err;
+  EXPECT_NE(Run({"select", cube_path_, "COUNT"}, nullptr, &err), 0);
+  EXPECT_NE(err.find("MeasureCube"), std::string::npos);
+  EXPECT_NE(Run({"select", cube_path_, "garbage"}, nullptr, &err), 0);
+  EXPECT_NE(Run({"select", cube_path_}, nullptr, &err), 0);
+}
+
+TEST_F(DdcToolTest, HelpPrintsUsage) {
+  std::string out;
+  EXPECT_EQ(Run({"help"}, &out), 0);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tools
+}  // namespace ddc

@@ -1,0 +1,155 @@
+#include "minmax/extrema_cube.h"
+
+#include <map>
+#include <optional>
+#include <random>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/md_array.h"
+#include "common/shape.h"
+#include "common/workload.h"
+
+namespace ddc {
+namespace {
+
+// Brute-force oracle over an optional-valued dense array.
+class ExtremaOracle {
+ public:
+  ExtremaOracle(int dims, int64_t side)
+      : values_(Shape::Cube(dims, side), kEmpty) {}
+
+  void Set(const Cell& cell, int64_t value) { values_.at(cell) = value; }
+  void Clear(const Cell& cell) { values_.at(cell) = kEmpty; }
+
+  std::optional<int64_t> Get(const Cell& cell) const {
+    const int64_t v = values_.at(cell);
+    if (v == kEmpty) return std::nullopt;
+    return v;
+  }
+
+  std::optional<int64_t> RangeMin(const Box& box) const {
+    std::optional<int64_t> best;
+    values_.ForEach([&](const Cell& c, const int64_t& v) {
+      if (v == kEmpty || !box.Contains(c)) return;
+      if (!best || v < *best) best = v;
+    });
+    return best;
+  }
+
+  std::optional<int64_t> RangeMax(const Box& box) const {
+    std::optional<int64_t> best;
+    values_.ForEach([&](const Cell& c, const int64_t& v) {
+      if (v == kEmpty || !box.Contains(c)) return;
+      if (!best || v > *best) best = v;
+    });
+    return best;
+  }
+
+ private:
+  static constexpr int64_t kEmpty = INT64_MIN + 1;
+  MdArray<int64_t> values_;
+};
+
+TEST(ExtremaCubeTest, Basics1D) {
+  ExtremaCube cube(1, 8);
+  EXPECT_EQ(cube.RangeMin(Box{{0}, {7}}), std::nullopt);
+  cube.Set({3}, 10);
+  cube.Set({5}, -4);
+  cube.Set({6}, 22);
+  EXPECT_EQ(cube.RangeMin(Box{{0}, {7}}), -4);
+  EXPECT_EQ(cube.RangeMax(Box{{0}, {7}}), 22);
+  EXPECT_EQ(cube.RangeMin(Box{{0}, {4}}), 10);
+  EXPECT_EQ(cube.RangeMax(Box{{4}, {5}}), -4);
+  EXPECT_EQ(cube.RangeMin(Box{{0}, {2}}), std::nullopt);
+  EXPECT_EQ(cube.Get({5}), -4);
+  EXPECT_EQ(cube.Get({4}), std::nullopt);
+}
+
+TEST(ExtremaCubeTest, OverwriteAndClear) {
+  ExtremaCube cube(2, 8);
+  cube.Set({2, 3}, 100);
+  EXPECT_EQ(cube.RangeMax(Box{{0, 0}, {7, 7}}), 100);
+  cube.Set({2, 3}, 5);  // Overwrite: the old 100 must vanish entirely.
+  EXPECT_EQ(cube.RangeMax(Box{{0, 0}, {7, 7}}), 5);
+  cube.Clear({2, 3});
+  EXPECT_EQ(cube.RangeMax(Box{{0, 0}, {7, 7}}), std::nullopt);
+  EXPECT_EQ(cube.Get({2, 3}), std::nullopt);
+}
+
+struct ExtremaParam {
+  int dims;
+  int64_t side;
+};
+
+class ExtremaRandomTest : public ::testing::TestWithParam<ExtremaParam> {};
+
+TEST_P(ExtremaRandomTest, MatchesOracle) {
+  const auto [dims, side] = GetParam();
+  ExtremaCube cube(dims, side);
+  ExtremaOracle oracle(dims, side);
+  const Shape shape = Shape::Cube(dims, side);
+  WorkloadGenerator gen(shape, static_cast<uint64_t>(dims * 37 + side));
+
+  for (int op = 0; op < 250; ++op) {
+    const Cell cell = gen.UniformCell();
+    const int64_t roll = gen.Value(0, 9);
+    if (roll < 8) {
+      const int64_t value = gen.Value(-1000, 1000);
+      cube.Set(cell, value);
+      oracle.Set(cell, value);
+    } else {
+      cube.Clear(cell);
+      oracle.Clear(cell);
+    }
+    const Box box = gen.UniformBox();
+    ASSERT_EQ(cube.RangeMin(box), oracle.RangeMin(box))
+        << "op " << op << " " << box.ToString();
+    ASSERT_EQ(cube.RangeMax(box), oracle.RangeMax(box))
+        << "op " << op << " " << box.ToString();
+    ASSERT_EQ(cube.Get(cell), oracle.Get(cell));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeometrySweep, ExtremaRandomTest,
+    ::testing::Values(ExtremaParam{1, 2}, ExtremaParam{1, 64},
+                      ExtremaParam{2, 4}, ExtremaParam{2, 16},
+                      ExtremaParam{2, 32}, ExtremaParam{3, 8},
+                      ExtremaParam{4, 4}));
+
+TEST(ExtremaCubeTest, SparseStorageStaysSmall) {
+  ExtremaCube cube(2, 1024);
+  cube.Set({512, 512}, 1);
+  cube.Set({0, 1023}, 2);
+  // Two root-to-leaf paths in the outer tree, each maintaining nested
+  // per-ancestor structures: far below the dense 2*1024*2*1024 footprint.
+  EXPECT_LT(cube.StorageCells(), 3000);
+  EXPECT_EQ(cube.RangeMin(Box{{0, 0}, {1023, 1023}}), 1);
+  EXPECT_EQ(cube.RangeMax(Box{{0, 0}, {1023, 1023}}), 2);
+}
+
+TEST(ExtremaCubeTest, DuplicateValuesAndNegatives) {
+  ExtremaCube cube(2, 4);
+  for (Coord i = 0; i < 4; ++i) {
+    for (Coord j = 0; j < 4; ++j) {
+      cube.Set({i, j}, -7);
+    }
+  }
+  EXPECT_EQ(cube.RangeMin(Box{{0, 0}, {3, 3}}), -7);
+  EXPECT_EQ(cube.RangeMax(Box{{0, 0}, {3, 3}}), -7);
+  cube.Set({1, 2}, -9);
+  EXPECT_EQ(cube.RangeMin(Box{{0, 0}, {3, 3}}), -9);
+  EXPECT_EQ(cube.RangeMax(Box{{0, 0}, {3, 3}}), -7);
+}
+
+TEST(ExtremaCubeTest, BoxClipping) {
+  ExtremaCube cube(2, 8);
+  cube.Set({0, 0}, 4);
+  EXPECT_EQ(cube.RangeMin(Box{{-10, -10}, {20, 20}}), 4);
+  EXPECT_EQ(cube.RangeMin(Box{{9, 9}, {20, 20}}), std::nullopt);
+}
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,120 @@
+// Direct unit tests of the FaceStore abstraction (Section 4.2): every face
+// implementation must behave as the prefix-sum structure of its line-sum
+// array.
+
+#include "ddc/face_store.h"
+
+#include <memory>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "common/md_array.h"
+#include "common/shape.h"
+#include "ddc/ddc_core.h"
+
+namespace ddc {
+namespace {
+
+// Reference: dense line-sum array with brute-force prefix sums.
+class ReferenceFace {
+ public:
+  ReferenceFace(int dims, int64_t side) : g_(Shape::Cube(dims, side)) {}
+
+  void Add(const Cell& y, int64_t delta) { g_.at(y) += delta; }
+
+  int64_t PrefixSum(const Cell& y) const {
+    int64_t sum = 0;
+    g_.ForEach([&](const Cell& c, const int64_t& v) {
+      if (DominatedBy(c, y)) sum += v;
+    });
+    return sum;
+  }
+
+ private:
+  MdArray<int64_t> g_;
+};
+
+struct FaceParam {
+  int transverse_dims;
+  int64_t side;
+  bool use_fenwick;
+};
+
+class FaceStoreTest : public ::testing::TestWithParam<FaceParam> {};
+
+TEST_P(FaceStoreTest, MatchesReferenceOnRandomOps) {
+  const FaceParam p = GetParam();
+  DdcOptions options;
+  options.use_fenwick = p.use_fenwick;
+  std::unique_ptr<FaceStore> store =
+      FaceStore::Create(p.transverse_dims, p.side, options, nullptr);
+  ReferenceFace reference(p.transverse_dims, p.side);
+
+  const Shape shape = Shape::Cube(p.transverse_dims, p.side);
+  std::mt19937_64 rng(static_cast<uint64_t>(p.transverse_dims * 100 + p.side));
+  std::uniform_int_distribution<int64_t> pick(0, shape.num_cells() - 1);
+  std::uniform_int_distribution<int64_t> delta(-9, 9);
+
+  for (int op = 0; op < 150; ++op) {
+    const Cell y = shape.CellAt(pick(rng));
+    const int64_t d = delta(rng);
+    store->Add(y, d);
+    reference.Add(y, d);
+    const Cell probe = shape.CellAt(pick(rng));
+    ASSERT_EQ(store->PrefixSum(probe), reference.PrefixSum(probe))
+        << CellToString(probe) << " op " << op;
+  }
+}
+
+TEST_P(FaceStoreTest, BuildFromDenseMatchesIncremental) {
+  const FaceParam p = GetParam();
+  DdcOptions options;
+  options.use_fenwick = p.use_fenwick;
+  const Shape shape = Shape::Cube(p.transverse_dims, p.side);
+  MdArray<int64_t> dense(shape);
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<int64_t> value(-5, 5);
+  dense.ForEach([&](const Cell&, int64_t& v) { v = value(rng); });
+
+  auto bulk = FaceStore::Create(p.transverse_dims, p.side, options, nullptr);
+  bulk->BuildFromDense(dense);
+  auto incremental =
+      FaceStore::Create(p.transverse_dims, p.side, options, nullptr);
+  dense.ForEach([&](const Cell& c, const int64_t& v) {
+    if (v != 0) incremental->Add(c, v);
+  });
+
+  Cell probe(static_cast<size_t>(p.transverse_dims), 0);
+  do {
+    ASSERT_EQ(bulk->PrefixSum(probe), incremental->PrefixSum(probe))
+        << CellToString(probe);
+  } while (shape.NextCell(&probe));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, FaceStoreTest,
+    ::testing::Values(FaceParam{1, 2, false}, FaceParam{1, 16, false},
+                      FaceParam{1, 16, true}, FaceParam{2, 4, false},
+                      FaceParam{2, 8, false}, FaceParam{3, 4, false},
+                      FaceParam{3, 4, true}));
+
+TEST(FaceStoreTest, EmptyStoreAnswersZero) {
+  auto store = FaceStore::Create(2, 8, DdcOptions{}, nullptr);
+  EXPECT_EQ(store->PrefixSum({7, 7}), 0);
+  EXPECT_EQ(store->StorageCells(), 0);
+}
+
+TEST(FaceStoreTest, CountersRouteToOwner) {
+  OpCounters counters;
+  auto store = FaceStore::Create(1, 64, DdcOptions{}, &counters);
+  store->Add({10}, 5);
+  EXPECT_GT(counters.values_written, 0);
+  const int64_t writes = counters.values_written;
+  store->PrefixSum({20});
+  EXPECT_GT(counters.values_read, 0);
+  EXPECT_EQ(counters.values_written, writes);  // Queries don't write.
+}
+
+}  // namespace
+}  // namespace ddc

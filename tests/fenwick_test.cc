@@ -1,0 +1,79 @@
+#include "bctree/fenwick_tree.h"
+
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bctree/bc_tree.h"
+
+namespace ddc {
+namespace {
+
+TEST(FenwickTreeTest, Basics) {
+  FenwickTree tree(10);
+  tree.Add(0, 5);
+  tree.Add(9, 7);
+  tree.Add(4, -2);
+  EXPECT_EQ(tree.CumulativeSum(0), 5);
+  EXPECT_EQ(tree.CumulativeSum(3), 5);
+  EXPECT_EQ(tree.CumulativeSum(4), 3);
+  EXPECT_EQ(tree.CumulativeSum(9), 10);
+  EXPECT_EQ(tree.TotalSum(), 10);
+  EXPECT_EQ(tree.Value(4), -2);
+  EXPECT_EQ(tree.Value(5), 0);
+}
+
+TEST(FenwickTreeTest, StorageIsDense) {
+  FenwickTree tree(256);
+  EXPECT_EQ(tree.StorageCells(), 256);
+}
+
+class FenwickRandomTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(FenwickRandomTest, MatchesReferenceVector) {
+  const int64_t capacity = GetParam();
+  FenwickTree tree(capacity);
+  std::vector<int64_t> reference(static_cast<size_t>(capacity), 0);
+  std::mt19937_64 rng(static_cast<uint64_t>(capacity));
+  std::uniform_int_distribution<int64_t> index(0, capacity - 1);
+  std::uniform_int_distribution<int64_t> delta(-100, 100);
+  for (int op = 0; op < 300; ++op) {
+    const int64_t i = index(rng);
+    const int64_t d = delta(rng);
+    tree.Add(i, d);
+    reference[static_cast<size_t>(i)] += d;
+    const int64_t probe = index(rng);
+    int64_t expected = 0;
+    for (int64_t j = 0; j <= probe; ++j) {
+      expected += reference[static_cast<size_t>(j)];
+    }
+    ASSERT_EQ(tree.CumulativeSum(probe), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CapacitySweep, FenwickRandomTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 100, 1023, 1024));
+
+// Cross-implementation property: B_c tree and Fenwick tree agree on the
+// same operation stream (the ablation pair must be interchangeable).
+TEST(CumulativeStoreAgreementTest, BcTreeMatchesFenwick) {
+  const int64_t capacity = 333;
+  BcTree bc(capacity, 5);
+  FenwickTree fw(capacity);
+  std::mt19937_64 rng(2024);
+  std::uniform_int_distribution<int64_t> index(0, capacity - 1);
+  std::uniform_int_distribution<int64_t> delta(-9, 9);
+  for (int op = 0; op < 500; ++op) {
+    const int64_t i = index(rng);
+    const int64_t d = delta(rng);
+    bc.Add(i, d);
+    fw.Add(i, d);
+    const int64_t probe = index(rng);
+    ASSERT_EQ(bc.CumulativeSum(probe), fw.CumulativeSum(probe));
+  }
+  EXPECT_EQ(bc.TotalSum(), fw.TotalSum());
+}
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,124 @@
+// Bulk builders of the baseline structures (RelativePrefixSumCube::FromArray
+// and BasicDdc::FromArray) must produce structures indistinguishable from
+// incremental construction.
+
+#include <gtest/gtest.h>
+
+#include "basic_ddc/basic_ddc.h"
+#include "common/workload.h"
+#include "naive/naive_cube.h"
+#include "paper_example.h"
+#include "rps/relative_prefix_sum_cube.h"
+
+namespace ddc {
+namespace {
+
+TEST(RpsFromArrayTest, MatchesIncremental2D) {
+  const Shape shape = Shape::Cube(2, 16);
+  WorkloadGenerator gen(shape, 5);
+  MdArray<int64_t> array = gen.RandomDenseArray(-9, 9);
+
+  RelativePrefixSumCube bulk = RelativePrefixSumCube::FromArray(array);
+  RelativePrefixSumCube incremental(shape);
+  array.ForEach(
+      [&](const Cell& c, const int64_t& v) { incremental.Add(c, v); });
+
+  Cell probe(2, 0);
+  do {
+    ASSERT_EQ(bulk.PrefixSum(probe), incremental.PrefixSum(probe))
+        << CellToString(probe);
+  } while (shape.NextCell(&probe));
+}
+
+TEST(RpsFromArrayTest, NonSquareShape) {
+  const Shape shape({12, 5});
+  WorkloadGenerator gen(shape, 6);
+  MdArray<int64_t> array = gen.RandomDenseArray(0, 9);
+  RelativePrefixSumCube bulk = RelativePrefixSumCube::FromArray(array, 3);
+  NaiveCube naive(shape);
+  array.ForEach([&](const Cell& c, const int64_t& v) { naive.Set(c, v); });
+  for (int i = 0; i < 100; ++i) {
+    const Box box = gen.UniformBox();
+    ASSERT_EQ(bulk.RangeSum(box), naive.RangeSum(box)) << box.ToString();
+  }
+}
+
+TEST(RpsFromArrayTest, ThreeDimensional) {
+  const Shape shape = Shape::Cube(3, 8);
+  WorkloadGenerator gen(shape, 7);
+  MdArray<int64_t> array = gen.RandomDenseArray(-5, 5);
+  RelativePrefixSumCube bulk = RelativePrefixSumCube::FromArray(array);
+  NaiveCube naive(shape);
+  array.ForEach([&](const Cell& c, const int64_t& v) { naive.Set(c, v); });
+  Cell probe(3, 0);
+  do {
+    ASSERT_EQ(bulk.PrefixSum(probe), naive.PrefixSum(probe));
+  } while (shape.NextCell(&probe));
+}
+
+TEST(RpsFromArrayTest, UpdatesAfterBulkBuild) {
+  const Shape shape = Shape::Cube(2, 16);
+  WorkloadGenerator gen(shape, 8);
+  MdArray<int64_t> array = gen.RandomDenseArray(1, 9);
+  RelativePrefixSumCube cube = RelativePrefixSumCube::FromArray(array);
+  NaiveCube naive(shape);
+  array.ForEach([&](const Cell& c, const int64_t& v) { naive.Set(c, v); });
+  for (int i = 0; i < 150; ++i) {
+    const Cell c = gen.UniformCell();
+    const int64_t d = gen.Value(-9, 9);
+    cube.Add(c, d);
+    naive.Add(c, d);
+    const Box box = gen.UniformBox();
+    ASSERT_EQ(cube.RangeSum(box), naive.RangeSum(box)) << i;
+  }
+}
+
+TEST(BasicDdcFromArrayTest, MatchesIncremental) {
+  for (int dims : {1, 2, 3}) {
+    const int64_t side = (dims == 3) ? 8 : 16;
+    const Shape shape = Shape::Cube(dims, side);
+    WorkloadGenerator gen(shape, static_cast<uint64_t>(dims));
+    MdArray<int64_t> array = gen.RandomDenseArray(-9, 9);
+
+    auto bulk = BasicDdc::FromArray(array);
+    BasicDdc incremental(dims, side);
+    array.ForEach(
+        [&](const Cell& c, const int64_t& v) { incremental.Add(c, v); });
+
+    Cell probe(static_cast<size_t>(dims), 0);
+    do {
+      ASSERT_EQ(bulk->PrefixSum(probe), incremental.PrefixSum(probe))
+          << dims << " " << CellToString(probe);
+    } while (shape.NextCell(&probe));
+    // The dense bulk build materializes at least the incremental storage.
+    EXPECT_GE(bulk->StorageCells(), incremental.StorageCells());
+  }
+}
+
+TEST(BasicDdcFromArrayTest, UpdatesAfterBulkBuild) {
+  const Shape shape = Shape::Cube(2, 16);
+  WorkloadGenerator gen(shape, 12);
+  MdArray<int64_t> array = gen.RandomDenseArray(0, 9);
+  auto cube = BasicDdc::FromArray(array);
+  NaiveCube naive(shape);
+  array.ForEach([&](const Cell& c, const int64_t& v) { naive.Set(c, v); });
+  for (int i = 0; i < 150; ++i) {
+    const Cell c = gen.UniformCell();
+    const int64_t d = gen.Value(-9, 9);
+    cube->Add(c, d);
+    naive.Add(c, d);
+    const Cell probe = gen.UniformCell();
+    ASSERT_EQ(cube->PrefixSum(probe), naive.PrefixSum(probe)) << i;
+  }
+}
+
+TEST(BasicDdcFromArrayTest, PaperWalkthrough) {
+  // The bulk-built tree answers the Figure 11 walkthrough too.
+  auto cube = BasicDdc::FromArray(testing_support::PaperArrayA());
+  EXPECT_EQ(cube->PrefixSum({3, 3}), 51);
+  EXPECT_EQ(cube->PrefixSum(testing_support::kTargetCell),
+            testing_support::kTargetRegionSum);
+}
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,162 @@
+// MeasureCube coverage beyond the olap_test basics: brute-force
+// cross-checks for SUM/COUNT/AVERAGE and the rolling aggregates on random
+// observation streams, plus inverse-operator properties.
+
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/workload.h"
+#include "olap/measure.h"
+
+namespace ddc {
+namespace {
+
+struct Observation {
+  Cell cell;
+  int64_t value;
+};
+
+class MeasureReference {
+ public:
+  void Add(const Observation& obs) { observations_.push_back(obs); }
+
+  void Remove(const Observation& obs) {
+    for (auto it = observations_.begin(); it != observations_.end(); ++it) {
+      if (it->cell == obs.cell && it->value == obs.value) {
+        observations_.erase(it);
+        return;
+      }
+    }
+    FAIL() << "removing unknown observation";
+  }
+
+  int64_t Sum(const Box& box) const {
+    int64_t sum = 0;
+    for (const Observation& obs : observations_) {
+      if (box.Contains(obs.cell)) sum += obs.value;
+    }
+    return sum;
+  }
+
+  int64_t Count(const Box& box) const {
+    int64_t count = 0;
+    for (const Observation& obs : observations_) {
+      if (box.Contains(obs.cell)) ++count;
+    }
+    return count;
+  }
+
+  std::optional<double> Average(const Box& box) const {
+    const int64_t count = Count(box);
+    if (count == 0) return std::nullopt;
+    return static_cast<double>(Sum(box)) / static_cast<double>(count);
+  }
+
+ private:
+  std::vector<Observation> observations_;
+};
+
+TEST(MeasureCubeTest, RandomObservationsMatchReference) {
+  MeasureCube cube(2, 32);
+  MeasureReference reference;
+  WorkloadGenerator gen(Shape::Cube(2, 32), 55);
+  std::vector<Observation> inserted;
+
+  for (int i = 0; i < 400; ++i) {
+    if (!inserted.empty() && gen.Value(0, 9) == 0) {
+      // Remove a random earlier observation (the inverse operator).
+      const size_t pick =
+          static_cast<size_t>(gen.Value(0, static_cast<int64_t>(
+                                               inserted.size() - 1)));
+      const Observation obs = inserted[pick];
+      inserted.erase(inserted.begin() + static_cast<long>(pick));
+      cube.RemoveObservation(obs.cell, obs.value);
+      reference.Remove(obs);
+    } else {
+      const Observation obs{gen.UniformCell(), gen.Value(-50, 50)};
+      inserted.push_back(obs);
+      cube.AddObservation(obs.cell, obs.value);
+      reference.Add(obs);
+    }
+
+    const Box box = gen.UniformBox();
+    ASSERT_EQ(cube.RangeSum(box), reference.Sum(box)) << i;
+    ASSERT_EQ(cube.RangeCount(box), reference.Count(box)) << i;
+    const auto expected_avg = reference.Average(box);
+    const auto actual_avg = cube.RangeAverage(box);
+    ASSERT_EQ(actual_avg.has_value(), expected_avg.has_value()) << i;
+    if (expected_avg.has_value()) {
+      ASSERT_DOUBLE_EQ(*actual_avg, *expected_avg) << i;
+    }
+  }
+}
+
+TEST(MeasureCubeTest, RollingSumMatchesBruteForce) {
+  MeasureCube cube(2, 32);
+  MeasureReference reference;
+  WorkloadGenerator gen(Shape::Cube(2, 32), 56);
+  for (int i = 0; i < 200; ++i) {
+    const Observation obs{gen.UniformCell(), gen.Value(0, 20)};
+    cube.AddObservation(obs.cell, obs.value);
+    reference.Add(obs);
+  }
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const Box box = gen.UniformBox();
+    const int dim = static_cast<int>(gen.Value(0, 1));
+    const int64_t window = gen.Value(1, 6);
+    const std::vector<int64_t> rolling = cube.RollingSum(box, dim, window);
+    size_t ud = static_cast<size_t>(dim);
+    ASSERT_EQ(rolling.size(),
+              static_cast<size_t>(box.hi[ud] - box.lo[ud] + 1));
+    size_t index = 0;
+    for (Coord pos = box.lo[ud]; pos <= box.hi[ud]; ++pos, ++index) {
+      Box slice = box;
+      slice.lo[ud] = pos - window + 1;
+      slice.hi[ud] = pos;
+      // Clip the reference slice to the domain like the cube does.
+      Box clipped = IntersectBoxes(
+          slice, Box{UniformCell(2, 0), UniformCell(2, 31)});
+      const int64_t expected =
+          clipped.IsEmpty() ? 0 : reference.Sum(clipped);
+      ASSERT_EQ(rolling[index], expected)
+          << "trial " << trial << " pos " << pos;
+    }
+  }
+}
+
+TEST(MeasureCubeTest, AverageOfUniformValuesIsExact) {
+  MeasureCube cube(1, 16);
+  for (Coord i = 0; i < 10; ++i) cube.AddObservation({i}, 7);
+  const auto avg = cube.RangeAverage(Box{{0}, {9}});
+  ASSERT_TRUE(avg.has_value());
+  EXPECT_DOUBLE_EQ(*avg, 7.0);
+}
+
+TEST(MeasureCubeTest, MultipleObservationsPerCell) {
+  MeasureCube cube(1, 8);
+  cube.AddObservation({3}, 10);
+  cube.AddObservation({3}, 20);
+  cube.AddObservation({3}, 30);
+  const Box cell{{3}, {3}};
+  EXPECT_EQ(cube.RangeSum(cell), 60);
+  EXPECT_EQ(cube.RangeCount(cell), 3);
+  EXPECT_DOUBLE_EQ(*cube.RangeAverage(cell), 20.0);
+  cube.RemoveObservation({3}, 20);
+  EXPECT_EQ(cube.RangeCount(cell), 2);
+  EXPECT_DOUBLE_EQ(*cube.RangeAverage(cell), 20.0);  // (10+30)/2.
+}
+
+TEST(MeasureCubeTest, SumAndCountCubesGrowTogether) {
+  MeasureCube cube(2, 4);
+  cube.AddObservation({900, -900}, 5);
+  EXPECT_EQ(cube.RangeSum(Box{{899, -901}, {901, -899}}), 5);
+  EXPECT_EQ(cube.RangeCount(Box{{899, -901}, {901, -899}}), 1);
+}
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,143 @@
+#include "olap/olap_cube.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "olap/dimension_encoder.h"
+#include "olap/measure.h"
+
+namespace ddc {
+namespace {
+
+TEST(NumericDimensionTest, Binning) {
+  NumericDimension dim("age", 0.0, 1.0);
+  EXPECT_EQ(dim.Encode(27.0), 27);
+  EXPECT_EQ(dim.Encode(27.9), 27);
+  EXPECT_EQ(dim.Encode(-0.5), -1);  // Negative bins supported.
+  auto [lo, hi] = dim.EncodeRange(27.0, 45.0);
+  EXPECT_EQ(lo, 27);
+  EXPECT_EQ(hi, 45);
+  EXPECT_EQ(dim.BinLabel(27), "[27, 28)");
+}
+
+TEST(NumericDimensionTest, CoarseBins) {
+  NumericDimension dim("lat", -90.0, 0.5);
+  EXPECT_EQ(dim.Encode(-90.0), 0);
+  EXPECT_EQ(dim.Encode(0.0), 180);
+  EXPECT_EQ(dim.Encode(89.9), 359);
+}
+
+TEST(CategoricalDimensionTest, DenseIds) {
+  CategoricalDimension dim("region");
+  EXPECT_EQ(dim.Encode(std::string("west")), 0);
+  EXPECT_EQ(dim.Encode(std::string("east")), 1);
+  EXPECT_EQ(dim.Encode(std::string("west")), 0);  // Stable.
+  EXPECT_EQ(dim.num_categories(), 2);
+  EXPECT_EQ(dim.BinLabel(1), "east");
+  auto [lo, hi] = dim.EncodeRange(std::string("east"), std::string("east"));
+  EXPECT_EQ(lo, 1);
+  EXPECT_EQ(hi, 1);
+}
+
+// The paper's introductory example: SALES by CUSTOMER_AGE and
+// DATE_AND_TIME; "find the average daily sales to customers between the
+// ages of 27 and 45 during the time period December 7 to December 31".
+TEST(OlapCubeTest, PaperSalesExample) {
+  std::vector<std::unique_ptr<DimensionEncoder>> dims;
+  dims.push_back(std::make_unique<NumericDimension>("customer_age", 0, 1));
+  dims.push_back(std::make_unique<NumericDimension>("day_of_year", 0, 1));
+  OlapCube cube(std::move(dims));
+
+  // Sales: (age, day, amount).
+  cube.Insert({30.0, 341.0}, 100);  // Dec 7.
+  cube.Insert({40.0, 350.0}, 200);
+  cube.Insert({45.0, 365.0}, 50);   // Dec 31.
+  cube.Insert({50.0, 350.0}, 999);  // Outside age range.
+  cube.Insert({30.0, 100.0}, 888);  // Outside date range.
+
+  std::vector<AttributeRange> query = {{27.0, 45.0}, {341.0, 365.0}};
+  EXPECT_EQ(cube.RangeSum(query), 350);
+  EXPECT_EQ(cube.RangeCount(query), 3);
+  ASSERT_TRUE(cube.RangeAverage(query).has_value());
+  EXPECT_DOUBLE_EQ(*cube.RangeAverage(query), 350.0 / 3.0);
+}
+
+TEST(OlapCubeTest, EmptyRangeHasNoAverage) {
+  std::vector<std::unique_ptr<DimensionEncoder>> dims;
+  dims.push_back(std::make_unique<NumericDimension>("x", 0, 1));
+  OlapCube cube(std::move(dims));
+  cube.Insert({5.0}, 10);
+  EXPECT_FALSE(cube.RangeAverage({{100.0, 200.0}}).has_value());
+}
+
+TEST(OlapCubeTest, RemoveInvertsInsert) {
+  std::vector<std::unique_ptr<DimensionEncoder>> dims;
+  dims.push_back(std::make_unique<NumericDimension>("x", 0, 1));
+  OlapCube cube(std::move(dims));
+  cube.Insert({1.0}, 10);
+  cube.Insert({1.0}, 20);
+  cube.Remove({1.0}, 10);
+  std::vector<AttributeRange> all = {{0.0, 10.0}};
+  EXPECT_EQ(cube.RangeSum(all), 20);
+  EXPECT_EQ(cube.RangeCount(all), 1);
+}
+
+TEST(OlapCubeTest, CategoricalAndNumericMix) {
+  std::vector<std::unique_ptr<DimensionEncoder>> dims;
+  dims.push_back(std::make_unique<CategoricalDimension>("region"));
+  dims.push_back(std::make_unique<NumericDimension>("day", 0, 1));
+  OlapCube cube(std::move(dims));
+  cube.Insert({std::string("west"), 1.0}, 5);
+  cube.Insert({std::string("east"), 1.0}, 7);
+  cube.Insert({std::string("west"), 2.0}, 11);
+  std::vector<AttributeRange> west_all = {
+      {std::string("west"), std::string("west")}, {0.0, 30.0}};
+  EXPECT_EQ(cube.RangeSum(west_all), 16);
+}
+
+TEST(OlapCubeTest, GrowsWithUnboundedDimensions) {
+  std::vector<std::unique_ptr<DimensionEncoder>> dims;
+  dims.push_back(std::make_unique<NumericDimension>("x", 0, 1));
+  dims.push_back(std::make_unique<NumericDimension>("y", 0, 1));
+  OlapCube cube(std::move(dims), /*initial_side=*/4);
+  cube.Insert({1000.0, -1000.0}, 1);
+  cube.Insert({-1000.0, 1000.0}, 2);
+  std::vector<AttributeRange> all = {{-2000.0, 2000.0}, {-2000.0, 2000.0}};
+  EXPECT_EQ(cube.RangeSum(all), 3);
+}
+
+TEST(MeasureCubeTest, RollingSumTrailingWindow) {
+  MeasureCube cube(1, 16);
+  // Daily values 1..8 at days 0..7.
+  for (Coord day = 0; day < 8; ++day) {
+    cube.AddObservation({day}, day + 1);
+  }
+  Box week{{0}, {7}};
+  std::vector<int64_t> rolling = cube.RollingSum(week, 0, 3);
+  ASSERT_EQ(rolling.size(), 8u);
+  EXPECT_EQ(rolling[0], 1);       // Window [-2, 0].
+  EXPECT_EQ(rolling[1], 3);       // Window [-1, 1].
+  EXPECT_EQ(rolling[2], 6);       // 1+2+3.
+  EXPECT_EQ(rolling[7], 21);      // 6+7+8.
+}
+
+TEST(MeasureCubeTest, RollingAverage) {
+  MeasureCube cube(1, 16);
+  cube.AddObservation({2}, 10);
+  cube.AddObservation({3}, 20);
+  Box range{{0}, {4}};
+  auto rolling = cube.RollingAverage(range, 0, 2);
+  ASSERT_EQ(rolling.size(), 5u);
+  EXPECT_FALSE(rolling[0].has_value());  // No observations in window.
+  ASSERT_TRUE(rolling[2].has_value());
+  EXPECT_DOUBLE_EQ(*rolling[2], 10.0);
+  ASSERT_TRUE(rolling[3].has_value());
+  EXPECT_DOUBLE_EQ(*rolling[3], 15.0);   // (10+20)/2.
+  ASSERT_TRUE(rolling[4].has_value());
+  EXPECT_DOUBLE_EQ(*rolling[4], 20.0);
+}
+
+}  // namespace
+}  // namespace ddc

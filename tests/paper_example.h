@@ -1,0 +1,66 @@
+// Shared fixture: an 8x8 array A reproducing every scalar quoted in the
+// paper's Section 3 walkthrough (Figures 8, 9 and 11).
+//
+// The OCR of the paper garbles the cell values of Figure 8, so this array is
+// reconstructed from the quoted aggregates instead; every number the text
+// states is satisfied:
+//
+//   * Sum(A[0,0]..A[3,3])        = 51   (box Q subtotal)
+//   * Row sum overlay cell [0,3] = 11, [1,3] = 29, [3,0] = 14 (Section 3.1)
+//   * Box R contribution         = 48   (rows 0-3, cols 4-6)
+//   * Box S contribution         = 24   (rows 4-5, cols 0-3)
+//   * Box U subtotal             = 16   (rows 4-5, cols 4-5)
+//   * Box V subtotal 15, row sum 12; leaf boxes L = 7, N = 5 (the cell *)
+//   * Total region sum 51+48+24+16+7+5 = 151
+//   * Box T values 31, 47, 54, subtotal 61 (the ones the Figure 12 update
+//     walkthrough increments)
+//
+// The query target ("cell *") is kTargetCell = (5, 6) in 0-indexed
+// coordinates; updating it from 5 to 6 must adjust exactly the values the
+// paper lists.
+
+#ifndef DDC_TESTS_PAPER_EXAMPLE_H_
+#define DDC_TESTS_PAPER_EXAMPLE_H_
+
+#include "common/cell.h"
+#include "common/md_array.h"
+#include "common/shape.h"
+
+namespace ddc {
+namespace testing_support {
+
+inline constexpr Coord kPaperSide = 8;
+inline const Cell kTargetCell{5, 6};
+inline constexpr int64_t kTargetRegionSum = 151;
+
+inline MdArray<int64_t> PaperArrayA() {
+  MdArray<int64_t> a(Shape::Cube(2, kPaperSide));
+  const int64_t rows[8][8] = {
+      {3, 2, 1, 5, 2, 0, 8, 9},  //
+      {2, 8, 4, 4, 2, 7, 4, 3},  //
+      {4, 3, 1, 3, 7, 7, 3, 2},  //
+      {5, 2, 2, 2, 1, 0, 7, 1},  //
+      {2, 1, 3, 2, 4, 4, 7, 1},  //
+      {6, 4, 3, 3, 5, 3, 5, 2},  //
+      {1, 2, 5, 2, 5, 5, 3, 3},  //
+      {3, 2, 2, 2, 5, 3, 5, 1},  //
+  };
+  for (Coord i = 0; i < kPaperSide; ++i) {
+    for (Coord j = 0; j < kPaperSide; ++j) {
+      a.at({i, j}) = rows[i][j];
+    }
+  }
+  return a;
+}
+
+// Loads the paper array into any structure exposing Set(cell, value).
+template <typename CubeT>
+void LoadPaperArray(CubeT* cube) {
+  PaperArrayA().ForEach(
+      [&](const Cell& c, const int64_t& v) { cube->Set(c, v); });
+}
+
+}  // namespace testing_support
+}  // namespace ddc
+
+#endif  // DDC_TESTS_PAPER_EXAMPLE_H_

@@ -1,0 +1,228 @@
+// Property-based tests: algebraic invariants every range-sum structure must
+// satisfy, checked on randomized data. These complement the differential
+// tests in cubes_equivalence_test with properties that hold by construction
+// and catch classes of bugs (sign errors, off-by-one dominance, missed
+// contributions) even when two implementations would agree by accident.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "basic_ddc/basic_ddc.h"
+#include "common/cube_interface.h"
+#include "common/workload.h"
+#include "ddc/dynamic_data_cube.h"
+#include "naive/naive_cube.h"
+#include "prefix/prefix_sum_cube.h"
+#include "rps/relative_prefix_sum_cube.h"
+
+namespace ddc {
+namespace {
+
+enum class Kind { kNaive, kPrefixSum, kRps, kBasicDdc, kDdc };
+
+std::unique_ptr<CubeInterface> MakeCube(Kind kind, int dims, int64_t side) {
+  switch (kind) {
+    case Kind::kNaive:
+      return std::make_unique<NaiveCube>(Shape::Cube(dims, side));
+    case Kind::kPrefixSum:
+      return std::make_unique<PrefixSumCube>(Shape::Cube(dims, side));
+    case Kind::kRps:
+      return std::make_unique<RelativePrefixSumCube>(Shape::Cube(dims, side));
+    case Kind::kBasicDdc:
+      return std::make_unique<BasicDdc>(dims, side);
+    case Kind::kDdc:
+      return std::make_unique<DynamicDataCube>(dims, side);
+  }
+  return nullptr;
+}
+
+std::string KindName(const ::testing::TestParamInfo<Kind>& info) {
+  switch (info.param) {
+    case Kind::kNaive:
+      return "Naive";
+    case Kind::kPrefixSum:
+      return "PrefixSum";
+    case Kind::kRps:
+      return "Rps";
+    case Kind::kBasicDdc:
+      return "BasicDdc";
+    case Kind::kDdc:
+      return "Ddc";
+  }
+  return "?";
+}
+
+class CubePropertyTest : public ::testing::TestWithParam<Kind> {};
+
+// Property 1 — update delta dominance: after Add(c, delta), the prefix sum
+// at x changes by exactly delta if c <= x componentwise and by 0 otherwise.
+TEST_P(CubePropertyTest, UpdateDeltaDominance) {
+  const int dims = 2;
+  const int64_t side = 16;
+  auto cube = MakeCube(GetParam(), dims, side);
+  WorkloadGenerator gen(Shape::Cube(dims, side), 2);
+  for (const UpdateOp& op : gen.UniformUpdates(60, -9, 9)) {
+    cube->Add(op.cell, op.delta);
+  }
+
+  const Shape shape = Shape::Cube(dims, side);
+  std::vector<int64_t> before(static_cast<size_t>(shape.num_cells()));
+  Cell c(static_cast<size_t>(dims), 0);
+  int64_t idx = 0;
+  do {
+    before[static_cast<size_t>(idx++)] = cube->PrefixSum(c);
+  } while (shape.NextCell(&c));
+
+  const Cell target{5, 9};
+  const int64_t delta = 37;
+  cube->Add(target, delta);
+
+  idx = 0;
+  c.assign(static_cast<size_t>(dims), 0);
+  do {
+    const int64_t expected =
+        before[static_cast<size_t>(idx++)] +
+        (DominatedBy(target, c) ? delta : 0);
+    ASSERT_EQ(cube->PrefixSum(c), expected) << CellToString(c);
+  } while (shape.NextCell(&c));
+}
+
+// Property 2 — linearity: the structure of the sum of two update streams
+// answers the sum of the two structures' answers.
+TEST_P(CubePropertyTest, Linearity) {
+  const int dims = 2;
+  const int64_t side = 16;
+  auto a = MakeCube(GetParam(), dims, side);
+  auto b = MakeCube(GetParam(), dims, side);
+  auto both = MakeCube(GetParam(), dims, side);
+  WorkloadGenerator gen(Shape::Cube(dims, side), 3);
+  for (int i = 0; i < 80; ++i) {
+    UpdateOp op{gen.UniformCell(), gen.Value(-9, 9)};
+    if (i % 2 == 0) {
+      a->Add(op.cell, op.delta);
+    } else {
+      b->Add(op.cell, op.delta);
+    }
+    both->Add(op.cell, op.delta);
+  }
+  for (int i = 0; i < 60; ++i) {
+    const Box box = gen.UniformBox();
+    ASSERT_EQ(both->RangeSum(box), a->RangeSum(box) + b->RangeSum(box))
+        << box.ToString();
+  }
+}
+
+// Property 3 — monotonicity: with non-negative values, enlarging a box
+// never decreases its sum.
+TEST_P(CubePropertyTest, MonotonicityOnNonNegativeData) {
+  const int dims = 3;
+  const int64_t side = 8;
+  auto cube = MakeCube(GetParam(), dims, side);
+  WorkloadGenerator gen(Shape::Cube(dims, side), 4);
+  for (const UpdateOp& op : gen.UniformUpdates(100, 0, 9)) {
+    cube->Add(op.cell, op.delta);
+  }
+  for (int i = 0; i < 50; ++i) {
+    Box inner = gen.UniformBox();
+    Box outer = inner;
+    for (int d = 0; d < dims; ++d) {
+      size_t ud = static_cast<size_t>(d);
+      outer.lo[ud] = std::max<Coord>(0, outer.lo[ud] - gen.Value(0, 2));
+      outer.hi[ud] = std::min<Coord>(side - 1, outer.hi[ud] + gen.Value(0, 2));
+    }
+    ASSERT_LE(cube->RangeSum(inner), cube->RangeSum(outer));
+  }
+}
+
+// Property 4 — additivity under partition: splitting a box along any
+// dimension preserves the total.
+TEST_P(CubePropertyTest, PartitionAdditivity) {
+  const int dims = 2;
+  const int64_t side = 16;
+  auto cube = MakeCube(GetParam(), dims, side);
+  WorkloadGenerator gen(Shape::Cube(dims, side), 5);
+  for (const UpdateOp& op : gen.UniformUpdates(100, -9, 9)) {
+    cube->Add(op.cell, op.delta);
+  }
+  for (int i = 0; i < 50; ++i) {
+    Box box = gen.UniformBox();
+    const int dim = static_cast<int>(gen.Value(0, dims - 1));
+    size_t ud = static_cast<size_t>(dim);
+    if (box.lo[ud] == box.hi[ud]) continue;
+    const Coord cut =
+        box.lo[ud] + gen.Value(0, box.hi[ud] - box.lo[ud] - 1);
+    Box left = box;
+    left.hi[ud] = cut;
+    Box right = box;
+    right.lo[ud] = cut + 1;
+    ASSERT_EQ(cube->RangeSum(box),
+              cube->RangeSum(left) + cube->RangeSum(right))
+        << box.ToString() << " cut dim " << dim << " at " << cut;
+  }
+}
+
+// Property 5 — Set is idempotent and Get reflects it.
+TEST_P(CubePropertyTest, SetIdempotence) {
+  const int dims = 2;
+  const int64_t side = 16;
+  auto cube = MakeCube(GetParam(), dims, side);
+  WorkloadGenerator gen(Shape::Cube(dims, side), 6);
+  for (int i = 0; i < 60; ++i) {
+    const Cell cell = gen.UniformCell();
+    const int64_t value = gen.Value(-50, 50);
+    cube->Set(cell, value);
+    cube->Set(cell, value);  // Second Set must be a no-op.
+    ASSERT_EQ(cube->Get(cell), value);
+    ASSERT_EQ(cube->RangeSum(Box{cell, cell}), value);
+  }
+}
+
+// Property 6 — inverse updates cancel: applying a stream and its negation
+// leaves the all-zero cube.
+TEST_P(CubePropertyTest, InverseCancellation) {
+  const int dims = 2;
+  const int64_t side = 16;
+  auto cube = MakeCube(GetParam(), dims, side);
+  WorkloadGenerator gen(Shape::Cube(dims, side), 7);
+  const std::vector<UpdateOp> ops = gen.UniformUpdates(100, -9, 9);
+  for (const UpdateOp& op : ops) cube->Add(op.cell, op.delta);
+  for (const UpdateOp& op : ops) cube->Add(op.cell, -op.delta);
+  const Shape shape = Shape::Cube(dims, side);
+  Cell c(static_cast<size_t>(dims), 0);
+  do {
+    ASSERT_EQ(cube->PrefixSum(c), 0) << CellToString(c);
+  } while (shape.NextCell(&c));
+}
+
+// Property 7 — whole-domain range sum equals the grand total regardless of
+// how it is asked.
+TEST_P(CubePropertyTest, WholeDomainConsistency) {
+  const int dims = 2;
+  const int64_t side = 16;
+  auto cube = MakeCube(GetParam(), dims, side);
+  WorkloadGenerator gen(Shape::Cube(dims, side), 8);
+  int64_t expected_total = 0;
+  for (const UpdateOp& op : gen.UniformUpdates(100, -9, 9)) {
+    cube->Add(op.cell, op.delta);
+    expected_total += op.delta;
+  }
+  EXPECT_EQ(cube->PrefixSum(cube->DomainHi()), expected_total);
+  EXPECT_EQ(cube->RangeSum(Box{cube->DomainLo(), cube->DomainHi()}),
+            expected_total);
+  // Oversized boxes clip to the domain.
+  EXPECT_EQ(cube->RangeSum(Box{UniformCell(dims, -1000),
+                               UniformCell(dims, 1000)}),
+            expected_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStructures, CubePropertyTest,
+                         ::testing::Values(Kind::kNaive, Kind::kPrefixSum,
+                                           Kind::kRps, Kind::kBasicDdc,
+                                           Kind::kDdc),
+                         KindName);
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,125 @@
+#include "common/range.h"
+
+#include <gtest/gtest.h>
+
+#include "common/md_array.h"
+#include "common/shape.h"
+#include "common/workload.h"
+
+namespace ddc {
+namespace {
+
+TEST(BoxTest, EmptyAndNumCells) {
+  Box b{{0, 0}, {2, 3}};
+  EXPECT_FALSE(b.IsEmpty());
+  EXPECT_EQ(b.NumCells(), 12);
+  Box e{{2, 0}, {1, 3}};
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_EQ(e.NumCells(), 0);
+}
+
+TEST(BoxTest, Contains) {
+  Box b{{1, 1}, {3, 3}};
+  EXPECT_TRUE(b.Contains({1, 1}));
+  EXPECT_TRUE(b.Contains({3, 3}));
+  EXPECT_TRUE(b.Contains({2, 3}));
+  EXPECT_FALSE(b.Contains({0, 2}));
+  EXPECT_FALSE(b.Contains({2, 4}));
+}
+
+TEST(BoxTest, Intersect) {
+  Box a{{0, 0}, {5, 5}};
+  Box b{{3, 3}, {8, 8}};
+  Box i = IntersectBoxes(a, b);
+  EXPECT_EQ(i.lo, (Cell{3, 3}));
+  EXPECT_EQ(i.hi, (Cell{5, 5}));
+  Box disjoint = IntersectBoxes(a, Box{{6, 6}, {7, 7}});
+  EXPECT_TRUE(disjoint.IsEmpty());
+}
+
+// Inclusion-exclusion over a dense reference array must match a direct scan,
+// for every box of a small domain (exhaustive) — the Figure 4 identity.
+TEST(RangeSumFromPrefixTest, MatchesDirectScanExhaustively2D) {
+  const Shape shape({5, 6});
+  WorkloadGenerator gen(shape, /*seed=*/42);
+  MdArray<int64_t> a = gen.RandomDenseArray(-9, 9);
+
+  auto prefix = [&](const Cell& c) {
+    int64_t sum = 0;
+    a.ForEach([&](const Cell& x, const int64_t& v) {
+      if (DominatedBy(x, c)) sum += v;
+    });
+    return sum;
+  };
+  auto direct = [&](const Box& box) {
+    int64_t sum = 0;
+    a.ForEach([&](const Cell& x, const int64_t& v) {
+      if (box.Contains(x)) sum += v;
+    });
+    return sum;
+  };
+
+  const Cell anchor = UniformCell(2, 0);
+  for (Coord l0 = 0; l0 < 5; ++l0) {
+    for (Coord l1 = 0; l1 < 6; ++l1) {
+      for (Coord h0 = l0; h0 < 5; ++h0) {
+        for (Coord h1 = l1; h1 < 6; ++h1) {
+          Box box{{l0, l1}, {h0, h1}};
+          EXPECT_EQ(RangeSumFromPrefix(box, anchor, prefix), direct(box))
+              << box.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(RangeSumFromPrefixTest, ThreeDimensionalSpotChecks) {
+  const Shape shape({4, 4, 4});
+  WorkloadGenerator gen(shape, /*seed=*/7);
+  MdArray<int64_t> a = gen.RandomDenseArray(0, 100);
+
+  auto prefix = [&](const Cell& c) {
+    int64_t sum = 0;
+    a.ForEach([&](const Cell& x, const int64_t& v) {
+      if (DominatedBy(x, c)) sum += v;
+    });
+    return sum;
+  };
+  auto direct = [&](const Box& box) {
+    int64_t sum = 0;
+    a.ForEach([&](const Cell& x, const int64_t& v) {
+      if (box.Contains(x)) sum += v;
+    });
+    return sum;
+  };
+
+  WorkloadGenerator boxes(shape, /*seed=*/99);
+  const Cell anchor = UniformCell(3, 0);
+  for (int i = 0; i < 200; ++i) {
+    Box box = boxes.UniformBox();
+    EXPECT_EQ(RangeSumFromPrefix(box, anchor, prefix), direct(box))
+        << box.ToString();
+  }
+}
+
+TEST(RangeSumFromPrefixTest, NonZeroAnchor) {
+  // Domain anchored at (-2, -2): prefix regions below the anchor are empty.
+  const Cell anchor{-2, -2};
+  // A[x] == 1 for every x in [-2..1]^2.
+  auto prefix = [&](const Cell& c) {
+    return (c[0] - anchor[0] + 1) * (c[1] - anchor[1] + 1);
+  };
+  EXPECT_EQ(
+      RangeSumFromPrefix(Box{{-2, -2}, {1, 1}}, anchor, prefix), 16);
+  EXPECT_EQ(RangeSumFromPrefix(Box{{-2, -2}, {-2, -2}}, anchor, prefix), 1);
+  EXPECT_EQ(RangeSumFromPrefix(Box{{0, -1}, {1, 1}}, anchor, prefix), 6);
+}
+
+TEST(RangeSumFromPrefixTest, EmptyBoxIsZero) {
+  auto prefix = [](const Cell&) { return int64_t{1000}; };
+  EXPECT_EQ(
+      RangeSumFromPrefix(Box{{3, 3}, {2, 2}}, UniformCell(2, 0), prefix), 0);
+}
+
+}  // namespace
+}  // namespace ddc

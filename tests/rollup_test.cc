@@ -1,0 +1,113 @@
+#include "olap/rollup.h"
+
+#include <gtest/gtest.h>
+
+#include "common/workload.h"
+
+namespace ddc {
+namespace {
+
+TEST(RollupTest, GroupByWeeks) {
+  MeasureCube cube(1, 64);
+  // Value v at day d for d in [0, 28): v = d.
+  for (Coord d = 0; d < 28; ++d) cube.AddObservation({d}, d);
+
+  const std::vector<RollupRow> weeks =
+      GroupBy(cube, Box{{0}, {27}}, 0, 7);
+  ASSERT_EQ(weeks.size(), 4u);
+  EXPECT_EQ(weeks[0].group_start, 0);
+  EXPECT_EQ(weeks[0].group_end, 6);
+  EXPECT_EQ(weeks[0].sum, 0 + 1 + 2 + 3 + 4 + 5 + 6);
+  EXPECT_EQ(weeks[0].count, 7);
+  EXPECT_EQ(weeks[3].sum, 21 + 22 + 23 + 24 + 25 + 26 + 27);
+  // Group totals partition the box total.
+  int64_t total = 0;
+  for (const RollupRow& row : weeks) total += row.sum;
+  EXPECT_EQ(total, cube.RangeSum(Box{{0}, {27}}));
+}
+
+TEST(RollupTest, PartialEdgeGroupsAreClipped) {
+  MeasureCube cube(1, 64);
+  for (Coord d = 0; d < 32; ++d) cube.AddObservation({d}, 1);
+  // Box [5, 17], weeks aligned to multiples of 7: groups [5,6] [7,13]
+  // [14,17].
+  const auto rows = GroupBy(cube, Box{{5}, {17}}, 0, 7);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].group_start, 5);
+  EXPECT_EQ(rows[0].group_end, 6);
+  EXPECT_EQ(rows[0].count, 2);
+  EXPECT_EQ(rows[1].group_start, 7);
+  EXPECT_EQ(rows[1].group_end, 13);
+  EXPECT_EQ(rows[1].count, 7);
+  EXPECT_EQ(rows[2].group_start, 14);
+  EXPECT_EQ(rows[2].group_end, 17);
+  EXPECT_EQ(rows[2].count, 4);
+}
+
+TEST(RollupTest, NegativeCoordinateAlignment) {
+  MeasureCube cube(1, 4);
+  cube.AddObservation({-5}, 10);  // Grows into negative coordinates.
+  cube.AddObservation({-1}, 20);
+  cube.AddObservation({2}, 30);
+  // Groups of 4 aligned to multiples of 4: [-8,-5] [-4,-1] [0,3].
+  const auto rows = GroupBy(cube, Box{{-8}, {3}}, 0, 4);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].sum, 10);
+  EXPECT_EQ(rows[1].sum, 20);
+  EXPECT_EQ(rows[2].sum, 30);
+}
+
+TEST(RollupTest, DrillDownMatchesCells) {
+  MeasureCube cube(2, 16);
+  cube.AddObservation({3, 1}, 5);
+  cube.AddObservation({3, 2}, 7);
+  cube.AddObservation({4, 1}, 11);
+  const auto rows = DrillDown(cube, Box{{3, 0}, {4, 15}}, 0);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].sum, 12);   // Row 3.
+  EXPECT_EQ(rows[1].sum, 11);   // Row 4.
+  EXPECT_EQ(rows[0].count, 2);
+}
+
+TEST(RollupTest, RollupLadderConsistency) {
+  MeasureCube cube(1, 128);
+  WorkloadGenerator gen(Shape::Cube(1, 128), 4);
+  for (int i = 0; i < 300; ++i) {
+    cube.AddObservation(gen.UniformCell(), gen.Value(1, 9));
+  }
+  const Box quarter{{0}, {83}};
+  const auto ladder = RollupLadder(cube, quarter, 0, {7, 28, 84});
+  ASSERT_EQ(ladder.size(), 3u);
+  EXPECT_EQ(ladder[0].size(), 12u);  // 12 weeks.
+  EXPECT_EQ(ladder[1].size(), 3u);   // 3 "months" of 28 days.
+  EXPECT_EQ(ladder[2].size(), 1u);   // 1 quarter.
+  // Every level partitions the same total.
+  const int64_t expected = cube.RangeSum(quarter);
+  for (const auto& report : ladder) {
+    int64_t total = 0;
+    for (const RollupRow& row : report) total += row.sum;
+    EXPECT_EQ(total, expected);
+  }
+  // Averages come from sum/count.
+  ASSERT_TRUE(ladder[2][0].average().has_value());
+  EXPECT_DOUBLE_EQ(*ladder[2][0].average(),
+                   static_cast<double>(expected) /
+                       static_cast<double>(cube.RangeCount(quarter)));
+}
+
+TEST(RollupTest, EmptyBoxYieldsNoRows) {
+  MeasureCube cube(1, 8);
+  EXPECT_TRUE(GroupBy(cube, Box{{5}, {2}}, 0, 2).empty());
+}
+
+TEST(RollupTest, EmptyGroupsHaveNoAverage) {
+  MeasureCube cube(1, 16);
+  cube.AddObservation({0}, 5);
+  const auto rows = GroupBy(cube, Box{{0}, {7}}, 0, 4);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0].average().has_value());
+  EXPECT_FALSE(rows[1].average().has_value());
+}
+
+}  // namespace
+}  // namespace ddc

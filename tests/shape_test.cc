@@ -1,0 +1,97 @@
+#include "common/shape.h"
+
+#include <gtest/gtest.h>
+
+#include "common/md_array.h"
+
+namespace ddc {
+namespace {
+
+TEST(ShapeTest, CubeConstruction) {
+  Shape s = Shape::Cube(3, 4);
+  EXPECT_EQ(s.dims(), 3);
+  EXPECT_EQ(s.extent(0), 4);
+  EXPECT_EQ(s.extent(2), 4);
+  EXPECT_EQ(s.num_cells(), 64);
+}
+
+TEST(ShapeTest, MixedExtents) {
+  Shape s({2, 3, 5});
+  EXPECT_EQ(s.num_cells(), 30);
+  EXPECT_EQ(s.extent(1), 3);
+}
+
+TEST(ShapeTest, Contains) {
+  Shape s({2, 3});
+  EXPECT_TRUE(s.Contains({0, 0}));
+  EXPECT_TRUE(s.Contains({1, 2}));
+  EXPECT_FALSE(s.Contains({2, 0}));
+  EXPECT_FALSE(s.Contains({0, 3}));
+  EXPECT_FALSE(s.Contains({-1, 0}));
+  EXPECT_FALSE(s.Contains({0}));  // Wrong arity.
+}
+
+TEST(ShapeTest, LinearIndexRoundTrip) {
+  Shape s({3, 4, 5});
+  for (int64_t i = 0; i < s.num_cells(); ++i) {
+    Cell c = s.CellAt(i);
+    EXPECT_EQ(s.LinearIndex(c), i);
+  }
+}
+
+TEST(ShapeTest, RowMajorOrder) {
+  Shape s({2, 3});
+  // Last dimension varies fastest.
+  EXPECT_EQ(s.LinearIndex({0, 0}), 0);
+  EXPECT_EQ(s.LinearIndex({0, 1}), 1);
+  EXPECT_EQ(s.LinearIndex({0, 2}), 2);
+  EXPECT_EQ(s.LinearIndex({1, 0}), 3);
+}
+
+TEST(ShapeTest, NextCellVisitsAllInOrder) {
+  Shape s({2, 2, 2});
+  Cell c(3, 0);
+  int64_t count = 0;
+  do {
+    EXPECT_EQ(s.LinearIndex(c), count);
+    ++count;
+  } while (s.NextCell(&c));
+  EXPECT_EQ(count, 8);
+  EXPECT_EQ(c, (Cell{0, 0, 0}));  // Wrapped back to start.
+}
+
+TEST(ShapeTest, OneDimensional) {
+  Shape s({7});
+  EXPECT_EQ(s.num_cells(), 7);
+  EXPECT_EQ(s.LinearIndex({6}), 6);
+}
+
+TEST(ShapeTest, SingleCell) {
+  Shape s({1, 1});
+  EXPECT_EQ(s.num_cells(), 1);
+  Cell c(2, 0);
+  EXPECT_FALSE(s.NextCell(&c));
+}
+
+TEST(MdArrayTest, FillAndAccess) {
+  MdArray<int64_t> a(Shape({2, 3}), 5);
+  EXPECT_EQ(a.at({1, 2}), 5);
+  a.at({1, 2}) = 9;
+  EXPECT_EQ(a.at({1, 2}), 9);
+  a.Fill(0);
+  EXPECT_EQ(a.at({1, 2}), 0);
+}
+
+TEST(MdArrayTest, ForEachCoversEverything) {
+  MdArray<int64_t> a(Shape({3, 3}));
+  int64_t visits = 0;
+  a.ForEach([&](const Cell& c, int64_t& v) {
+    v = c[0] * 10 + c[1];
+    ++visits;
+  });
+  EXPECT_EQ(visits, 9);
+  EXPECT_EQ(a.at({2, 1}), 21);
+}
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,164 @@
+// Long randomized stress runs: every structure against the oracle under a
+// hostile mixed workload (Add/Set/growth/negative values/corner cells), and
+// snapshot robustness under random byte corruption. These run longer than
+// the unit suites but stay under a few seconds.
+
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <sstream>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "basic_ddc/basic_ddc.h"
+#include "common/workload.h"
+#include "ddc/dynamic_data_cube.h"
+#include "ddc/snapshot.h"
+#include "naive/naive_cube.h"
+#include "prefix/prefix_sum_cube.h"
+#include "rps/relative_prefix_sum_cube.h"
+
+namespace ddc {
+namespace {
+
+// All four non-naive structures driven in lockstep against the oracle for
+// thousands of operations with frequent queries.
+TEST(StressTest, LockstepMixedWorkload2D) {
+  const Shape shape = Shape::Cube(2, 32);
+  NaiveCube naive(shape);
+  PrefixSumCube ps(shape);
+  RelativePrefixSumCube rps(shape);
+  BasicDdc basic(2, 32);
+  DynamicDataCube ddc_cube(2, 32);
+
+  WorkloadGenerator gen(shape, 12345);
+  for (int i = 0; i < 4000; ++i) {
+    const int64_t roll = gen.Value(0, 9);
+    const Cell cell = (roll < 2) ? Cell{gen.Value(0, 1) * 31,
+                                        gen.Value(0, 1) * 31}  // Corners.
+                                 : gen.UniformCell();
+    if (roll < 7) {
+      const int64_t delta = gen.Value(-100, 100);
+      naive.Add(cell, delta);
+      ps.Add(cell, delta);
+      rps.Add(cell, delta);
+      basic.Add(cell, delta);
+      ddc_cube.Add(cell, delta);
+    } else {
+      const int64_t value = gen.Value(-1000, 1000);
+      naive.Set(cell, value);
+      ps.Set(cell, value);
+      rps.Set(cell, value);
+      basic.Set(cell, value);
+      ddc_cube.Set(cell, value);
+    }
+    if (i % 7 == 0) {
+      const Box box = gen.UniformBox();
+      const int64_t expected = naive.RangeSum(box);
+      ASSERT_EQ(ps.RangeSum(box), expected) << i;
+      ASSERT_EQ(rps.RangeSum(box), expected) << i;
+      ASSERT_EQ(basic.RangeSum(box), expected) << i;
+      ASSERT_EQ(ddc_cube.RangeSum(box), expected) << i;
+    }
+  }
+}
+
+// Growth + shrink + snapshot interleaving must never lose data.
+TEST(StressTest, GrowShrinkSnapshotCycle) {
+  DynamicDataCube cube(2, 4);
+  std::mt19937_64 rng(777);
+  std::uniform_int_distribution<Coord> coord(-3000, 3000);
+  std::uniform_int_distribution<int64_t> value(1, 9);
+  std::map<std::pair<Coord, Coord>, int64_t> reference;
+
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 120; ++i) {
+      const Cell c{coord(rng), coord(rng)};
+      const int64_t v = value(rng);
+      cube.Add(c, v);
+      reference[{c[0], c[1]}] += v;
+    }
+    if (round % 3 == 1) cube.ShrinkToFit();
+    if (round % 3 == 2) {
+      std::stringstream stream;
+      ASSERT_TRUE(WriteSnapshot(cube, &stream));
+      auto loaded = ReadSnapshot(&stream);
+      ASSERT_NE(loaded, nullptr);
+      // Continue the run on the reloaded cube by copying back via CSV-less
+      // route: verify equivalence then keep original.
+      ASSERT_EQ(loaded->TotalSum(), cube.TotalSum());
+    }
+    // Spot-verify random windows against the reference map.
+    for (int q = 0; q < 20; ++q) {
+      Cell lo{coord(rng), coord(rng)};
+      Cell hi = CellAdd(lo, {std::abs(coord(rng)) / 4 + 1,
+                             std::abs(coord(rng)) / 4 + 1});
+      int64_t expected = 0;
+      for (const auto& [pos, v] : reference) {
+        if (pos.first >= lo[0] && pos.first <= hi[0] &&
+            pos.second >= lo[1] && pos.second <= hi[1]) {
+          expected += v;
+        }
+      }
+      const Box query_box{lo, hi};
+      ASSERT_EQ(cube.RangeSum(query_box), expected)
+          << round << " " << query_box.ToString();
+    }
+  }
+}
+
+// Snapshot corruption fuzz: flipping any single byte of a valid snapshot
+// must either fail cleanly (nullptr) or produce *some* cube — never crash.
+// Content corruption within record payloads is undetectable by design (the
+// format carries no checksum; values are arbitrary), so we only assert
+// no-crash plus header validation.
+TEST(StressTest, SnapshotCorruptionFuzz) {
+  DynamicDataCube cube(2, 16);
+  WorkloadGenerator gen(Shape::Cube(2, 16), 4);
+  for (const UpdateOp& op : gen.UniformUpdates(40, -5, 5)) {
+    cube.Add(op.cell, op.delta);
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(WriteSnapshot(cube, &stream));
+  const std::string bytes = stream.str();
+
+  std::mt19937_64 rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string corrupted = bytes;
+    const size_t pos = rng() % corrupted.size();
+    corrupted[pos] = static_cast<char>(rng() & 0xff);
+    std::stringstream in(corrupted);
+    auto loaded = ReadSnapshot(&in);  // Must not crash or hang.
+    if (pos < 8 && corrupted[pos] != bytes[pos]) {
+      EXPECT_EQ(loaded, nullptr) << "magic corruption accepted, pos " << pos;
+    }
+  }
+  // Truncation at every prefix length of the header region.
+  for (size_t cut = 0; cut < 64 && cut < bytes.size(); ++cut) {
+    std::stringstream in(bytes.substr(0, cut));
+    EXPECT_EQ(ReadSnapshot(&in), nullptr) << "cut=" << cut;
+  }
+}
+
+// Heavy cancellation: values oscillate so regions frequently sum to zero;
+// catches sign errors and stale-subtotal bugs.
+TEST(StressTest, CancellationHeavyWorkload) {
+  const Shape shape = Shape::Cube(3, 8);
+  NaiveCube naive(shape);
+  DynamicDataCube cube(3, 8);
+  WorkloadGenerator gen(shape, 31337);
+  for (int i = 0; i < 2500; ++i) {
+    const Cell cell = gen.UniformCell();
+    const int64_t delta = (i % 2 == 0) ? 1 : -1;
+    naive.Add(cell, delta);
+    cube.Add(cell, delta);
+    if (i % 11 == 0) {
+      const Cell probe = gen.UniformCell();
+      ASSERT_EQ(cube.PrefixSum(probe), naive.PrefixSum(probe)) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,81 @@
+// Tests for the small shared utilities: bit helpers and the table printer.
+
+#include <gtest/gtest.h>
+
+#include "common/bit_util.h"
+#include "common/table_printer.h"
+
+namespace ddc {
+namespace {
+
+TEST(BitUtilTest, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_TRUE(IsPowerOfTwo(int64_t{1} << 62));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(-2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(1000));
+}
+
+TEST(BitUtilTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(4), 2);
+  EXPECT_EQ(FloorLog2(1023), 9);
+  EXPECT_EQ(FloorLog2(1024), 10);
+}
+
+TEST(BitUtilTest, CeilPowerOfTwo) {
+  EXPECT_EQ(CeilPowerOfTwo(1), 1);
+  EXPECT_EQ(CeilPowerOfTwo(2), 2);
+  EXPECT_EQ(CeilPowerOfTwo(3), 4);
+  EXPECT_EQ(CeilPowerOfTwo(1000), 1024);
+  EXPECT_EQ(CeilPowerOfTwo(1024), 1024);
+}
+
+TEST(BitUtilTest, IPow) {
+  EXPECT_EQ(IPow(2, 0), 1);
+  EXPECT_EQ(IPow(2, 10), 1024);
+  EXPECT_EQ(IPow(10, 3), 1000);
+  EXPECT_EQ(IPow(7, 1), 7);
+  EXPECT_EQ(IPow(0, 3), 0);
+  EXPECT_EQ(IPow(-2, 3), -8);
+}
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "20000"});
+  const std::string rendered = table.ToString();
+  // Header and both rows appear, all lines equal width.
+  EXPECT_NE(rendered.find("| alpha |"), std::string::npos);
+  EXPECT_NE(rendered.find("20000"), std::string::npos);
+  size_t line_len = rendered.find('\n');
+  size_t pos = 0;
+  while (pos < rendered.size()) {
+    const size_t next = rendered.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    EXPECT_EQ(next - pos, line_len) << "ragged line in:\n" << rendered;
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::FormatInt(-42), "-42");
+  EXPECT_EQ(TablePrinter::FormatInt(1234567890123LL), "1234567890123");
+  EXPECT_EQ(TablePrinter::FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(TablePrinter::FormatScientific(1.0e16), "1.00E+16");
+}
+
+TEST(TablePrinterTest, EmptyBody) {
+  TablePrinter table({"only", "headers"});
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,80 @@
+#include "ddc/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/workload.h"
+
+namespace ddc {
+namespace {
+
+TEST(ValidateTest, EmptyCubeIsValid) {
+  DynamicDataCube cube(2, 16);
+  const ValidationResult result = ValidateCube(cube);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_GT(result.checked_prefix_sums, 0);
+}
+
+TEST(ValidateTest, SmallCubeExhaustive) {
+  DynamicDataCube cube(2, 8);
+  WorkloadGenerator gen(Shape::Cube(2, 8), 3);
+  for (const UpdateOp& op : gen.UniformUpdates(100, -9, 9)) {
+    cube.Add(op.cell, op.delta);
+  }
+  const ValidationResult result = ValidateCube(cube);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.checked_prefix_sums, 64);  // Every domain cell.
+  EXPECT_EQ(result.checked_points, 64);
+}
+
+TEST(ValidateTest, LargeCubeSampled) {
+  DynamicDataCube cube(2, 1024);
+  WorkloadGenerator gen(Shape::Cube(2, 1024), 4);
+  for (const UpdateOp& op : gen.UniformUpdates(400, 1, 9)) {
+    cube.Add(op.cell, op.delta);
+  }
+  const ValidationResult result = ValidateCube(cube);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_GT(result.checked_prefix_sums, 400);  // nnz + corners + samples.
+  EXPECT_GT(result.checked_range_sums, 0);
+}
+
+TEST(ValidateTest, ValidAcrossOptionVariants) {
+  for (int h : {0, 2}) {
+    for (bool fenwick : {false, true}) {
+      DdcOptions options;
+      options.elide_levels = h;
+      options.use_fenwick = fenwick;
+      DynamicDataCube cube(3, 16, options);
+      WorkloadGenerator gen(Shape::Cube(3, 16),
+                            static_cast<uint64_t>(h * 2 + (fenwick ? 1 : 0)));
+      for (const UpdateOp& op : gen.UniformUpdates(200, -5, 5)) {
+        cube.Add(op.cell, op.delta);
+      }
+      const ValidationResult result = ValidateCube(cube);
+      EXPECT_TRUE(result.ok) << "h=" << h << " fenwick=" << fenwick << ": "
+                             << result.error;
+    }
+  }
+}
+
+TEST(ValidateTest, ValidAfterGrowthAndShrink) {
+  DynamicDataCube cube(2, 4);
+  cube.Add({500, -300}, 7);
+  cube.Add({-80, 90}, 9);
+  ValidationResult result = ValidateCube(cube);
+  EXPECT_TRUE(result.ok) << result.error;
+  cube.ShrinkToFit();
+  result = ValidateCube(cube);
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+TEST(ValidateTest, ValidAfterBulkBuild) {
+  WorkloadGenerator gen(Shape::Cube(2, 32), 9);
+  MdArray<int64_t> array = gen.RandomDenseArray(-9, 9);
+  auto cube = DynamicDataCube::FromArray(array);
+  const ValidationResult result = ValidateCube(*cube);
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+}  // namespace
+}  // namespace ddc

@@ -1,0 +1,200 @@
+#include "wal/cube_log.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/workload.h"
+
+namespace ddc {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = "/tmp/ddc_wal_test";
+    Cleanup();
+  }
+  void TearDown() override { Cleanup(); }
+
+  void Cleanup() {
+    std::remove((base_ + ".log").c_str());
+    std::remove((base_ + ".snap").c_str());
+    std::remove(log_only_.c_str());
+  }
+
+  std::string base_;
+  std::string log_only_ = "/tmp/ddc_wal_test_only.log";
+};
+
+TEST_F(WalTest, AppendAndReplay) {
+  {
+    auto log = CubeLog::Open(log_only_, 2);
+    ASSERT_NE(log, nullptr);
+    EXPECT_TRUE(log->Append({1, 2}, 10));
+    EXPECT_TRUE(log->Append({3, 4}, -5));
+    EXPECT_TRUE(log->Sync());
+    EXPECT_EQ(log->appended(), 2);
+  }
+  DynamicDataCube cube(2, 16);
+  const ReplayResult result = CubeLog::Replay(log_only_, &cube);
+  EXPECT_TRUE(result.header_ok);
+  EXPECT_TRUE(result.clean_tail);
+  EXPECT_EQ(result.applied, 2);
+  EXPECT_EQ(cube.Get({1, 2}), 10);
+  EXPECT_EQ(cube.Get({3, 4}), -5);
+}
+
+TEST_F(WalTest, ReopenAppends) {
+  {
+    auto log = CubeLog::Open(log_only_, 1);
+    ASSERT_NE(log, nullptr);
+    log->Append({5}, 1);
+  }
+  {
+    auto log = CubeLog::Open(log_only_, 1);
+    ASSERT_NE(log, nullptr);
+    log->Append({6}, 2);
+  }
+  DynamicDataCube cube(1, 16);
+  const ReplayResult result = CubeLog::Replay(log_only_, &cube);
+  EXPECT_EQ(result.applied, 2);
+  EXPECT_EQ(cube.TotalSum(), 3);
+}
+
+TEST_F(WalTest, DimsMismatchRejected) {
+  {
+    auto log = CubeLog::Open(log_only_, 2);
+    ASSERT_NE(log, nullptr);
+  }
+  EXPECT_EQ(CubeLog::Open(log_only_, 3), nullptr);
+  DynamicDataCube cube(3, 8);
+  const ReplayResult result = CubeLog::Replay(log_only_, &cube);
+  EXPECT_FALSE(result.header_ok);
+}
+
+TEST_F(WalTest, TornTailStopsReplayCleanly) {
+  {
+    auto log = CubeLog::Open(log_only_, 2);
+    ASSERT_NE(log, nullptr);
+    log->Append({1, 1}, 7);
+    log->Append({2, 2}, 9);
+    log->Sync();
+  }
+  // Truncate mid-record: header (12) + one record (3*8+8 = 32) + 10 bytes.
+  std::ifstream in(log_only_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(log_only_, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), 12 + 32 + 10);
+  out.close();
+
+  DynamicDataCube cube(2, 16);
+  const ReplayResult result = CubeLog::Replay(log_only_, &cube);
+  EXPECT_TRUE(result.header_ok);
+  EXPECT_EQ(result.applied, 1);       // First record survives.
+  EXPECT_FALSE(result.clean_tail);    // Second is torn.
+  EXPECT_EQ(cube.Get({1, 1}), 7);
+  EXPECT_EQ(cube.Get({2, 2}), 0);
+}
+
+TEST_F(WalTest, CorruptChecksumStopsReplay) {
+  {
+    auto log = CubeLog::Open(log_only_, 1);
+    ASSERT_NE(log, nullptr);
+    log->Append({3}, 5);
+    log->Append({4}, 6);
+    log->Sync();
+  }
+  // Flip a byte inside the second record's delta.
+  std::fstream file(log_only_, std::ios::binary | std::ios::in |
+                                   std::ios::out);
+  // Header 12 + record (8+8+8=24) + cell(8) + 2 bytes into delta.
+  file.seekp(12 + 24 + 8 + 2);
+  char byte = 0x55;
+  file.write(&byte, 1);
+  file.close();
+
+  DynamicDataCube cube(1, 16);
+  const ReplayResult result = CubeLog::Replay(log_only_, &cube);
+  EXPECT_EQ(result.applied, 1);
+  EXPECT_FALSE(result.clean_tail);
+}
+
+TEST_F(WalTest, DurableCubeSurvivesRestart) {
+  {
+    DurableCube cube(2, 16, base_);
+    ASSERT_TRUE(cube.durable());
+    cube.Add({3, 4}, 100, /*sync=*/true);
+    cube.Add({5, 6}, 50, /*sync=*/true);
+    // No checkpoint: state lives in the log only. Destructor drops the
+    // in-memory cube; files remain.
+  }
+  DurableCube reopened(2, 16, base_);
+  EXPECT_TRUE(reopened.recovery().header_ok);
+  EXPECT_EQ(reopened.recovery().applied, 2);
+  EXPECT_EQ(reopened.cube().Get({3, 4}), 100);
+  EXPECT_EQ(reopened.cube().TotalSum(), 150);
+}
+
+TEST_F(WalTest, CheckpointResetsLogAndKeepsState) {
+  {
+    DurableCube cube(2, 16, base_);
+    cube.Add({1, 1}, 10, true);
+    ASSERT_TRUE(cube.Checkpoint());
+    cube.Add({2, 2}, 20, true);  // Post-checkpoint: in the fresh log.
+  }
+  DurableCube reopened(2, 16, base_);
+  EXPECT_EQ(reopened.recovery().applied, 1);  // Only the post-checkpoint op.
+  EXPECT_EQ(reopened.cube().TotalSum(), 30);
+  EXPECT_EQ(reopened.cube().Get({1, 1}), 10);
+  EXPECT_EQ(reopened.cube().Get({2, 2}), 20);
+}
+
+TEST_F(WalTest, RecoveryAfterTornTailSelfHeals) {
+  {
+    DurableCube cube(2, 16, base_);
+    for (Coord i = 0; i < 10; ++i) cube.Add({i, i}, 1, true);
+  }
+  // Tear the log: drop the last 5 bytes.
+  const std::string log_path = base_ + ".log";
+  std::ifstream in(log_path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(log_path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(),
+            static_cast<std::streamsize>(bytes.size() - 5));
+  out.close();
+
+  DurableCube recovered(2, 16, base_);
+  EXPECT_FALSE(recovered.recovery().clean_tail);
+  EXPECT_EQ(recovered.cube().TotalSum(), 9);  // Last record lost, rest kept.
+  // Self-heal checkpointed: a further restart replays an empty log.
+  DurableCube again(2, 16, base_);
+  EXPECT_EQ(again.recovery().applied, 0);
+  EXPECT_EQ(again.cube().TotalSum(), 9);
+}
+
+TEST_F(WalTest, RandomizedDurabilityRoundTrip) {
+  WorkloadGenerator gen(Shape::Cube(2, 64), 77);
+  int64_t expected_total = 0;
+  {
+    DurableCube cube(2, 64, base_);
+    for (int i = 0; i < 300; ++i) {
+      const UpdateOp op{gen.UniformCell(), gen.Value(-9, 9)};
+      cube.Add(op.cell, op.delta, i % 50 == 0);
+      expected_total += op.delta;
+      if (i == 150) cube.Checkpoint();
+    }
+    cube.cube();  // Final flush happens via the log handle below.
+  }
+  DurableCube reopened(2, 64, base_);
+  EXPECT_EQ(reopened.cube().TotalSum(), expected_total);
+}
+
+}  // namespace
+}  // namespace ddc

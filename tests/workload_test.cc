@@ -1,0 +1,138 @@
+#include "common/workload.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <set>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace ddc {
+namespace {
+
+TEST(WorkloadTest, UniformCellInDomain) {
+  Shape domain({8, 16, 4});
+  WorkloadGenerator gen(domain, 1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(domain.Contains(gen.UniformCell()));
+  }
+}
+
+TEST(WorkloadTest, Deterministic) {
+  Shape domain({32, 32});
+  WorkloadGenerator a(domain, 123);
+  WorkloadGenerator b(domain, 123);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.UniformCell(), b.UniformCell());
+  }
+}
+
+TEST(WorkloadTest, ZipfSkewsLow) {
+  Shape domain({1024});
+  WorkloadGenerator gen(domain, 7);
+  int64_t low_uniform = 0;
+  int64_t low_zipf = 0;
+  const int kSamples = 4000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (gen.UniformCell()[0] < 128) ++low_uniform;
+    if (gen.ZipfCell(2.0)[0] < 128) ++low_zipf;
+  }
+  // Strong skew: far more mass in the lowest eighth than uniform.
+  EXPECT_GT(low_zipf, low_uniform * 2);
+}
+
+TEST(WorkloadTest, ZipfZeroThetaStaysInDomain) {
+  Shape domain({16, 16});
+  WorkloadGenerator gen(domain, 3);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(domain.Contains(gen.ZipfCell(0.0)));
+  }
+}
+
+TEST(WorkloadTest, UniformBoxWellFormed) {
+  Shape domain({10, 20});
+  WorkloadGenerator gen(domain, 4);
+  for (int i = 0; i < 500; ++i) {
+    Box box = gen.UniformBox();
+    EXPECT_FALSE(box.IsEmpty());
+    EXPECT_TRUE(domain.Contains(box.lo));
+    EXPECT_TRUE(domain.Contains(box.hi));
+  }
+}
+
+TEST(WorkloadTest, BoxWithSideFraction) {
+  Shape domain({100, 100});
+  WorkloadGenerator gen(domain, 5);
+  for (int i = 0; i < 200; ++i) {
+    Box box = gen.BoxWithSideFraction(0.25);
+    EXPECT_EQ(box.hi[0] - box.lo[0] + 1, 25);
+    EXPECT_EQ(box.hi[1] - box.lo[1] + 1, 25);
+    EXPECT_TRUE(domain.Contains(box.lo));
+    EXPECT_TRUE(domain.Contains(box.hi));
+  }
+}
+
+TEST(WorkloadTest, BoxWithTinyFractionClampsToOneCell) {
+  Shape domain({8, 8});
+  WorkloadGenerator gen(domain, 6);
+  Box box = gen.BoxWithSideFraction(0.001);
+  EXPECT_EQ(box.NumCells(), 1);
+}
+
+TEST(WorkloadTest, UniformUpdatesRespectValueRange) {
+  Shape domain({16});
+  WorkloadGenerator gen(domain, 8);
+  for (const UpdateOp& op : gen.UniformUpdates(300, -5, 5)) {
+    EXPECT_GE(op.delta, -5);
+    EXPECT_LE(op.delta, 5);
+    EXPECT_TRUE(domain.Contains(op.cell));
+  }
+}
+
+TEST(WorkloadTest, RandomDenseArrayInRange) {
+  Shape domain({6, 6});
+  WorkloadGenerator gen(domain, 9);
+  MdArray<int64_t> a = gen.RandomDenseArray(10, 20);
+  a.ForEach([](const Cell&, const int64_t& v) {
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 20);
+  });
+}
+
+TEST(ClusteredGeneratorTest, CellsConcentrateAroundCenters) {
+  Shape domain({256, 256});
+  ClusteredGenerator gen(domain, 3, /*sigma_fraction=*/0.01, /*seed=*/11);
+  ASSERT_EQ(gen.centers().size(), 3u);
+  // Every generated cell is within the domain and close to some center.
+  for (int i = 0; i < 500; ++i) {
+    Cell c = gen.NextCell();
+    EXPECT_TRUE(domain.Contains(c));
+    int64_t best = INT64_MAX;
+    for (const Cell& center : gen.centers()) {
+      int64_t dist = 0;
+      for (size_t j = 0; j < c.size(); ++j) {
+        dist = std::max<int64_t>(dist, std::abs(c[j] - center[j]));
+      }
+      best = std::min(best, dist);
+    }
+    // 6 sigma = ~15 cells; allow generous slack for clamping.
+    EXPECT_LE(best, 26);
+  }
+}
+
+TEST(ClusteredGeneratorTest, SparseOccupancy) {
+  // Clustered data covers a small fraction of a large domain.
+  Shape domain({512, 512});
+  ClusteredGenerator gen(domain, 4, 0.005, 13);
+  std::set<std::pair<Coord, Coord>> seen;
+  for (int i = 0; i < 2000; ++i) {
+    Cell c = gen.NextCell();
+    seen.insert({c[0], c[1]});
+  }
+  // Distinct cells are a tiny fraction of the 262144-cell domain.
+  EXPECT_LT(seen.size(), 6000u);
+}
+
+}  // namespace
+}  // namespace ddc

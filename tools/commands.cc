@@ -1,0 +1,352 @@
+#include "tools/commands.h"
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "common/bit_util.h"
+#include "ddc/dynamic_data_cube.h"
+#include "ddc/snapshot.h"
+#include "query/executor.h"
+#include "tools/csv.h"
+
+namespace ddc {
+namespace tools {
+
+namespace {
+
+// Simple flag parser: collects "--name value" pairs and positional args.
+struct ParsedArgs {
+  std::vector<std::pair<std::string, std::string>> flags;
+  std::vector<std::string> positional;
+
+  bool GetFlag(const std::string& name, std::string* value) const {
+    for (const auto& [flag, flag_value] : flags) {
+      if (flag == name) {
+        *value = flag_value;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool GetInt(const std::string& name, int64_t* value) const {
+    std::string text;
+    if (!GetFlag(name, &text)) return false;
+    return ParseInt64(text, value);
+  }
+};
+
+bool ParseArgs(const std::vector<std::string>& args, ParsedArgs* parsed,
+               std::ostream& err) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i].rfind("--", 0) == 0) {
+      if (i + 1 >= args.size()) {
+        err << "flag " << args[i] << " is missing its value\n";
+        return false;
+      }
+      parsed->flags.emplace_back(args[i].substr(2), args[i + 1]);
+      ++i;
+    } else {
+      parsed->positional.push_back(args[i]);
+    }
+  }
+  return true;
+}
+
+// Builds DdcOptions from the optional --fanout / --fenwick / --elide flags.
+bool OptionsFromArgs(const ParsedArgs& args, DdcOptions* options,
+                     std::ostream& err) {
+  int64_t fanout = 0;
+  if (args.GetInt("fanout", &fanout)) {
+    if (fanout < 2) {
+      err << "--fanout must be >= 2\n";
+      return false;
+    }
+    options->bc_fanout = static_cast<int>(fanout);
+  }
+  int64_t elide = 0;
+  if (args.GetInt("elide", &elide)) {
+    if (elide < 0 || elide >= 62) {
+      err << "--elide must be in [0, 61]\n";
+      return false;
+    }
+    options->elide_levels = static_cast<int>(elide);
+  }
+  std::string fenwick;
+  if (args.GetFlag("fenwick", &fenwick)) {
+    options->use_fenwick = (fenwick == "1" || fenwick == "true");
+  }
+  return true;
+}
+
+std::unique_ptr<DynamicDataCube> NewCube(const ParsedArgs& args,
+                                         std::ostream& err) {
+  int64_t dims = 0;
+  if (!args.GetInt("dims", &dims) || dims < 1 || dims > 20) {
+    err << "--dims D (1..20) is required\n";
+    return nullptr;
+  }
+  int64_t side = 16;
+  if (args.GetInt("side", &side) && (side < 2 || !IsPowerOfTwo(side))) {
+    err << "--side must be a power of two >= 2\n";
+    return nullptr;
+  }
+  DdcOptions options;
+  if (!OptionsFromArgs(args, &options, err)) return nullptr;
+  return std::make_unique<DynamicDataCube>(static_cast<int>(dims), side,
+                                           options);
+}
+
+std::unique_ptr<DynamicDataCube> OpenCube(const std::string& path,
+                                          std::ostream& err) {
+  auto cube = LoadSnapshotFromFile(path);
+  if (cube == nullptr) {
+    err << "cannot load cube snapshot from '" << path << "'\n";
+  }
+  return cube;
+}
+
+bool SaveCube(const DynamicDataCube& cube, const std::string& path,
+              std::ostream& err) {
+  if (!SaveSnapshotToFile(cube, path)) {
+    err << "cannot write cube snapshot to '" << path << "'\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string UsageText() {
+  return "ddctool — Dynamic Data Cube command line\n"
+         "usage:\n"
+         "  ddctool create --dims D [--side S] [--fanout F] [--elide H] "
+         "[--fenwick 0|1] OUT\n"
+         "  ddctool load   --dims D [--side S] --csv IN OUT\n"
+         "  ddctool add    CUBE c1 ... cd value\n"
+         "  ddctool query  CUBE --range lo1:hi1,...,lod:hid\n"
+         "  ddctool select CUBE \"SUM [GROUP BY dK [SIZE g]] [WHERE dI IN "
+         "[a,b] AND ...]\"\n"
+         "  ddctool info   CUBE\n"
+         "  ddctool export CUBE --csv OUT\n"
+         "  ddctool shrink CUBE\n";
+}
+
+int CmdCreate(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  ParsedArgs parsed;
+  if (!ParseArgs(args, &parsed, err)) return 2;
+  if (parsed.positional.size() != 1) {
+    err << "create: exactly one output path expected\n";
+    return 2;
+  }
+  auto cube = NewCube(parsed, err);
+  if (cube == nullptr) return 2;
+  if (!SaveCube(*cube, parsed.positional[0], err)) return 1;
+  out << "created empty cube: dims=" << cube->dims()
+      << " side=" << cube->side() << " -> " << parsed.positional[0] << "\n";
+  return 0;
+}
+
+int CmdLoad(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  ParsedArgs parsed;
+  if (!ParseArgs(args, &parsed, err)) return 2;
+  std::string csv_path;
+  if (!parsed.GetFlag("csv", &csv_path) || parsed.positional.size() != 1) {
+    err << "load: --csv IN and one output path are required\n";
+    return 2;
+  }
+  auto cube = NewCube(parsed, err);
+  if (cube == nullptr) return 2;
+  std::ifstream in(csv_path);
+  if (!in.is_open()) {
+    err << "cannot open CSV file '" << csv_path << "'\n";
+    return 1;
+  }
+  int64_t rows = 0;
+  std::string error;
+  if (!LoadCsvIntoCube(&in, cube.get(), &rows, &error)) {
+    err << "CSV error: " << error << "\n";
+    return 1;
+  }
+  if (!SaveCube(*cube, parsed.positional[0], err)) return 1;
+  out << "loaded " << rows << " rows; total=" << cube->TotalSum()
+      << " side=" << cube->side() << " -> " << parsed.positional[0] << "\n";
+  return 0;
+}
+
+int CmdAdd(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  ParsedArgs parsed;
+  if (!ParseArgs(args, &parsed, err)) return 2;
+  if (parsed.positional.size() < 3) {
+    err << "add: CUBE c1 ... cd value\n";
+    return 2;
+  }
+  auto cube = OpenCube(parsed.positional[0], err);
+  if (cube == nullptr) return 1;
+  const int dims = cube->dims();
+  if (static_cast<int>(parsed.positional.size()) != dims + 2) {
+    err << "add: cube has " << dims << " dimensions; expected " << dims
+        << " coordinates plus a value\n";
+    return 2;
+  }
+  Cell cell(static_cast<size_t>(dims));
+  int64_t value = 0;
+  for (int i = 0; i < dims; ++i) {
+    if (!ParseInt64(parsed.positional[static_cast<size_t>(i + 1)],
+                    &cell[static_cast<size_t>(i)])) {
+      err << "add: bad coordinate '" << parsed.positional[i + 1] << "'\n";
+      return 2;
+    }
+  }
+  if (!ParseInt64(parsed.positional.back(), &value)) {
+    err << "add: bad value '" << parsed.positional.back() << "'\n";
+    return 2;
+  }
+  cube->Add(cell, value);
+  if (!SaveCube(*cube, parsed.positional[0], err)) return 1;
+  out << "A" << CellToString(cell) << " += " << value
+      << "; cell now " << cube->Get(cell) << ", total " << cube->TotalSum()
+      << "\n";
+  return 0;
+}
+
+int CmdQuery(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  ParsedArgs parsed;
+  if (!ParseArgs(args, &parsed, err)) return 2;
+  std::string range;
+  if (parsed.positional.size() != 1 || !parsed.GetFlag("range", &range)) {
+    err << "query: CUBE --range lo1:hi1,... required\n";
+    return 2;
+  }
+  auto cube = OpenCube(parsed.positional[0], err);
+  if (cube == nullptr) return 1;
+  Box box;
+  std::string error;
+  if (!ParseRangeSpec(range, cube->dims(), &box, &error)) {
+    err << "query: " << error << "\n";
+    return 2;
+  }
+  out << "range " << box.ToString() << " sum = " << cube->RangeSum(box)
+      << "\n";
+  return 0;
+}
+
+int CmdSelect(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  ParsedArgs parsed;
+  if (!ParseArgs(args, &parsed, err)) return 2;
+  if (parsed.positional.size() != 2) {
+    err << "select: CUBE \"<query>\" required (see ddctool help)\n";
+    return 2;
+  }
+  auto cube = OpenCube(parsed.positional[0], err);
+  if (cube == nullptr) return 1;
+  const QueryResult result = RunQuery(parsed.positional[1], *cube);
+  if (!result.ok) {
+    err << "select: " << result.error << "\n";
+    return 1;
+  }
+  out << FormatResult(result);
+  return 0;
+}
+
+int CmdInfo(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  ParsedArgs parsed;
+  if (!ParseArgs(args, &parsed, err)) return 2;
+  if (parsed.positional.size() != 1) {
+    err << "info: exactly one cube path expected\n";
+    return 2;
+  }
+  auto cube = OpenCube(parsed.positional[0], err);
+  if (cube == nullptr) return 1;
+  const DdcStats stats = cube->Stats();
+  out << "dims:          " << cube->dims() << "\n"
+      << "domain:        " << CellToString(cube->DomainLo()) << " .. "
+      << CellToString(cube->DomainHi()) << " (side " << cube->side() << ")\n"
+      << "total sum:     " << cube->TotalSum() << "\n"
+      << "nonzero cells: " << stats.nonzero_cells << "\n"
+      << "storage cells: " << cube->StorageCells() << "\n"
+      << "tree nodes:    " << stats.nodes << "\n"
+      << "overlay boxes: " << stats.boxes << "\n"
+      << "face stores:   " << stats.face_stores << "\n"
+      << "leaf blocks:   " << stats.raw_blocks << " (" << stats.raw_cells
+      << " cells)\n"
+      << "options:       fanout=" << cube->options().bc_fanout
+      << " elide=" << cube->options().elide_levels
+      << " store=" << (cube->options().use_fenwick ? "fenwick" : "bc_tree")
+      << "\n";
+  return 0;
+}
+
+int CmdExport(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  ParsedArgs parsed;
+  if (!ParseArgs(args, &parsed, err)) return 2;
+  std::string csv_path;
+  if (parsed.positional.size() != 1 || !parsed.GetFlag("csv", &csv_path)) {
+    err << "export: CUBE --csv OUT required\n";
+    return 2;
+  }
+  auto cube = OpenCube(parsed.positional[0], err);
+  if (cube == nullptr) return 1;
+  std::ofstream csv(csv_path, std::ios::trunc);
+  if (!csv.is_open() || !ExportCubeToCsv(*cube, &csv)) {
+    err << "cannot write CSV to '" << csv_path << "'\n";
+    return 1;
+  }
+  out << "exported " << cube->Stats().nonzero_cells << " cells -> "
+      << csv_path << "\n";
+  return 0;
+}
+
+int CmdShrink(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  ParsedArgs parsed;
+  if (!ParseArgs(args, &parsed, err)) return 2;
+  if (parsed.positional.size() != 1) {
+    err << "shrink: exactly one cube path expected\n";
+    return 2;
+  }
+  auto cube = OpenCube(parsed.positional[0], err);
+  if (cube == nullptr) return 1;
+  const int64_t before = cube->side();
+  cube->ShrinkToFit();
+  if (!SaveCube(*cube, parsed.positional[0], err)) return 1;
+  out << "side " << before << " -> " << cube->side() << ", storage "
+      << cube->StorageCells() << " cells\n";
+  return 0;
+}
+
+int RunDdcTool(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  if (args.empty()) {
+    err << UsageText();
+    return 2;
+  }
+  const std::string& command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (command == "create") return CmdCreate(rest, out, err);
+  if (command == "load") return CmdLoad(rest, out, err);
+  if (command == "add") return CmdAdd(rest, out, err);
+  if (command == "query") return CmdQuery(rest, out, err);
+  if (command == "select") return CmdSelect(rest, out, err);
+  if (command == "info") return CmdInfo(rest, out, err);
+  if (command == "export") return CmdExport(rest, out, err);
+  if (command == "shrink") return CmdShrink(rest, out, err);
+  if (command == "help" || command == "--help") {
+    out << UsageText();
+    return 0;
+  }
+  err << "unknown command '" << command << "'\n" << UsageText();
+  return 2;
+}
+
+}  // namespace tools
+}  // namespace ddc

@@ -1,0 +1,55 @@
+// ddctool command implementations, separated from main() so the test suite
+// can drive them directly.
+//
+// Commands (cube files are DDCSNAP1 snapshots, see ddc/snapshot.h):
+//   ddctool create  --dims D [--side S] [--fanout F] [--elide H] OUT
+//   ddctool load    --dims D [--side S] --csv IN OUT
+//   ddctool add     CUBE c1 c2 ... cd value
+//   ddctool query   CUBE --range lo1:hi1,...,lod:hid
+//   ddctool select  CUBE "SUM [GROUP BY dK [SIZE g]] [WHERE dI IN [a,b] ...]"
+//   ddctool info    CUBE
+//   ddctool export  CUBE --csv OUT
+//   ddctool shrink  CUBE
+//
+// Every command returns a process exit code (0 = success) and writes its
+// human-readable output to `out` and diagnostics to `err`.
+
+#ifndef DDC_TOOLS_COMMANDS_H_
+#define DDC_TOOLS_COMMANDS_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ddc {
+namespace tools {
+
+// Dispatches `args` (excluding the program name) to the matching command.
+// Unknown commands print usage and return 2.
+int RunDdcTool(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err);
+
+// Individual commands, exposed for tests.
+int CmdCreate(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
+int CmdLoad(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+int CmdAdd(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+int CmdQuery(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err);
+int CmdSelect(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
+int CmdInfo(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+int CmdExport(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
+int CmdShrink(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
+
+std::string UsageText();
+
+}  // namespace tools
+}  // namespace ddc
+
+#endif  // DDC_TOOLS_COMMANDS_H_

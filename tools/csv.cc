@@ -1,0 +1,143 @@
+#include "tools/csv.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+namespace ddc {
+namespace tools {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(Trim(line.substr(start)));
+      break;
+    }
+    fields.push_back(Trim(line.substr(start, comma - start)));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+bool ParseInt64(const std::string& field, int64_t* value) {
+  if (field.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(field.c_str(), &end, 10);
+  if (errno != 0 || end != field.c_str() + field.size()) return false;
+  *value = parsed;
+  return true;
+}
+
+bool LoadCsvIntoCube(std::istream* in, DynamicDataCube* cube, int64_t* rows,
+                     std::string* error) {
+  const int dims = cube->dims();
+  *rows = 0;
+  std::string line;
+  int64_t line_number = 0;
+  bool first_content_line = true;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const std::vector<std::string> fields = SplitCsvLine(trimmed);
+    if (static_cast<int>(fields.size()) != dims + 1) {
+      *error = "line " + std::to_string(line_number) + ": expected " +
+               std::to_string(dims + 1) + " fields, got " +
+               std::to_string(fields.size());
+      return false;
+    }
+    Cell cell(static_cast<size_t>(dims));
+    int64_t value = 0;
+    bool parsed = true;
+    for (int i = 0; i < dims && parsed; ++i) {
+      parsed = ParseInt64(fields[static_cast<size_t>(i)],
+                          &cell[static_cast<size_t>(i)]);
+    }
+    parsed = parsed && ParseInt64(fields[static_cast<size_t>(dims)], &value);
+    if (!parsed) {
+      if (first_content_line) {
+        // Header row: skip it.
+        first_content_line = false;
+        continue;
+      }
+      *error = "line " + std::to_string(line_number) +
+               ": non-integer field in '" + trimmed + "'";
+      return false;
+    }
+    first_content_line = false;
+    cube->Add(cell, value);
+    ++*rows;
+  }
+  return true;
+}
+
+bool ExportCubeToCsv(const DynamicDataCube& cube, std::ostream* out) {
+  for (int i = 0; i < cube.dims(); ++i) {
+    *out << "dim" << i << ",";
+  }
+  *out << "value\n";
+  cube.ForEachNonZero([&](const Cell& cell, int64_t value) {
+    for (Coord c : cell) {
+      *out << c << ",";
+    }
+    *out << value << "\n";
+  });
+  return out->good();
+}
+
+bool ParseRangeSpec(const std::string& spec, int dims, Box* box,
+                    std::string* error) {
+  const std::vector<std::string> parts = SplitCsvLine(spec);
+  if (static_cast<int>(parts.size()) != dims) {
+    *error = "range spec has " + std::to_string(parts.size()) +
+             " components, cube has " + std::to_string(dims) + " dimensions";
+    return false;
+  }
+  box->lo.assign(static_cast<size_t>(dims), 0);
+  box->hi.assign(static_cast<size_t>(dims), 0);
+  for (int i = 0; i < dims; ++i) {
+    const std::string& part = parts[static_cast<size_t>(i)];
+    const size_t colon = part.find(':');
+    int64_t lo = 0;
+    int64_t hi = 0;
+    bool ok;
+    if (colon == std::string::npos) {
+      ok = ParseInt64(part, &lo);
+      hi = lo;
+    } else {
+      ok = ParseInt64(part.substr(0, colon), &lo) &&
+           ParseInt64(part.substr(colon + 1), &hi);
+    }
+    if (!ok) {
+      *error = "bad range component '" + part + "'";
+      return false;
+    }
+    if (lo > hi) {
+      *error = "empty range component '" + part + "' (lo > hi)";
+      return false;
+    }
+    box->lo[static_cast<size_t>(i)] = lo;
+    box->hi[static_cast<size_t>(i)] = hi;
+  }
+  return true;
+}
+
+}  // namespace tools
+}  // namespace ddc

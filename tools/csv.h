@@ -1,0 +1,45 @@
+// Minimal CSV support for ddctool: cube contents as "c1,c2,...,cd,value"
+// rows. Blank lines and lines starting with '#' are ignored; a non-numeric
+// first row is treated as a header and skipped.
+
+#ifndef DDC_TOOLS_CSV_H_
+#define DDC_TOOLS_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/cell.h"
+#include "ddc/dynamic_data_cube.h"
+
+namespace ddc {
+namespace tools {
+
+// Splits a CSV line on commas, trimming surrounding whitespace from each
+// field. Quoting is not supported (fields are integers).
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+// Strict integer parse of an entire field. Returns false on any trailing
+// garbage, empty field, or overflow.
+bool ParseInt64(const std::string& field, int64_t* value);
+
+// Streams "c1,...,cd,value" rows into the cube via Add. On failure returns
+// false and describes the offending line in *error. Returns the number of
+// ingested rows in *rows (valid on success).
+bool LoadCsvIntoCube(std::istream* in, DynamicDataCube* cube, int64_t* rows,
+                     std::string* error);
+
+// Writes every nonzero cell as a "c1,...,cd,value" row, preceded by a
+// header line "dim0,...,dimN,value".
+bool ExportCubeToCsv(const DynamicDataCube& cube, std::ostream* out);
+
+// Parses a range spec "lo1:hi1,lo2:hi2,..." into a Box. Each component may
+// also be a single integer meaning lo == hi. Returns false (with *error
+// set) on malformed input or wrong arity.
+bool ParseRangeSpec(const std::string& spec, int dims, Box* box,
+                    std::string* error);
+
+}  // namespace tools
+}  // namespace ddc
+
+#endif  // DDC_TOOLS_CSV_H_

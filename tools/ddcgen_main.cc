@@ -1,0 +1,130 @@
+// ddcgen: synthetic workload generator. Emits "c1,...,cd,value" CSV rows
+// (the ddctool load format) for the workload classes the paper motivates:
+// uniform business data, Zipf-skewed activity, clustered point sources
+// (stars, emissions).
+//
+// usage:
+//   ddcgen --dims D --side N --rows R [--workload uniform|zipf|clustered]
+//          [--clusters K] [--sigma F] [--theta T] [--value-lo A]
+//          [--value-hi B] [--seed S] [--out PATH]
+//
+// Rows go to stdout unless --out is given.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/cell.h"
+#include "common/shape.h"
+#include "common/workload.h"
+#include "tools/csv.h"
+
+namespace {
+
+using ddc::Cell;
+using ddc::Shape;
+
+struct Options {
+  int64_t dims = 2;
+  int64_t side = 1024;
+  int64_t rows = 1000;
+  std::string workload = "uniform";
+  int64_t clusters = 4;
+  double sigma = 0.01;
+  double theta = 1.0;
+  int64_t value_lo = 1;
+  int64_t value_hi = 100;
+  int64_t seed = 1;
+  std::string out;
+};
+
+int Fail(const std::string& message) {
+  std::cerr << "ddcgen: " << message << "\n"
+            << "usage: ddcgen --dims D --side N --rows R "
+               "[--workload uniform|zipf|clustered] [--clusters K] "
+               "[--sigma F] [--theta T] [--value-lo A] [--value-hi B] "
+               "[--seed S] [--out PATH]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag.rfind("--", 0) != 0 || i + 1 >= args.size()) {
+      return Fail("bad argument '" + flag + "'");
+    }
+    const std::string value = args[++i];
+    int64_t parsed = 0;
+    const bool is_int = ddc::tools::ParseInt64(value, &parsed);
+    if (flag == "--dims" && is_int) {
+      options.dims = parsed;
+    } else if (flag == "--side" && is_int) {
+      options.side = parsed;
+    } else if (flag == "--rows" && is_int) {
+      options.rows = parsed;
+    } else if (flag == "--workload") {
+      options.workload = value;
+    } else if (flag == "--clusters" && is_int) {
+      options.clusters = parsed;
+    } else if (flag == "--sigma") {
+      options.sigma = std::stod(value);
+    } else if (flag == "--theta") {
+      options.theta = std::stod(value);
+    } else if (flag == "--value-lo" && is_int) {
+      options.value_lo = parsed;
+    } else if (flag == "--value-hi" && is_int) {
+      options.value_hi = parsed;
+    } else if (flag == "--seed" && is_int) {
+      options.seed = parsed;
+    } else if (flag == "--out") {
+      options.out = value;
+    } else {
+      return Fail("unknown or malformed flag '" + flag + "'");
+    }
+  }
+  if (options.dims < 1 || options.dims > 20) return Fail("--dims out of range");
+  if (options.side < 2) return Fail("--side must be >= 2");
+  if (options.rows < 0) return Fail("--rows must be >= 0");
+  if (options.value_lo > options.value_hi) return Fail("empty value range");
+  if (options.workload != "uniform" && options.workload != "zipf" &&
+      options.workload != "clustered") {
+    return Fail("unknown --workload '" + options.workload + "'");
+  }
+
+  std::ofstream file;
+  if (!options.out.empty()) {
+    file.open(options.out, std::ios::trunc);
+    if (!file.is_open()) return Fail("cannot open --out '" + options.out + "'");
+  }
+  std::ostream& out = options.out.empty() ? std::cout : file;
+
+  const Shape domain =
+      Shape::Cube(static_cast<int>(options.dims), options.side);
+  ddc::WorkloadGenerator gen(domain, static_cast<uint64_t>(options.seed));
+  ddc::ClusteredGenerator clustered(
+      domain, static_cast<int>(options.clusters), options.sigma,
+      static_cast<uint64_t>(options.seed));
+
+  for (int i = 0; i < options.dims; ++i) out << "dim" << i << ",";
+  out << "value\n";
+  for (int64_t row = 0; row < options.rows; ++row) {
+    Cell cell;
+    if (options.workload == "uniform") {
+      cell = gen.UniformCell();
+    } else if (options.workload == "zipf") {
+      cell = gen.ZipfCell(options.theta);
+    } else {
+      cell = clustered.NextCell();
+    }
+    for (ddc::Coord c : cell) out << c << ",";
+    out << gen.Value(options.value_lo, options.value_hi) << "\n";
+  }
+  return out.good() ? 0 : 1;
+}

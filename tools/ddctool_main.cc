@@ -1,0 +1,13 @@
+// ddctool: command-line front end for Dynamic Data Cube snapshots.
+// See tools/commands.h for the command set.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return ddc::tools::RunDdcTool(args, std::cout, std::cerr);
+}
