@@ -9,14 +9,26 @@
 // at 0% updates (PS), who wins at 100% (naive), and where the DDC dominates
 // (everything in between) is the reproduced shape.
 
+// Part 2 (below the paper sweep): concurrent throughput of the coarse
+// ConcurrentCube versus the lock-striped ShardedCube across threads×shards,
+// on a read-heavy (95/5) and a write-heavy (50/50) mix, plus the batched
+// write path. Results are printed as tables and written to
+// BENCH_throughput.json (override the path with DDC_BENCH_JSON).
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cube_interface.h"
 #include "common/table_printer.h"
 #include "common/workload.h"
+#include "concurrent/concurrent_cube.h"
+#include "concurrent/sharded_cube.h"
 #include "ddc/dynamic_data_cube.h"
 #include "naive/naive_cube.h"
 #include "prefix/prefix_sum_cube.h"
@@ -116,6 +128,224 @@ void RunMixSweep(int64_t n) {
   std::printf("\n");
 }
 
+// ---------------------------------------------------------------------------
+// Part 2: threads × shards scaling, coarse vs sharded vs sharded+batched.
+
+enum class Impl { kCoarse, kSharded, kShardedBatched };
+
+const char* ImplName(Impl impl) {
+  switch (impl) {
+    case Impl::kCoarse:
+      return "coarse";
+    case Impl::kSharded:
+      return "sharded";
+    case Impl::kShardedBatched:
+      return "sharded_batched";
+  }
+  return "?";
+}
+
+struct TraceOp {
+  bool is_update;
+  Cell cell;
+  int64_t delta;
+  Box box;
+};
+
+constexpr int64_t kConcSide = 256;
+constexpr int kConcDims = 2;
+constexpr int kOpsPerThread = 6000;
+constexpr int kPrepopulate = 2000;
+constexpr size_t kWriteBatch = 32;
+// Queries sized to usually fit inside one slab at S=8 (slab width 32), the
+// locality a partitioned deployment would aim for.
+constexpr double kQuerySideFraction = 0.08;
+
+std::vector<TraceOp> MakeTrace(double update_fraction, uint64_t seed) {
+  WorkloadGenerator gen(Shape::Cube(kConcDims, kConcSide), seed);
+  std::vector<TraceOp> trace;
+  trace.reserve(kOpsPerThread);
+  for (int i = 0; i < kOpsPerThread; ++i) {
+    TraceOp op;
+    op.is_update =
+        gen.Value(0, 999) < static_cast<int64_t>(update_fraction * 1000.0);
+    op.cell = gen.UniformCell();
+    op.delta = gen.Value(1, 9);
+    op.box = gen.BoxWithSideFraction(kQuerySideFraction);
+    trace.push_back(op);
+  }
+  return trace;
+}
+
+// One timed run on a fresh, identically pre-populated cube. Returns ops/sec
+// aggregated over all threads.
+double MeasureConcurrentTput(Impl impl, int num_shards, int threads,
+                             double update_fraction, uint64_t seed) {
+  std::unique_ptr<ConcurrentCube> coarse;
+  std::unique_ptr<ShardedCube> sharded;
+  if (impl == Impl::kCoarse) {
+    coarse = std::make_unique<ConcurrentCube>(kConcDims, kConcSide);
+  } else {
+    sharded =
+        std::make_unique<ShardedCube>(kConcDims, kConcSide, num_shards);
+  }
+  WorkloadGenerator seed_gen(Shape::Cube(kConcDims, kConcSide), 1);
+  for (const UpdateOp& op : seed_gen.UniformUpdates(kPrepopulate, 1, 9)) {
+    if (coarse) {
+      coarse->Add(op.cell, op.delta);
+    } else {
+      sharded->Add(op.cell, op.delta);
+    }
+  }
+
+  std::vector<std::vector<TraceOp>> traces;
+  traces.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    traces.push_back(MakeTrace(update_fraction, seed + 31u * (t + 1)));
+  }
+
+  std::atomic<bool> go{false};
+  std::atomic<int64_t> sink{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t]() {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      int64_t local = 0;
+      std::vector<UpdateOp> batch;
+      batch.reserve(kWriteBatch);
+      for (const TraceOp& op : traces[static_cast<size_t>(t)]) {
+        if (op.is_update) {
+          switch (impl) {
+            case Impl::kCoarse:
+              coarse->Add(op.cell, op.delta);
+              break;
+            case Impl::kSharded:
+              sharded->Add(op.cell, op.delta);
+              break;
+            case Impl::kShardedBatched:
+              batch.push_back({op.cell, op.delta, UpdateKind::kAdd});
+              if (batch.size() >= kWriteBatch) {
+                sharded->BatchApply(batch);
+                batch.clear();
+              }
+              break;
+          }
+        } else {
+          local += coarse ? coarse->RangeSum(op.box)
+                          : sharded->RangeSum(op.box);
+        }
+      }
+      if (!batch.empty()) sharded->BatchApply(batch);
+      sink.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& worker : pool) worker.join();
+  const auto end = std::chrono::steady_clock::now();
+  (void)sink.load();
+  const double seconds = std::chrono::duration<double>(end - start).count();
+  return static_cast<double>(threads) * kOpsPerThread / seconds;
+}
+
+struct CurvePoint {
+  Impl impl;
+  int shards;
+  int threads;
+  double update_fraction;
+  double ops_per_sec;
+};
+
+void RunConcurrencySweep() {
+  const int hardware = static_cast<int>(std::thread::hardware_concurrency());
+  std::printf(
+      "== Concurrent throughput (ops/sec), d=%d, n=%lld, %d hw threads ==\n",
+      kConcDims, static_cast<long long>(kConcSide), hardware);
+
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  struct Config {
+    Impl impl;
+    int shards;
+  };
+  const std::vector<Config> configs = {{Impl::kCoarse, 1},
+                                       {Impl::kSharded, 2},
+                                       {Impl::kSharded, 4},
+                                       {Impl::kSharded, 8},
+                                       {Impl::kShardedBatched, 8}};
+
+  std::vector<CurvePoint> curve;
+  for (double frac : {0.05, 0.5}) {
+    std::printf("-- update fraction %.0f%% --\n", frac * 100.0);
+    TablePrinter table({"impl", "shards", "1 thr", "2 thr", "4 thr", "8 thr"});
+    for (const Config& config : configs) {
+      std::vector<std::string> row = {ImplName(config.impl),
+                                      std::to_string(config.shards)};
+      for (int threads : thread_counts) {
+        const double tput = MeasureConcurrentTput(
+            config.impl, config.shards, threads, frac, 1234);
+        curve.push_back(
+            {config.impl, config.shards, threads, frac, tput});
+        row.push_back(TablePrinter::FormatDouble(tput, 0));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  // Headline number: read-heavy scaling of S=8 sharded over coarse at the
+  // maximum thread count.
+  double coarse_8t = 0;
+  double sharded_8t = 0;
+  for (const CurvePoint& p : curve) {
+    if (p.threads == 8 && p.update_fraction == 0.05) {
+      if (p.impl == Impl::kCoarse) coarse_8t = p.ops_per_sec;
+      if (p.impl == Impl::kSharded && p.shards == 8) sharded_8t = p.ops_per_sec;
+    }
+  }
+  const double speedup = coarse_8t > 0 ? sharded_8t / coarse_8t : 0;
+  std::printf("read-heavy (95/5) 8-thread speedup, sharded S=8 vs coarse: "
+              "%.2fx\n\n",
+              speedup);
+
+  const char* json_path = std::getenv("DDC_BENCH_JSON");
+  if (json_path == nullptr || json_path[0] == '\0') {
+    json_path = "BENCH_throughput.json";
+  }
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"throughput\",\n"
+               "  \"dims\": %d,\n"
+               "  \"domain_side\": %lld,\n"
+               "  \"ops_per_thread\": %d,\n"
+               "  \"hardware_threads\": %d,\n"
+               "  \"write_batch\": %zu,\n"
+               "  \"query_side_fraction\": %.3f,\n"
+               "  \"read_heavy_speedup_8t_s8_vs_coarse\": %.3f,\n"
+               "  \"curves\": [\n",
+               kConcDims, static_cast<long long>(kConcSide), kOpsPerThread,
+               hardware, kWriteBatch, kQuerySideFraction, speedup);
+  for (size_t i = 0; i < curve.size(); ++i) {
+    const CurvePoint& p = curve[i];
+    std::fprintf(out,
+                 "    {\"impl\": \"%s\", \"shards\": %d, \"threads\": %d, "
+                 "\"update_fraction\": %.2f, \"ops_per_sec\": %.1f}%s\n",
+                 ImplName(p.impl), p.shards, p.threads, p.update_fraction,
+                 p.ops_per_sec, i + 1 == curve.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+}
+
 }  // namespace
 }  // namespace ddc
 
@@ -125,5 +355,6 @@ int main() {
   // Larger domain: the RPS update cascade (O(n) cells at d=2) becomes the
   // bottleneck and the DDC overtakes it on update-heavy mixes.
   ddc::RunMixSweep(2048);
+  ddc::RunConcurrencySweep();
   return 0;
 }

@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/ddc/CMakeFiles/ddc_ddc.dir/DependInfo.cmake"
   "/root/repo/build/src/olap/CMakeFiles/ddc_olap.dir/DependInfo.cmake"
   "/root/repo/build/src/pagesim/CMakeFiles/ddc_pagesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrent/CMakeFiles/ddc_concurrent.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -247,7 +247,7 @@ bench/CMakeFiles/bench_build.dir/bench_build.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/basic_ddc/overlay_box.h \
- /root/repo/src/common/op_counter.h \
+ /root/repo/src/common/op_counter.h /usr/include/c++/12/atomic \
  /root/repo/src/common/cube_interface.h \
  /root/repo/src/ddc/dynamic_data_cube.h /root/repo/src/ddc/ddc_core.h \
  /root/repo/src/ddc/ddc_options.h /root/repo/src/bctree/bc_tree.h \

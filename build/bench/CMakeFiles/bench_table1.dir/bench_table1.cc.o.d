@@ -239,10 +239,10 @@ bench/CMakeFiles/bench_table1.dir/bench_table1.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/common/cube_interface.h /root/repo/src/common/cell.h \
- /root/repo/src/common/op_counter.h /root/repo/src/common/range.h \
- /root/repo/src/ddc/ddc_core.h /root/repo/src/common/md_array.h \
- /root/repo/src/common/check.h /root/repo/src/common/shape.h \
- /root/repo/src/ddc/ddc_options.h /root/repo/src/bctree/bc_tree.h \
- /root/repo/src/bctree/cumulative_store.h /root/repo/src/ddc/face_store.h \
- /root/repo/src/prefix/prefix_sum_cube.h \
+ /root/repo/src/common/op_counter.h /usr/include/c++/12/atomic \
+ /root/repo/src/common/range.h /root/repo/src/ddc/ddc_core.h \
+ /root/repo/src/common/md_array.h /root/repo/src/common/check.h \
+ /root/repo/src/common/shape.h /root/repo/src/ddc/ddc_options.h \
+ /root/repo/src/bctree/bc_tree.h /root/repo/src/bctree/cumulative_store.h \
+ /root/repo/src/ddc/face_store.h /root/repo/src/prefix/prefix_sum_cube.h \
  /root/repo/src/rps/relative_prefix_sum_cube.h

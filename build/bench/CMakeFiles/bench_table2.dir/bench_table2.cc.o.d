@@ -201,8 +201,9 @@ bench/CMakeFiles/bench_table2.dir/bench_table2.cc.o: \
  /root/repo/src/basic_ddc/overlay_box.h /root/repo/src/common/cell.h \
  /root/repo/src/common/md_array.h /root/repo/src/common/check.h \
  /root/repo/src/common/shape.h /root/repo/src/common/op_counter.h \
- /root/repo/src/common/cube_interface.h /root/repo/src/common/range.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/atomic /root/repo/src/common/cube_interface.h \
+ /root/repo/src/common/range.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \

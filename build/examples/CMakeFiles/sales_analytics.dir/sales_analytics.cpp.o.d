@@ -244,7 +244,7 @@ examples/CMakeFiles/sales_analytics.dir/sales_analytics.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h /root/repo/src/ddc/ddc_options.h \
  /root/repo/src/bctree/bc_tree.h /root/repo/src/bctree/cumulative_store.h \
- /root/repo/src/common/op_counter.h \
+ /root/repo/src/common/op_counter.h /usr/include/c++/12/atomic \
  /root/repo/src/ddc/dynamic_data_cube.h \
  /root/repo/src/common/cube_interface.h /root/repo/src/ddc/ddc_core.h \
  /root/repo/src/common/md_array.h /root/repo/src/common/check.h \

@@ -199,4 +199,5 @@ src/bctree/CMakeFiles/ddc_bctree.dir/bc_tree.cc.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/bctree/cumulative_store.h \
- /root/repo/src/common/op_counter.h /root/repo/src/common/check.h
+ /root/repo/src/common/op_counter.h /usr/include/c++/12/atomic \
+ /root/repo/src/common/check.h

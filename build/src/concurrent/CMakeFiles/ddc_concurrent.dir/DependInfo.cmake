@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/concurrent/concurrent_cube.cc" "src/concurrent/CMakeFiles/ddc_concurrent.dir/concurrent_cube.cc.o" "gcc" "src/concurrent/CMakeFiles/ddc_concurrent.dir/concurrent_cube.cc.o.d"
+  "/root/repo/src/concurrent/sharded_cube.cc" "src/concurrent/CMakeFiles/ddc_concurrent.dir/sharded_cube.cc.o" "gcc" "src/concurrent/CMakeFiles/ddc_concurrent.dir/sharded_cube.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/ddc_concurrent.dir/concurrent_cube.cc.o"
   "CMakeFiles/ddc_concurrent.dir/concurrent_cube.cc.o.d"
+  "CMakeFiles/ddc_concurrent.dir/sharded_cube.cc.o"
+  "CMakeFiles/ddc_concurrent.dir/sharded_cube.cc.o.d"
   "libddc_concurrent.a"
   "libddc_concurrent.pdb"
 )

@@ -210,9 +210,10 @@ src/ddc/CMakeFiles/ddc_ddc.dir/ddc_core.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/cell.h \
  /root/repo/src/common/md_array.h /root/repo/src/common/check.h \
  /root/repo/src/common/shape.h /root/repo/src/common/op_counter.h \
- /root/repo/src/ddc/ddc_options.h /root/repo/src/bctree/bc_tree.h \
- /root/repo/src/bctree/cumulative_store.h /root/repo/src/ddc/face_store.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/atomic /root/repo/src/ddc/ddc_options.h \
+ /root/repo/src/bctree/bc_tree.h /root/repo/src/bctree/cumulative_store.h \
+ /root/repo/src/ddc/face_store.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/common/bit_util.h

@@ -196,8 +196,9 @@ src/ddc/CMakeFiles/ddc_ddc.dir/face_store.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/bctree/cumulative_store.h \
- /root/repo/src/common/op_counter.h /root/repo/src/common/cell.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
+ /root/repo/src/common/op_counter.h /usr/include/c++/12/atomic \
+ /root/repo/src/common/cell.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/md_array.h \
  /root/repo/src/common/check.h /root/repo/src/common/shape.h \

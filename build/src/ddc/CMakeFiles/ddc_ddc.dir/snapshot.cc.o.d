@@ -211,14 +211,15 @@ src/ddc/CMakeFiles/ddc_ddc.dir/snapshot.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/common/cube_interface.h /root/repo/src/common/cell.h \
- /root/repo/src/common/op_counter.h /root/repo/src/common/range.h \
- /root/repo/src/ddc/ddc_core.h /root/repo/src/common/md_array.h \
- /root/repo/src/common/check.h /root/repo/src/common/shape.h \
- /root/repo/src/ddc/ddc_options.h /root/repo/src/bctree/bc_tree.h \
- /root/repo/src/bctree/cumulative_store.h /root/repo/src/ddc/face_store.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /usr/include/c++/12/fstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
+ /root/repo/src/common/op_counter.h /usr/include/c++/12/atomic \
+ /root/repo/src/common/range.h /root/repo/src/ddc/ddc_core.h \
+ /root/repo/src/common/md_array.h /root/repo/src/common/check.h \
+ /root/repo/src/common/shape.h /root/repo/src/ddc/ddc_options.h \
+ /root/repo/src/bctree/bc_tree.h /root/repo/src/bctree/cumulative_store.h \
+ /root/repo/src/ddc/face_store.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/fstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/common/bit_util.h

@@ -215,7 +215,7 @@ src/olap/CMakeFiles/ddc_olap.dir/measure.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/bctree/cumulative_store.h \
- /root/repo/src/common/op_counter.h \
+ /root/repo/src/common/op_counter.h /usr/include/c++/12/atomic \
  /root/repo/src/ddc/dynamic_data_cube.h \
  /root/repo/src/common/cube_interface.h /root/repo/src/ddc/ddc_core.h \
  /root/repo/src/common/md_array.h /root/repo/src/common/check.h \

@@ -213,13 +213,13 @@ src/query/CMakeFiles/ddc_query.dir/executor.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/common/cube_interface.h \
- /root/repo/src/common/op_counter.h /root/repo/src/ddc/ddc_core.h \
- /root/repo/src/common/md_array.h /root/repo/src/common/check.h \
- /root/repo/src/common/shape.h /root/repo/src/ddc/ddc_options.h \
- /root/repo/src/bctree/bc_tree.h /root/repo/src/bctree/cumulative_store.h \
- /root/repo/src/ddc/face_store.h /root/repo/src/olap/measure.h \
- /root/repo/src/query/query.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/common/op_counter.h /usr/include/c++/12/atomic \
+ /root/repo/src/ddc/ddc_core.h /root/repo/src/common/md_array.h \
+ /root/repo/src/common/check.h /root/repo/src/common/shape.h \
+ /root/repo/src/ddc/ddc_options.h /root/repo/src/bctree/bc_tree.h \
+ /root/repo/src/bctree/cumulative_store.h /root/repo/src/ddc/face_store.h \
+ /root/repo/src/olap/measure.h /root/repo/src/query/query.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/common/table_printer.h /root/repo/src/olap/rollup.h \

@@ -201,8 +201,9 @@ tests/CMakeFiles/basic_ddc_test.dir/basic_ddc_test.cc.o: \
  /root/repo/src/basic_ddc/overlay_box.h /root/repo/src/common/cell.h \
  /root/repo/src/common/md_array.h /root/repo/src/common/check.h \
  /root/repo/src/common/shape.h /root/repo/src/common/op_counter.h \
- /root/repo/src/common/cube_interface.h /root/repo/src/common/range.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/atomic /root/repo/src/common/cube_interface.h \
+ /root/repo/src/common/range.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -286,7 +287,6 @@ tests/CMakeFiles/basic_ddc_test.dir/basic_ddc_test.cc.o: \
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \

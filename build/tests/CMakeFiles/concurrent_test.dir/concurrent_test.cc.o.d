@@ -214,14 +214,14 @@ tests/CMakeFiles/concurrent_test.dir/concurrent_test.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/bctree/cumulative_store.h \
- /root/repo/src/common/op_counter.h \
+ /root/repo/src/common/op_counter.h /usr/include/c++/12/atomic \
  /root/repo/src/ddc/dynamic_data_cube.h \
  /root/repo/src/common/cube_interface.h /root/repo/src/ddc/ddc_core.h \
  /root/repo/src/common/md_array.h /root/repo/src/common/check.h \
  /root/repo/src/common/shape.h /root/repo/src/ddc/face_store.h \
- /usr/include/c++/12/atomic /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

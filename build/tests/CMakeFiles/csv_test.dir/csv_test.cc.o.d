@@ -210,13 +210,13 @@ tests/CMakeFiles/csv_test.dir/csv_test.cc.o: /root/repo/tests/csv_test.cc \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/common/cube_interface.h \
- /root/repo/src/common/op_counter.h /root/repo/src/common/range.h \
- /root/repo/src/ddc/ddc_core.h /root/repo/src/common/md_array.h \
- /root/repo/src/common/check.h /root/repo/src/common/shape.h \
- /root/repo/src/ddc/ddc_options.h /root/repo/src/bctree/bc_tree.h \
- /root/repo/src/bctree/cumulative_store.h /root/repo/src/ddc/face_store.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/common/op_counter.h /usr/include/c++/12/atomic \
+ /root/repo/src/common/range.h /root/repo/src/ddc/ddc_core.h \
+ /root/repo/src/common/md_array.h /root/repo/src/common/check.h \
+ /root/repo/src/common/shape.h /root/repo/src/ddc/ddc_options.h \
+ /root/repo/src/bctree/bc_tree.h /root/repo/src/bctree/cumulative_store.h \
+ /root/repo/src/ddc/face_store.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/limits \
@@ -289,7 +289,6 @@ tests/CMakeFiles/csv_test.dir/csv_test.cc.o: /root/repo/tests/csv_test.cc \
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \

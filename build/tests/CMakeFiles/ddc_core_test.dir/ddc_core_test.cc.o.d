@@ -210,10 +210,10 @@ tests/CMakeFiles/ddc_core_test.dir/ddc_core_test.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/cell.h \
  /root/repo/src/common/md_array.h /root/repo/src/common/check.h \
  /root/repo/src/common/shape.h /root/repo/src/common/op_counter.h \
- /root/repo/src/ddc/ddc_options.h /root/repo/src/bctree/bc_tree.h \
- /root/repo/src/bctree/cumulative_store.h /root/repo/src/ddc/face_store.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/atomic /root/repo/src/ddc/ddc_options.h \
+ /root/repo/src/bctree/bc_tree.h /root/repo/src/bctree/cumulative_store.h \
+ /root/repo/src/ddc/face_store.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/random \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -312,7 +312,6 @@ tests/CMakeFiles/ddc_core_test.dir/ddc_core_test.cc.o: \
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \

@@ -196,8 +196,9 @@ tests/CMakeFiles/face_store_test.dir/face_store_test.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/bctree/cumulative_store.h \
- /root/repo/src/common/op_counter.h /root/repo/src/common/cell.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
+ /root/repo/src/common/op_counter.h /usr/include/c++/12/atomic \
+ /root/repo/src/common/cell.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/md_array.h \
  /root/repo/src/common/check.h /root/repo/src/common/shape.h \
@@ -306,7 +307,6 @@ tests/CMakeFiles/face_store_test.dir/face_store_test.cc.o: \
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

@@ -214,7 +214,7 @@ tests/CMakeFiles/olap_test.dir/olap_test.cc.o: \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/olap/measure.h \
  /root/repo/src/ddc/ddc_options.h /root/repo/src/bctree/bc_tree.h \
  /root/repo/src/bctree/cumulative_store.h \
- /root/repo/src/common/op_counter.h \
+ /root/repo/src/common/op_counter.h /usr/include/c++/12/atomic \
  /root/repo/src/ddc/dynamic_data_cube.h \
  /root/repo/src/common/cube_interface.h /root/repo/src/ddc/ddc_core.h \
  /root/repo/src/common/md_array.h /root/repo/src/common/check.h \
@@ -290,7 +290,6 @@ tests/CMakeFiles/olap_test.dir/olap_test.cc.o: \
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \

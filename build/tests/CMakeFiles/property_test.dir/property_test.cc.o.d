@@ -295,7 +295,7 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/basic_ddc/basic_ddc.h \
+ /root/repo/tests/test_seed.h /root/repo/src/basic_ddc/basic_ddc.h \
  /root/repo/src/basic_ddc/overlay_box.h /root/repo/src/common/cell.h \
  /root/repo/src/common/md_array.h /root/repo/src/common/check.h \
  /root/repo/src/common/shape.h /root/repo/src/common/op_counter.h \

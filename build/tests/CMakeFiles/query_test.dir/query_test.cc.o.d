@@ -213,14 +213,14 @@ tests/CMakeFiles/query_test.dir/query_test.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/common/cube_interface.h \
- /root/repo/src/common/op_counter.h /root/repo/src/ddc/ddc_core.h \
- /root/repo/src/common/md_array.h /root/repo/src/common/check.h \
- /root/repo/src/common/shape.h /root/repo/src/ddc/ddc_options.h \
- /root/repo/src/bctree/bc_tree.h /root/repo/src/bctree/cumulative_store.h \
- /root/repo/src/ddc/face_store.h /root/repo/src/olap/measure.h \
- /root/repo/src/query/query.h /root/repo/src/query/parser.h \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/limits \
+ /root/repo/src/common/op_counter.h /usr/include/c++/12/atomic \
+ /root/repo/src/ddc/ddc_core.h /root/repo/src/common/md_array.h \
+ /root/repo/src/common/check.h /root/repo/src/common/shape.h \
+ /root/repo/src/ddc/ddc_options.h /root/repo/src/bctree/bc_tree.h \
+ /root/repo/src/bctree/cumulative_store.h /root/repo/src/ddc/face_store.h \
+ /root/repo/src/olap/measure.h /root/repo/src/query/query.h \
+ /root/repo/src/query/parser.h /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \
@@ -291,7 +291,6 @@ tests/CMakeFiles/query_test.dir/query_test.cc.o: \
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \

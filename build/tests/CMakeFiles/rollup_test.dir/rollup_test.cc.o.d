@@ -215,7 +215,7 @@ tests/CMakeFiles/rollup_test.dir/rollup_test.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/bctree/cumulative_store.h \
- /root/repo/src/common/op_counter.h \
+ /root/repo/src/common/op_counter.h /usr/include/c++/12/atomic \
  /root/repo/src/ddc/dynamic_data_cube.h \
  /root/repo/src/common/cube_interface.h /root/repo/src/ddc/ddc_core.h \
  /root/repo/src/common/md_array.h /root/repo/src/common/check.h \
@@ -292,7 +292,6 @@ tests/CMakeFiles/rollup_test.dir/rollup_test.cc.o: \
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \

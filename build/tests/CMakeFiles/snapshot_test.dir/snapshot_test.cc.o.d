@@ -211,13 +211,13 @@ tests/CMakeFiles/snapshot_test.dir/snapshot_test.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/common/cube_interface.h /root/repo/src/common/cell.h \
- /root/repo/src/common/op_counter.h /root/repo/src/common/range.h \
- /root/repo/src/ddc/ddc_core.h /root/repo/src/common/md_array.h \
- /root/repo/src/common/check.h /root/repo/src/common/shape.h \
- /root/repo/src/ddc/ddc_options.h /root/repo/src/bctree/bc_tree.h \
- /root/repo/src/bctree/cumulative_store.h /root/repo/src/ddc/face_store.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/common/op_counter.h /usr/include/c++/12/atomic \
+ /root/repo/src/common/range.h /root/repo/src/ddc/ddc_core.h \
+ /root/repo/src/common/md_array.h /root/repo/src/common/check.h \
+ /root/repo/src/common/shape.h /root/repo/src/ddc/ddc_options.h \
+ /root/repo/src/bctree/bc_tree.h /root/repo/src/bctree/cumulative_store.h \
+ /root/repo/src/ddc/face_store.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/limits \
@@ -290,7 +290,6 @@ tests/CMakeFiles/snapshot_test.dir/snapshot_test.cc.o: \
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \

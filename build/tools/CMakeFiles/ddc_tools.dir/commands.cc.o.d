@@ -214,11 +214,11 @@ tools/CMakeFiles/ddc_tools.dir/commands.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/common/cube_interface.h /root/repo/src/common/cell.h \
- /root/repo/src/common/op_counter.h /root/repo/src/common/range.h \
- /root/repo/src/ddc/ddc_core.h /root/repo/src/common/md_array.h \
- /root/repo/src/common/shape.h /root/repo/src/ddc/ddc_options.h \
- /root/repo/src/bctree/bc_tree.h /root/repo/src/bctree/cumulative_store.h \
- /root/repo/src/ddc/face_store.h /root/repo/src/ddc/snapshot.h \
- /root/repo/src/query/executor.h /usr/include/c++/12/optional \
- /root/repo/src/olap/measure.h /root/repo/src/query/query.h \
- /root/repo/tools/csv.h
+ /root/repo/src/common/op_counter.h /usr/include/c++/12/atomic \
+ /root/repo/src/common/range.h /root/repo/src/ddc/ddc_core.h \
+ /root/repo/src/common/md_array.h /root/repo/src/common/shape.h \
+ /root/repo/src/ddc/ddc_options.h /root/repo/src/bctree/bc_tree.h \
+ /root/repo/src/bctree/cumulative_store.h /root/repo/src/ddc/face_store.h \
+ /root/repo/src/ddc/snapshot.h /root/repo/src/query/executor.h \
+ /usr/include/c++/12/optional /root/repo/src/olap/measure.h \
+ /root/repo/src/query/query.h /root/repo/tools/csv.h

@@ -8,10 +8,16 @@
 #ifndef DDC_COMMON_OP_COUNTER_H_
 #define DDC_COMMON_OP_COUNTER_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace ddc {
 
+// NOTE on thread-safety: OpCounters is plain mutable state updated by const
+// query paths. It is safe only while the owning structure is accessed from a
+// single thread (or under an exclusive lock). The concurrent facades
+// therefore construct their wrapped cubes with `enable_counters = false` and
+// account operations in ConcurrentOpStats below instead.
 struct OpCounters {
   // Stored values read while answering queries.
   int64_t values_read = 0;
@@ -31,6 +37,42 @@ struct OpCounters {
   }
 
   int64_t total_touched() const { return values_read + values_written; }
+};
+
+// Thread-safe operation statistics for the concurrent facades. Unlike
+// OpCounters these count whole operations (not stored values touched), so
+// they stay meaningful when many threads mutate them concurrently; every
+// field is an independent relaxed atomic — totals are exact once the
+// structure is quiesced, and monotone lower bounds while it is running.
+struct ConcurrentOpStats {
+  std::atomic<int64_t> point_writes{0};   // Add/Set calls applied.
+  std::atomic<int64_t> batches{0};        // BatchApply calls.
+  std::atomic<int64_t> batched_ops{0};    // Ops applied through BatchApply.
+  std::atomic<int64_t> point_reads{0};    // Get calls.
+  std::atomic<int64_t> range_queries{0};  // RangeSum/TotalSum calls.
+  // Cross-shard reads whose sequence validation failed and retried.
+  std::atomic<int64_t> snapshot_retries{0};
+  // Cross-shard reads that exhausted retries and fell back to holding all
+  // relevant shard locks simultaneously.
+  std::atomic<int64_t> lock_fallbacks{0};
+  // Growth/shrink re-rootings observed via the shard growth hooks.
+  std::atomic<int64_t> reroots{0};
+
+  // Plain-value copy for printing (taken at quiescence).
+  struct Snapshot {
+    int64_t point_writes, batches, batched_ops, point_reads, range_queries,
+        snapshot_retries, lock_fallbacks, reroots;
+  };
+  Snapshot Read() const {
+    return {point_writes.load(std::memory_order_relaxed),
+            batches.load(std::memory_order_relaxed),
+            batched_ops.load(std::memory_order_relaxed),
+            point_reads.load(std::memory_order_relaxed),
+            range_queries.load(std::memory_order_relaxed),
+            snapshot_retries.load(std::memory_order_relaxed),
+            lock_fallbacks.load(std::memory_order_relaxed),
+            reroots.load(std::memory_order_relaxed)};
+  }
 };
 
 }  // namespace ddc

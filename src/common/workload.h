@@ -21,10 +21,16 @@
 
 namespace ddc {
 
-// A single point update: A[cell] += delta.
+// A single point update. `kAdd` means A[cell] += value; `kSet` means
+// A[cell] = value. Generators emit kAdd; kSet exists for the batched write
+// paths (ShardedCube::BatchApply), where a batch mixes both op kinds.
+enum class UpdateKind { kAdd, kSet };
+
 struct UpdateOp {
   Cell cell;
+  // For kAdd the additive delta; for kSet the value assigned.
   int64_t delta;
+  UpdateKind kind = UpdateKind::kAdd;
 };
 
 // Uniform-and-skewed generator over a fixed domain.

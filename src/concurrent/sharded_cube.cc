@@ -1,0 +1,326 @@
+#include "concurrent/sharded_cube.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ddc {
+
+namespace {
+
+// Rounds of the sequence-validated combine before falling back to holding
+// every relevant shard lock at once. Under write pressure heavy enough to
+// invalidate eight rounds in a row, the locked path is cheaper than spinning.
+constexpr int kMaxReadRetries = 8;
+
+DdcOptions WithoutCounters(DdcOptions options) {
+  options.enable_counters = false;
+  return options;
+}
+
+// Floor division (C++ integer division truncates toward zero; slab indices
+// must be continuous across negative coordinates).
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b) != 0 && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+int64_t FloorMod(int64_t a, int64_t b) {
+  const int64_t m = a % b;
+  return m < 0 ? m + b : m;
+}
+
+}  // namespace
+
+ShardedCube::ShardedCube(int dims, int64_t initial_side, int num_shards,
+                         DdcOptions options)
+    : dims_(dims),
+      num_shards_(num_shards),
+      // max(num_shards, 1): keep a contract violation (num_shards < 1) on
+      // the DDC_CHECK below instead of a divide-by-zero in this initializer.
+      slab_width_(std::max<int64_t>(
+          1, initial_side / std::max(num_shards, 1))),
+      shards_(std::make_unique<Shard[]>(
+          static_cast<size_t>(std::max(num_shards, 0)))) {
+  DDC_CHECK(num_shards >= 1);
+  for (int s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    shard.cube = std::make_unique<DynamicDataCube>(dims, initial_side,
+                                                   WithoutCounters(options));
+    // Shard-aware growth hook: runs on the writer thread, under this
+    // shard's exclusive lock.
+    shard.cube->SetReRootListener([&shard](int64_t, int64_t) {
+      shard.reroots.fetch_add(1, std::memory_order_relaxed);
+      shard.stats.reroots.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+}
+
+int64_t ShardedCube::SlabIndex(Coord c0) const {
+  return FloorDiv(c0, slab_width_);
+}
+
+int ShardedCube::ShardOf(const Cell& cell) const {
+  DDC_CHECK(static_cast<int>(cell.size()) == dims_);
+  return static_cast<int>(FloorMod(SlabIndex(cell[0]), num_shards_));
+}
+
+void ShardedCube::Add(const Cell& cell, int64_t delta) {
+  Shard& shard = shards_[static_cast<size_t>(ShardOf(cell))];
+  WriteShard(shard, [&](DynamicDataCube* cube) { cube->Add(cell, delta); });
+  shard.stats.point_writes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedCube::Set(const Cell& cell, int64_t value) {
+  Shard& shard = shards_[static_cast<size_t>(ShardOf(cell))];
+  WriteShard(shard, [&](DynamicDataCube* cube) { cube->Set(cell, value); });
+  shard.stats.point_writes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedCube::BatchApply(std::span<const UpdateOp> ops) {
+  if (ops.empty()) return;
+  // Group op indices by shard; batch order is preserved within each group.
+  std::vector<std::vector<const UpdateOp*>> groups(
+      static_cast<size_t>(num_shards_));
+  for (const UpdateOp& op : ops) {
+    groups[static_cast<size_t>(ShardOf(op.cell))].push_back(&op);
+  }
+  bool counted_batch = false;
+  for (int s = 0; s < num_shards_; ++s) {
+    const auto& group = groups[static_cast<size_t>(s)];
+    if (group.empty()) continue;
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    WriteShard(shard, [&](DynamicDataCube* cube) {
+      for (const UpdateOp* op : group) {
+        if (op->kind == UpdateKind::kAdd) {
+          cube->Add(op->cell, op->delta);
+        } else {
+          cube->Set(op->cell, op->delta);
+        }
+      }
+    });
+    // The batch itself is billed once, to its lowest touched shard; the op
+    // count is billed where the ops landed.
+    if (!counted_batch) {
+      shard.stats.batches.fetch_add(1, std::memory_order_relaxed);
+      counted_batch = true;
+    }
+    shard.stats.batched_ops.fetch_add(static_cast<int64_t>(group.size()),
+                                      std::memory_order_relaxed);
+  }
+}
+
+void ShardedCube::ShrinkToFit(int64_t min_side) {
+  for (int s = 0; s < num_shards_; ++s) {
+    WriteShard(shards_[static_cast<size_t>(s)],
+               [&](DynamicDataCube* cube) { cube->ShrinkToFit(min_side); });
+  }
+}
+
+int64_t ShardedCube::Get(const Cell& cell) const {
+  const Shard& shard = shards_[static_cast<size_t>(ShardOf(cell))];
+  shard.stats.point_reads.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock lock(shard.mutex);
+  return shard.cube->Get(cell);
+}
+
+std::vector<ShardedCube::SubQuery> ShardedCube::Decompose(
+    const Box& box) const {
+  std::vector<SubQuery> sub;
+  if (box.IsEmpty()) return sub;
+  const int64_t slab_lo = SlabIndex(box.lo[0]);
+  const int64_t slab_hi = SlabIndex(box.hi[0]);
+  const int64_t span = slab_hi - slab_lo + 1;
+  if (span >= num_shards_) {
+    // Every shard owns slabs inside the box; clipping along dimension 0
+    // buys nothing (each shard's cube only holds its own cells anyway).
+    sub.reserve(static_cast<size_t>(num_shards_));
+    for (int s = 0; s < num_shards_; ++s) {
+      sub.push_back({s, box});
+    }
+    return sub;
+  }
+  // Fewer slabs than shards: each intersecting slab belongs to a distinct
+  // shard. Clip the sub-box to the slab so the shard query touches only the
+  // relevant part of its domain.
+  sub.reserve(static_cast<size_t>(span));
+  for (int64_t slab = slab_lo; slab <= slab_hi; ++slab) {
+    SubQuery q;
+    q.shard = static_cast<int>(FloorMod(slab, num_shards_));
+    q.box = box;
+    q.box.lo[0] = std::max<Coord>(box.lo[0], slab * slab_width_);
+    q.box.hi[0] = std::min<Coord>(box.hi[0], slab * slab_width_ +
+                                                 slab_width_ - 1);
+    sub.push_back(std::move(q));
+  }
+  // Ascending shard index is the global lock order for the fallback path.
+  std::sort(sub.begin(), sub.end(),
+            [](const SubQuery& a, const SubQuery& b) {
+              return a.shard < b.shard;
+            });
+  return sub;
+}
+
+int64_t ShardedCube::CombineLocklessly(
+    const std::vector<int>& shard_ids,
+    const std::function<int64_t(size_t, const DynamicDataCube&)>& partial)
+    const {
+  if (shard_ids.empty()) return 0;
+  if (shard_ids.size() == 1) {
+    const Shard& shard = shards_[static_cast<size_t>(shard_ids[0])];
+    std::shared_lock lock(shard.mutex);
+    return partial(0, *shard.cube);
+  }
+
+  // Retries/fallbacks are cross-shard events; bill the lowest touched shard.
+  ConcurrentOpStats& billing = shards_[static_cast<size_t>(shard_ids[0])].stats;
+  std::vector<uint64_t> seqs(shard_ids.size());
+  for (int attempt = 0; attempt < kMaxReadRetries; ++attempt) {
+    bool write_in_progress = false;
+    for (size_t k = 0; k < shard_ids.size(); ++k) {
+      seqs[k] = shards_[static_cast<size_t>(shard_ids[k])].seq.load(
+          std::memory_order_acquire);
+      if (seqs[k] & 1) write_in_progress = true;
+    }
+    if (write_in_progress) {
+      billing.snapshot_retries.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+      continue;
+    }
+    int64_t sum = 0;
+    for (size_t k = 0; k < shard_ids.size(); ++k) {
+      const Shard& shard = shards_[static_cast<size_t>(shard_ids[k])];
+      std::shared_lock lock(shard.mutex);
+      sum += partial(k, *shard.cube);
+    }
+    bool valid = true;
+    for (size_t k = 0; k < shard_ids.size(); ++k) {
+      if (shards_[static_cast<size_t>(shard_ids[k])].seq.load(
+              std::memory_order_acquire) != seqs[k]) {
+        valid = false;
+        break;
+      }
+    }
+    if (valid) return sum;
+    billing.snapshot_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Contended: pin a consistent cut by holding every relevant lock at once
+  // (shared, ascending shard index).
+  billing.lock_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(shard_ids.size());
+  for (int s : shard_ids) {
+    locks.emplace_back(shards_[static_cast<size_t>(s)].mutex);
+  }
+  int64_t sum = 0;
+  for (size_t k = 0; k < shard_ids.size(); ++k) {
+    sum += partial(k, *shards_[static_cast<size_t>(shard_ids[k])].cube);
+  }
+  return sum;
+}
+
+int64_t ShardedCube::CombineSubQueries(
+    const std::vector<SubQuery>& sub) const {
+  std::vector<int> shard_ids;
+  shard_ids.reserve(sub.size());
+  for (const SubQuery& q : sub) shard_ids.push_back(q.shard);
+  return CombineLocklessly(shard_ids,
+                           [&sub](size_t k, const DynamicDataCube& cube) {
+                             return cube.RangeSum(sub[k].box);
+                           });
+}
+
+int64_t ShardedCube::RangeSum(const Box& box) const {
+  const std::vector<SubQuery> sub = Decompose(box);
+  const size_t bill = sub.empty() ? 0 : static_cast<size_t>(sub[0].shard);
+  shards_[bill].stats.range_queries.fetch_add(1, std::memory_order_relaxed);
+  return CombineSubQueries(sub);
+}
+
+int64_t ShardedCube::TotalSum() const {
+  shards_[0].stats.range_queries.fetch_add(1, std::memory_order_relaxed);
+  std::vector<int> all(static_cast<size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) all[static_cast<size_t>(s)] = s;
+  return CombineLocklessly(all, [](size_t, const DynamicDataCube& cube) {
+    return cube.TotalSum();
+  });
+}
+
+int64_t ShardedCube::StorageCells() const {
+  std::vector<int> all(static_cast<size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) all[static_cast<size_t>(s)] = s;
+  return CombineLocklessly(all, [](size_t, const DynamicDataCube& cube) {
+    return cube.StorageCells();
+  });
+}
+
+Cell ShardedCube::DomainLo() const {
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(static_cast<size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    locks.emplace_back(shards_[static_cast<size_t>(s)].mutex);
+  }
+  Cell lo = shards_[0].cube->DomainLo();
+  for (int s = 1; s < num_shards_; ++s) {
+    lo = CellMin(lo, shards_[static_cast<size_t>(s)].cube->DomainLo());
+  }
+  return lo;
+}
+
+Cell ShardedCube::DomainHi() const {
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(static_cast<size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    locks.emplace_back(shards_[static_cast<size_t>(s)].mutex);
+  }
+  Cell hi = shards_[0].cube->DomainHi();
+  for (int s = 1; s < num_shards_; ++s) {
+    hi = CellMax(hi, shards_[static_cast<size_t>(s)].cube->DomainHi());
+  }
+  return hi;
+}
+
+void ShardedCube::ForEachNonZero(
+    const std::function<void(const Cell&, int64_t)>& fn) const {
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(static_cast<size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    locks.emplace_back(shards_[static_cast<size_t>(s)].mutex);
+  }
+  for (int s = 0; s < num_shards_; ++s) {
+    shards_[static_cast<size_t>(s)].cube->ForEachNonZero(fn);
+  }
+}
+
+int64_t ShardedCube::TotalReRoots() const {
+  int64_t total = 0;
+  for (int s = 0; s < num_shards_; ++s) {
+    total += shards_[static_cast<size_t>(s)].reroots.load(
+        std::memory_order_relaxed);
+  }
+  return total;
+}
+
+ConcurrentOpStats::Snapshot ShardedCube::stats() const {
+  ConcurrentOpStats::Snapshot total{};
+  for (int s = 0; s < num_shards_; ++s) {
+    const ConcurrentOpStats::Snapshot part =
+        shards_[static_cast<size_t>(s)].stats.Read();
+    total.point_writes += part.point_writes;
+    total.batches += part.batches;
+    total.batched_ops += part.batched_ops;
+    total.point_reads += part.point_reads;
+    total.range_queries += part.range_queries;
+    total.snapshot_retries += part.snapshot_retries;
+    total.lock_fallbacks += part.lock_fallbacks;
+    total.reroots += part.reroots;
+  }
+  return total;
+}
+
+}  // namespace ddc

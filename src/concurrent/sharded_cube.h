@@ -1,0 +1,179 @@
+// ShardedCube: a lock-striped, batched concurrent facade over the Dynamic
+// Data Cube.
+//
+// The coarse ConcurrentCube serializes every writer against the whole cube.
+// The DDC's updates are O(log^d n) — short enough that the dominant cost
+// under mixed traffic is the single lock, not the work. ShardedCube removes
+// that bottleneck by partitioning the domain along the highest-order
+// dimension (dimension 0) into S contiguous slabs of width
+// `initial_side / S`, tiled periodically across the (unbounded, growable)
+// axis: the cell with first coordinate c0 belongs to shard
+// `floor(c0 / slab_width) mod S`. Each shard is an independent
+// DynamicDataCube guarded by its own reader-writer lock, so writers to
+// different slabs and readers of disjoint slabs never contend.
+//
+// Concurrency protocol
+//   - Point writes (Add/Set) lock exactly one shard exclusively.
+//   - BatchApply groups the ops of a batch by shard and applies each
+//     shard's group under ONE exclusive acquisition — amortizing the lock
+//     cost across the group. A batch is atomic per shard (a reader either
+//     sees none or all of the batch's effect on that shard) but not across
+//     shards.
+//   - Single-shard reads take that shard's lock shared.
+//   - Cross-shard reads (RangeSum spanning slabs, TotalSum) must not hold
+//     several locks at once on the fast path. They combine per-shard
+//     partial sums "locklessly" at the cross-shard level using per-shard
+//     sequence counters (a seqlock over the *combination*, not over the
+//     tree): snapshot every relevant shard's write sequence, read each
+//     partial under that shard's shared lock only, then re-validate the
+//     sequences. If any shard was written in between, retry; after
+//     kMaxReadRetries failed rounds, fall back to holding all relevant
+//     shard locks simultaneously (shared, acquired in ascending shard
+//     order — the global lock order, see below). The result is always a
+//     consistent cut: some serial point between the first snapshot and the
+//     validation.
+//   - Whole-cube operations (ForEachNonZero, DomainLo/Hi) take all shard
+//     locks shared, in ascending order.
+//
+// Lock order: any code path that holds more than one shard lock acquires
+// them in ascending shard index and never acquires a lower index while
+// holding a higher one. Writers hold exactly one shard lock, so they can
+// never participate in a cycle.
+//
+// Growth: each shard's DynamicDataCube grows (re-roots) independently under
+// its own exclusive lock; re-rootings are observed through the DDC's
+// re-root listener (shard-aware growth hook) and surface in stats().
+//
+// The shard cubes run with operation counters disabled (queries must be
+// strictly const under shared locks — same reasoning as ConcurrentCube);
+// whole-operation accounting lives in the thread-safe stats() instead.
+
+#ifndef DDC_CONCURRENT_SHARDED_CUBE_H_
+#define DDC_CONCURRENT_SHARDED_CUBE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "common/cell.h"
+#include "common/op_counter.h"
+#include "common/range.h"
+#include "common/workload.h"
+#include "ddc/ddc_options.h"
+#include "ddc/dynamic_data_cube.h"
+
+namespace ddc {
+
+class ShardedCube {
+ public:
+  // `num_shards` >= 1; `options.enable_counters` is forced off. With
+  // num_shards == 1 the behaviour (and locking) degenerates to the coarse
+  // ConcurrentCube baseline.
+  ShardedCube(int dims, int64_t initial_side, int num_shards,
+              DdcOptions options = {});
+
+  ShardedCube(const ShardedCube&) = delete;
+  ShardedCube& operator=(const ShardedCube&) = delete;
+
+  int dims() const { return dims_; }
+  int num_shards() const { return num_shards_; }
+  int64_t slab_width() const { return slab_width_; }
+
+  // The shard owning `cell` (determined by cell[0] only; stable across
+  // growth).
+  int ShardOf(const Cell& cell) const;
+
+  // Writers — lock one shard exclusively.
+  void Add(const Cell& cell, int64_t delta);
+  void Set(const Cell& cell, int64_t value);
+
+  // Applies every op of the batch, grouped by shard, one exclusive lock
+  // acquisition per touched shard. Ops targeting the same shard are applied
+  // in batch order; the final state always equals sequential application
+  // (ops on different cells commute, ops on the same cell share a shard).
+  void BatchApply(std::span<const UpdateOp> ops);
+
+  // Shrinks every shard in turn (each under its own exclusive lock).
+  void ShrinkToFit(int64_t min_side = 2);
+
+  // Readers.
+  int64_t Get(const Cell& cell) const;          // One shard, shared lock.
+  int64_t RangeSum(const Box& box) const;       // See class comment.
+  int64_t TotalSum() const;                     // Cross-shard combine.
+  int64_t StorageCells() const;                 // Cross-shard combine.
+  // Bounding box of the shard domains (all shard locks, ascending).
+  Cell DomainLo() const;
+  Cell DomainHi() const;
+
+  // Consistent global snapshot: holds every shard lock shared (ascending)
+  // for the whole walk. The callback must not call back into this object.
+  void ForEachNonZero(
+      const std::function<void(const Cell&, int64_t)>& fn) const;
+
+  // Total growth/shrink re-rootings across all shards so far.
+  int64_t TotalReRoots() const;
+
+  // Aggregated operation statistics. Counters are kept per shard (sharing
+  // one ConcurrentOpStats across threads would put a contended cache line
+  // on every op — exactly the serialization sharding exists to remove) and
+  // summed here; exact at quiescence, monotone lower bounds in flight.
+  ConcurrentOpStats::Snapshot stats() const;
+
+ private:
+  // Over-aligned so two shards' locks/sequence words never share a cache
+  // line (the sequence counters are hammered by cross-shard readers).
+  struct alignas(128) Shard {
+    mutable std::shared_mutex mutex;
+    // Even = quiescent, odd = write in progress. Bumped only while `mutex`
+    // is held exclusively, so under a shared lock the value is stable.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<int64_t> reroots{0};
+    std::unique_ptr<DynamicDataCube> cube;
+    // Ops accounted to this shard (cross-shard ops bill their lowest
+    // touched shard); aggregated by ShardedCube::stats().
+    mutable ConcurrentOpStats stats;
+  };
+
+  // One slab-aligned piece of a cross-shard query.
+  struct SubQuery {
+    int shard;
+    Box box;
+  };
+
+  // Index of the slab containing first-coordinate `c0` (floor division —
+  // coordinates may be negative after growth).
+  int64_t SlabIndex(Coord c0) const;
+  // Decomposes `box` into at most one sub-box per shard (clipped along
+  // dimension 0 to the slabs that shard owns inside the box).
+  std::vector<SubQuery> Decompose(const Box& box) const;
+  // Sums `sub` with the sequence-validated retry protocol.
+  int64_t CombineSubQueries(const std::vector<SubQuery>& sub) const;
+  // The protocol itself: `shard_ids` ascending, `partial(k, cube)` computes
+  // the k-th partial sum (invoked with shard_ids[k]'s lock held shared).
+  int64_t CombineLocklessly(
+      const std::vector<int>& shard_ids,
+      const std::function<int64_t(size_t, const DynamicDataCube&)>& partial)
+      const;
+
+  template <typename Fn>
+  void WriteShard(Shard& shard, const Fn& fn) {
+    std::unique_lock lock(shard.mutex);
+    shard.seq.fetch_add(1, std::memory_order_release);
+    fn(shard.cube.get());
+    shard.seq.fetch_add(1, std::memory_order_release);
+  }
+
+  int dims_;
+  int num_shards_;
+  int64_t slab_width_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_CONCURRENT_SHARDED_CUBE_H_

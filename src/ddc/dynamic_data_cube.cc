@@ -72,6 +72,7 @@ void DynamicDataCube::EnsureContains(const Cell& cell) {
     ReattachListener();
     origin_ = std::move(new_origin);
     ++growth_doublings_;
+    if (reroot_listener_) reroot_listener_(old_side, side());
   }
 }
 
@@ -92,9 +93,11 @@ void DynamicDataCube::ShrinkToFit(int64_t min_side) {
     }
   });
   if (!any) {
+    const int64_t old_side = side();
     core_ = std::make_unique<DdcCore>(dims_, min_side, options_,
                                       CountersPtr());
     ReattachListener();
+    if (reroot_listener_) reroot_listener_(old_side, side());
     return;
   }
   Coord max_extent = 1;
@@ -103,7 +106,8 @@ void DynamicDataCube::ShrinkToFit(int64_t min_side) {
     max_extent = std::max(max_extent, hi[ui] - lo[ui] + 1);
   }
   const int64_t new_side = std::max(min_side, CeilPowerOfTwo(max_extent));
-  if (new_side >= side()) return;  // Nothing to gain.
+  const int64_t old_side = side();
+  if (new_side >= old_side) return;  // Nothing to gain.
 
   const Cell new_origin = CellAdd(origin_, lo);
   auto new_core =
@@ -115,6 +119,7 @@ void DynamicDataCube::ShrinkToFit(int64_t min_side) {
   core_ = std::move(new_core);
   ReattachListener();
   origin_ = new_origin;
+  if (reroot_listener_) reroot_listener_(old_side, new_side);
 }
 
 void DynamicDataCube::Add(const Cell& cell, int64_t delta) {
@@ -135,6 +140,10 @@ int64_t DynamicDataCube::Get(const Cell& cell) const {
 int64_t DynamicDataCube::PrefixSum(const Cell& cell) const {
   DDC_CHECK(InDomain(cell));
   return core_->PrefixSum(ToLocal(cell));
+}
+
+void DynamicDataCube::SetReRootListener(ReRootListener listener) {
+  reroot_listener_ = std::move(listener);
 }
 
 void DynamicDataCube::SetNodeVisitListener(

@@ -88,6 +88,16 @@ class DynamicDataCube : public CubeInterface {
   // re-rooting. Pass an empty function to detach.
   void SetNodeVisitListener(DdcCore::NodeVisitListener listener);
 
+  // Observer for re-rooting events: invoked once per growth doubling
+  // (new_side == 2 * old_side) and once per ShrinkToFit rebuild
+  // (new_side <= old_side), after the new core is in place. Sharded facades
+  // use this to account growth per shard without polling. The listener runs
+  // on the mutating thread — under whatever lock the caller holds — so it
+  // must be cheap and must not re-enter the cube. Pass an empty function to
+  // detach.
+  using ReRootListener = std::function<void(int64_t old_side, int64_t new_side)>;
+  void SetReRootListener(ReRootListener listener);
+
   // Invokes fn(cell, value) for every nonzero cell, in global coordinates.
   void ForEachNonZero(
       const std::function<void(const Cell&, int64_t)>& fn) const;
@@ -106,6 +116,7 @@ class DynamicDataCube : public CubeInterface {
   std::unique_ptr<DdcCore> core_;
   int64_t growth_doublings_ = 0;
   DdcCore::NodeVisitListener node_visit_listener_;
+  ReRootListener reroot_listener_;
 };
 
 }  // namespace ddc

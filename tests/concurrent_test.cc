@@ -112,6 +112,67 @@ TEST(ConcurrentCubeTest, MixedReadersAndWritersAgreeAtQuiescence) {
   EXPECT_EQ(cube.RangeSum(Box{{0, 0}, {31, 31}}), 1600);
 }
 
+// Compound WithExclusive transactions racing growth re-rooting: one thread
+// atomically moves value between two fixed cells (their sum is invariantly
+// zero), while another thread's far-out writes force the whole core to be
+// re-rooted again and again. Readers snapshot via ForEachNonZero and must
+// never observe a partial move, and the transaction cells must survive
+// every re-rooting intact. The sharded cube honors the same coarse path
+// per shard (WriteShard), so this pins the contract it inherits.
+TEST(ConcurrentCubeTest, WithExclusiveRacesGrowthReRooting) {
+  ConcurrentCube cube(2, 4);
+  const Cell kFrom{0, 0};
+  const Cell kTo{1, 1};
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> violations{0};
+
+  std::thread mover([&]() {
+    for (int i = 0; i < 400; ++i) {
+      cube.WithExclusive([&](DynamicDataCube* raw) {
+        raw->Add(kFrom, -3);
+        raw->Add(kTo, 3);
+      });
+    }
+  });
+
+  std::thread grower([&]() {
+    Coord reach = 4;
+    for (int i = 0; i < 40; ++i) {
+      // Alternate directions so the origin moves negative too.
+      cube.Add({reach, reach}, 1);
+      cube.Add({-reach, -reach}, 1);
+      reach *= 2;
+      if (reach > (Coord{1} << 40)) reach = 4;
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&]() {
+      while (!stop.load()) {
+        int64_t from = 0;
+        int64_t to = 0;
+        cube.ForEachNonZero([&](const Cell& c, int64_t v) {
+          if (c == kFrom) from = v;
+          if (c == kTo) to = v;
+        });
+        if (from + to != 0) violations.fetch_add(1);
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  mover.join();
+  grower.join();
+  stop.store(true);
+  for (auto& thread : readers) thread.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(cube.Get(kFrom), -400 * 3);
+  EXPECT_EQ(cube.Get(kTo), 400 * 3);
+  EXPECT_EQ(cube.TotalSum(), 2 * 40);  // Only the grower changes the total.
+}
+
 TEST(ConcurrentCubeTest, GrowthUnderConcurrency) {
   ConcurrentCube cube(2, 4);
   std::vector<std::thread> writers;

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "test_seed.h"
 #include "basic_ddc/basic_ddc.h"
 #include "common/cube_interface.h"
 #include "common/workload.h"
@@ -63,7 +64,7 @@ TEST_P(CubePropertyTest, UpdateDeltaDominance) {
   const int dims = 2;
   const int64_t side = 16;
   auto cube = MakeCube(GetParam(), dims, side);
-  WorkloadGenerator gen(Shape::Cube(dims, side), 2);
+  WorkloadGenerator gen(Shape::Cube(dims, side), TestSeed(2));
   for (const UpdateOp& op : gen.UniformUpdates(60, -9, 9)) {
     cube->Add(op.cell, op.delta);
   }
@@ -98,7 +99,7 @@ TEST_P(CubePropertyTest, Linearity) {
   auto a = MakeCube(GetParam(), dims, side);
   auto b = MakeCube(GetParam(), dims, side);
   auto both = MakeCube(GetParam(), dims, side);
-  WorkloadGenerator gen(Shape::Cube(dims, side), 3);
+  WorkloadGenerator gen(Shape::Cube(dims, side), TestSeed(3));
   for (int i = 0; i < 80; ++i) {
     UpdateOp op{gen.UniformCell(), gen.Value(-9, 9)};
     if (i % 2 == 0) {
@@ -121,7 +122,7 @@ TEST_P(CubePropertyTest, MonotonicityOnNonNegativeData) {
   const int dims = 3;
   const int64_t side = 8;
   auto cube = MakeCube(GetParam(), dims, side);
-  WorkloadGenerator gen(Shape::Cube(dims, side), 4);
+  WorkloadGenerator gen(Shape::Cube(dims, side), TestSeed(4));
   for (const UpdateOp& op : gen.UniformUpdates(100, 0, 9)) {
     cube->Add(op.cell, op.delta);
   }
@@ -143,7 +144,7 @@ TEST_P(CubePropertyTest, PartitionAdditivity) {
   const int dims = 2;
   const int64_t side = 16;
   auto cube = MakeCube(GetParam(), dims, side);
-  WorkloadGenerator gen(Shape::Cube(dims, side), 5);
+  WorkloadGenerator gen(Shape::Cube(dims, side), TestSeed(5));
   for (const UpdateOp& op : gen.UniformUpdates(100, -9, 9)) {
     cube->Add(op.cell, op.delta);
   }
@@ -169,7 +170,7 @@ TEST_P(CubePropertyTest, SetIdempotence) {
   const int dims = 2;
   const int64_t side = 16;
   auto cube = MakeCube(GetParam(), dims, side);
-  WorkloadGenerator gen(Shape::Cube(dims, side), 6);
+  WorkloadGenerator gen(Shape::Cube(dims, side), TestSeed(6));
   for (int i = 0; i < 60; ++i) {
     const Cell cell = gen.UniformCell();
     const int64_t value = gen.Value(-50, 50);
@@ -186,7 +187,7 @@ TEST_P(CubePropertyTest, InverseCancellation) {
   const int dims = 2;
   const int64_t side = 16;
   auto cube = MakeCube(GetParam(), dims, side);
-  WorkloadGenerator gen(Shape::Cube(dims, side), 7);
+  WorkloadGenerator gen(Shape::Cube(dims, side), TestSeed(7));
   const std::vector<UpdateOp> ops = gen.UniformUpdates(100, -9, 9);
   for (const UpdateOp& op : ops) cube->Add(op.cell, op.delta);
   for (const UpdateOp& op : ops) cube->Add(op.cell, -op.delta);
@@ -203,7 +204,7 @@ TEST_P(CubePropertyTest, WholeDomainConsistency) {
   const int dims = 2;
   const int64_t side = 16;
   auto cube = MakeCube(GetParam(), dims, side);
-  WorkloadGenerator gen(Shape::Cube(dims, side), 8);
+  WorkloadGenerator gen(Shape::Cube(dims, side), TestSeed(8));
   int64_t expected_total = 0;
   for (const UpdateOp& op : gen.UniformUpdates(100, -9, 9)) {
     cube->Add(op.cell, op.delta);

@@ -1,0 +1,273 @@
+// Concurrency stress for ShardedCube: writer/reader thread mixes over
+// Add/Set/BatchApply/RangeSum/ShrinkToFit with a final quiesced equivalence
+// check against a mutex-protected shadow NaiveCube. Runs under the
+// `sanitize` ctest label — the ThreadSanitizer build of this binary is the
+// real assertion; the value checks catch logic races TSan cannot see.
+//
+// Write-conflict discipline: each writer thread owns the cells whose second
+// coordinate is congruent to its index (mod kWriters) and only writes its
+// own cells. Writers therefore never conflict on a cell, so the quiesced
+// state equals the union of per-writer sequential histories regardless of
+// interleaving — which is what makes the shadow comparison exact. Shards
+// stripe the FIRST coordinate, so every writer still hits every shard and
+// every lock interleaving is exercised.
+
+#include "concurrent/sharded_cube.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/workload.h"
+#include "naive/naive_cube.h"
+#include "test_seed.h"
+
+namespace ddc {
+namespace {
+
+constexpr int kWriters = 3;
+constexpr int kReaders = 3;
+constexpr int64_t kSide = 64;
+
+TEST(ShardedStressTest, MixedWorkloadQuiescesToShadow) {
+  const uint64_t seed = TestSeed(777001);
+  ShardedCube cube(2, kSide, 8);
+  NaiveCube shadow(Shape::Cube(2, kSide));
+  std::mutex shadow_mutex;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t]() {
+      WorkloadGenerator gen(Shape::Cube(2, kSide), seed + 1000u * (t + 1));
+      // A cell this writer owns: any x, y ≡ t (mod kWriters).
+      auto own_cell = [&]() {
+        Cell c = gen.UniformCell();
+        c[1] = (c[1] / kWriters) * kWriters + t;
+        if (c[1] >= kSide) c[1] -= kWriters;
+        return c;
+      };
+      for (int i = 0; i < 4000; ++i) {
+        const int64_t roll = gen.Value(0, 99);
+        if (roll < 55) {
+          const Cell c = own_cell();
+          const int64_t delta = gen.Value(-9, 9);
+          cube.Add(c, delta);
+          std::lock_guard lock(shadow_mutex);
+          shadow.Add(c, delta);
+        } else if (roll < 75) {
+          const Cell c = own_cell();
+          const int64_t value = gen.Value(-50, 50);
+          cube.Set(c, value);
+          std::lock_guard lock(shadow_mutex);
+          shadow.Set(c, value);
+        } else {
+          std::vector<UpdateOp> batch;
+          const int64_t batch_size = gen.Value(2, 24);
+          for (int64_t b = 0; b < batch_size; ++b) {
+            batch.push_back({own_cell(), gen.Value(-9, 9), UpdateKind::kAdd});
+          }
+          cube.BatchApply(batch);
+          std::lock_guard lock(shadow_mutex);
+          for (const UpdateOp& op : batch) shadow.Add(op.cell, op.delta);
+        }
+        // Periodic rather than random: a full shrink-to-2 forces every
+        // shard to re-root and the following writes re-grow them — the race
+        // we want — but at a few-percent op rate that re-insert churn
+        // dominates the whole suite's runtime, so keep the count bounded.
+        if (i % 999 == 998) cube.ShrinkToFit(2);
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t]() {
+      WorkloadGenerator gen(Shape::Cube(2, kSide), seed + 77u * (t + 1));
+      int64_t sink = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const int64_t roll = gen.Value(0, 19);
+        if (roll < 12) {
+          sink += cube.RangeSum(gen.UniformBox());
+        } else if (roll < 16) {
+          sink += cube.Get(gen.UniformCell());
+        } else if (roll < 18) {
+          sink += cube.TotalSum();
+        } else {
+          cube.ForEachNonZero([&](const Cell&, int64_t v) { sink += v; });
+        }
+        // Single core: without a yield the readers starve the writers and
+        // the test runs for its scheduling, not its logic.
+        std::this_thread::yield();
+      }
+      // Keep the compiler honest about the reads.
+      EXPECT_NE(sink, INT64_MIN);
+    });
+  }
+
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+
+  // Quiesced full-cube equivalence against the shadow.
+  EXPECT_EQ(cube.TotalSum(), shadow.RangeSum(Box{{0, 0}, {kSide - 1, kSide - 1}}))
+      << "seed " << seed;
+  for (Coord x = 0; x < kSide; ++x) {
+    for (Coord y = 0; y < kSide; ++y) {
+      ASSERT_EQ(cube.Get({x, y}), shadow.Get({x, y}))
+          << "cell (" << x << "," << y << ") seed " << seed;
+    }
+  }
+  WorkloadGenerator gen(Shape::Cube(2, kSide), seed);
+  for (int q = 0; q < 60; ++q) {
+    const Box box = gen.UniformBox();
+    ASSERT_EQ(cube.RangeSum(box), shadow.RangeSum(box))
+        << box.ToString() << " seed " << seed;
+  }
+}
+
+// Per-shard batch atomicity: two cells in the same slab are only ever
+// incremented together through BatchApply, so a single-shard RangeSum over
+// exactly those cells must always observe an even total — even while other
+// writers force growth re-rooting of the very shard being read.
+TEST(ShardedStressTest, BatchIsAtomicPerShardUnderGrowth) {
+  ShardedCube cube(2, 64, 8);  // slab width 8: x=0..7 is shard 0.
+  const Cell kA{0, 0};
+  const Cell kB{0, 5};
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> parity_violations{0};
+
+  std::thread pair_writer([&]() {
+    for (int i = 0; i < 400; ++i) {
+      const std::vector<UpdateOp> batch = {{kA, 1, UpdateKind::kAdd},
+                                           {kB, 1, UpdateKind::kAdd}};
+      cube.BatchApply(batch);
+    }
+  });
+
+  // Forces repeated growth re-rooting of shard 0 — the very shard the
+  // readers query: its slabs recur at x = ±64, ±128, ... (slab period
+  // slab_width * num_shards = 64).
+  std::thread growth_writer([&]() {
+    Coord reach = 64;
+    for (int i = 0; i < 60; ++i) {
+      cube.Add({reach, 3}, 1);
+      cube.Add({-reach, 3}, 1);
+      reach += 64;
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&]() {
+      const Box pair_box{{0, 0}, {0, 5}};
+      while (!stop.load(std::memory_order_acquire)) {
+        const int64_t sum = cube.RangeSum(pair_box);
+        if (sum % 2 != 0) parity_violations.fetch_add(1);
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  pair_writer.join();
+  growth_writer.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(parity_violations.load(), 0);
+  EXPECT_EQ(cube.Get(kA), 400);
+  EXPECT_EQ(cube.Get(kB), 400);
+  EXPECT_EQ(cube.TotalSum(), 2 * 400 + 2 * 60);
+  EXPECT_GT(cube.TotalReRoots(), 0);
+}
+
+// ShrinkToFit racing readers: the writer repeatedly balloons shard 0's
+// domain (grow to side 1024), zeroes the outlier, and shrinks back — every
+// iteration is a real re-root rebuild, concurrent with readers querying the
+// same shard. The core cells only ever receive +1, so the core-box sum a
+// reader observes must be nondecreasing.
+TEST(ShardedStressTest, ShrinkToFitRacesReaders) {
+  ShardedCube cube(2, 8, 4);  // Slab width 2; x in [0,2) is shard 0.
+  const Box kCoreBox{{0, 0}, {1, 7}};
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> violations{0};
+
+  std::thread writer([&]() {
+    for (int i = 0; i < 50; ++i) {
+      cube.Add({0, i % 8}, 1);           // Core payload, shard 0.
+      cube.Add({0, 1000}, 1);            // Balloon: grow to side >= 1024.
+      cube.Set({0, 1000}, 0);            // Zero the outlier...
+      cube.ShrinkToFit(2);               // ...and rebuild small: re-root.
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&]() {
+      int64_t last = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const int64_t sum = cube.RangeSum(kCoreBox);
+        if (sum < last || sum > 50) violations.fetch_add(1);
+        last = sum;
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  writer.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(cube.RangeSum(kCoreBox), 50);
+  EXPECT_EQ(cube.TotalSum(), 50);
+  EXPECT_GT(cube.TotalReRoots(), 50);  // Both growth and shrink re-roots.
+}
+
+// Cross-shard reads must return a consistent cut: every shard gets +1 in
+// round-robin, so TotalSum observed concurrently can never exceed the
+// final total, and at quiescence all protocol counters reconcile.
+TEST(ShardedStressTest, CrossShardReadsSeeMonotoneTotals) {
+  ShardedCube cube(2, 64, 8);
+  constexpr int kRounds = 500;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> monotonicity_violations{0};
+
+  std::thread writer([&]() {
+    for (int i = 0; i < kRounds; ++i) {
+      for (Coord s = 0; s < 8; ++s) {
+        cube.Add({s * 8, 1}, 1);  // One cell per shard.
+      }
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&]() {
+      int64_t last = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const int64_t total = cube.TotalSum();
+        if (total < last || total > 8 * kRounds) {
+          monotonicity_violations.fetch_add(1);
+        }
+        last = total;
+      }
+    });
+  }
+
+  writer.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(monotonicity_violations.load(), 0);
+  EXPECT_EQ(cube.TotalSum(), 8 * kRounds);
+  const auto stats = cube.stats();
+  EXPECT_EQ(stats.point_writes, 8 * kRounds);
+  EXPECT_GT(stats.range_queries, 0);
+}
+
+}  // namespace
+}  // namespace ddc

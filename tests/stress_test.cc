@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "test_seed.h"
 #include "basic_ddc/basic_ddc.h"
 #include "common/workload.h"
 #include "ddc/dynamic_data_cube.h"
@@ -32,7 +33,7 @@ TEST(StressTest, LockstepMixedWorkload2D) {
   BasicDdc basic(2, 32);
   DynamicDataCube ddc_cube(2, 32);
 
-  WorkloadGenerator gen(shape, 12345);
+  WorkloadGenerator gen(shape, TestSeed(12345));
   for (int i = 0; i < 4000; ++i) {
     const int64_t roll = gen.Value(0, 9);
     const Cell cell = (roll < 2) ? Cell{gen.Value(0, 1) * 31,
@@ -67,7 +68,7 @@ TEST(StressTest, LockstepMixedWorkload2D) {
 // Growth + shrink + snapshot interleaving must never lose data.
 TEST(StressTest, GrowShrinkSnapshotCycle) {
   DynamicDataCube cube(2, 4);
-  std::mt19937_64 rng(777);
+  std::mt19937_64 rng(TestSeed(777));
   std::uniform_int_distribution<Coord> coord(-3000, 3000);
   std::uniform_int_distribution<int64_t> value(1, 9);
   std::map<std::pair<Coord, Coord>, int64_t> reference;
@@ -115,7 +116,7 @@ TEST(StressTest, GrowShrinkSnapshotCycle) {
 // no-crash plus header validation.
 TEST(StressTest, SnapshotCorruptionFuzz) {
   DynamicDataCube cube(2, 16);
-  WorkloadGenerator gen(Shape::Cube(2, 16), 4);
+  WorkloadGenerator gen(Shape::Cube(2, 16), TestSeed(4));
   for (const UpdateOp& op : gen.UniformUpdates(40, -5, 5)) {
     cube.Add(op.cell, op.delta);
   }
@@ -123,7 +124,7 @@ TEST(StressTest, SnapshotCorruptionFuzz) {
   ASSERT_TRUE(WriteSnapshot(cube, &stream));
   const std::string bytes = stream.str();
 
-  std::mt19937_64 rng(9);
+  std::mt19937_64 rng(TestSeed(9));
   for (int trial = 0; trial < 200; ++trial) {
     std::string corrupted = bytes;
     const size_t pos = rng() % corrupted.size();
@@ -147,7 +148,7 @@ TEST(StressTest, CancellationHeavyWorkload) {
   const Shape shape = Shape::Cube(3, 8);
   NaiveCube naive(shape);
   DynamicDataCube cube(3, 8);
-  WorkloadGenerator gen(shape, 31337);
+  WorkloadGenerator gen(shape, TestSeed(31337));
   for (int i = 0; i < 2500; ++i) {
     const Cell cell = gen.UniformCell();
     const int64_t delta = (i % 2 == 0) ? 1 : -1;

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Builds the tree under ThreadSanitizer and AddressSanitizer and runs the
+# `sanitize`-labelled concurrency tests under each. Any race/leak fails the
+# run. Usage:
+#
+#   tools/run_sanitizers.sh            # both sanitizers
+#   tools/run_sanitizers.sh thread     # just TSan
+#   tools/run_sanitizers.sh address    # just ASan
+#
+# Build trees land in build-tsan/ and build-asan/ next to the source tree,
+# so they never disturb the regular build/ directory.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# The targets behind `ctest -L sanitize` (keep in sync with
+# tests/CMakeLists.txt). Building only these keeps a sanitizer run fast.
+SANITIZE_TARGETS=(concurrent_test sharded_cube_test sharded_stress_test)
+
+run_one() {
+  local kind="$1"
+  local dir="build-${kind:0:1}san"  # build-tsan / build-asan
+  case "$kind" in
+    thread)  dir=build-tsan ;;
+    address) dir=build-asan ;;
+    *) echo "unknown sanitizer '$kind' (want thread|address)" >&2; exit 2 ;;
+  esac
+  echo "=== ${kind} sanitizer: configuring ${dir} ==="
+  cmake -B "$dir" -S . -DDDC_SANITIZE="$kind" > /dev/null
+  echo "=== ${kind} sanitizer: building ==="
+  cmake --build "$dir" -j "$(nproc)" --target "${SANITIZE_TARGETS[@]}"
+  echo "=== ${kind} sanitizer: running ctest -L sanitize ==="
+  # halt_on_error makes the first report fail the test instead of merely
+  # printing; second_deadlock_stack improves lock-order reports.
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
+    ctest --test-dir "$dir" -L sanitize --output-on-failure
+}
+
+if [ "$#" -eq 0 ]; then
+  run_one thread
+  run_one address
+else
+  for kind in "$@"; do
+    run_one "$kind"
+  done
+fi
+
+echo "All sanitizer runs passed."
