@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_basic_update.dir/bench_basic_update.cc.o"
+  "CMakeFiles/bench_basic_update.dir/bench_basic_update.cc.o.d"
+  "bench_basic_update"
+  "bench_basic_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_basic_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bctree.dir/bench_bctree.cc.o"
+  "CMakeFiles/bench_bctree.dir/bench_bctree.cc.o.d"
+  "bench_bctree"
+  "bench_bctree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bctree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

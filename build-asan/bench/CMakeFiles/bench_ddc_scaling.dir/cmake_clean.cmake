@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ddc_scaling.dir/bench_ddc_scaling.cc.o"
+  "CMakeFiles/bench_ddc_scaling.dir/bench_ddc_scaling.cc.o.d"
+  "bench_ddc_scaling"
+  "bench_ddc_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ddc_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pagesim.dir/bench_pagesim.cc.o"
+  "CMakeFiles/bench_pagesim.dir/bench_pagesim.cc.o.d"
+  "bench_pagesim"
+  "bench_pagesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pagesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_space_opt.dir/bench_space_opt.cc.o"
+  "CMakeFiles/bench_space_opt.dir/bench_space_opt.cc.o.d"
+  "bench_space_opt"
+  "bench_space_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_space_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

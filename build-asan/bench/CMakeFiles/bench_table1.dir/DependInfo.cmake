@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1.cc" "bench/CMakeFiles/bench_table1.dir/bench_table1.cc.o" "gcc" "bench/CMakeFiles/bench_table1.dir/bench_table1.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/ddc_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/bctree/CMakeFiles/ddc_bctree.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/naive/CMakeFiles/ddc_naive.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/prefix/CMakeFiles/ddc_prefix.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/rps/CMakeFiles/ddc_rps.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/basic_ddc/CMakeFiles/ddc_basic_ddc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ddc/CMakeFiles/ddc_ddc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/olap/CMakeFiles/ddc_olap.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/pagesim/CMakeFiles/ddc_pagesim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/concurrent/CMakeFiles/ddc_concurrent.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

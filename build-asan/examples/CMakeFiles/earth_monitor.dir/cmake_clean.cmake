@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earth_monitor.dir/earth_monitor.cpp.o"
+  "CMakeFiles/earth_monitor.dir/earth_monitor.cpp.o.d"
+  "earth_monitor"
+  "earth_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earth_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_dashboard.dir/metrics_dashboard.cpp.o"
+  "CMakeFiles/metrics_dashboard.dir/metrics_dashboard.cpp.o.d"
+  "metrics_dashboard"
+  "metrics_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

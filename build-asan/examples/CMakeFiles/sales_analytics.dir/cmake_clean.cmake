@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sales_analytics.dir/sales_analytics.cpp.o"
+  "CMakeFiles/sales_analytics.dir/sales_analytics.cpp.o.d"
+  "sales_analytics"
+  "sales_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sales_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_catalog.dir/star_catalog.cpp.o"
+  "CMakeFiles/star_catalog.dir/star_catalog.cpp.o.d"
+  "star_catalog"
+  "star_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("bctree")
+subdirs("naive")
+subdirs("prefix")
+subdirs("rps")
+subdirs("basic_ddc")
+subdirs("ddc")
+subdirs("olap")
+subdirs("concurrent")
+subdirs("pagesim")
+subdirs("minmax")
+subdirs("query")
+subdirs("wal")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_basic_ddc.dir/basic_ddc.cc.o"
+  "CMakeFiles/ddc_basic_ddc.dir/basic_ddc.cc.o.d"
+  "CMakeFiles/ddc_basic_ddc.dir/overlay_box.cc.o"
+  "CMakeFiles/ddc_basic_ddc.dir/overlay_box.cc.o.d"
+  "libddc_basic_ddc.a"
+  "libddc_basic_ddc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_basic_ddc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

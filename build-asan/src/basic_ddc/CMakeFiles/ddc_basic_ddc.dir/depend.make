@@ -1,0 +1,2 @@
+# Empty dependencies file for ddc_basic_ddc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_bctree.dir/bc_tree.cc.o"
+  "CMakeFiles/ddc_bctree.dir/bc_tree.cc.o.d"
+  "CMakeFiles/ddc_bctree.dir/fenwick_tree.cc.o"
+  "CMakeFiles/ddc_bctree.dir/fenwick_tree.cc.o.d"
+  "libddc_bctree.a"
+  "libddc_bctree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_bctree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/cell.cc" "src/common/CMakeFiles/ddc_common.dir/cell.cc.o" "gcc" "src/common/CMakeFiles/ddc_common.dir/cell.cc.o.d"
+  "/root/repo/src/common/cost_model.cc" "src/common/CMakeFiles/ddc_common.dir/cost_model.cc.o" "gcc" "src/common/CMakeFiles/ddc_common.dir/cost_model.cc.o.d"
+  "/root/repo/src/common/cube_interface.cc" "src/common/CMakeFiles/ddc_common.dir/cube_interface.cc.o" "gcc" "src/common/CMakeFiles/ddc_common.dir/cube_interface.cc.o.d"
+  "/root/repo/src/common/range.cc" "src/common/CMakeFiles/ddc_common.dir/range.cc.o" "gcc" "src/common/CMakeFiles/ddc_common.dir/range.cc.o.d"
+  "/root/repo/src/common/shape.cc" "src/common/CMakeFiles/ddc_common.dir/shape.cc.o" "gcc" "src/common/CMakeFiles/ddc_common.dir/shape.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/common/CMakeFiles/ddc_common.dir/table_printer.cc.o" "gcc" "src/common/CMakeFiles/ddc_common.dir/table_printer.cc.o.d"
+  "/root/repo/src/common/workload.cc" "src/common/CMakeFiles/ddc_common.dir/workload.cc.o" "gcc" "src/common/CMakeFiles/ddc_common.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_common.dir/cell.cc.o"
+  "CMakeFiles/ddc_common.dir/cell.cc.o.d"
+  "CMakeFiles/ddc_common.dir/cost_model.cc.o"
+  "CMakeFiles/ddc_common.dir/cost_model.cc.o.d"
+  "CMakeFiles/ddc_common.dir/cube_interface.cc.o"
+  "CMakeFiles/ddc_common.dir/cube_interface.cc.o.d"
+  "CMakeFiles/ddc_common.dir/range.cc.o"
+  "CMakeFiles/ddc_common.dir/range.cc.o.d"
+  "CMakeFiles/ddc_common.dir/shape.cc.o"
+  "CMakeFiles/ddc_common.dir/shape.cc.o.d"
+  "CMakeFiles/ddc_common.dir/table_printer.cc.o"
+  "CMakeFiles/ddc_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/ddc_common.dir/workload.cc.o"
+  "CMakeFiles/ddc_common.dir/workload.cc.o.d"
+  "libddc_common.a"
+  "libddc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_concurrent.dir/concurrent_cube.cc.o"
+  "CMakeFiles/ddc_concurrent.dir/concurrent_cube.cc.o.d"
+  "CMakeFiles/ddc_concurrent.dir/sharded_cube.cc.o"
+  "CMakeFiles/ddc_concurrent.dir/sharded_cube.cc.o.d"
+  "libddc_concurrent.a"
+  "libddc_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

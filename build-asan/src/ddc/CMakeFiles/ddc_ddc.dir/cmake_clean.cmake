@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_ddc.dir/ddc_core.cc.o"
+  "CMakeFiles/ddc_ddc.dir/ddc_core.cc.o.d"
+  "CMakeFiles/ddc_ddc.dir/dynamic_data_cube.cc.o"
+  "CMakeFiles/ddc_ddc.dir/dynamic_data_cube.cc.o.d"
+  "CMakeFiles/ddc_ddc.dir/face_store.cc.o"
+  "CMakeFiles/ddc_ddc.dir/face_store.cc.o.d"
+  "CMakeFiles/ddc_ddc.dir/snapshot.cc.o"
+  "CMakeFiles/ddc_ddc.dir/snapshot.cc.o.d"
+  "CMakeFiles/ddc_ddc.dir/validate.cc.o"
+  "CMakeFiles/ddc_ddc.dir/validate.cc.o.d"
+  "libddc_ddc.a"
+  "libddc_ddc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_ddc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

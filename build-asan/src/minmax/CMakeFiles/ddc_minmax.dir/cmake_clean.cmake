@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_minmax.dir/extrema_cube.cc.o"
+  "CMakeFiles/ddc_minmax.dir/extrema_cube.cc.o.d"
+  "libddc_minmax.a"
+  "libddc_minmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_minmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

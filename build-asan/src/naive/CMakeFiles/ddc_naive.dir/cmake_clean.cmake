@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_naive.dir/naive_cube.cc.o"
+  "CMakeFiles/ddc_naive.dir/naive_cube.cc.o.d"
+  "libddc_naive.a"
+  "libddc_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

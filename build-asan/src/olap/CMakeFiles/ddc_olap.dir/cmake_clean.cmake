@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_olap.dir/category_tree.cc.o"
+  "CMakeFiles/ddc_olap.dir/category_tree.cc.o.d"
+  "CMakeFiles/ddc_olap.dir/dimension_encoder.cc.o"
+  "CMakeFiles/ddc_olap.dir/dimension_encoder.cc.o.d"
+  "CMakeFiles/ddc_olap.dir/measure.cc.o"
+  "CMakeFiles/ddc_olap.dir/measure.cc.o.d"
+  "CMakeFiles/ddc_olap.dir/olap_cube.cc.o"
+  "CMakeFiles/ddc_olap.dir/olap_cube.cc.o.d"
+  "CMakeFiles/ddc_olap.dir/rollup.cc.o"
+  "CMakeFiles/ddc_olap.dir/rollup.cc.o.d"
+  "libddc_olap.a"
+  "libddc_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_pagesim.dir/buffer_pool.cc.o"
+  "CMakeFiles/ddc_pagesim.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/ddc_pagesim.dir/paged_cube_probe.cc.o"
+  "CMakeFiles/ddc_pagesim.dir/paged_cube_probe.cc.o.d"
+  "libddc_pagesim.a"
+  "libddc_pagesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_pagesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

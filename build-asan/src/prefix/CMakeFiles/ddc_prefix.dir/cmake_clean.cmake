@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_prefix.dir/prefix_sum_cube.cc.o"
+  "CMakeFiles/ddc_prefix.dir/prefix_sum_cube.cc.o.d"
+  "libddc_prefix.a"
+  "libddc_prefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_query.dir/executor.cc.o"
+  "CMakeFiles/ddc_query.dir/executor.cc.o.d"
+  "CMakeFiles/ddc_query.dir/parser.cc.o"
+  "CMakeFiles/ddc_query.dir/parser.cc.o.d"
+  "CMakeFiles/ddc_query.dir/query.cc.o"
+  "CMakeFiles/ddc_query.dir/query.cc.o.d"
+  "libddc_query.a"
+  "libddc_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

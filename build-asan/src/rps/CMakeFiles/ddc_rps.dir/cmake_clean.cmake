@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_rps.dir/relative_prefix_sum_cube.cc.o"
+  "CMakeFiles/ddc_rps.dir/relative_prefix_sum_cube.cc.o.d"
+  "libddc_rps.a"
+  "libddc_rps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_rps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_wal.dir/cube_log.cc.o"
+  "CMakeFiles/ddc_wal.dir/cube_log.cc.o.d"
+  "libddc_wal.a"
+  "libddc_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basic_ddc_test.dir/basic_ddc_test.cc.o"
+  "CMakeFiles/basic_ddc_test.dir/basic_ddc_test.cc.o.d"
+  "basic_ddc_test"
+  "basic_ddc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basic_ddc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

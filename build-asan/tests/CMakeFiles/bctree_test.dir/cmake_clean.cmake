@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bctree_test.dir/bctree_test.cc.o"
+  "CMakeFiles/bctree_test.dir/bctree_test.cc.o.d"
+  "bctree_test"
+  "bctree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bctree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

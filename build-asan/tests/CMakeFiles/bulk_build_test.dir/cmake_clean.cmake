@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_build_test.dir/bulk_build_test.cc.o"
+  "CMakeFiles/bulk_build_test.dir/bulk_build_test.cc.o.d"
+  "bulk_build_test"
+  "bulk_build_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_build_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/category_tree_test.dir/category_tree_test.cc.o"
+  "CMakeFiles/category_tree_test.dir/category_tree_test.cc.o.d"
+  "category_tree_test"
+  "category_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/category_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubes_equivalence_test.dir/cubes_equivalence_test.cc.o"
+  "CMakeFiles/cubes_equivalence_test.dir/cubes_equivalence_test.cc.o.d"
+  "cubes_equivalence_test"
+  "cubes_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubes_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_core_test.dir/ddc_core_test.cc.o"
+  "CMakeFiles/ddc_core_test.dir/ddc_core_test.cc.o.d"
+  "ddc_core_test"
+  "ddc_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

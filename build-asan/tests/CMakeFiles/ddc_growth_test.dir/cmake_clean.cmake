@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_growth_test.dir/ddc_growth_test.cc.o"
+  "CMakeFiles/ddc_growth_test.dir/ddc_growth_test.cc.o.d"
+  "ddc_growth_test"
+  "ddc_growth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_growth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

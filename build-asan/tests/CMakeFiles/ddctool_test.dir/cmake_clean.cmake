@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddctool_test.dir/ddctool_test.cc.o"
+  "CMakeFiles/ddctool_test.dir/ddctool_test.cc.o.d"
+  "ddctool_test"
+  "ddctool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddctool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

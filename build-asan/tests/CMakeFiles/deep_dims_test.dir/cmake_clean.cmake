@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_dims_test.dir/deep_dims_test.cc.o"
+  "CMakeFiles/deep_dims_test.dir/deep_dims_test.cc.o.d"
+  "deep_dims_test"
+  "deep_dims_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_dims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extrema_test.dir/extrema_test.cc.o"
+  "CMakeFiles/extrema_test.dir/extrema_test.cc.o.d"
+  "extrema_test"
+  "extrema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extrema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/face_store_test.dir/face_store_test.cc.o"
+  "CMakeFiles/face_store_test.dir/face_store_test.cc.o.d"
+  "face_store_test"
+  "face_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/face_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenwick_test.dir/fenwick_test.cc.o"
+  "CMakeFiles/fenwick_test.dir/fenwick_test.cc.o.d"
+  "fenwick_test"
+  "fenwick_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenwick_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/from_array_test.dir/from_array_test.cc.o"
+  "CMakeFiles/from_array_test.dir/from_array_test.cc.o.d"
+  "from_array_test"
+  "from_array_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/from_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_cube_test.dir/naive_cube_test.cc.o"
+  "CMakeFiles/naive_cube_test.dir/naive_cube_test.cc.o.d"
+  "naive_cube_test"
+  "naive_cube_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_cube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

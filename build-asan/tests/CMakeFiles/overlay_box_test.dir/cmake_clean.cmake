@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_box_test.dir/overlay_box_test.cc.o"
+  "CMakeFiles/overlay_box_test.dir/overlay_box_test.cc.o.d"
+  "overlay_box_test"
+  "overlay_box_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_box_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

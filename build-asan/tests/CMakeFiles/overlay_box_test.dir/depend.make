@@ -1,0 +1,2 @@
+# Empty dependencies file for overlay_box_test.
+# This may be replaced when dependencies are built.

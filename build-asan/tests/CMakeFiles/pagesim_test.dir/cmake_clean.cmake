@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagesim_test.dir/pagesim_test.cc.o"
+  "CMakeFiles/pagesim_test.dir/pagesim_test.cc.o.d"
+  "pagesim_test"
+  "pagesim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagesim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

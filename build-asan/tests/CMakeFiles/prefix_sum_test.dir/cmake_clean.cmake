@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefix_sum_test.dir/prefix_sum_test.cc.o"
+  "CMakeFiles/prefix_sum_test.dir/prefix_sum_test.cc.o.d"
+  "prefix_sum_test"
+  "prefix_sum_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefix_sum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

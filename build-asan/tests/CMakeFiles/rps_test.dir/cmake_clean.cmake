@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_test.dir/rps_test.cc.o"
+  "CMakeFiles/rps_test.dir/rps_test.cc.o.d"
+  "rps_test"
+  "rps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_cube_test.dir/sharded_cube_test.cc.o"
+  "CMakeFiles/sharded_cube_test.dir/sharded_cube_test.cc.o.d"
+  "sharded_cube_test"
+  "sharded_cube_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_cube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

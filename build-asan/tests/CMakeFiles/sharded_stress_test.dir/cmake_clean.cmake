@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_stress_test.dir/sharded_stress_test.cc.o"
+  "CMakeFiles/sharded_stress_test.dir/sharded_stress_test.cc.o.d"
+  "sharded_stress_test"
+  "sharded_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shrink_stats_test.dir/shrink_stats_test.cc.o"
+  "CMakeFiles/shrink_stats_test.dir/shrink_stats_test.cc.o.d"
+  "shrink_stats_test"
+  "shrink_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shrink_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_tools.dir/commands.cc.o"
+  "CMakeFiles/ddc_tools.dir/commands.cc.o.d"
+  "CMakeFiles/ddc_tools.dir/csv.cc.o"
+  "CMakeFiles/ddc_tools.dir/csv.cc.o.d"
+  "libddc_tools.a"
+  "libddc_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddcgen.dir/ddcgen_main.cc.o"
+  "CMakeFiles/ddcgen.dir/ddcgen_main.cc.o.d"
+  "ddcgen"
+  "ddcgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddcgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ddcgen.
+# This may be replaced when dependencies are built.

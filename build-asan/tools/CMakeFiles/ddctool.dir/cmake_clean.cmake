@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddctool.dir/ddctool_main.cc.o"
+  "CMakeFiles/ddctool.dir/ddctool_main.cc.o.d"
+  "ddctool"
+  "ddctool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddctool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

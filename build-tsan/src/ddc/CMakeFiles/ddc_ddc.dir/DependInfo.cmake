@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ddc/ddc_core.cc" "src/ddc/CMakeFiles/ddc_ddc.dir/ddc_core.cc.o" "gcc" "src/ddc/CMakeFiles/ddc_ddc.dir/ddc_core.cc.o.d"
+  "/root/repo/src/ddc/dynamic_data_cube.cc" "src/ddc/CMakeFiles/ddc_ddc.dir/dynamic_data_cube.cc.o" "gcc" "src/ddc/CMakeFiles/ddc_ddc.dir/dynamic_data_cube.cc.o.d"
+  "/root/repo/src/ddc/face_store.cc" "src/ddc/CMakeFiles/ddc_ddc.dir/face_store.cc.o" "gcc" "src/ddc/CMakeFiles/ddc_ddc.dir/face_store.cc.o.d"
+  "/root/repo/src/ddc/snapshot.cc" "src/ddc/CMakeFiles/ddc_ddc.dir/snapshot.cc.o" "gcc" "src/ddc/CMakeFiles/ddc_ddc.dir/snapshot.cc.o.d"
+  "/root/repo/src/ddc/validate.cc" "src/ddc/CMakeFiles/ddc_ddc.dir/validate.cc.o" "gcc" "src/ddc/CMakeFiles/ddc_ddc.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/ddc_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/bctree/CMakeFiles/ddc_bctree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/olap/category_tree.cc" "src/olap/CMakeFiles/ddc_olap.dir/category_tree.cc.o" "gcc" "src/olap/CMakeFiles/ddc_olap.dir/category_tree.cc.o.d"
+  "/root/repo/src/olap/dimension_encoder.cc" "src/olap/CMakeFiles/ddc_olap.dir/dimension_encoder.cc.o" "gcc" "src/olap/CMakeFiles/ddc_olap.dir/dimension_encoder.cc.o.d"
+  "/root/repo/src/olap/measure.cc" "src/olap/CMakeFiles/ddc_olap.dir/measure.cc.o" "gcc" "src/olap/CMakeFiles/ddc_olap.dir/measure.cc.o.d"
+  "/root/repo/src/olap/olap_cube.cc" "src/olap/CMakeFiles/ddc_olap.dir/olap_cube.cc.o" "gcc" "src/olap/CMakeFiles/ddc_olap.dir/olap_cube.cc.o.d"
+  "/root/repo/src/olap/rollup.cc" "src/olap/CMakeFiles/ddc_olap.dir/rollup.cc.o" "gcc" "src/olap/CMakeFiles/ddc_olap.dir/rollup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/ddc_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ddc/CMakeFiles/ddc_ddc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/bctree/CMakeFiles/ddc_bctree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

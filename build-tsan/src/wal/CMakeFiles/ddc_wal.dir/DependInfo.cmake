@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wal/cube_log.cc" "src/wal/CMakeFiles/ddc_wal.dir/cube_log.cc.o" "gcc" "src/wal/CMakeFiles/ddc_wal.dir/cube_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/ddc_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ddc/CMakeFiles/ddc_ddc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/bctree/CMakeFiles/ddc_bctree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/overlay_box_test.cc" "tests/CMakeFiles/overlay_box_test.dir/overlay_box_test.cc.o" "gcc" "tests/CMakeFiles/overlay_box_test.dir/overlay_box_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/ddc_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/bctree/CMakeFiles/ddc_bctree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/naive/CMakeFiles/ddc_naive.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/prefix/CMakeFiles/ddc_prefix.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rps/CMakeFiles/ddc_rps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/basic_ddc/CMakeFiles/ddc_basic_ddc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ddc/CMakeFiles/ddc_ddc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/olap/CMakeFiles/ddc_olap.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/tools/CMakeFiles/ddc_tools.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/concurrent/CMakeFiles/ddc_concurrent.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/pagesim/CMakeFiles/ddc_pagesim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/minmax/CMakeFiles/ddc_minmax.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/query/CMakeFiles/ddc_query.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/wal/CMakeFiles/ddc_wal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
