@@ -1,0 +1,223 @@
+// Batched range-sum executor benchmark: the perf side of the arena +
+// batching PR. For each dimensionality we time the same query batch three
+// ways —
+//   single           : a loop of RangeSum calls (the pre-batching baseline),
+//   batched          : DynamicDataCube::RangeSumBatch (corner dedup + one
+//                      shared tree descent),
+//   batched_parallel : ConcurrentCube::RangeSumBatch (the batch chunked
+//                      across the shared thread pool under one shared lock).
+// The batch mixes rollup-style adjacent slices (the OLAP GroupBy shape,
+// where neighbouring slices share half their corner sets) with uniform
+// boxes, matching the executor's real traffic.
+//
+// Writes BENCH_query_batch.json (override the path with DDC_BENCH_JSON).
+// Setting DDC_BENCH_SMOKE shrinks every size so the whole run finishes in
+// well under a second — used by the `bench_smoke` ctest regression gate.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/range.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "common/workload.h"
+#include "concurrent/concurrent_cube.h"
+#include "ddc/dynamic_data_cube.h"
+
+namespace ddc {
+namespace {
+
+bool SmokeMode() {
+  const char* env = std::getenv("DDC_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+// Contiguous slabs along dimension 0 over a common body box — the shape the
+// OLAP executor actually batches (GroupBy materializes one slice per group
+// key). Adjacent slabs share an entire corner hyperplane (next.lo - 1 ==
+// prev.hi), so the dedup map collapses half of all corner prefix sums.
+std::vector<Box> MakeQueryBatch(WorkloadGenerator& gen, int dims,
+                                int64_t side, size_t count) {
+  std::vector<Box> boxes;
+  boxes.reserve(count);
+  Box body;
+  body.lo = Cell(static_cast<size_t>(dims), side / 8);
+  body.hi = Cell(static_cast<size_t>(dims), side - side / 8 - 1);
+  const int64_t span = body.hi[0] - body.lo[0] + 1;
+  int64_t pos = body.lo[0];
+  for (size_t i = 0; i < count; ++i) {
+    // Slab thickness varies like a skewed group-key distribution.
+    const int64_t width = gen.Value(1, 4);
+    if (pos + width - 1 > body.hi[0]) pos = body.lo[0] + (pos % span) % 3;
+    Box slab = body;
+    slab.lo[0] = pos;
+    slab.hi[0] = pos + width - 1;
+    pos += width;
+    boxes.push_back(slab);
+  }
+  return boxes;
+}
+
+template <typename Fn>
+double MeasureQps(size_t batch_size, int reps, const Fn& fn) {
+  fn();  // Warm-up (and first-touch of any lazily built structure).
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) fn();
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(end - start).count();
+  return static_cast<double>(reps) * static_cast<double>(batch_size) /
+         seconds;
+}
+
+struct ConfigResult {
+  int dims;
+  int64_t side;
+  size_t batch_size;
+  int reps;
+  int64_t inserts;
+  double single_qps = 0;
+  double batched_qps = 0;
+  double parallel_qps = 0;
+};
+
+ConfigResult RunConfig(int dims, int64_t side, size_t batch_size, int reps,
+                       int64_t inserts) {
+  ConfigResult result{dims, side, batch_size, reps, inserts};
+  const Shape shape = Shape::Cube(dims, side);
+  WorkloadGenerator gen(shape, 97);
+
+  DynamicDataCube cube(dims, side);
+  ConcurrentCube concurrent(dims, side);
+  for (int64_t i = 0; i < inserts; ++i) {
+    const Cell cell = gen.UniformCell();
+    const int64_t delta = gen.Value(-9, 9);
+    cube.Add(cell, delta);
+    concurrent.Add(cell, delta);
+  }
+
+  const std::vector<Box> boxes = MakeQueryBatch(gen, dims, side, batch_size);
+  std::vector<int64_t> out(boxes.size());
+  volatile int64_t sink = 0;
+
+  result.single_qps = MeasureQps(batch_size, reps, [&] {
+    int64_t local = 0;
+    for (const Box& box : boxes) local += cube.RangeSum(box);
+    sink = sink + local;
+  });
+  result.batched_qps = MeasureQps(batch_size, reps, [&] {
+    cube.RangeSumBatch(boxes, out);
+    sink = sink + out[0];
+  });
+  result.parallel_qps = MeasureQps(batch_size, reps, [&] {
+    concurrent.RangeSumBatch(boxes, out);
+    sink = sink + out[0];
+  });
+  return result;
+}
+
+void Run() {
+  const bool smoke = SmokeMode();
+  struct Geometry {
+    int dims;
+    int64_t side;
+    size_t batch;
+    int reps;
+    int64_t inserts;
+  };
+  // The 2-D entry is the headline configuration (side 1024 in the full
+  // run); keep it second so dims stay in ascending order in the report.
+  const std::vector<Geometry> geometries =
+      smoke ? std::vector<Geometry>{{1, 1024, 64, 3, 2000},
+                                    {2, 128, 64, 3, 2000},
+                                    {3, 16, 32, 3, 1000}}
+            : std::vector<Geometry>{{1, 65536, 1024, 20, 20000},
+                                    {2, 1024, 512, 20, 20000},
+                                    {3, 64, 256, 20, 20000}};
+
+  const int hardware = static_cast<int>(std::thread::hardware_concurrency());
+  const int pool_threads = ThreadPool::Shared().num_threads();
+  std::printf("== Batched range-sum executor (queries/sec)%s — "
+              "%d hw threads, %d pool workers ==\n",
+              smoke ? " [smoke]" : "", hardware, pool_threads);
+
+  std::vector<ConfigResult> results;
+  TablePrinter table({"dims", "side", "batch", "single q/s", "batched q/s",
+                      "parallel q/s", "batched/single", "parallel/single"});
+  for (const Geometry& g : geometries) {
+    const ConfigResult r =
+        RunConfig(g.dims, g.side, g.batch, g.reps, g.inserts);
+    results.push_back(r);
+    table.AddRow({std::to_string(r.dims), std::to_string(r.side),
+                  std::to_string(r.batch_size),
+                  TablePrinter::FormatDouble(r.single_qps, 0),
+                  TablePrinter::FormatDouble(r.batched_qps, 0),
+                  TablePrinter::FormatDouble(r.parallel_qps, 0),
+                  TablePrinter::FormatDouble(r.batched_qps / r.single_qps, 2),
+                  TablePrinter::FormatDouble(r.parallel_qps / r.single_qps,
+                                             2)});
+  }
+  table.Print();
+
+  // Headline: the 2-D configuration's batched-over-single speedup.
+  double headline_batched = 0;
+  double headline_parallel = 0;
+  for (const ConfigResult& r : results) {
+    if (r.dims == 2) {
+      headline_batched = r.batched_qps / r.single_qps;
+      headline_parallel = r.parallel_qps / r.single_qps;
+    }
+  }
+  std::printf("2-D batched vs single-query speedup: %.2fx "
+              "(parallel: %.2fx)\n\n",
+              headline_batched, headline_parallel);
+
+  const char* json_path = std::getenv("DDC_BENCH_JSON");
+  if (json_path == nullptr || json_path[0] == '\0') {
+    json_path = "BENCH_query_batch.json";
+  }
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"query_batch\",\n"
+               "  \"smoke\": %d,\n"
+               "  \"hardware_threads\": %d,\n"
+               "  \"pool_threads\": %d,\n"
+               "  \"speedup_batched_vs_single_2d\": %.3f,\n"
+               "  \"speedup_parallel_vs_single_2d\": %.3f,\n"
+               "  \"configs\": [\n",
+               smoke ? 1 : 0, hardware, pool_threads, headline_batched,
+               headline_parallel);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    std::fprintf(
+        out,
+        "    {\"dims\": %d, \"side\": %lld, \"batch\": %zu, \"reps\": %d, "
+        "\"inserts\": %lld, \"single_qps\": %.1f, \"batched_qps\": %.1f, "
+        "\"parallel_qps\": %.1f, \"speedup_batched\": %.3f, "
+        "\"speedup_parallel\": %.3f}%s\n",
+        r.dims, static_cast<long long>(r.side), r.batch_size, r.reps,
+        static_cast<long long>(r.inserts), r.single_qps, r.batched_qps,
+        r.parallel_qps, r.batched_qps / r.single_qps,
+        r.parallel_qps / r.single_qps, i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+}
+
+}  // namespace
+}  // namespace ddc
+
+int main() {
+  ddc::Run();
+  return 0;
+}

@@ -15,6 +15,7 @@
 // write path. Results are printed as tables and written to
 // BENCH_throughput.json (override the path with DDC_BENCH_JSON).
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -320,6 +321,14 @@ void RunConcurrencySweep() {
     std::fprintf(stderr, "cannot write %s\n", json_path);
     return;
   }
+  // The 8-thread curves are only a true scaling measurement when the host
+  // has >= 8 cores; record the actual hardware and the over-subscription
+  // factor of the widest configuration so a reader (or the regression
+  // checker) can tell contention effects from scheduling artifacts.
+  const int max_threads =
+      *std::max_element(thread_counts.begin(), thread_counts.end());
+  const double oversubscription =
+      static_cast<double>(max_threads) / std::max(hardware, 1);
   std::fprintf(out,
                "{\n"
                "  \"bench\": \"throughput\",\n"
@@ -327,12 +336,15 @@ void RunConcurrencySweep() {
                "  \"domain_side\": %lld,\n"
                "  \"ops_per_thread\": %d,\n"
                "  \"hardware_threads\": %d,\n"
+               "  \"max_bench_threads\": %d,\n"
+               "  \"oversubscription_factor\": %.2f,\n"
                "  \"write_batch\": %zu,\n"
                "  \"query_side_fraction\": %.3f,\n"
                "  \"read_heavy_speedup_8t_s8_vs_coarse\": %.3f,\n"
                "  \"curves\": [\n",
                kConcDims, static_cast<long long>(kConcSide), kOpsPerThread,
-               hardware, kWriteBatch, kQuerySideFraction, speedup);
+               hardware, max_threads, oversubscription, kWriteBatch,
+               kQuerySideFraction, speedup);
   for (size_t i = 0; i < curve.size(); ++i) {
     const CurvePoint& p = curve[i];
     std::fprintf(out,

@@ -4,10 +4,15 @@
 
 namespace ddc {
 
-BcTree::BcTree(int64_t capacity, int fanout)
+BcTree::BcTree(int64_t capacity, int fanout, Arena* arena)
     : capacity_(capacity), fanout_(fanout) {
   DDC_CHECK(capacity_ >= 1);
   DDC_CHECK(fanout_ >= 2);
+  if (arena == nullptr) {
+    owned_arena_ = std::make_unique<Arena>();
+    arena = owned_arena_.get();
+  }
+  arena_ = arena;
   height_ = 1;
   root_span_ = fanout_;
   while (root_span_ < capacity_) {
@@ -16,61 +21,68 @@ BcTree::BcTree(int64_t capacity, int fanout)
   }
 }
 
-BcTree::Node* BcTree::EnsureChild(Node* node, size_t child_index,
-                                  bool child_is_leaf) {
-  DDC_DCHECK(!node->is_leaf);
-  if (node->children.empty()) {
-    node->children.resize(static_cast<size_t>(fanout_));
+BcTree::Node* BcTree::NewNode(bool is_leaf) {
+  Node* node = arena_->Create<Node>();
+  node->sums = arena_->CreateArray<int64_t>(static_cast<size_t>(fanout_));
+  if (!is_leaf) {
+    node->children = arena_->CreateArray<Node*>(static_cast<size_t>(fanout_));
   }
-  std::unique_ptr<Node>& slot = node->children[child_index];
-  if (slot == nullptr) {
-    slot = std::make_unique<Node>();
-    slot->is_leaf = child_is_leaf;
-    slot->sums.assign(static_cast<size_t>(fanout_), 0);
-    allocated_entries_ += fanout_;
-  }
-  return slot.get();
+  allocated_entries_ += fanout_;
+  return node;
 }
 
-std::unique_ptr<BcTree::Node> BcTree::BuildRange(
-    const std::vector<int64_t>& values, int64_t lo, int64_t span,
-    int64_t* subtree_total) {
+BcTree::Node* BcTree::EnsureChild(Node* node, size_t child_index,
+                                  bool child_is_leaf) {
+  DDC_DCHECK(node->children != nullptr);
+  Node*& slot = node->children[child_index];
+  if (slot == nullptr) slot = NewNode(child_is_leaf);
+  return slot;
+}
+
+BcTree::Node* BcTree::BuildRange(const std::vector<int64_t>& values,
+                                 int64_t lo, int64_t span,
+                                 int64_t* subtree_total) {
   *subtree_total = 0;
   if (lo >= static_cast<int64_t>(values.size())) return nullptr;
-  auto node = std::make_unique<Node>();
-  node->sums.assign(static_cast<size_t>(fanout_), 0);
   if (span == fanout_) {
-    node->is_leaf = true;
+    // Leaf: materialize only if some entry is nonzero.
+    bool any_nonzero = false;
+    for (int64_t i = 0; i < fanout_; ++i) {
+      const int64_t idx = lo + i;
+      if (idx >= static_cast<int64_t>(values.size())) break;
+      const int64_t v = values[static_cast<size_t>(idx)];
+      *subtree_total += v;
+      any_nonzero |= (v != 0);
+    }
+    if (!any_nonzero) return nullptr;
+    Node* node = NewNode(/*is_leaf=*/true);
     for (int64_t i = 0; i < fanout_; ++i) {
       const int64_t idx = lo + i;
       if (idx >= static_cast<int64_t>(values.size())) break;
       node->sums[static_cast<size_t>(i)] = values[static_cast<size_t>(idx)];
-      *subtree_total += values[static_cast<size_t>(idx)];
     }
-  } else {
-    const int64_t child_span = span / fanout_;
-    node->children.resize(static_cast<size_t>(fanout_));
-    for (int64_t i = 0; i < fanout_; ++i) {
-      int64_t child_total = 0;
-      node->children[static_cast<size_t>(i)] =
-          BuildRange(values, lo + i * child_span, child_span, &child_total);
-      node->sums[static_cast<size_t>(i)] = child_total;
-      *subtree_total += child_total;
-    }
+    return node;
   }
-  if (*subtree_total == 0) {
-    // Only keep all-zero subtrees if some leaf is explicitly nonzero; the
-    // values cancel check: a subtree whose every entry is zero (totals and
-    // children all empty) carries no information.
-    bool any_nonzero = false;
-    if (node->is_leaf) {
-      for (int64_t v : node->sums) any_nonzero |= (v != 0);
-    } else {
-      for (const auto& child : node->children) any_nonzero |= (child != nullptr);
-    }
-    if (!any_nonzero) return nullptr;
+
+  // Interior: build the children first (into stack temporaries) so all-zero
+  // subtrees never allocate arena memory.
+  const int64_t child_span = span / fanout_;
+  std::vector<Node*> kids(static_cast<size_t>(fanout_), nullptr);
+  std::vector<int64_t> totals(static_cast<size_t>(fanout_), 0);
+  bool any_child = false;
+  for (int64_t i = 0; i < fanout_; ++i) {
+    kids[static_cast<size_t>(i)] =
+        BuildRange(values, lo + i * child_span, child_span,
+                   &totals[static_cast<size_t>(i)]);
+    any_child |= (kids[static_cast<size_t>(i)] != nullptr);
+    *subtree_total += totals[static_cast<size_t>(i)];
   }
-  allocated_entries_ += fanout_;
+  if (!any_child) return nullptr;
+  Node* node = NewNode(/*is_leaf=*/false);
+  for (int64_t i = 0; i < fanout_; ++i) {
+    node->sums[static_cast<size_t>(i)] = totals[static_cast<size_t>(i)];
+    node->children[static_cast<size_t>(i)] = kids[static_cast<size_t>(i)];
+  }
   return node;
 }
 
@@ -86,16 +98,11 @@ void BcTree::Add(int64_t index, int64_t delta) {
   DDC_CHECK(index >= 0 && index < capacity_);
   if (delta == 0) return;
   total_ += delta;
-  if (root_ == nullptr) {
-    root_ = std::make_unique<Node>();
-    root_->is_leaf = (height_ == 1);
-    root_->sums.assign(static_cast<size_t>(fanout_), 0);
-    allocated_entries_ += fanout_;
-  }
-  Node* node = root_.get();
+  if (root_ == nullptr) root_ = NewNode(/*is_leaf=*/height_ == 1);
+  Node* node = root_;
   int64_t span = root_span_;
   int64_t offset = index;
-  while (!node->is_leaf) {
+  while (span > fanout_) {
     CountNode();
     const int64_t child_span = span / fanout_;
     const size_t child = static_cast<size_t>(offset / child_span);
@@ -115,14 +122,14 @@ void BcTree::Add(int64_t index, int64_t delta) {
 int64_t BcTree::CumulativeSum(int64_t index) const {
   DDC_CHECK(index >= 0 && index < capacity_);
   if (root_ == nullptr) return 0;
-  const Node* node = root_.get();
+  const Node* node = root_;
   int64_t span = root_span_;
   int64_t offset = index;
   int64_t sum = 0;
   while (true) {
     CountNode();
-    if (node->is_leaf) {
-      // Sum of the individual row values up to and including `offset`.
+    if (span == fanout_) {
+      // Leaf: sum of the individual row values up to and including `offset`.
       for (int64_t i = 0; i <= offset; ++i) {
         sum += node->sums[static_cast<size_t>(i)];
       }
@@ -136,10 +143,10 @@ int64_t BcTree::CumulativeSum(int64_t index) const {
       sum += node->sums[i];
     }
     CountRead(static_cast<int64_t>(child));
-    if (node->children.empty() || node->children[child] == nullptr) {
+    if (node->children[child] == nullptr) {
       return sum;  // Unmaterialized subtree: all zero.
     }
-    node = node->children[child].get();
+    node = node->children[child];
     offset %= child_span;
     span = child_span;
   }
@@ -148,14 +155,14 @@ int64_t BcTree::CumulativeSum(int64_t index) const {
 int64_t BcTree::Value(int64_t index) const {
   DDC_CHECK(index >= 0 && index < capacity_);
   if (root_ == nullptr) return 0;
-  const Node* node = root_.get();
+  const Node* node = root_;
   int64_t span = root_span_;
   int64_t offset = index;
-  while (!node->is_leaf) {
+  while (span > fanout_) {
     const int64_t child_span = span / fanout_;
     const size_t child = static_cast<size_t>(offset / child_span);
-    if (node->children.empty() || node->children[child] == nullptr) return 0;
-    node = node->children[child].get();
+    if (node->children[child] == nullptr) return 0;
+    node = node->children[child];
     offset %= child_span;
     span = child_span;
   }
@@ -163,28 +170,23 @@ int64_t BcTree::Value(int64_t index) const {
   return node->sums[static_cast<size_t>(offset)];
 }
 
-int64_t BcTree::NodeTotal(const Node* node) {
+int64_t BcTree::NodeTotal(const Node* node) const {
   int64_t total = 0;
-  for (int64_t v : node->sums) total += v;
+  for (int64_t i = 0; i < fanout_; ++i) {
+    total += node->sums[static_cast<size_t>(i)];
+  }
   return total;
 }
 
 bool BcTree::CheckNode(const Node* node, int64_t span) const {
-  if (node->is_leaf) {
-    return span == fanout_;
+  if (span == fanout_) {
+    return node->children == nullptr;
   }
-  if (span <= fanout_) return false;
+  if (node->children == nullptr) return false;
   const int64_t child_span = span / fanout_;
-  if (node->children.empty()) {
-    // All STS must then be zero... not necessarily: children vector is only
-    // created on first materialization, so an interior node always has it
-    // once any STS is nonzero. An interior node without children must be
-    // all-zero.
-    return NodeTotal(node) == 0;
-  }
-  for (size_t i = 0; i < node->children.size(); ++i) {
-    const Node* child = node->children[i].get();
-    const int64_t sts = node->sums[i];
+  for (int64_t i = 0; i < fanout_; ++i) {
+    const Node* child = node->children[static_cast<size_t>(i)];
+    const int64_t sts = node->sums[static_cast<size_t>(i)];
     if (child == nullptr) {
       if (sts != 0) return false;
       continue;
@@ -197,8 +199,8 @@ bool BcTree::CheckNode(const Node* node, int64_t span) const {
 
 bool BcTree::CheckInvariants() const {
   if (root_ == nullptr) return total_ == 0;
-  if (NodeTotal(root_.get()) != total_) return false;
-  return CheckNode(root_.get(), root_span_);
+  if (NodeTotal(root_) != total_) return false;
+  return CheckNode(root_, root_span_);
 }
 
 }  // namespace ddc

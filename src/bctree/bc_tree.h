@@ -18,6 +18,14 @@
 // subtrees that are entirely zero occupy no memory. This gives the sparse
 // behaviour Section 5 relies on while keeping the paper's node layout
 // (per-entry STS, data in the leaves, bottom-up update of one STS per level).
+//
+// Memory layout: nodes live in an Arena — either one passed in (the owning
+// cube's arena, so a face's tree sits next to the box that owns it) or a
+// private one for standalone trees. A node is a fixed pair of inline arena
+// arrays (f sums, f child pointers; leaves have no child array), replacing
+// the seed's vector-of-unique_ptr layout: one descent now walks allocation-
+// ordered memory instead of chasing per-node heap blocks. Whether a node is
+// a leaf is implied by its span (span == fanout), so no flag is stored.
 
 #ifndef DDC_BCTREE_BC_TREE_H_
 #define DDC_BCTREE_BC_TREE_H_
@@ -27,6 +35,7 @@
 #include <vector>
 
 #include "bctree/cumulative_store.h"
+#include "common/arena.h"
 
 namespace ddc {
 
@@ -35,8 +44,11 @@ class BcTree : public CumulativeStore1D {
   static constexpr int kDefaultFanout = 8;
 
   // Creates an all-zero tree holding `capacity` row sums. `fanout` is the
-  // maximum number of children per node (>= 2).
-  explicit BcTree(int64_t capacity, int fanout = kDefaultFanout);
+  // maximum number of children per node (>= 2). Nodes are allocated from
+  // `arena` when given (not owned; must outlive the tree), otherwise from a
+  // private arena.
+  explicit BcTree(int64_t capacity, int fanout = kDefaultFanout,
+                  Arena* arena = nullptr);
 
   BcTree(const BcTree&) = delete;
   BcTree& operator=(const BcTree&) = delete;
@@ -70,20 +82,22 @@ class BcTree : public CumulativeStore1D {
     // Interior: sums[i] is the STS of children[i] (the paper stores f-1 STS
     // values and derives the last branch; storing all f child sums is an
     // equivalent layout and is what we count as storage).
-    // Leaf: sums[i] is the individual row-sum value at index lo + i.
-    std::vector<int64_t> sums;
-    std::vector<std::unique_ptr<Node>> children;  // Empty in leaves.
-    bool is_leaf = false;
+    // Leaf: sums[i] is the individual row-sum value at index lo + i, and
+    // children is null.
+    int64_t* sums = nullptr;
+    Node** children = nullptr;
   };
 
+  // Allocates a node with its inline arrays; `is_leaf` nodes carry no child
+  // array. Counts the f stored entries.
+  Node* NewNode(bool is_leaf);
   Node* EnsureChild(Node* node, size_t child_index, bool child_is_leaf);
   // Builds the subtree covering values[lo, lo+span); returns nullptr when
   // the range is entirely zero. Sets *subtree_total.
-  std::unique_ptr<Node> BuildRange(const std::vector<int64_t>& values,
-                                   int64_t lo, int64_t span,
-                                   int64_t* subtree_total);
+  Node* BuildRange(const std::vector<int64_t>& values, int64_t lo,
+                   int64_t span, int64_t* subtree_total);
   bool CheckNode(const Node* node, int64_t span) const;
-  static int64_t NodeTotal(const Node* node);
+  int64_t NodeTotal(const Node* node) const;
 
   int64_t capacity_;
   int fanout_;
@@ -91,7 +105,9 @@ class BcTree : public CumulativeStore1D {
   int64_t root_span_;  // fanout_^(height_-1) * fanout_ covers >= capacity_
   int64_t total_ = 0;
   int64_t allocated_entries_ = 0;
-  std::unique_ptr<Node> root_;
+  std::unique_ptr<Arena> owned_arena_;  // Set only for standalone trees.
+  Arena* arena_;
+  Node* root_ = nullptr;
 };
 
 }  // namespace ddc

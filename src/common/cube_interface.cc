@@ -1,5 +1,7 @@
 #include "common/cube_interface.h"
 
+#include "common/check.h"
+
 namespace ddc {
 
 int64_t CubeInterface::RangeSum(const Box& box) const {
@@ -7,6 +9,14 @@ int64_t CubeInterface::RangeSum(const Box& box) const {
   if (clipped.IsEmpty()) return 0;
   return RangeSumFromPrefix(clipped, DomainLo(),
                             [this](const Cell& c) { return PrefixSum(c); });
+}
+
+void CubeInterface::RangeSumBatch(std::span<const Box> ranges,
+                                  std::span<int64_t> out) const {
+  DDC_CHECK(ranges.size() == out.size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    out[i] = RangeSum(ranges[i]);
+  }
 }
 
 }  // namespace ddc

@@ -10,6 +10,7 @@
 #define DDC_COMMON_CUBE_INTERFACE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "common/cell.h"
@@ -47,6 +48,15 @@ class CubeInterface {
   // the domain. Default implementation: inclusion-exclusion over 2^d prefix
   // sums (Figure 4).
   virtual int64_t RangeSum(const Box& box) const;
+
+  // Computes out[i] = RangeSum(ranges[i]) for every i; out.size() must
+  // equal ranges.size(). Semantically identical to a loop of RangeSum
+  // calls — the contract differential tests rely on. Structures that can
+  // amortize work across a batch (shared tree descents, deduplicated
+  // corner prefix sums, parallel fan-out) override this; the default is
+  // the plain loop.
+  virtual void RangeSumBatch(std::span<const Box> ranges,
+                             std::span<int64_t> out) const;
 
   // Total stored values (cells of auxiliary arrays, tree entries, ...). Used
   // for the Table 2 storage experiments.

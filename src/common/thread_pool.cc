@@ -1,0 +1,113 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace ddc {
+
+ThreadPool::ThreadPool(int num_threads) {
+  workers_.reserve(static_cast<size_t>(std::max(num_threads, 0)));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t helpers_wanted =
+      std::min(workers_.size(), n > 0 ? n - 1 : size_t{0});
+  if (n == 1 || helpers_wanted == 0) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared on the caller's stack; helpers must all have *exited* (not merely
+  // finished their last index) before this frame returns.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> live_helpers{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  } state;
+
+  auto drain = [&state, &fn, n] {
+    for (;;) {
+      const size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      fn(i);
+    }
+  };
+
+  state.live_helpers.store(helpers_wanted, std::memory_order_relaxed);
+  for (size_t h = 0; h < helpers_wanted; ++h) {
+    Enqueue([&state, drain] {
+      drain();
+      // Notify while still holding the mutex: the caller destroys `state`
+      // (its stack frame) as soon as wait() observes zero, and wait() can
+      // only return once this lock is released — which is after notify_one
+      // has finished touching the condition variable. Signalling after the
+      // unlock would race the caller's pthread_cond_destroy.
+      std::lock_guard<std::mutex> lock(state.done_mutex);
+      if (state.live_helpers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        state.done_cv.notify_one();
+      }
+    });
+  }
+
+  drain();  // The caller is always one of the lanes.
+
+  std::unique_lock<std::mutex> lock(state.done_mutex);
+  state.done_cv.wait(lock, [&state] {
+    return state.live_helpers.load(std::memory_order_acquire) == 0;
+  });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool([] {
+    // DDC_POOL_THREADS overrides the sizing — tests and sanitizer runs use
+    // it to force cross-thread execution on single-core hosts (where the
+    // default would be 0 workers and ParallelFor would always run inline).
+    if (const char* env = std::getenv("DDC_POOL_THREADS")) {
+      const int forced = std::atoi(env);
+      if (forced >= 0) return std::min(forced, 32);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int workers = hw > 1 ? static_cast<int>(hw) - 1 : 0;
+    return std::min(workers, 8);
+  }());
+  return pool;
+}
+
+}  // namespace ddc

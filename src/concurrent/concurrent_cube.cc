@@ -1,6 +1,10 @@
 #include "concurrent/concurrent_cube.h"
 
+#include <algorithm>
 #include <mutex>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace ddc {
 
@@ -40,6 +44,35 @@ int64_t ConcurrentCube::Get(const Cell& cell) const {
 int64_t ConcurrentCube::RangeSum(const Box& box) const {
   std::shared_lock lock(mutex_);
   return cube_.RangeSum(box);
+}
+
+void ConcurrentCube::RangeSumBatch(std::span<const Box> boxes,
+                                   std::span<int64_t> out) const {
+  DDC_CHECK(boxes.size() == out.size());
+  if (boxes.empty()) return;
+  // The caller keeps the lock shared for the whole fan-out; pool workers
+  // read the tree without locking, which is safe because no writer can take
+  // the lock exclusively until this shared hold ends.
+  std::shared_lock lock(mutex_);
+  ThreadPool& pool = ThreadPool::Shared();
+  const size_t lanes = static_cast<size_t>(pool.num_threads()) + 1;
+  // Small batches are not worth splitting: each chunk repays its scheduling
+  // cost only past a handful of queries.
+  constexpr size_t kMinChunk = 8;
+  const size_t num_chunks =
+      std::clamp<size_t>(boxes.size() / kMinChunk, size_t{1}, lanes);
+  if (num_chunks <= 1) {
+    cube_.RangeSumBatch(boxes, out);
+    return;
+  }
+  const size_t chunk = (boxes.size() + num_chunks - 1) / num_chunks;
+  pool.ParallelFor(num_chunks, [&](size_t c) {
+    const size_t begin = c * chunk;
+    const size_t end = std::min(boxes.size(), begin + chunk);
+    if (begin >= end) return;
+    cube_.RangeSumBatch(boxes.subspan(begin, end - begin),
+                        out.subspan(begin, end - begin));
+  });
 }
 
 int64_t ConcurrentCube::TotalSum() const {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace ddc {
 
@@ -165,10 +166,9 @@ std::vector<ShardedCube::SubQuery> ShardedCube::Decompose(
   return sub;
 }
 
-int64_t ShardedCube::CombineLocklessly(
-    const std::vector<int>& shard_ids,
-    const std::function<int64_t(size_t, const DynamicDataCube&)>& partial)
-    const {
+template <typename PartialFn>
+int64_t ShardedCube::CombineLocklessly(const std::vector<int>& shard_ids,
+                                       const PartialFn& partial) const {
   if (shard_ids.empty()) return 0;
   if (shard_ids.size() == 1) {
     const Shard& shard = shards_[static_cast<size_t>(shard_ids[0])];
@@ -236,10 +236,133 @@ int64_t ShardedCube::CombineSubQueries(
 }
 
 int64_t ShardedCube::RangeSum(const Box& box) const {
+  if (box.IsEmpty()) {
+    shards_[0].stats.range_queries.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  const int64_t slab_lo = SlabIndex(box.lo[0]);
+  const int64_t slab_hi = SlabIndex(box.hi[0]);
+  if (slab_lo == slab_hi) {
+    // Single-slab fast path: the read-heavy common case. No decomposition
+    // vectors, no sequence round — one shared lock, one cube query.
+    const Shard& shard =
+        shards_[static_cast<size_t>(FloorMod(slab_lo, num_shards_))];
+    shard.stats.range_queries.fetch_add(1, std::memory_order_relaxed);
+    std::shared_lock lock(shard.mutex);
+    return shard.cube->RangeSum(box);
+  }
   const std::vector<SubQuery> sub = Decompose(box);
   const size_t bill = sub.empty() ? 0 : static_cast<size_t>(sub[0].shard);
   shards_[bill].stats.range_queries.fetch_add(1, std::memory_order_relaxed);
   return CombineSubQueries(sub);
+}
+
+void ShardedCube::RangeSumBatch(std::span<const Box> boxes,
+                                std::span<int64_t> out) const {
+  DDC_CHECK(boxes.size() == out.size());
+  if (boxes.empty()) return;
+
+  // Bucket the sub-queries of every box by owning shard. Each bucket is
+  // later answered with one batched cube call, so corners shared between
+  // the batch's boxes dedup inside the shard.
+  struct ShardWork {
+    std::vector<Box> boxes;
+    std::vector<size_t> query;  // Parallel: which output each box feeds.
+    std::vector<int64_t> partial;
+  };
+  std::vector<ShardWork> work(static_cast<size_t>(num_shards_));
+  for (size_t q = 0; q < boxes.size(); ++q) {
+    out[q] = 0;
+    for (SubQuery& sub : Decompose(boxes[q])) {
+      ShardWork& w = work[static_cast<size_t>(sub.shard)];
+      w.boxes.push_back(std::move(sub.box));
+      w.query.push_back(q);
+    }
+  }
+  std::vector<int> shard_ids;  // Ascending: the global lock order.
+  for (int s = 0; s < num_shards_; ++s) {
+    ShardWork& w = work[static_cast<size_t>(s)];
+    if (w.boxes.empty()) continue;
+    w.partial.resize(w.boxes.size());
+    shard_ids.push_back(s);
+  }
+  if (shard_ids.empty()) return;
+
+  ConcurrentOpStats& billing =
+      shards_[static_cast<size_t>(shard_ids[0])].stats;
+  billing.range_queries.fetch_add(static_cast<int64_t>(boxes.size()),
+                                  std::memory_order_relaxed);
+
+  // Computes one shard's bucket; any needed locking is done by the caller.
+  auto compute = [&](int s) {
+    ShardWork& w = work[static_cast<size_t>(s)];
+    shards_[static_cast<size_t>(s)].cube->RangeSumBatch(w.boxes, w.partial);
+  };
+  auto scatter = [&] {
+    for (int s : shard_ids) {
+      const ShardWork& w = work[static_cast<size_t>(s)];
+      for (size_t i = 0; i < w.boxes.size(); ++i) {
+        out[w.query[i]] += w.partial[i];
+      }
+    }
+  };
+
+  if (shard_ids.size() == 1) {
+    const Shard& shard = shards_[static_cast<size_t>(shard_ids[0])];
+    std::shared_lock lock(shard.mutex);
+    compute(shard_ids[0]);
+    scatter();
+    return;
+  }
+
+  ThreadPool& pool = ThreadPool::Shared();
+  // Same sequence protocol as CombineLocklessly, applied to the batch as a
+  // whole: the fan-out tasks each hold exactly ONE shard lock (shared), the
+  // caller participates in the pool, and validation happens after the join.
+  std::vector<uint64_t> seqs(shard_ids.size());
+  for (int attempt = 0; attempt < kMaxReadRetries; ++attempt) {
+    bool write_in_progress = false;
+    for (size_t k = 0; k < shard_ids.size(); ++k) {
+      seqs[k] = shards_[static_cast<size_t>(shard_ids[k])].seq.load(
+          std::memory_order_acquire);
+      if (seqs[k] & 1) write_in_progress = true;
+    }
+    if (write_in_progress) {
+      billing.snapshot_retries.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+      continue;
+    }
+    pool.ParallelFor(shard_ids.size(), [&](size_t k) {
+      const Shard& shard = shards_[static_cast<size_t>(shard_ids[k])];
+      std::shared_lock lock(shard.mutex);
+      compute(shard_ids[k]);
+    });
+    bool valid = true;
+    for (size_t k = 0; k < shard_ids.size(); ++k) {
+      if (shards_[static_cast<size_t>(shard_ids[k])].seq.load(
+              std::memory_order_acquire) != seqs[k]) {
+        valid = false;
+        break;
+      }
+    }
+    if (valid) {
+      scatter();
+      return;
+    }
+    billing.snapshot_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Contended: pin a consistent cut by holding every relevant lock at once
+  // (shared, ascending). The fan-out tasks then take no locks at all.
+  billing.lock_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(shard_ids.size());
+  for (int s : shard_ids) {
+    locks.emplace_back(shards_[static_cast<size_t>(s)].mutex);
+  }
+  pool.ParallelFor(shard_ids.size(),
+                   [&](size_t k) { compute(shard_ids[k]); });
+  scatter();
 }
 
 int64_t ShardedCube::TotalSum() const {

@@ -104,6 +104,16 @@ class ShardedCube {
   // Readers.
   int64_t Get(const Cell& cell) const;          // One shard, shared lock.
   int64_t RangeSum(const Box& box) const;       // See class comment.
+  // Batched range sums: every box is decomposed, the sub-queries are
+  // grouped by shard, each shard's group is answered with ONE batched cube
+  // call (corner dedup + shared descent inside the shard), and the shard
+  // groups fan out across the shared thread pool — each pool task holds at
+  // most one shard lock, and the caller participates, so a busy pool can
+  // never deadlock. Consistency matches RangeSum: per-box results are a
+  // consistent cut validated by the same sequence protocol, with the
+  // all-locks fallback under write pressure. Results equal per-box
+  // RangeSum; out.size() must equal boxes.size().
+  void RangeSumBatch(std::span<const Box> boxes, std::span<int64_t> out) const;
   int64_t TotalSum() const;                     // Cross-shard combine.
   int64_t StorageCells() const;                 // Cross-shard combine.
   // Bounding box of the shard domains (all shard locks, ascending).
@@ -125,18 +135,23 @@ class ShardedCube {
   ConcurrentOpStats::Snapshot stats() const;
 
  private:
-  // Over-aligned so two shards' locks/sequence words never share a cache
-  // line (the sequence counters are hammered by cross-shard readers).
+  // Over-aligned so two shards never share a cache line, and internally
+  // split so the three independently-hammered pieces — the lock word
+  // (readers/writers CAS it), the sequence word (cross-shard readers poll
+  // it), and the stats counters (every op bumps one) — each sit on their
+  // own line. Without the internal split, a reader re-validating `seq`
+  // takes a coherence miss every time any reader on another core bumps a
+  // stats counter of the same shard.
   struct alignas(128) Shard {
-    mutable std::shared_mutex mutex;
+    alignas(64) mutable std::shared_mutex mutex;
     // Even = quiescent, odd = write in progress. Bumped only while `mutex`
     // is held exclusively, so under a shared lock the value is stable.
-    std::atomic<uint64_t> seq{0};
+    alignas(64) std::atomic<uint64_t> seq{0};
     std::atomic<int64_t> reroots{0};
     std::unique_ptr<DynamicDataCube> cube;
     // Ops accounted to this shard (cross-shard ops bill their lowest
     // touched shard); aggregated by ShardedCube::stats().
-    mutable ConcurrentOpStats stats;
+    alignas(64) mutable ConcurrentOpStats stats;
   };
 
   // One slab-aligned piece of a cross-shard query.
@@ -155,10 +170,11 @@ class ShardedCube {
   int64_t CombineSubQueries(const std::vector<SubQuery>& sub) const;
   // The protocol itself: `shard_ids` ascending, `partial(k, cube)` computes
   // the k-th partial sum (invoked with shard_ids[k]'s lock held shared).
-  int64_t CombineLocklessly(
-      const std::vector<int>& shard_ids,
-      const std::function<int64_t(size_t, const DynamicDataCube&)>& partial)
-      const;
+  // Templated on the callable so the hot read path pays no std::function
+  // allocation or indirect call (defined in the .cc; all users live there).
+  template <typename PartialFn>
+  int64_t CombineLocklessly(const std::vector<int>& shard_ids,
+                            const PartialFn& partial) const;
 
   template <typename Fn>
   void WriteShard(Shard& shard, const Fn& fn) {

@@ -1,6 +1,7 @@
 #include "ddc/ddc_core.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/bit_util.h"
 #include "common/check.h"
@@ -25,7 +26,7 @@ Cell Transverse(const Cell& offset, int skip_dim) {
 }  // namespace
 
 DdcCore::DdcCore(int dims, int64_t side, const DdcOptions& options,
-                 OpCounters* counters)
+                 OpCounters* counters, Arena* arena)
     : dims_(dims), side_(side), options_(options), counters_(counters) {
   DDC_CHECK(dims_ >= 1 && dims_ <= 20);
   DDC_CHECK(side_ >= 2 && IsPowerOfTwo(side_));
@@ -33,30 +34,31 @@ DdcCore::DdcCore(int dims, int64_t side, const DdcOptions& options,
   num_children_ = 1u << dims_;
   min_box_side_ = std::min<int64_t>(side_, int64_t{1}
                                                << (options_.elide_levels + 1));
+  if (arena == nullptr) {
+    owned_arena_ = std::make_unique<Arena>();
+    arena = owned_arena_.get();
+  }
+  arena_ = arena;
 }
 
-DdcCore::Node* DdcCore::EnsureNode(std::unique_ptr<Node>* slot) {
+DdcCore::Node* DdcCore::EnsureNode(Node** slot) {
   if (*slot == nullptr) {
-    *slot = std::make_unique<Node>();
-    Node* node = slot->get();
-    node->boxes.resize(num_children_);
-    node->box_present.resize(num_children_, false);
-    node->child_nodes.resize(num_children_);
-    node->child_raw.resize(num_children_);
+    Node* node = arena_->Create<Node>();
+    node->boxes = arena_->CreateArray<BoxData>(num_children_);
+    *slot = node;
   }
-  return slot->get();
+  return *slot;
 }
 
 DdcCore::BoxData* DdcCore::EnsureBox(Node* node, uint32_t mask,
                                      int64_t box_side) {
   BoxData* box = &node->boxes[mask];
-  if (!node->box_present[mask]) {
-    node->box_present[mask] = true;
+  if (!box->present) {
+    box->present = true;
     if (dims_ > 1) {
-      box->faces.reserve(static_cast<size_t>(dims_));
+      box->faces = arena_->CreateArray<FaceStore>(static_cast<size_t>(dims_));
       for (int j = 0; j < dims_; ++j) {
-        box->faces.push_back(
-            FaceStore::Create(dims_ - 1, box_side, options_, counters_));
+        box->faces[j].Init(arena_, dims_ - 1, box_side, options_, counters_);
       }
     }
   }
@@ -65,11 +67,14 @@ DdcCore::BoxData* DdcCore::EnsureBox(Node* node, uint32_t mask,
 
 MdArray<int64_t>* DdcCore::EnsureRaw(Node* node, uint32_t mask,
                                      int64_t box_side) {
-  std::unique_ptr<MdArray<int64_t>>& slot = node->child_raw[mask];
-  if (slot == nullptr) {
-    slot = std::make_unique<MdArray<int64_t>>(Shape::Cube(dims_, box_side));
+  if (node->child_raw == nullptr) {
+    node->child_raw = arena_->CreateArray<MdArray<int64_t>*>(num_children_);
   }
-  return slot.get();
+  MdArray<int64_t>*& slot = node->child_raw[mask];
+  if (slot == nullptr) {
+    slot = arena_->Create<MdArray<int64_t>>(Shape::Cube(dims_, box_side));
+  }
+  return slot;
 }
 
 void DdcCore::Add(const Cell& cell, int64_t delta) {
@@ -78,16 +83,15 @@ void DdcCore::Add(const Cell& cell, int64_t delta) {
   total_ += delta;
   if (side_ <= min_box_side_) {
     if (root_raw_ == nullptr) {
-      root_raw_ = std::make_unique<MdArray<int64_t>>(
-          Shape::Cube(dims_, side_));
+      root_raw_ = arena_->Create<MdArray<int64_t>>(Shape::Cube(dims_, side_));
     }
-    CountNode(root_raw_.get());
+    CountNode(root_raw_);
     root_raw_->at(cell) += delta;
     CountWrite(1);
     return;
   }
   EnsureNode(&root_);
-  AddRec(root_.get(), side_, cell, delta);
+  AddRec(root_, side_, cell, delta);
 }
 
 void DdcCore::AddRec(Node* node, int64_t node_side,
@@ -110,10 +114,13 @@ void DdcCore::AddRec(Node* node, int64_t node_side,
   // One point update per row-sum group: the dimension-j line sum through the
   // updated cell changes by delta (Section 4.2).
   for (int j = 0; j < dims_ && dims_ > 1; ++j) {
-    box->faces[static_cast<size_t>(j)]->Add(Transverse(box_offset, j), delta);
+    box->faces[j].Add(Transverse(box_offset, j), delta);
   }
 
   if (k > min_box_side_) {
+    if (node->child_nodes == nullptr) {
+      node->child_nodes = arena_->CreateArray<Node*>(num_children_);
+    }
     Node* child = EnsureNode(&node->child_nodes[mask]);
     AddRec(child, k, box_offset, delta);
   } else {
@@ -135,14 +142,13 @@ void DdcCore::BuildFromArray(const MdArray<int64_t>& array) {
       any_nonzero |= (v != 0);
     });
     if (any_nonzero) {
-      root_raw_ = std::make_unique<MdArray<int64_t>>(array);
+      root_raw_ = arena_->Create<MdArray<int64_t>>(array);
     }
     total_ = total;
     return;
   }
   EnsureNode(&root_);
-  total_ = BuildNodeFromArray(root_.get(), side_, UniformCell(dims_, 0),
-                              array);
+  total_ = BuildNodeFromArray(root_, side_, UniformCell(dims_, 0), array);
 }
 
 int64_t DdcCore::BuildNodeFromArray(Node* node, int64_t node_side,
@@ -185,11 +191,13 @@ int64_t DdcCore::BuildNodeFromArray(Node* node, int64_t node_side,
     box->subtotal = box_total;
     CountWrite(1);
     for (int j = 0; j < dims_ && dims_ > 1; ++j) {
-      box->faces[static_cast<size_t>(j)]->BuildFromDense(
-          line_sums[static_cast<size_t>(j)]);
+      box->faces[j].BuildFromDense(line_sums[static_cast<size_t>(j)]);
     }
 
     if (k > min_box_side_) {
+      if (node->child_nodes == nullptr) {
+        node->child_nodes = arena_->CreateArray<Node*>(num_children_);
+      }
       Node* child = EnsureNode(&node->child_nodes[mask]);
       const int64_t child_total =
           BuildNodeFromArray(child, k, box_anchor, array);
@@ -210,7 +218,7 @@ int64_t DdcCore::PrefixSum(const Cell& cell) const {
   DDC_DCHECK(static_cast<int>(cell.size()) == dims_);
   if (root_raw_ != nullptr) return RawPrefix(*root_raw_, cell);
   if (root_ == nullptr) return 0;
-  return PrefixSumRec(root_.get(), side_, cell);
+  return PrefixSumRec(root_, side_, cell);
 }
 
 int64_t DdcCore::PrefixSumRec(const Node* node, int64_t node_side,
@@ -220,7 +228,7 @@ int64_t DdcCore::PrefixSumRec(const Node* node, int64_t node_side,
   int64_t sum = 0;
   Cell clamped(static_cast<size_t>(dims_));
   for (uint32_t mask = 0; mask < num_children_; ++mask) {
-    if (!node->box_present[mask]) continue;  // All-zero region.
+    if (!node->boxes[mask].present) continue;  // All-zero region.
     // Classify the target against this box (Figure 10): before the box in
     // some dimension -> no contribution; covered -> descend; completely
     // after -> subtotal; otherwise one row-sum value.
@@ -249,11 +257,13 @@ int64_t DdcCore::PrefixSumRec(const Node* node, int64_t node_side,
       if (k <= min_box_side_) {
         // Raw leaf block: sum the covered prefix of A cells directly (the
         // Section 4.4 compensation for the elided levels).
-        const MdArray<int64_t>* raw = node->child_raw[mask].get();
+        const MdArray<int64_t>* raw =
+            node->child_raw != nullptr ? node->child_raw[mask] : nullptr;
         DDC_DCHECK(raw != nullptr);
         sum += RawPrefix(*raw, clamped);
       } else {
-        const Node* child = node->child_nodes[mask].get();
+        const Node* child =
+            node->child_nodes != nullptr ? node->child_nodes[mask] : nullptr;
         DDC_DCHECK(child != nullptr);
         sum += PrefixSumRec(child, k, clamped);
       }
@@ -277,13 +287,147 @@ int64_t DdcCore::PrefixSumRec(const Node* node, int64_t node_side,
       } else {
         // The needed row-sum value has coordinate first_beyond maxed; read
         // it from that face as a (d-1)-dimensional prefix query.
-        sum += node->boxes[mask]
-                   .faces[static_cast<size_t>(first_beyond)]
-                   ->PrefixSum(Transverse(clamped, first_beyond));
+        sum += node->boxes[mask].faces[first_beyond].PrefixSum(
+            Transverse(clamped, first_beyond));
       }
     }
   }
   return sum;
+}
+
+void DdcCore::PrefixSumBatch(std::span<const Cell> cells,
+                             std::span<int64_t> out) const {
+  DDC_CHECK(cells.size() == out.size());
+  if (cells.empty()) return;
+  if (root_raw_ != nullptr) {
+    for (size_t q = 0; q < cells.size(); ++q) {
+      DDC_DCHECK(static_cast<int>(cells[q].size()) == dims_);
+      out[q] = RawPrefix(*root_raw_, cells[q]);
+    }
+    return;
+  }
+  if (root_ == nullptr) {
+    std::fill(out.begin(), out.end(), int64_t{0});
+    return;
+  }
+  std::vector<BatchItem> items(cells.size());
+  for (size_t q = 0; q < cells.size(); ++q) {
+    DDC_DCHECK(static_cast<int>(cells[q].size()) == dims_);
+    out[q] = 0;
+    items[q].offset = cells[q];
+    items[q].out = &out[q];
+  }
+  BatchScratch scratch;
+  scratch.begin.resize(num_children_ + 1);
+  scratch.cursor.resize(num_children_);
+  scratch.clamped.resize(static_cast<size_t>(dims_));
+  PrefixSumBatchRec(root_, side_, items, scratch);
+}
+
+void DdcCore::PrefixSumBatchRec(const Node* node, int64_t node_side,
+                                std::span<BatchItem> items,
+                                BatchScratch& scratch) const {
+  // The node (and its box array) is visited once for the whole group — this
+  // shared visit is the point of batching.
+  CountNode(node);
+  const int64_t k = node_side / 2;
+  Cell& clamped = scratch.clamped;
+  for (size_t q = 0; q < items.size(); ++q) {
+    BatchItem& item = items[q];
+    // The child containing the target: exactly the mask whose box classifies
+    // as "covered" in the Figure 10 walk.
+    uint32_t home_mask = 0;
+    for (int i = 0; i < dims_; ++i) {
+      if (item.offset[static_cast<size_t>(i)] >= k) home_mask |= 1u << i;
+    }
+    item.home = home_mask;
+
+    // Accumulate this item's contributions from every other present box
+    // (before / partial / completely-after), as in PrefixSumRec.
+    for (uint32_t mask = 0; mask < num_children_; ++mask) {
+      if (mask == home_mask || !node->boxes[mask].present) continue;
+      bool before = false;
+      int first_beyond = -1;
+      for (int i = 0; i < dims_; ++i) {
+        size_t ui = static_cast<size_t>(i);
+        const Coord rel =
+            item.offset[ui] - ((mask & (1u << i)) ? k : 0);
+        if (rel < 0) {
+          before = true;
+          break;
+        }
+        if (rel >= k) {
+          clamped[ui] = k - 1;
+          if (first_beyond < 0) first_beyond = i;
+        } else {
+          clamped[ui] = rel;
+        }
+      }
+      if (before) continue;
+      DDC_DCHECK(first_beyond >= 0);  // mask != home_mask => not covered.
+      bool all_maxed = true;
+      for (int i = 0; i < dims_; ++i) {
+        if (clamped[static_cast<size_t>(i)] != k - 1) {
+          all_maxed = false;
+          break;
+        }
+      }
+      if (all_maxed || dims_ == 1) {
+        *item.out += node->boxes[mask].subtotal;
+        CountRead(1);
+      } else {
+        *item.out += node->boxes[mask].faces[first_beyond].PrefixSum(
+            Transverse(clamped, first_beyond));
+      }
+    }
+
+    // Rebase the offset into home-child coordinates for the descent.
+    for (int i = 0; i < dims_; ++i) {
+      if (home_mask & (1u << i)) item.offset[static_cast<size_t>(i)] -= k;
+    }
+  }
+
+  // Counting sort the group by home child so each child is descended once,
+  // with its queries contiguous. The scratch buffers are free again by the
+  // time the recursion below re-enters this function.
+  std::vector<size_t>& begin = scratch.begin;
+  std::fill(begin.begin(), begin.end(), size_t{0});
+  for (const BatchItem& item : items) ++begin[item.home + 1];
+  for (uint32_t m = 0; m < num_children_; ++m) begin[m + 1] += begin[m];
+  scratch.sorted.resize(items.size());
+  {
+    std::vector<size_t>& cursor = scratch.cursor;
+    std::copy(begin.begin(), begin.end() - 1, cursor.begin());
+    for (size_t q = 0; q < items.size(); ++q) {
+      scratch.sorted[cursor[items[q].home]++] = std::move(items[q]);
+    }
+  }
+  std::move(scratch.sorted.begin(), scratch.sorted.end(), items.begin());
+
+  // Groups are contiguous runs of equal `home`; rediscover them by scanning
+  // (begin/cursor are clobbered once the recursion reuses the scratch).
+  size_t lo = 0;
+  while (lo < items.size()) {
+    const uint32_t mask = items[lo].home;
+    size_t hi = lo + 1;
+    while (hi < items.size() && items[hi].home == mask) ++hi;
+    auto group = items.subspan(lo, hi - lo);
+    lo = hi;
+    if (!node->boxes[mask].present) continue;  // All-zero region: adds 0.
+    if (k <= min_box_side_) {
+      const MdArray<int64_t>* raw =
+          node->child_raw != nullptr ? node->child_raw[mask] : nullptr;
+      DDC_DCHECK(raw != nullptr);
+      for (BatchItem& item : group) {
+        *item.out += RawPrefix(*raw, item.offset);
+      }
+    } else {
+      const Node* child =
+          node->child_nodes != nullptr ? node->child_nodes[mask] : nullptr;
+      DDC_DCHECK(child != nullptr);
+      PrefixSumBatchRec(child, k, group, scratch);
+    }
+  }
 }
 
 int64_t DdcCore::RawPrefix(const MdArray<int64_t>& raw,
@@ -314,7 +458,7 @@ int64_t DdcCore::Get(const Cell& cell) const {
     CountRead(1);
     return root_raw_->at(cell);
   }
-  const Node* node = root_.get();
+  const Node* node = root_;
   int64_t node_side = side_;
   Cell offset = cell;
   while (node != nullptr) {
@@ -327,14 +471,15 @@ int64_t DdcCore::Get(const Cell& cell) const {
         offset[ui] -= k;
       }
     }
-    if (!node->box_present[mask]) return 0;
+    if (!node->boxes[mask].present) return 0;
     if (k <= min_box_side_) {
-      const MdArray<int64_t>* raw = node->child_raw[mask].get();
+      const MdArray<int64_t>* raw =
+          node->child_raw != nullptr ? node->child_raw[mask] : nullptr;
       if (raw == nullptr) return 0;
       CountRead(1);
       return raw->at(offset);
     }
-    node = node->child_nodes[mask].get();
+    node = node->child_nodes != nullptr ? node->child_nodes[mask] : nullptr;
     node_side = k;
   }
   return 0;
@@ -343,24 +488,26 @@ int64_t DdcCore::Get(const Cell& cell) const {
 int64_t DdcCore::StorageCells() const {
   if (root_raw_ != nullptr) return root_raw_->size();
   if (root_ == nullptr) return 0;
-  return NodeStorage(root_.get(), side_);
+  return NodeStorage(root_, side_);
 }
 
 int64_t DdcCore::NodeStorage(const Node* node, int64_t node_side) const {
   const int64_t k = node_side / 2;
   int64_t total = 0;
   for (uint32_t mask = 0; mask < num_children_; ++mask) {
-    if (!node->box_present[mask]) continue;
+    const BoxData& box = node->boxes[mask];
+    if (!box.present) continue;
     total += 1;  // Subtotal.
-    for (const auto& face : node->boxes[mask].faces) {
-      total += face->StorageCells();
+    for (int j = 0; j < dims_ && dims_ > 1; ++j) {
+      total += box.faces[j].StorageCells();
     }
     if (k <= min_box_side_) {
-      if (node->child_raw[mask] != nullptr) {
-        total += node->child_raw[mask]->size();
-      }
-    } else if (node->child_nodes[mask] != nullptr) {
-      total += NodeStorage(node->child_nodes[mask].get(), k);
+      const MdArray<int64_t>* raw =
+          node->child_raw != nullptr ? node->child_raw[mask] : nullptr;
+      if (raw != nullptr) total += raw->size();
+    } else if (node->child_nodes != nullptr &&
+               node->child_nodes[mask] != nullptr) {
+      total += NodeStorage(node->child_nodes[mask], k);
     }
   }
   return total;
@@ -377,7 +524,7 @@ DdcStats DdcCore::Stats() const {
     return stats;
   }
   if (root_ == nullptr) return stats;
-  NodeStats(root_.get(), side_, &stats);
+  NodeStats(root_, side_, &stats);
   return stats;
 }
 
@@ -386,12 +533,12 @@ void DdcCore::NodeStats(const Node* node, int64_t node_side,
   ++stats->nodes;
   const int64_t k = node_side / 2;
   for (uint32_t mask = 0; mask < num_children_; ++mask) {
-    if (!node->box_present[mask]) continue;
+    if (!node->boxes[mask].present) continue;
     ++stats->boxes;
-    stats->face_stores +=
-        static_cast<int64_t>(node->boxes[mask].faces.size());
+    if (dims_ > 1) stats->face_stores += dims_;
     if (k <= min_box_side_) {
-      const MdArray<int64_t>* raw = node->child_raw[mask].get();
+      const MdArray<int64_t>* raw =
+          node->child_raw != nullptr ? node->child_raw[mask] : nullptr;
       if (raw != nullptr) {
         ++stats->raw_blocks;
         stats->raw_cells += raw->size();
@@ -399,8 +546,9 @@ void DdcCore::NodeStats(const Node* node, int64_t node_side,
           if (v != 0) ++stats->nonzero_cells;
         });
       }
-    } else if (node->child_nodes[mask] != nullptr) {
-      NodeStats(node->child_nodes[mask].get(), k, stats);
+    } else if (node->child_nodes != nullptr &&
+               node->child_nodes[mask] != nullptr) {
+      NodeStats(node->child_nodes[mask], k, stats);
     }
   }
 }
@@ -414,7 +562,7 @@ void DdcCore::ForEachNonZero(
     return;
   }
   if (root_ == nullptr) return;
-  NodeForEachNonZero(root_.get(), side_, UniformCell(dims_, 0), fn);
+  NodeForEachNonZero(root_, side_, UniformCell(dims_, 0), fn);
 }
 
 void DdcCore::NodeForEachNonZero(
@@ -422,19 +570,21 @@ void DdcCore::NodeForEachNonZero(
     const std::function<void(const Cell&, int64_t)>& fn) const {
   const int64_t k = node_side / 2;
   for (uint32_t mask = 0; mask < num_children_; ++mask) {
-    if (!node->box_present[mask]) continue;
+    if (!node->boxes[mask].present) continue;
     Cell box_anchor = node_anchor;
     for (int i = 0; i < dims_; ++i) {
       if (mask & (1u << i)) box_anchor[static_cast<size_t>(i)] += k;
     }
     if (k <= min_box_side_) {
-      const MdArray<int64_t>* raw = node->child_raw[mask].get();
+      const MdArray<int64_t>* raw =
+          node->child_raw != nullptr ? node->child_raw[mask] : nullptr;
       if (raw == nullptr) continue;
       raw->ForEach([&](const Cell& cell, const int64_t& value) {
         if (value != 0) fn(CellAdd(box_anchor, cell), value);
       });
-    } else if (node->child_nodes[mask] != nullptr) {
-      NodeForEachNonZero(node->child_nodes[mask].get(), k, box_anchor, fn);
+    } else if (node->child_nodes != nullptr &&
+               node->child_nodes[mask] != nullptr) {
+      NodeForEachNonZero(node->child_nodes[mask], k, box_anchor, fn);
     }
   }
 }

@@ -24,6 +24,16 @@
 // Nodes, boxes, faces and raw blocks are all materialized lazily: untouched
 // regions occupy no memory, which is what makes sparse and clustered cubes
 // (Section 5) cheap.
+//
+// Memory layout. Every structural object — nodes, their box/child arrays,
+// face stores, nested secondary cores, B_c-tree nodes, raw leaf blocks —
+// is carved out of one Arena per cube, in materialization order. A node is
+// a three-pointer header over inline arena arrays (2^d boxes, plus a child
+// array allocated on first use), replacing the seed's four parallel
+// vectors of unique_ptrs; a descent therefore walks tightly packed memory.
+// The arena is either owned (standalone cores, as in the tests) or borrowed
+// from the enclosing cube (nested face cores, DynamicDataCube); see
+// DESIGN.md §8 for the lifetime rules.
 
 #ifndef DDC_DDC_DDC_CORE_H_
 #define DDC_DDC_DDC_CORE_H_
@@ -31,8 +41,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/cell.h"
 #include "common/md_array.h"
 #include "common/op_counter.h"
@@ -56,9 +68,12 @@ class DdcCore {
  public:
   // `side` must be a power of two >= 2. `counters` (may be null) receives
   // cost accounting for every operation, including work done inside nested
-  // structures; it is not owned.
+  // structures; it is not owned. Structure memory comes from `arena` when
+  // given (not owned; must outlive the core), otherwise from a private
+  // arena — growth re-rooting relies on the former to retire an entire old
+  // tree by dropping one arena.
   DdcCore(int dims, int64_t side, const DdcOptions& options,
-          OpCounters* counters);
+          OpCounters* counters, Arena* arena = nullptr);
 
   DdcCore(const DdcCore&) = delete;
   DdcCore& operator=(const DdcCore&) = delete;
@@ -82,6 +97,14 @@ class DdcCore {
   // SUM(A[(0,...,0) .. cell]).
   int64_t PrefixSum(const Cell& cell) const;
 
+  // Computes out[i] = PrefixSum(cells[i]) for the whole batch in one walk:
+  // queries descending through the same child share that node visit (and
+  // its cache lines) instead of re-descending from the root per query.
+  // Equivalent to calling PrefixSum in a loop; out.size() must equal
+  // cells.size().
+  void PrefixSumBatch(std::span<const Cell> cells,
+                      std::span<int64_t> out) const;
+
   // A[cell].
   int64_t Get(const Cell& cell) const;
 
@@ -100,6 +123,9 @@ class DdcCore {
   // Structural statistics (computed by traversal).
   DdcStats Stats() const;
 
+  // The arena this core allocates from (owned or borrowed).
+  Arena* arena() const { return arena_; }
+
   // Observer invoked once per *primary-tree* node (or leaf block) touched
   // by queries and updates, with a stable identity pointer for the node.
   // Used by the pagesim module to model secondary-storage accesses
@@ -113,23 +139,50 @@ class DdcCore {
  private:
   struct Node;
 
-  // One overlay box (side box_side): cached subtotal plus d face stores.
+  // One overlay box (side box_side): cached subtotal plus d face stores,
+  // inline in the owning node's arena-backed box array.
   struct BoxData {
     int64_t subtotal = 0;
-    std::vector<std::unique_ptr<FaceStore>> faces;
+    // Arena array of dims_ faces; null while the box is unmaterialized and
+    // for 1-D cubes (whose boxes need no faces).
+    FaceStore* faces = nullptr;
+    bool present = false;
   };
 
   struct Node {
-    // All vectors indexed by child mask (bit i set = upper half of dim i)
-    // and sized 2^d on creation. child_nodes is used while the child region
-    // still subdivides; child_raw holds leaf blocks of side min_box_side_.
-    std::vector<BoxData> boxes;
-    std::vector<bool> box_present;
-    std::vector<std::unique_ptr<Node>> child_nodes;
-    std::vector<std::unique_ptr<MdArray<int64_t>>> child_raw;
+    // Arena array indexed by child mask (bit i set = upper half of dim i),
+    // sized 2^d at node creation.
+    BoxData* boxes = nullptr;
+    // Child pointers, also indexed by mask; allocated on first child. A
+    // node at side > 2*min_box_side uses child_nodes, the last tree level
+    // uses child_raw (leaf blocks of side min_box_side). At most one of the
+    // two arrays is ever allocated for a given node.
+    Node** child_nodes = nullptr;
+    MdArray<int64_t>** child_raw = nullptr;
   };
 
-  Node* EnsureNode(std::unique_ptr<Node>* slot);
+  // One in-flight query of a PrefixSumBatch: the target offset, rebased as
+  // the walk descends, and where to accumulate the answer. `home` caches
+  // the child mask the item descends into at the current node.
+  struct BatchItem {
+    Cell offset;
+    int64_t* out;
+    uint32_t home;
+  };
+
+  // Reusable buffers for the batched descent. The recursion only needs them
+  // between entering a node and recursing into its children, so one set —
+  // allocated once per PrefixSumBatch call — serves every node of the walk
+  // (the alternative, fresh vectors per node, dominated the batch's cost on
+  // shallow trees).
+  struct BatchScratch {
+    std::vector<BatchItem> sorted;
+    std::vector<size_t> begin;
+    std::vector<size_t> cursor;
+    Cell clamped;
+  };
+
+  Node* EnsureNode(Node** slot);
   BoxData* EnsureBox(Node* node, uint32_t mask, int64_t box_side);
   MdArray<int64_t>* EnsureRaw(Node* node, uint32_t mask, int64_t box_side);
 
@@ -143,6 +196,12 @@ class DdcCore {
                              const MdArray<int64_t>& array);
   int64_t PrefixSumRec(const Node* node, int64_t node_side,
                        const Cell& offset_in_node) const;
+  // Batched descent: accumulates every item's per-box contributions at this
+  // node, groups the items by the child each descends into, and recurses
+  // once per group.
+  void PrefixSumBatchRec(const Node* node, int64_t node_side,
+                         std::span<BatchItem> items,
+                         BatchScratch& scratch) const;
 
   // Sums raw-block cells over the component-wise range [0 .. offset].
   int64_t RawPrefix(const MdArray<int64_t>& raw, const Cell& offset) const;
@@ -174,10 +233,12 @@ class DdcCore {
   int64_t min_box_side_;
   int64_t total_ = 0;
   const NodeVisitListener* node_visit_listener_ = nullptr;
+  std::unique_ptr<Arena> owned_arena_;  // Set only for standalone cores.
+  Arena* arena_;
   // Exactly one of root_ / root_raw_ is set once data exists: root_raw_ when
   // side_ <= min_box_side_ (the whole cube is one leaf block).
-  std::unique_ptr<Node> root_;
-  std::unique_ptr<MdArray<int64_t>> root_raw_;
+  Node* root_ = nullptr;
+  MdArray<int64_t>* root_raw_ = nullptr;
 };
 
 }  // namespace ddc

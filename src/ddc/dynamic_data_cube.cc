@@ -1,6 +1,8 @@
 #include "ddc/dynamic_data_cube.h"
 
 #include <algorithm>
+#include <bit>
+#include <unordered_map>
 #include <utility>
 
 #include "common/bit_util.h"
@@ -17,8 +19,9 @@ DynamicDataCube::DynamicDataCube(int dims, int64_t initial_side,
     : dims_(dims),
       options_(options),
       origin_(std::move(origin)),
+      arena_(std::make_unique<Arena>()),
       core_(std::make_unique<DdcCore>(dims, initial_side, options,
-                                      CountersPtr())) {
+                                      CountersPtr(), arena_.get())) {
   DDC_CHECK(static_cast<int>(origin_.size()) == dims_);
 }
 
@@ -62,13 +65,17 @@ void DynamicDataCube::EnsureContains(const Cell& cell) {
       size_t ui = static_cast<size_t>(i);
       if (cell[ui] < origin_[ui]) new_origin[ui] -= old_side;
     }
+    // Re-root into a fresh arena: the retired tree (old nodes, faces, leaf
+    // blocks) is freed wholesale when the old arena is dropped below.
+    auto new_arena = std::make_unique<Arena>();
     auto new_core = std::make_unique<DdcCore>(dims_, old_side * 2, options_,
-                                              CountersPtr());
+                                              CountersPtr(), new_arena.get());
     const Cell shift = CellSub(origin_, new_origin);
     core_->ForEachNonZero([&](const Cell& local, int64_t value) {
       new_core->Add(CellAdd(local, shift), value);
     });
-    core_ = std::move(new_core);
+    core_ = std::move(new_core);   // Retires the old core first...
+    arena_ = std::move(new_arena); // ...then drops its backing arena.
     ReattachListener();
     origin_ = std::move(new_origin);
     ++growth_doublings_;
@@ -94,8 +101,10 @@ void DynamicDataCube::ShrinkToFit(int64_t min_side) {
   });
   if (!any) {
     const int64_t old_side = side();
+    auto new_arena = std::make_unique<Arena>();
     core_ = std::make_unique<DdcCore>(dims_, min_side, options_,
-                                      CountersPtr());
+                                      CountersPtr(), new_arena.get());
+    arena_ = std::move(new_arena);
     ReattachListener();
     if (reroot_listener_) reroot_listener_(old_side, side());
     return;
@@ -110,13 +119,14 @@ void DynamicDataCube::ShrinkToFit(int64_t min_side) {
   if (new_side >= old_side) return;  // Nothing to gain.
 
   const Cell new_origin = CellAdd(origin_, lo);
-  auto new_core =
-      std::make_unique<DdcCore>(dims_, new_side, options_,
-                                      CountersPtr());
+  auto new_arena = std::make_unique<Arena>();
+  auto new_core = std::make_unique<DdcCore>(dims_, new_side, options_,
+                                            CountersPtr(), new_arena.get());
   core_->ForEachNonZero([&](const Cell& local, int64_t value) {
     new_core->Add(CellSub(local, lo), value);
   });
   core_ = std::move(new_core);
+  arena_ = std::move(new_arena);
   ReattachListener();
   origin_ = new_origin;
   if (reroot_listener_) reroot_listener_(old_side, new_side);
@@ -140,6 +150,85 @@ int64_t DynamicDataCube::Get(const Cell& cell) const {
 int64_t DynamicDataCube::PrefixSum(const Cell& cell) const {
   DDC_CHECK(InDomain(cell));
   return core_->PrefixSum(ToLocal(cell));
+}
+
+namespace {
+
+// FNV-1a over the coordinates; corners of neighbouring ranges collide on
+// equality, which is exactly what the dedup map wants.
+struct CellHash {
+  size_t operator()(const Cell& cell) const {
+    uint64_t h = 1469598103934665603ull;
+    for (Coord c : cell) {
+      h ^= static_cast<uint64_t>(c);
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+void DynamicDataCube::RangeSumBatch(std::span<const Box> ranges,
+                                    std::span<int64_t> out) const {
+  DDC_CHECK(ranges.size() == out.size());
+  if (ranges.empty()) return;
+
+  // Phase 1: decompose every (clipped) range into signed corner terms,
+  // deduplicating corners across the whole batch. A rollup's adjacent
+  // slices share half their corners (next.lo - 1 == prev.hi), so the
+  // number of distinct prefix sums is typically far below 2^d per range.
+  struct Term {
+    size_t query;
+    size_t corner;  // Index into `corners`.
+    int sign;
+  };
+  std::vector<Cell> corners;
+  std::vector<Term> terms;
+  std::unordered_map<Cell, size_t, CellHash> corner_index;
+  const Box domain{DomainLo(), DomainHi()};
+  const int d = dims_;
+  const uint32_t num_corners = 1u << d;
+  corners.reserve(ranges.size() * num_corners);
+  terms.reserve(ranges.size() * num_corners);
+  corner_index.reserve(ranges.size() * num_corners);
+  Cell corner(static_cast<size_t>(d));
+  for (size_t q = 0; q < ranges.size(); ++q) {
+    out[q] = 0;
+    const Box clipped = IntersectBoxes(ranges[q], domain);
+    if (clipped.IsEmpty()) continue;
+    for (uint32_t mask = 0; mask < num_corners; ++mask) {
+      // Bit i set: take lo[i]-1 in dimension i; clear: take hi[i].
+      bool below_anchor = false;
+      for (int i = 0; i < d; ++i) {
+        size_t ui = static_cast<size_t>(i);
+        if (mask & (1u << i)) {
+          corner[ui] = clipped.lo[ui] - 1;
+          if (corner[ui] < domain.lo[ui]) {
+            below_anchor = true;
+            break;
+          }
+        } else {
+          corner[ui] = clipped.hi[ui];
+        }
+      }
+      if (below_anchor) continue;  // Empty prefix region contributes zero.
+      const Cell local = ToLocal(corner);
+      auto [it, inserted] = corner_index.try_emplace(local, corners.size());
+      if (inserted) corners.push_back(local);
+      terms.push_back(
+          {q, it->second, (std::popcount(mask) % 2 == 0) ? 1 : -1});
+    }
+  }
+
+  // Phase 2: resolve every unique corner in one shared descent.
+  std::vector<int64_t> prefix(corners.size());
+  core_->PrefixSumBatch(corners, prefix);
+
+  // Phase 3: recombine.
+  for (const Term& t : terms) {
+    out[t.query] += t.sign * prefix[t.corner];
+  }
 }
 
 void DynamicDataCube::SetReRootListener(ReRootListener listener) {

@@ -58,6 +58,13 @@ class DynamicDataCube : public CubeInterface {
   // Get/PrefixSum/RangeSum treat cells outside the domain as zero.
   int64_t Get(const Cell& cell) const override;
   int64_t PrefixSum(const Cell& cell) const override;
+  // Batched range sums. Each range decomposes into at most 2^d signed
+  // corner prefix sums (Figure 4); corners shared between ranges (adjacent
+  // rollup slices share an entire corner set) are deduplicated, and the
+  // surviving unique corners are resolved in one shared tree descent
+  // (DdcCore::PrefixSumBatch). Results are identical to per-range RangeSum.
+  void RangeSumBatch(std::span<const Box> ranges,
+                     std::span<int64_t> out) const override;
   int64_t StorageCells() const override { return core_->StorageCells(); }
   std::string name() const override { return "dynamic_data_cube"; }
 
@@ -113,6 +120,10 @@ class DynamicDataCube : public CubeInterface {
   int dims_;
   DdcOptions options_;
   Cell origin_;
+  // All structure memory for core_ lives in arena_; re-rooting replaces both
+  // together so an entire retired tree is freed by dropping one arena.
+  // Declared before core_ so the core is destroyed first.
+  std::unique_ptr<Arena> arena_;
   std::unique_ptr<DdcCore> core_;
   int64_t growth_doublings_ = 0;
   DdcCore::NodeVisitListener node_visit_listener_;

@@ -1,6 +1,6 @@
 #include "ddc/face_store.h"
 
-#include <utility>
+#include <vector>
 
 #include "bctree/bc_tree.h"
 #include "bctree/fenwick_tree.h"
@@ -9,92 +9,87 @@
 
 namespace ddc {
 
-namespace {
-
-// One-dimensional face: the Section 4.1 base case. Holds the individual row
-// sums in a B_c tree (or a Fenwick tree under the ablation option).
-class Store1DFace : public FaceStore {
- public:
-  Store1DFace(int64_t side, const DdcOptions& options, OpCounters* counters) {
-    if (options.use_fenwick) {
-      store_ = std::make_unique<FenwickTree>(side);
-    } else {
-      store_ = std::make_unique<BcTree>(side, options.bc_fanout);
-    }
-    store_->set_counters(counters);
-  }
-
-  void Add(const Cell& y, int64_t delta) override {
-    DDC_DCHECK(y.size() == 1);
-    store_->Add(y[0], delta);
-  }
-
-  int64_t PrefixSum(const Cell& y) const override {
-    DDC_DCHECK(y.size() == 1);
-    return store_->CumulativeSum(y[0]);
-  }
-
-  int64_t StorageCells() const override { return store_->StorageCells(); }
-
-  void BuildFromDense(const MdArray<int64_t>& line_sums) override {
-    DDC_CHECK(line_sums.dims() == 1);
-    if (auto* bc = dynamic_cast<BcTree*>(store_.get())) {
-      std::vector<int64_t> values(
-          static_cast<size_t>(line_sums.shape().extent(0)));
-      for (int64_t i = 0; i < line_sums.size(); ++i) {
-        values[static_cast<size_t>(i)] = line_sums.at_linear(i);
-      }
-      bc->BuildFrom(values);
-      return;
-    }
-    // Fenwick: no bulk path needed — capacity writes either way.
-    for (int64_t i = 0; i < line_sums.size(); ++i) {
-      if (line_sums.at_linear(i) != 0) {
-        store_->Add(i, line_sums.at_linear(i));
-      }
-    }
-  }
-
- private:
-  std::unique_ptr<CumulativeStore1D> store_;
-};
-
-// Multi-dimensional face: a nested Dynamic Data Cube of dimensionality d-1
-// (Section 4.2's secondary trees).
-class NestedDdcFace : public FaceStore {
- public:
-  NestedDdcFace(int transverse_dims, int64_t side, const DdcOptions& options,
-                OpCounters* counters)
-      : core_(transverse_dims, side, options, counters) {}
-
-  void Add(const Cell& y, int64_t delta) override { core_.Add(y, delta); }
-
-  int64_t PrefixSum(const Cell& y) const override {
-    return core_.PrefixSum(y);
-  }
-
-  int64_t StorageCells() const override { return core_.StorageCells(); }
-
-  void BuildFromDense(const MdArray<int64_t>& line_sums) override {
-    core_.BuildFromArray(line_sums);
-  }
-
- private:
-  DdcCore core_;
-};
-
-}  // namespace
-
-std::unique_ptr<FaceStore> FaceStore::Create(int transverse_dims, int64_t side,
-                                             const DdcOptions& options,
-                                             OpCounters* counters) {
+void FaceStore::Init(Arena* arena, int transverse_dims, int64_t side,
+                     const DdcOptions& options, OpCounters* counters) {
   DDC_CHECK(transverse_dims >= 1);
   DDC_CHECK(side >= 2);
+  DDC_DCHECK(bc_ == nullptr && fenwick_ == nullptr && nested_ == nullptr);
   if (transverse_dims == 1) {
-    return std::make_unique<Store1DFace>(side, options, counters);
+    // The Section 4.1 base case: individual row sums in a B_c tree (or a
+    // Fenwick tree under the ablation option).
+    if (options.use_fenwick) {
+      fenwick_ = arena->Create<FenwickTree>(side);
+      fenwick_->set_counters(counters);
+    } else {
+      bc_ = arena->Create<BcTree>(side, options.bc_fanout, arena);
+      bc_->set_counters(counters);
+    }
+    return;
   }
-  return std::make_unique<NestedDdcFace>(transverse_dims, side, options,
-                                         counters);
+  // Section 4.2's secondary trees: a nested (d-1)-dimensional cube sharing
+  // the owning cube's arena.
+  nested_ = arena->Create<DdcCore>(transverse_dims, side, options, counters,
+                                   arena);
+}
+
+FaceStore::Owned FaceStore::Create(int transverse_dims, int64_t side,
+                                   const DdcOptions& options,
+                                   OpCounters* counters) {
+  Owned owned;
+  owned.arena = std::make_unique<Arena>();
+  owned.store = owned.arena->Create<FaceStore>();
+  owned.store->Init(owned.arena.get(), transverse_dims, side, options,
+                    counters);
+  return owned;
+}
+
+void FaceStore::Add(const Cell& y, int64_t delta) {
+  if (nested_ != nullptr) {
+    nested_->Add(y, delta);
+    return;
+  }
+  DDC_DCHECK(y.size() == 1);
+  if (bc_ != nullptr) {
+    bc_->Add(y[0], delta);
+  } else {
+    fenwick_->Add(y[0], delta);
+  }
+}
+
+int64_t FaceStore::PrefixSum(const Cell& y) const {
+  if (nested_ != nullptr) return nested_->PrefixSum(y);
+  DDC_DCHECK(y.size() == 1);
+  if (bc_ != nullptr) return bc_->CumulativeSum(y[0]);
+  return fenwick_->CumulativeSum(y[0]);
+}
+
+int64_t FaceStore::StorageCells() const {
+  if (nested_ != nullptr) return nested_->StorageCells();
+  if (bc_ != nullptr) return bc_->StorageCells();
+  return fenwick_->StorageCells();
+}
+
+void FaceStore::BuildFromDense(const MdArray<int64_t>& line_sums) {
+  if (nested_ != nullptr) {
+    nested_->BuildFromArray(line_sums);
+    return;
+  }
+  DDC_CHECK(line_sums.dims() == 1);
+  if (bc_ != nullptr) {
+    std::vector<int64_t> values(
+        static_cast<size_t>(line_sums.shape().extent(0)));
+    for (int64_t i = 0; i < line_sums.size(); ++i) {
+      values[static_cast<size_t>(i)] = line_sums.at_linear(i);
+    }
+    bc_->BuildFrom(values);
+    return;
+  }
+  // Fenwick: no bulk path needed — capacity writes either way.
+  for (int64_t i = 0; i < line_sums.size(); ++i) {
+    if (line_sums.at_linear(i) != 0) {
+      fenwick_->Add(i, line_sums.at_linear(i));
+    }
+  }
 }
 
 }  // namespace ddc

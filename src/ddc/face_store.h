@@ -21,6 +21,12 @@
 // Reading a row-sum value is PrefixSum(y); updating A[anchor + off] is
 // Add(transverse(off), delta): the line sum through the updated cell changes
 // by delta.
+//
+// Layout: a FaceStore is a small non-virtual tagged handle (three pointers,
+// trivially destructible) so the d faces of an overlay box can sit inline
+// in one arena array next to the box's subtotal, and the common B_c-tree
+// path pays no virtual dispatch. The pointed-to store lives in the same
+// arena and dies with it.
 
 #ifndef DDC_DDC_FACE_STORE_H_
 #define DDC_DDC_FACE_STORE_H_
@@ -28,7 +34,7 @@
 #include <cstdint>
 #include <memory>
 
-#include "bctree/cumulative_store.h"
+#include "common/arena.h"
 #include "common/cell.h"
 #include "common/md_array.h"
 #include "common/op_counter.h"
@@ -36,33 +42,55 @@
 
 namespace ddc {
 
+class BcTree;
 class DdcCore;
+class FenwickTree;
 
 class FaceStore {
  public:
-  virtual ~FaceStore() = default;
+  // An empty handle; Init() before use. Default-constructible so arrays of
+  // faces can be carved out of an arena in one allocation.
+  FaceStore() = default;
+
+  // Initializes the store for a face with `transverse_dims` (= d-1)
+  // dimensions of extent `side`. All backing memory comes from `arena`
+  // (not owned; must outlive the store). `counters` routes cost accounting
+  // to the owning cube; may be null.
+  void Init(Arena* arena, int transverse_dims, int64_t side,
+            const DdcOptions& options, OpCounters* counters);
+
+  // Convenience for standalone stores (tests): a fresh store plus the arena
+  // backing it.
+  struct Owned {
+    std::unique_ptr<Arena> arena;
+    FaceStore* store = nullptr;  // Lives in *arena.
+    FaceStore* operator->() { return store; }
+    const FaceStore* operator->() const { return store; }
+  };
+  static Owned Create(int transverse_dims, int64_t side,
+                      const DdcOptions& options, OpCounters* counters);
 
   // Adds `delta` to the line sum at transverse position `y` (d-1 coords,
   // each in [0, side)).
-  virtual void Add(const Cell& y, int64_t delta) = 0;
+  void Add(const Cell& y, int64_t delta);
 
   // Returns F_j at `y`: the cumulative row sum over transverse prefix
   // [0 .. y].
-  virtual int64_t PrefixSum(const Cell& y) const = 0;
+  int64_t PrefixSum(const Cell& y) const;
 
-  virtual int64_t StorageCells() const = 0;
+  int64_t StorageCells() const;
 
   // Bulk-builds the store from the dense line-sum array G_j (shape: d-1
   // dimensions of extent `side`). The store must be empty. Used by the
   // bottom-up bulk loader.
-  virtual void BuildFromDense(const MdArray<int64_t>& line_sums) = 0;
+  void BuildFromDense(const MdArray<int64_t>& line_sums);
 
-  // Creates the appropriate store for a face with `transverse_dims` (= d-1)
-  // dimensions of extent `side`. `counters` routes cost accounting to the
-  // owning cube; may be null.
-  static std::unique_ptr<FaceStore> Create(int transverse_dims, int64_t side,
-                                           const DdcOptions& options,
-                                           OpCounters* counters);
+ private:
+  // Exactly one is set after Init: bc_ (1-D faces), fenwick_ (1-D ablation),
+  // or nested_ (d-1 >= 2).
+  BcTree* bc_ = nullptr;
+  FenwickTree* fenwick_ = nullptr;
+  DdcCore* nested_ = nullptr;
 };
 
 }  // namespace ddc

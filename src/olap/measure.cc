@@ -25,6 +25,16 @@ int64_t MeasureCube::RangeCount(const Box& box) const {
   return count_.RangeSum(box);
 }
 
+void MeasureCube::RangeSumBatch(std::span<const Box> boxes,
+                                std::span<int64_t> out) const {
+  sum_.RangeSumBatch(boxes, out);
+}
+
+void MeasureCube::RangeCountBatch(std::span<const Box> boxes,
+                                  std::span<int64_t> out) const {
+  count_.RangeSumBatch(boxes, out);
+}
+
 std::optional<double> MeasureCube::RangeAverage(const Box& box) const {
   const int64_t count = RangeCount(box);
   if (count == 0) return std::nullopt;

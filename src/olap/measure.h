@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/cell.h"
@@ -36,6 +37,12 @@ class MeasureCube {
   // Aggregates over a closed box.
   int64_t RangeSum(const Box& box) const;
   int64_t RangeCount(const Box& box) const;
+  // Batched variants (one deduplicated corner descent per underlying cube;
+  // see DynamicDataCube::RangeSumBatch). out.size() == boxes.size().
+  void RangeSumBatch(std::span<const Box> boxes,
+                     std::span<int64_t> out) const;
+  void RangeCountBatch(std::span<const Box> boxes,
+                       std::span<int64_t> out) const;
   // Empty ranges have no average.
   std::optional<double> RangeAverage(const Box& box) const;
 

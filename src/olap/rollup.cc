@@ -26,19 +26,31 @@ std::vector<RollupRow> GroupBy(const MeasureCube& cube, const Box& box,
   if (box.IsEmpty()) return rows;
   const size_t ud = static_cast<size_t>(dim);
 
+  // Materialize every group slice, then aggregate the whole report with two
+  // batched range-sum calls. Adjacent slices share corner prefix sums
+  // (next.lo - 1 == prev.hi along `dim`), which the batch deduplicates.
+  std::vector<Box> slices;
   Coord group_start = FloorDiv(box.lo[ud], group_size) * group_size;
   while (group_start <= box.hi[ud]) {
     const Coord group_end = group_start + group_size - 1;
     Box slice = box;
     slice.lo[ud] = std::max(box.lo[ud], group_start);
     slice.hi[ud] = std::min(box.hi[ud], group_end);
-    RollupRow row;
-    row.group_start = slice.lo[ud];
-    row.group_end = slice.hi[ud];
-    row.sum = cube.RangeSum(slice);
-    row.count = cube.RangeCount(slice);
-    rows.push_back(row);
+    slices.push_back(std::move(slice));
     group_start = group_end + 1;
+  }
+  std::vector<int64_t> sums(slices.size());
+  std::vector<int64_t> counts(slices.size());
+  cube.RangeSumBatch(slices, sums);
+  cube.RangeCountBatch(slices, counts);
+  rows.reserve(slices.size());
+  for (size_t i = 0; i < slices.size(); ++i) {
+    RollupRow row;
+    row.group_start = slices[i].lo[ud];
+    row.group_end = slices[i].hi[ud];
+    row.sum = sums[i];
+    row.count = counts[i];
+    rows.push_back(row);
   }
   return rows;
 }

@@ -125,15 +125,24 @@ QueryResult ExecuteQuery(const Query& query, const DynamicDataCube& cube) {
     if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
     return q;
   };
+  // One batched call for the whole report: adjacent group slices share
+  // corner prefix sums, which RangeSumBatch deduplicates.
+  std::vector<Box> slices;
   Coord group_start = floor_div(box.lo[ud], size) * size;
   while (group_start <= box.hi[ud]) {
     const Coord group_end = group_start + size - 1;
     Box slice = box;
     slice.lo[ud] = std::max(box.lo[ud], group_start);
     slice.hi[ud] = std::min(box.hi[ud], group_end);
-    result.rows.push_back(MakeRow(Aggregate::kSum, slice.lo[ud],
-                                  slice.hi[ud], cube.RangeSum(slice), 0));
+    slices.push_back(std::move(slice));
     group_start = group_end + 1;
+  }
+  std::vector<int64_t> sums(slices.size());
+  cube.RangeSumBatch(slices, sums);
+  result.rows.reserve(slices.size());
+  for (size_t i = 0; i < slices.size(); ++i) {
+    result.rows.push_back(MakeRow(Aggregate::kSum, slices[i].lo[ud],
+                                  slices[i].hi[ud], sums[i], 0));
   }
   result.ok = true;
   return result;

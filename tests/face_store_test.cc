@@ -47,7 +47,7 @@ TEST_P(FaceStoreTest, MatchesReferenceOnRandomOps) {
   const FaceParam p = GetParam();
   DdcOptions options;
   options.use_fenwick = p.use_fenwick;
-  std::unique_ptr<FaceStore> store =
+  FaceStore::Owned store =
       FaceStore::Create(p.transverse_dims, p.side, options, nullptr);
   ReferenceFace reference(p.transverse_dims, p.side);
 

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Compares a freshly produced BENCH_*.json against a committed baseline and
+fails when a performance metric regressed by more than the tolerance.
+
+Typical uses:
+
+  # Compare an existing result file against the committed baseline.
+  tools/check_bench_regression.py \
+      --fresh /tmp/BENCH_query_batch.json --baseline BENCH_query_batch.json
+
+  # Run a bench binary first (DDC_BENCH_JSON is pointed at --fresh), then
+  # compare. This is how the `bench_smoke` ctest label drives it:
+  tools/check_bench_regression.py \
+      --run build/bench/bench_query_batch --env DDC_BENCH_SMOKE=1 \
+      --fresh build/bench/smoke_fresh.json \
+      --baseline BENCH_query_batch_smoke.json --ratios-only --tolerance 0.45
+
+Metrics are the numeric leaves whose key names look like throughput or
+speedup figures (qps, ops_per_sec, speedup, ratio); higher is better for all
+of them. With --ratios-only, absolute-throughput keys are skipped and only
+dimensionless speedup/ratio keys are checked — machine-independent, which is
+what a noisy 1-core CI container can meaningfully gate on. Structural keys
+(dims, side, batch, ...) are never treated as metrics, but a baseline/fresh
+pair whose structures disagree (a metric key missing on either side) fails,
+so a silently renamed or dropped curve cannot pass the gate.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+RATIO_MARKERS = ("speedup", "ratio")
+THROUGHPUT_MARKERS = ("qps", "ops_per_sec", "per_sec", "throughput")
+
+
+def flatten(node, prefix=""):
+    """Yields (dotted_key, value) for every scalar leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from flatten(value, f"{prefix}{key}.")
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from flatten(value, f"{prefix}{i}.")
+    else:
+        yield prefix.rstrip("."), node
+
+
+def is_metric(key, ratios_only):
+    leaf = key.rsplit(".", 1)[-1].lower()
+    if any(m in leaf for m in RATIO_MARKERS):
+        return True
+    if ratios_only:
+        return False
+    return any(m in leaf for m in THROUGHPUT_MARKERS)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True,
+                        help="Fresh result JSON (written by --run if given)")
+    parser.add_argument("--baseline", required=True,
+                        help="Committed baseline JSON")
+    parser.add_argument("--run", help="Bench binary to execute first")
+    parser.add_argument("--env", action="append", default=[],
+                        metavar="K=V", help="Extra env for --run")
+    parser.add_argument("--ratios-only", action="store_true",
+                        help="Check only dimensionless speedup/ratio keys")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="Allowed fractional drop (default 0.20)")
+    args = parser.parse_args()
+
+    if args.run:
+        env = dict(os.environ)
+        env["DDC_BENCH_JSON"] = args.fresh
+        for pair in args.env:
+            key, _, value = pair.partition("=")
+            env[key] = value
+        result = subprocess.run([args.run], env=env)
+        if result.returncode != 0:
+            print(f"FAIL: bench binary exited with {result.returncode}")
+            return 1
+
+    with open(args.baseline) as f:
+        baseline = dict(flatten(json.load(f)))
+    with open(args.fresh) as f:
+        fresh = dict(flatten(json.load(f)))
+
+    failures = []
+    checked = 0
+    for key, base_value in sorted(baseline.items()):
+        if not is_metric(key, args.ratios_only):
+            continue
+        if key not in fresh:
+            failures.append(f"{key}: present in baseline, missing in fresh")
+            continue
+        fresh_value = fresh[key]
+        if not isinstance(base_value, (int, float)) or \
+                not isinstance(fresh_value, (int, float)):
+            failures.append(f"{key}: non-numeric metric")
+            continue
+        checked += 1
+        floor = base_value * (1.0 - args.tolerance)
+        status = "ok"
+        if fresh_value < floor:
+            status = "REGRESSED"
+            failures.append(
+                f"{key}: {fresh_value:.3f} < {base_value:.3f} "
+                f"* (1 - {args.tolerance:.2f}) = {floor:.3f}")
+        print(f"  {key}: baseline {base_value:.3f} fresh {fresh_value:.3f} "
+              f"[{status}]")
+    for key in sorted(fresh):
+        if is_metric(key, args.ratios_only) and key not in baseline:
+            failures.append(f"{key}: present in fresh, missing in baseline")
+
+    if checked == 0:
+        failures.append("no metric keys matched — wrong file or filter?")
+    if failures:
+        print(f"FAIL: {len(failures)} problem(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"OK: {checked} metric(s) within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
