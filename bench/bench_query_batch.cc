@@ -14,7 +14,9 @@
 // Setting DDC_BENCH_SMOKE shrinks every size so the whole run finishes in
 // well under a second — used by the `bench_smoke` ctest regression gate.
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -63,15 +65,46 @@ std::vector<Box> MakeQueryBatch(WorkloadGenerator& gen, int dims,
   return boxes;
 }
 
+// Exact percentile of a sample vector (nearest-rank); sorts in place.
+int64_t ExactPercentile(std::vector<int64_t>& samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  size_t rank = static_cast<size_t>(std::ceil(q * n));
+  if (rank < 1) rank = 1;
+  if (rank > samples.size()) rank = samples.size();
+  return samples[rank - 1];
+}
+
+struct LatencyResult {
+  double qps = 0;      // Mean throughput over the measured reps.
+  int64_t p50_ns = 0;  // Per-batch wall latency percentiles, computed
+  int64_t p99_ns = 0;  // exactly from the per-rep samples (no log-bucket
+  int64_t min_ns = 0;  // quantization — these feed the regression gate).
+};
+
 template <typename Fn>
-double MeasureQps(size_t batch_size, int reps, const Fn& fn) {
+LatencyResult MeasureLatency(size_t batch_size, int reps, const Fn& fn) {
   fn();  // Warm-up (and first-touch of any lazily built structure).
-  const auto start = std::chrono::steady_clock::now();
-  for (int r = 0; r < reps; ++r) fn();
-  const auto end = std::chrono::steady_clock::now();
-  const double seconds = std::chrono::duration<double>(end - start).count();
-  return static_cast<double>(reps) * static_cast<double>(batch_size) /
-         seconds;
+  std::vector<int64_t> samples;
+  samples.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto end = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count());
+  }
+  int64_t total_ns = 0;
+  for (int64_t s : samples) total_ns += s;
+  LatencyResult result;
+  result.qps = static_cast<double>(reps) * static_cast<double>(batch_size) /
+               (static_cast<double>(total_ns) * 1e-9);
+  result.min_ns = *std::min_element(samples.begin(), samples.end());
+  result.p50_ns = ExactPercentile(samples, 0.50);
+  result.p99_ns = ExactPercentile(samples, 0.99);
+  return result;
 }
 
 struct ConfigResult {
@@ -80,14 +113,14 @@ struct ConfigResult {
   size_t batch_size;
   int reps;
   int64_t inserts;
-  double single_qps = 0;
-  double batched_qps = 0;
-  double parallel_qps = 0;
+  LatencyResult single;
+  LatencyResult batched;
+  LatencyResult parallel;
 };
 
 ConfigResult RunConfig(int dims, int64_t side, size_t batch_size, int reps,
                        int64_t inserts) {
-  ConfigResult result{dims, side, batch_size, reps, inserts};
+  ConfigResult result{dims, side, batch_size, reps, inserts, {}, {}, {}};
   const Shape shape = Shape::Cube(dims, side);
   WorkloadGenerator gen(shape, 97);
 
@@ -104,16 +137,16 @@ ConfigResult RunConfig(int dims, int64_t side, size_t batch_size, int reps,
   std::vector<int64_t> out(boxes.size());
   volatile int64_t sink = 0;
 
-  result.single_qps = MeasureQps(batch_size, reps, [&] {
+  result.single = MeasureLatency(batch_size, reps, [&] {
     int64_t local = 0;
     for (const Box& box : boxes) local += cube.RangeSum(box);
     sink = sink + local;
   });
-  result.batched_qps = MeasureQps(batch_size, reps, [&] {
+  result.batched = MeasureLatency(batch_size, reps, [&] {
     cube.RangeSumBatch(boxes, out);
     sink = sink + out[0];
   });
-  result.parallel_qps = MeasureQps(batch_size, reps, [&] {
+  result.parallel = MeasureLatency(batch_size, reps, [&] {
     concurrent.RangeSumBatch(boxes, out);
     sink = sink + out[0];
   });
@@ -132,9 +165,12 @@ void Run() {
   // The 2-D entry is the headline configuration (side 1024 in the full
   // run); keep it second so dims stay in ascending order in the report.
   const std::vector<Geometry> geometries =
-      smoke ? std::vector<Geometry>{{1, 1024, 64, 3, 2000},
-                                    {2, 128, 64, 3, 2000},
-                                    {3, 16, 32, 3, 1000}}
+      // Smoke reps are 100 so the nearest-rank p99 lands on the 99th
+      // sample, not the max — the gated tail ratios must survive a noisy
+      // single-core CI host.
+      smoke ? std::vector<Geometry>{{1, 1024, 64, 100, 2000},
+                                    {2, 128, 64, 100, 2000},
+                                    {3, 16, 32, 100, 1000}}
             : std::vector<Geometry>{{1, 65536, 1024, 20, 20000},
                                     {2, 1024, 512, 20, 20000},
                                     {3, 64, 256, 20, 20000}};
@@ -147,19 +183,22 @@ void Run() {
 
   std::vector<ConfigResult> results;
   TablePrinter table({"dims", "side", "batch", "single q/s", "batched q/s",
-                      "parallel q/s", "batched/single", "parallel/single"});
+                      "parallel q/s", "batched/single", "parallel/single",
+                      "batched p99 us"});
   for (const Geometry& g : geometries) {
     const ConfigResult r =
         RunConfig(g.dims, g.side, g.batch, g.reps, g.inserts);
     results.push_back(r);
-    table.AddRow({std::to_string(r.dims), std::to_string(r.side),
-                  std::to_string(r.batch_size),
-                  TablePrinter::FormatDouble(r.single_qps, 0),
-                  TablePrinter::FormatDouble(r.batched_qps, 0),
-                  TablePrinter::FormatDouble(r.parallel_qps, 0),
-                  TablePrinter::FormatDouble(r.batched_qps / r.single_qps, 2),
-                  TablePrinter::FormatDouble(r.parallel_qps / r.single_qps,
-                                             2)});
+    table.AddRow(
+        {std::to_string(r.dims), std::to_string(r.side),
+         std::to_string(r.batch_size),
+         TablePrinter::FormatDouble(r.single.qps, 0),
+         TablePrinter::FormatDouble(r.batched.qps, 0),
+         TablePrinter::FormatDouble(r.parallel.qps, 0),
+         TablePrinter::FormatDouble(r.batched.qps / r.single.qps, 2),
+         TablePrinter::FormatDouble(r.parallel.qps / r.single.qps, 2),
+         TablePrinter::FormatDouble(
+             static_cast<double>(r.batched.p99_ns) / 1000.0, 1)});
   }
   table.Print();
 
@@ -168,8 +207,8 @@ void Run() {
   double headline_parallel = 0;
   for (const ConfigResult& r : results) {
     if (r.dims == 2) {
-      headline_batched = r.batched_qps / r.single_qps;
-      headline_parallel = r.parallel_qps / r.single_qps;
+      headline_batched = r.batched.qps / r.single.qps;
+      headline_parallel = r.parallel.qps / r.single.qps;
     }
   }
   std::printf("2-D batched vs single-query speedup: %.2fx "
@@ -198,16 +237,43 @@ void Run() {
                headline_parallel);
   for (size_t i = 0; i < results.size(); ++i) {
     const ConfigResult& r = results[i];
+    // The speedup_batched_p* keys compare tail latencies (single over
+    // batched, so higher still means batching wins); the regression gate
+    // applies its wider --p99-tolerance band to the p99 one. The parallel
+    // path's p99 is embedded raw but deliberately NOT emitted as a gated
+    // ratio: at smoke reps it is the max of a handful of samples, and one
+    // scheduler hiccup on a small host fails the gate spuriously.
     std::fprintf(
         out,
         "    {\"dims\": %d, \"side\": %lld, \"batch\": %zu, \"reps\": %d, "
         "\"inserts\": %lld, \"single_qps\": %.1f, \"batched_qps\": %.1f, "
         "\"parallel_qps\": %.1f, \"speedup_batched\": %.3f, "
-        "\"speedup_parallel\": %.3f}%s\n",
+        "\"speedup_parallel\": %.3f,\n"
+        "     \"single_p50_ns\": %lld, \"single_p99_ns\": %lld, "
+        "\"single_min_ns\": %lld, \"batched_p50_ns\": %lld, "
+        "\"batched_p99_ns\": %lld, \"batched_min_ns\": %lld, "
+        "\"parallel_p50_ns\": %lld, \"parallel_p99_ns\": %lld, "
+        "\"parallel_min_ns\": %lld,\n"
+        "     \"speedup_batched_p50\": %.3f, \"speedup_batched_p99\": %.3f}"
+        "%s\n",
         r.dims, static_cast<long long>(r.side), r.batch_size, r.reps,
-        static_cast<long long>(r.inserts), r.single_qps, r.batched_qps,
-        r.parallel_qps, r.batched_qps / r.single_qps,
-        r.parallel_qps / r.single_qps, i + 1 == results.size() ? "" : ",");
+        static_cast<long long>(r.inserts), r.single.qps, r.batched.qps,
+        r.parallel.qps, r.batched.qps / r.single.qps,
+        r.parallel.qps / r.single.qps,
+        static_cast<long long>(r.single.p50_ns),
+        static_cast<long long>(r.single.p99_ns),
+        static_cast<long long>(r.single.min_ns),
+        static_cast<long long>(r.batched.p50_ns),
+        static_cast<long long>(r.batched.p99_ns),
+        static_cast<long long>(r.batched.min_ns),
+        static_cast<long long>(r.parallel.p50_ns),
+        static_cast<long long>(r.parallel.p99_ns),
+        static_cast<long long>(r.parallel.min_ns),
+        static_cast<double>(r.single.p50_ns) /
+            static_cast<double>(r.batched.p50_ns),
+        static_cast<double>(r.single.p99_ns) /
+            static_cast<double>(r.batched.p99_ns),
+        i + 1 == results.size() ? "" : ",");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

@@ -252,12 +252,43 @@ double MeasureConcurrentTput(Impl impl, int num_shards, int threads,
   return static_cast<double>(threads) * kOpsPerThread / seconds;
 }
 
+// Repeated-run summary of one configuration. A first (discarded) warmup run
+// absorbs one-time costs — page faults, lazy tree materialization, thread
+// startup jitter — then the measured reps feed order statistics: the median
+// is the headline, min and p99 (max of the reps at this sample count) bound
+// the spread.
+struct TputStats {
+  double median = 0;
+  double min = 0;
+  double p99 = 0;
+};
+
+constexpr int kConcReps = 3;
+
+TputStats MeasureConcurrentStats(Impl impl, int num_shards, int threads,
+                                 double update_fraction, uint64_t seed) {
+  (void)MeasureConcurrentTput(impl, num_shards, threads, update_fraction,
+                              seed);  // Warmup, discarded.
+  std::vector<double> reps;
+  reps.reserve(kConcReps);
+  for (int r = 0; r < kConcReps; ++r) {
+    reps.push_back(MeasureConcurrentTput(impl, num_shards, threads,
+                                         update_fraction, seed + 977u * r));
+  }
+  std::sort(reps.begin(), reps.end());
+  TputStats stats;
+  stats.min = reps.front();
+  stats.median = reps[reps.size() / 2];
+  stats.p99 = reps.back();
+  return stats;
+}
+
 struct CurvePoint {
   Impl impl;
   int shards;
   int threads;
   double update_fraction;
-  double ops_per_sec;
+  TputStats tput;
 };
 
 void RunConcurrencySweep() {
@@ -285,11 +316,11 @@ void RunConcurrencySweep() {
       std::vector<std::string> row = {ImplName(config.impl),
                                       std::to_string(config.shards)};
       for (int threads : thread_counts) {
-        const double tput = MeasureConcurrentTput(
+        const TputStats tput = MeasureConcurrentStats(
             config.impl, config.shards, threads, frac, 1234);
         curve.push_back(
             {config.impl, config.shards, threads, frac, tput});
-        row.push_back(TablePrinter::FormatDouble(tput, 0));
+        row.push_back(TablePrinter::FormatDouble(tput.median, 0));
       }
       table.AddRow(row);
     }
@@ -303,8 +334,10 @@ void RunConcurrencySweep() {
   double sharded_8t = 0;
   for (const CurvePoint& p : curve) {
     if (p.threads == 8 && p.update_fraction == 0.05) {
-      if (p.impl == Impl::kCoarse) coarse_8t = p.ops_per_sec;
-      if (p.impl == Impl::kSharded && p.shards == 8) sharded_8t = p.ops_per_sec;
+      if (p.impl == Impl::kCoarse) coarse_8t = p.tput.median;
+      if (p.impl == Impl::kSharded && p.shards == 8) {
+        sharded_8t = p.tput.median;
+      }
     }
   }
   const double speedup = coarse_8t > 0 ? sharded_8t / coarse_8t : 0;
@@ -349,9 +382,12 @@ void RunConcurrencySweep() {
     const CurvePoint& p = curve[i];
     std::fprintf(out,
                  "    {\"impl\": \"%s\", \"shards\": %d, \"threads\": %d, "
-                 "\"update_fraction\": %.2f, \"ops_per_sec\": %.1f}%s\n",
+                 "\"update_fraction\": %.2f, \"ops_per_sec\": %.1f, "
+                 "\"ops_per_sec_min\": %.1f, \"ops_per_sec_p99\": %.1f, "
+                 "\"reps\": %d}%s\n",
                  ImplName(p.impl), p.shards, p.threads, p.update_fraction,
-                 p.ops_per_sec, i + 1 == curve.size() ? "" : ",");
+                 p.tput.median, p.tput.min, p.tput.p99, kConcReps,
+                 i + 1 == curve.size() ? "" : ",");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

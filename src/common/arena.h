@@ -35,8 +35,34 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace ddc {
+
+namespace arena_internal {
+
+// Process-wide arena churn metrics. Growth/shrink re-rooting builds the new
+// tree in a fresh arena and drops the old one wholesale, so the allocated /
+// retired pair exposes exactly the block churn that re-rooting causes.
+inline obs::Counter& BlocksAllocated() {
+  static obs::Counter& c =
+      *obs::MetricsRegistry::Default().GetCounter("arena.blocks_allocated");
+  return c;
+}
+
+inline obs::Counter& BlocksRetired() {
+  static obs::Counter& c =
+      *obs::MetricsRegistry::Default().GetCounter("arena.blocks_retired");
+  return c;
+}
+
+inline obs::Counter& BytesReserved() {
+  static obs::Counter& c =
+      *obs::MetricsRegistry::Default().GetCounter("arena.bytes_reserved");
+  return c;
+}
+
+}  // namespace arena_internal
 
 class Arena {
  public:
@@ -49,6 +75,10 @@ class Arena {
     // ones; none of the registered destructors touch arena memory.
     for (auto it = cleanups_.rbegin(); it != cleanups_.rend(); ++it) {
       it->destroy(it->object);
+    }
+    if (obs::Enabled() && !blocks_.empty()) {
+      arena_internal::BlocksRetired().Add(
+          static_cast<int64_t>(blocks_.size()));
     }
   }
 
@@ -116,6 +146,10 @@ class Arena {
     cursor_ = 0;
     bytes_total_ += want;
     if (next_block_size_ < kMaxBlock) next_block_size_ *= 2;
+    if (obs::Enabled()) {
+      arena_internal::BlocksAllocated().Increment();
+      arena_internal::BytesReserved().Add(static_cast<int64_t>(want));
+    }
   }
 
   std::vector<std::unique_ptr<char[]>> blocks_;

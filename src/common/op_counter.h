@@ -13,11 +13,17 @@
 
 namespace ddc {
 
-// NOTE on thread-safety: OpCounters is plain mutable state updated by const
-// query paths. It is safe only while the owning structure is accessed from a
-// single thread (or under an exclusive lock). The concurrent facades
-// therefore construct their wrapped cubes with `enable_counters = false` and
-// account operations in ConcurrentOpStats below instead.
+// NOTE on thread-safety and the metrics registry: OpCounters is plain
+// mutable state updated by const query paths, so it is safe only while the
+// owning structure is accessed from a single thread (or under an exclusive
+// lock); the concurrent facades construct their wrapped cubes with
+// `enable_counters = false`. That used to mean per-value costs were simply
+// lost under the facades. DdcCore now *additionally* routes every count
+// into the process-wide obs::MetricsRegistry (relaxed-atomic counters
+// ddc.values_read / ddc.values_written / ddc.nodes_visited, safe under
+// shared locks), so OpCounters is a thin per-cube view for the paper's
+// machine-independent cost analyses, while the registry carries the same
+// accounting process-wide — including everything the concurrent facades do.
 struct OpCounters {
   // Stored values read while answering queries.
   int64_t values_read = 0;
@@ -44,6 +50,9 @@ struct OpCounters {
 // they stay meaningful when many threads mutate them concurrently; every
 // field is an independent relaxed atomic — totals are exact once the
 // structure is quiesced, and monotone lower bounds while it is running.
+// Like OpCounters, this is a thin per-instance view: the facades mirror
+// every event into the registry's sharded.* counters, so `ddctool stats`
+// and the renderers see one unified account (see src/obs/metrics.h).
 struct ConcurrentOpStats {
   std::atomic<int64_t> point_writes{0};   // Add/Set calls applied.
   std::atomic<int64_t> batches{0};        // BatchApply calls.

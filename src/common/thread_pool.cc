@@ -3,8 +3,37 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <utility>
+
+#include "obs/metrics.h"
 
 namespace ddc {
+
+namespace {
+
+// Registry handles, resolved once. queue_depth makes worker starvation
+// visible: it counts tasks enqueued but not yet started, and must drain to
+// zero once every ParallelFor in flight has returned (its helpers have all
+// exited — see the live_helpers protocol below).
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& g =
+      *obs::MetricsRegistry::Default().GetGauge("threadpool.queue_depth");
+  return g;
+}
+
+obs::Histogram& QueueWaitHist() {
+  static obs::Histogram& h = *obs::MetricsRegistry::Default().GetHistogram(
+      "threadpool.task.queue_wait_ns");
+  return h;
+}
+
+obs::Histogram& TaskRunHist() {
+  static obs::Histogram& h = *obs::MetricsRegistry::Default().GetHistogram(
+      "threadpool.task.run_ns");
+  return h;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   workers_.reserve(static_cast<size_t>(std::max(num_threads, 0)));
@@ -37,6 +66,21 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
+  if (obs::Enabled()) {
+    // Wrap the task so queue wait (enqueue -> first instruction) and run
+    // time are split apart. The gauge pairing is captured in the wrapper:
+    // a task enqueued while enabled always decrements, even if recording
+    // gets disabled before it runs.
+    const uint64_t enqueue_ns = obs::NowNanos();
+    QueueDepthGauge().Add(1);
+    task = [inner = std::move(task), enqueue_ns] {
+      const uint64_t start_ns = obs::NowNanos();
+      QueueDepthGauge().Add(-1);
+      QueueWaitHist().Record(static_cast<int64_t>(start_ns - enqueue_ns));
+      inner();
+      TaskRunHist().Record(static_cast<int64_t>(obs::NowNanos() - start_ns));
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));

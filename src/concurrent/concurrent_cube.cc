@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace ddc {
 
@@ -13,6 +14,18 @@ namespace {
 DdcOptions WithoutCounters(DdcOptions options) {
   options.enable_counters = false;
   return options;
+}
+
+obs::Histogram& RangeBatchSizeHist() {
+  static obs::Histogram& hist =
+      *obs::MetricsRegistry::Default().GetHistogram("concurrent.range_batch.size");
+  return hist;
+}
+
+obs::Histogram& RangeBatchNsHist() {
+  static obs::Histogram& hist =
+      *obs::MetricsRegistry::Default().GetHistogram("concurrent.range_batch.ns");
+  return hist;
 }
 
 }  // namespace
@@ -50,6 +63,12 @@ void ConcurrentCube::RangeSumBatch(std::span<const Box> boxes,
                                    std::span<int64_t> out) const {
   DDC_CHECK(boxes.size() == out.size());
   if (boxes.empty()) return;
+  obs::TraceSpan span("concurrent.range_sum_batch",
+                      static_cast<int64_t>(boxes.size()), 0,
+                      &RangeBatchNsHist());
+  if (obs::Enabled()) {
+    RangeBatchSizeHist().Record(static_cast<int64_t>(boxes.size()));
+  }
   // The caller keeps the lock shared for the whole fan-out; pool workers
   // read the tree without locking, which is safe because no writer can take
   // the lock exclusively until this shared hold ends.
@@ -61,6 +80,7 @@ void ConcurrentCube::RangeSumBatch(std::span<const Box> boxes,
   constexpr size_t kMinChunk = 8;
   const size_t num_chunks =
       std::clamp<size_t>(boxes.size() / kMinChunk, size_t{1}, lanes);
+  span.set_arg1(static_cast<int64_t>(num_chunks));
   if (num_chunks <= 1) {
     cube_.RangeSumBatch(boxes, out);
     return;

@@ -7,10 +7,43 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace ddc {
 
 namespace {
+
+// Process-wide mirrors of the per-shard ConcurrentOpStats fields (plus the
+// per-shard batch-size distribution): per-shard structs keep write paths
+// contention-free, the registry carries the unified account the renderers
+// and `ddctool stats` read. Resolved once.
+struct ShardedObs {
+  obs::Counter& point_writes;
+  obs::Counter& batches;
+  obs::Counter& batched_ops;
+  obs::Counter& point_reads;
+  obs::Counter& range_queries;
+  obs::Counter& snapshot_retries;
+  obs::Counter& lock_fallbacks;
+  obs::Counter& reroots;
+  obs::Histogram& batch_group_size;
+
+  static ShardedObs& Get() {
+    static ShardedObs* obs = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      return new ShardedObs{*reg.GetCounter("sharded.point_writes"),
+                            *reg.GetCounter("sharded.batches"),
+                            *reg.GetCounter("sharded.batched_ops"),
+                            *reg.GetCounter("sharded.point_reads"),
+                            *reg.GetCounter("sharded.range_queries"),
+                            *reg.GetCounter("sharded.snapshot_retries"),
+                            *reg.GetCounter("sharded.lock_fallbacks"),
+                            *reg.GetCounter("sharded.reroots"),
+                            *reg.GetHistogram("sharded.batch.group_size")};
+    }();
+    return *obs;
+  }
+};
 
 // Rounds of the sequence-validated combine before falling back to holding
 // every relevant shard lock at once. Under write pressure heavy enough to
@@ -57,6 +90,7 @@ ShardedCube::ShardedCube(int dims, int64_t initial_side, int num_shards,
     shard.cube->SetReRootListener([&shard](int64_t, int64_t) {
       shard.reroots.fetch_add(1, std::memory_order_relaxed);
       shard.stats.reroots.fetch_add(1, std::memory_order_relaxed);
+      if (obs::Enabled()) ShardedObs::Get().reroots.Increment();
     });
   }
 }
@@ -74,16 +108,20 @@ void ShardedCube::Add(const Cell& cell, int64_t delta) {
   Shard& shard = shards_[static_cast<size_t>(ShardOf(cell))];
   WriteShard(shard, [&](DynamicDataCube* cube) { cube->Add(cell, delta); });
   shard.stats.point_writes.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Enabled()) ShardedObs::Get().point_writes.Increment();
 }
 
 void ShardedCube::Set(const Cell& cell, int64_t value) {
   Shard& shard = shards_[static_cast<size_t>(ShardOf(cell))];
   WriteShard(shard, [&](DynamicDataCube* cube) { cube->Set(cell, value); });
   shard.stats.point_writes.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Enabled()) ShardedObs::Get().point_writes.Increment();
 }
 
 void ShardedCube::BatchApply(std::span<const UpdateOp> ops) {
   if (ops.empty()) return;
+  obs::TraceSpan span("sharded.batch_apply",
+                      static_cast<int64_t>(ops.size()));
   // Group op indices by shard; batch order is preserved within each group.
   std::vector<std::vector<const UpdateOp*>> groups(
       static_cast<size_t>(num_shards_));
@@ -108,10 +146,16 @@ void ShardedCube::BatchApply(std::span<const UpdateOp> ops) {
     // count is billed where the ops landed.
     if (!counted_batch) {
       shard.stats.batches.fetch_add(1, std::memory_order_relaxed);
+      if (obs::Enabled()) ShardedObs::Get().batches.Increment();
       counted_batch = true;
     }
     shard.stats.batched_ops.fetch_add(static_cast<int64_t>(group.size()),
                                       std::memory_order_relaxed);
+    if (obs::Enabled()) {
+      ShardedObs::Get().batched_ops.Add(static_cast<int64_t>(group.size()));
+      ShardedObs::Get().batch_group_size.Record(
+          static_cast<int64_t>(group.size()));
+    }
   }
 }
 
@@ -125,6 +169,7 @@ void ShardedCube::ShrinkToFit(int64_t min_side) {
 int64_t ShardedCube::Get(const Cell& cell) const {
   const Shard& shard = shards_[static_cast<size_t>(ShardOf(cell))];
   shard.stats.point_reads.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Enabled()) ShardedObs::Get().point_reads.Increment();
   std::shared_lock lock(shard.mutex);
   return shard.cube->Get(cell);
 }
@@ -188,6 +233,7 @@ int64_t ShardedCube::CombineLocklessly(const std::vector<int>& shard_ids,
     }
     if (write_in_progress) {
       billing.snapshot_retries.fetch_add(1, std::memory_order_relaxed);
+      if (obs::Enabled()) ShardedObs::Get().snapshot_retries.Increment();
       std::this_thread::yield();
       continue;
     }
@@ -207,11 +253,13 @@ int64_t ShardedCube::CombineLocklessly(const std::vector<int>& shard_ids,
     }
     if (valid) return sum;
     billing.snapshot_retries.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Enabled()) ShardedObs::Get().snapshot_retries.Increment();
   }
 
   // Contended: pin a consistent cut by holding every relevant lock at once
   // (shared, ascending shard index).
   billing.lock_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Enabled()) ShardedObs::Get().lock_fallbacks.Increment();
   std::vector<std::shared_lock<std::shared_mutex>> locks;
   locks.reserve(shard_ids.size());
   for (int s : shard_ids) {
@@ -238,6 +286,7 @@ int64_t ShardedCube::CombineSubQueries(
 int64_t ShardedCube::RangeSum(const Box& box) const {
   if (box.IsEmpty()) {
     shards_[0].stats.range_queries.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Enabled()) ShardedObs::Get().range_queries.Increment();
     return 0;
   }
   const int64_t slab_lo = SlabIndex(box.lo[0]);
@@ -248,12 +297,14 @@ int64_t ShardedCube::RangeSum(const Box& box) const {
     const Shard& shard =
         shards_[static_cast<size_t>(FloorMod(slab_lo, num_shards_))];
     shard.stats.range_queries.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Enabled()) ShardedObs::Get().range_queries.Increment();
     std::shared_lock lock(shard.mutex);
     return shard.cube->RangeSum(box);
   }
   const std::vector<SubQuery> sub = Decompose(box);
   const size_t bill = sub.empty() ? 0 : static_cast<size_t>(sub[0].shard);
   shards_[bill].stats.range_queries.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Enabled()) ShardedObs::Get().range_queries.Increment();
   return CombineSubQueries(sub);
 }
 
@@ -261,6 +312,8 @@ void ShardedCube::RangeSumBatch(std::span<const Box> boxes,
                                 std::span<int64_t> out) const {
   DDC_CHECK(boxes.size() == out.size());
   if (boxes.empty()) return;
+  obs::TraceSpan span("sharded.range_sum_batch",
+                      static_cast<int64_t>(boxes.size()));
 
   // Bucket the sub-queries of every box by owning shard. Each bucket is
   // later answered with one batched cube call, so corners shared between
@@ -292,6 +345,9 @@ void ShardedCube::RangeSumBatch(std::span<const Box> boxes,
       shards_[static_cast<size_t>(shard_ids[0])].stats;
   billing.range_queries.fetch_add(static_cast<int64_t>(boxes.size()),
                                   std::memory_order_relaxed);
+  if (obs::Enabled()) {
+    ShardedObs::Get().range_queries.Add(static_cast<int64_t>(boxes.size()));
+  }
 
   // Computes one shard's bucket; any needed locking is done by the caller.
   auto compute = [&](int s) {
@@ -329,6 +385,7 @@ void ShardedCube::RangeSumBatch(std::span<const Box> boxes,
     }
     if (write_in_progress) {
       billing.snapshot_retries.fetch_add(1, std::memory_order_relaxed);
+      if (obs::Enabled()) ShardedObs::Get().snapshot_retries.Increment();
       std::this_thread::yield();
       continue;
     }
@@ -350,11 +407,13 @@ void ShardedCube::RangeSumBatch(std::span<const Box> boxes,
       return;
     }
     billing.snapshot_retries.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Enabled()) ShardedObs::Get().snapshot_retries.Increment();
   }
 
   // Contended: pin a consistent cut by holding every relevant lock at once
   // (shared, ascending). The fan-out tasks then take no locks at all.
   billing.lock_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Enabled()) ShardedObs::Get().lock_fallbacks.Increment();
   std::vector<std::shared_lock<std::shared_mutex>> locks;
   locks.reserve(shard_ids.size());
   for (int s : shard_ids) {
@@ -367,6 +426,7 @@ void ShardedCube::RangeSumBatch(std::span<const Box> boxes,
 
 int64_t ShardedCube::TotalSum() const {
   shards_[0].stats.range_queries.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Enabled()) ShardedObs::Get().range_queries.Increment();
   std::vector<int> all(static_cast<size_t>(num_shards_));
   for (int s = 0; s < num_shards_; ++s) all[static_cast<size_t>(s)] = s;
   return CombineLocklessly(all, [](size_t, const DynamicDataCube& cube) {

@@ -25,6 +25,24 @@ Cell Transverse(const Cell& offset, int skip_dim) {
 
 }  // namespace
 
+obs::Counter& DdcCore::ObsValuesRead() {
+  static obs::Counter& c =
+      *obs::MetricsRegistry::Default().GetCounter("ddc.values_read");
+  return c;
+}
+
+obs::Counter& DdcCore::ObsValuesWritten() {
+  static obs::Counter& c =
+      *obs::MetricsRegistry::Default().GetCounter("ddc.values_written");
+  return c;
+}
+
+obs::Counter& DdcCore::ObsNodesVisited() {
+  static obs::Counter& c =
+      *obs::MetricsRegistry::Default().GetCounter("ddc.nodes_visited");
+  return c;
+}
+
 DdcCore::DdcCore(int dims, int64_t side, const DdcOptions& options,
                  OpCounters* counters, Arena* arena)
     : dims_(dims), side_(side), options_(options), counters_(counters) {

@@ -50,6 +50,7 @@
 #include "common/op_counter.h"
 #include "ddc/ddc_options.h"
 #include "ddc/face_store.h"
+#include "obs/metrics.h"
 
 namespace ddc {
 
@@ -125,6 +126,16 @@ class DdcCore {
 
   // The arena this core allocates from (owned or borrowed).
   Arena* arena() const { return arena_; }
+
+  // Number of tree levels a full root-to-leaf descent visits (the raw leaf
+  // block counts as one level): log2(side / min_box_side) + 1. Queries and
+  // updates record this into the ddc.query.depth / ddc.update.depth
+  // histograms — the paper's per-level cost dimension.
+  int DescentLevels() const {
+    int levels = 1;
+    for (int64_t s = side_; s > min_box_side_; s /= 2) ++levels;
+    return levels;
+  }
 
   // Observer invoked once per *primary-tree* node (or leaf block) touched
   // by queries and updates, with a stable identity pointer for the node.
@@ -212,14 +223,23 @@ class DdcCore {
       const Node* node, int64_t node_side, const Cell& node_anchor,
       const std::function<void(const Cell&, int64_t)>& fn) const;
 
+  // Registry handles for the process-wide mirrors of the three counts
+  // (resolved once; see op_counter.h for the OpCounters/registry split).
+  static obs::Counter& ObsValuesRead();
+  static obs::Counter& ObsValuesWritten();
+  static obs::Counter& ObsNodesVisited();
+
   void CountRead(int64_t n) const {
     if (counters_ != nullptr) counters_->values_read += n;
+    if (obs::Enabled()) ObsValuesRead().Add(n);
   }
   void CountWrite(int64_t n) const {
     if (counters_ != nullptr) counters_->values_written += n;
+    if (obs::Enabled()) ObsValuesWritten().Add(n);
   }
   void CountNode(const void* node_identity) const {
     if (counters_ != nullptr) ++counters_->nodes_visited;
+    if (obs::Enabled()) ObsNodesVisited().Increment();
     if (node_visit_listener_ != nullptr && *node_visit_listener_) {
       (*node_visit_listener_)(node_identity);
     }

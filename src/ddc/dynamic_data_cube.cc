@@ -7,8 +7,60 @@
 
 #include "common/bit_util.h"
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace ddc {
+
+namespace {
+
+// Registry handles (resolved once; recording is guarded by obs::Enabled()).
+obs::Histogram& UpdateNsHist() {
+  static obs::Histogram& h =
+      *obs::MetricsRegistry::Default().GetHistogram("ddc.update.ns");
+  return h;
+}
+obs::Histogram& UpdateDepthHist() {
+  static obs::Histogram& h =
+      *obs::MetricsRegistry::Default().GetHistogram("ddc.update.depth");
+  return h;
+}
+obs::Histogram& PrefixSumNsHist() {
+  static obs::Histogram& h =
+      *obs::MetricsRegistry::Default().GetHistogram("ddc.query.prefix_sum_ns");
+  return h;
+}
+obs::Histogram& QueryDepthHist() {
+  static obs::Histogram& h =
+      *obs::MetricsRegistry::Default().GetHistogram("ddc.query.depth");
+  return h;
+}
+obs::Histogram& BatchSizeHist() {
+  static obs::Histogram& h =
+      *obs::MetricsRegistry::Default().GetHistogram("ddc.query.batch.size");
+  return h;
+}
+obs::Counter& BatchCornerTerms() {
+  static obs::Counter& c = *obs::MetricsRegistry::Default().GetCounter(
+      "ddc.query.batch.corner_terms");
+  return c;
+}
+obs::Counter& BatchCornersDeduped() {
+  static obs::Counter& c = *obs::MetricsRegistry::Default().GetCounter(
+      "ddc.query.batch.corners_deduped");
+  return c;
+}
+obs::Counter& ReRootCounter() {
+  static obs::Counter& c =
+      *obs::MetricsRegistry::Default().GetCounter("ddc.reroots");
+  return c;
+}
+obs::Histogram& ReRootNsHist() {
+  static obs::Histogram& h =
+      *obs::MetricsRegistry::Default().GetHistogram("ddc.reroot.ns");
+  return h;
+}
+
+}  // namespace
 
 DynamicDataCube::DynamicDataCube(int dims, int64_t initial_side,
                                  DdcOptions options)
@@ -60,6 +112,9 @@ void DynamicDataCube::EnsureContains(const Cell& cell) {
     // region becomes the upper half, otherwise the lower half. This is the
     // "growth in any direction" of Section 5.
     const int64_t old_side = side();
+    obs::TraceSpan span("ddc.reroot", old_side, old_side * 2,
+                        &ReRootNsHist());
+    if (obs::Enabled()) ReRootCounter().Increment();
     Cell new_origin = origin_;
     for (int i = 0; i < dims_; ++i) {
       size_t ui = static_cast<size_t>(i);
@@ -101,6 +156,8 @@ void DynamicDataCube::ShrinkToFit(int64_t min_side) {
   });
   if (!any) {
     const int64_t old_side = side();
+    obs::TraceSpan span("ddc.reroot", old_side, min_side, &ReRootNsHist());
+    if (obs::Enabled()) ReRootCounter().Increment();
     auto new_arena = std::make_unique<Arena>();
     core_ = std::make_unique<DdcCore>(dims_, min_side, options_,
                                       CountersPtr(), new_arena.get());
@@ -118,6 +175,8 @@ void DynamicDataCube::ShrinkToFit(int64_t min_side) {
   const int64_t old_side = side();
   if (new_side >= old_side) return;  // Nothing to gain.
 
+  obs::TraceSpan span("ddc.reroot", old_side, new_side, &ReRootNsHist());
+  if (obs::Enabled()) ReRootCounter().Increment();
   const Cell new_origin = CellAdd(origin_, lo);
   auto new_arena = std::make_unique<Arena>();
   auto new_core = std::make_unique<DdcCore>(dims_, new_side, options_,
@@ -134,7 +193,9 @@ void DynamicDataCube::ShrinkToFit(int64_t min_side) {
 
 void DynamicDataCube::Add(const Cell& cell, int64_t delta) {
   if (delta == 0) return;
+  obs::ScopedLatencyTimer timer(&UpdateNsHist());
   EnsureContains(cell);
+  if (obs::Enabled()) UpdateDepthHist().Record(core_->DescentLevels());
   core_->Add(ToLocal(cell), delta);
 }
 
@@ -149,6 +210,8 @@ int64_t DynamicDataCube::Get(const Cell& cell) const {
 
 int64_t DynamicDataCube::PrefixSum(const Cell& cell) const {
   DDC_CHECK(InDomain(cell));
+  obs::ScopedLatencyTimer timer(&PrefixSumNsHist());
+  if (obs::Enabled()) QueryDepthHist().Record(core_->DescentLevels());
   return core_->PrefixSum(ToLocal(cell));
 }
 
@@ -173,6 +236,8 @@ void DynamicDataCube::RangeSumBatch(std::span<const Box> ranges,
                                     std::span<int64_t> out) const {
   DDC_CHECK(ranges.size() == out.size());
   if (ranges.empty()) return;
+  obs::TraceSpan span("ddc.range_sum_batch",
+                      static_cast<int64_t>(ranges.size()));
 
   // Phase 1: decompose every (clipped) range into signed corner terms,
   // deduplicating corners across the whole batch. A rollup's adjacent
@@ -222,6 +287,14 @@ void DynamicDataCube::RangeSumBatch(std::span<const Box> ranges,
   }
 
   // Phase 2: resolve every unique corner in one shared descent.
+  if (obs::Enabled()) {
+    BatchSizeHist().Record(static_cast<int64_t>(ranges.size()));
+    BatchCornerTerms().Add(static_cast<int64_t>(terms.size()));
+    // Corners the dedup map collapsed: descents the batch did NOT pay for.
+    BatchCornersDeduped().Add(
+        static_cast<int64_t>(terms.size() - corners.size()));
+    span.set_arg1(static_cast<int64_t>(corners.size()));
+  }
   std::vector<int64_t> prefix(corners.size());
   core_->PrefixSumBatch(corners, prefix);
 

@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace ddc {
+namespace obs {
+
+namespace {
+
+constexpr size_t kCapacity = 4096;
+
+// One thread's ring. Appended to by the owner thread only; the per-ring
+// mutex exists so a merge can read a consistent snapshot while the owner
+// keeps recording (and so TSan sees the synchronization).
+struct Ring {
+  std::mutex mutex;
+  std::array<TraceEvent, kCapacity> events;
+  uint64_t head = 0;  // Total events ever appended; ring index = head % cap.
+  uint32_t tid = 0;
+
+  void Append(const TraceEvent& event) {
+    std::lock_guard<std::mutex> lock(mutex);
+    events[static_cast<size_t>(head % kCapacity)] = event;
+    ++head;
+  }
+};
+
+struct RingList {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<Ring>> rings;
+};
+
+RingList& Rings() {
+  // Leaked: thread_local ring pointers may be used during late thread exit.
+  static RingList* list = new RingList();
+  return *list;
+}
+
+Ring& ThisThreadRing() {
+  thread_local Ring* ring = [] {
+    auto owned = std::make_unique<Ring>();
+    Ring* raw = owned.get();
+    RingList& list = Rings();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    raw->tid = static_cast<uint32_t>(list.rings.size() + 1);
+    list.rings.push_back(std::move(owned));
+    return raw;
+  }();
+  return *ring;
+}
+
+}  // namespace
+
+size_t TraceCapacityPerThread() { return kCapacity; }
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  Ring& ring = ThisThreadRing();
+  TraceEvent event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.end_ns = NowNanos();
+  event.tid = ring.tid;
+  event.arg0 = arg0_;
+  event.arg1 = arg1_;
+  if (latency_hist_ != nullptr) {
+    latency_hist_->Record(static_cast<int64_t>(event.end_ns - event.start_ns));
+  }
+  ring.Append(event);
+}
+
+void DrainTrace(std::vector<TraceEvent>* out) {
+  out->clear();
+  RingList& list = Rings();
+  std::lock_guard<std::mutex> list_lock(list.mutex);
+  for (const std::unique_ptr<Ring>& ring : list.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    const uint64_t head = ring->head;
+    const uint64_t kept = head < kCapacity ? head : kCapacity;
+    for (uint64_t i = head - kept; i < head; ++i) {
+      out->push_back(ring->events[static_cast<size_t>(i % kCapacity)]);
+    }
+  }
+  std::sort(out->begin(), out->end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+}
+
+void ResetTrace() {
+  RingList& list = Rings();
+  std::lock_guard<std::mutex> list_lock(list.mutex);
+  for (const std::unique_ptr<Ring>& ring : list.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    ring->head = 0;
+  }
+}
+
+void RenderTraceJson(std::ostream& os) {
+  std::vector<TraceEvent> events;
+  DrainTrace(&events);
+  os << "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    os << (i == 0 ? "" : ",") << "\n  {\"name\": \"" << e.name
+       << "\", \"ph\": \"X\", \"ts\": " << e.start_ns / 1000
+       << ", \"dur\": " << (e.end_ns - e.start_ns) / 1000
+       << ", \"pid\": 1, \"tid\": " << e.tid << ", \"args\": {\"arg0\": "
+       << e.arg0 << ", \"arg1\": " << e.arg1 << "}}";
+  }
+  os << (events.empty() ? "" : "\n") << "]\n";
+}
+
+}  // namespace obs
+}  // namespace ddc

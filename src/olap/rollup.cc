@@ -3,10 +3,17 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace ddc {
 
 namespace {
+
+obs::Histogram& GroupByRowsHist() {
+  static obs::Histogram& hist =
+      *obs::MetricsRegistry::Default().GetHistogram("olap.groupby.rows");
+  return hist;
+}
 
 // Floor division that rounds toward negative infinity (group alignment
 // must be stable across negative coordinates).
@@ -24,6 +31,7 @@ std::vector<RollupRow> GroupBy(const MeasureCube& cube, const Box& box,
   DDC_CHECK(group_size >= 1);
   std::vector<RollupRow> rows;
   if (box.IsEmpty()) return rows;
+  obs::TraceSpan span("olap.group_by", dim, group_size);
   const size_t ud = static_cast<size_t>(dim);
 
   // Materialize every group slice, then aggregate the whole report with two
@@ -38,6 +46,9 @@ std::vector<RollupRow> GroupBy(const MeasureCube& cube, const Box& box,
     slice.hi[ud] = std::min(box.hi[ud], group_end);
     slices.push_back(std::move(slice));
     group_start = group_end + 1;
+  }
+  if (obs::Enabled()) {
+    GroupByRowsHist().Record(static_cast<int64_t>(slices.size()));
   }
   std::vector<int64_t> sums(slices.size());
   std::vector<int64_t> counts(slices.size());

@@ -3,12 +3,25 @@
 #include <algorithm>
 
 #include "common/table_printer.h"
+#include "obs/trace.h"
 #include "olap/rollup.h"
 #include "query/parser.h"
 
 namespace ddc {
 
 namespace {
+
+obs::Histogram& ExecNsHist() {
+  static obs::Histogram& hist =
+      *obs::MetricsRegistry::Default().GetHistogram("query.exec.ns");
+  return hist;
+}
+
+obs::Histogram& ResultRowsHist() {
+  static obs::Histogram& hist =
+      *obs::MetricsRegistry::Default().GetHistogram("query.result.rows");
+  return hist;
+}
 
 // Builds the query box over [lo, hi] (the structure's domain) from the
 // predicates. Returns false with *error on a bad dimension or an empty
@@ -63,6 +76,7 @@ QueryResultRow MakeRow(Aggregate aggregate, Coord start, Coord end,
 
 QueryResult ExecuteQuery(const Query& query, const MeasureCube& cube) {
   QueryResult result;
+  obs::TraceSpan span("query.execute", 0, 0, &ExecNsHist());
   result.aggregate = query.aggregate;
   const DynamicDataCube& sum_cube = cube.sum_cube();
   Box box;
@@ -89,12 +103,17 @@ QueryResult ExecuteQuery(const Query& query, const MeasureCube& cube) {
     result.rows.push_back(MakeRow(query.aggregate, group.group_start,
                                   group.group_end, group.sum, group.count));
   }
+  if (obs::Enabled()) {
+    ResultRowsHist().Record(static_cast<int64_t>(result.rows.size()));
+    span.set_arg0(static_cast<int64_t>(result.rows.size()));
+  }
   result.ok = true;
   return result;
 }
 
 QueryResult ExecuteQuery(const Query& query, const DynamicDataCube& cube) {
   QueryResult result;
+  obs::TraceSpan span("query.execute", 0, 0, &ExecNsHist());
   result.aggregate = query.aggregate;
   if (query.aggregate != Aggregate::kSum) {
     result.error = "this cube stores sums only; COUNT/AVG need a MeasureCube";
@@ -143,6 +162,10 @@ QueryResult ExecuteQuery(const Query& query, const DynamicDataCube& cube) {
   for (size_t i = 0; i < slices.size(); ++i) {
     result.rows.push_back(MakeRow(Aggregate::kSum, slices[i].lo[ud],
                                   slices[i].hi[ud], sums[i], 0));
+  }
+  if (obs::Enabled()) {
+    ResultRowsHist().Record(static_cast<int64_t>(result.rows.size()));
+    span.set_arg0(static_cast<int64_t>(result.rows.size()));
   }
   result.ok = true;
   return result;

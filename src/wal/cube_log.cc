@@ -6,10 +6,36 @@
 
 #include "common/check.h"
 #include "ddc/snapshot.h"
+#include "obs/trace.h"
 
 namespace ddc {
 
 namespace {
+
+// Registry handles, resolved once per process (see src/obs/metrics.h).
+struct WalObs {
+  obs::Counter& appends;
+  obs::Counter& syncs;
+  obs::Counter& checkpoints;
+  obs::Counter& replay_records;
+  obs::Histogram& append_ns;
+  obs::Histogram& sync_ns;
+  obs::Histogram& replay_ns;
+
+  static WalObs& Get() {
+    static WalObs* wal = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      return new WalObs{*reg.GetCounter("wal.appends"),
+                        *reg.GetCounter("wal.syncs"),
+                        *reg.GetCounter("wal.checkpoints"),
+                        *reg.GetCounter("wal.replay.records"),
+                        *reg.GetHistogram("wal.append.ns"),
+                        *reg.GetHistogram("wal.sync.ns"),
+                        *reg.GetHistogram("wal.replay.ns")};
+    }();
+    return *wal;
+  }
+};
 
 constexpr char kMagic[8] = {'D', 'D', 'C', 'W', 'L', 'O', 'G', '1'};
 
@@ -83,6 +109,8 @@ std::unique_ptr<CubeLog> CubeLog::Open(const std::string& path, int dims) {
 
 bool CubeLog::Append(const Cell& cell, int64_t delta) {
   DDC_CHECK(static_cast<int>(cell.size()) == dims_);
+  obs::ScopedLatencyTimer timer(&WalObs::Get().append_ns);
+  if (obs::Enabled()) WalObs::Get().appends.Increment();
   for (Coord c : cell) WritePod<int64_t>(&out_, c);
   WritePod<int64_t>(&out_, delta);
   WritePod<uint64_t>(&out_, Mix(cell, delta));
@@ -91,12 +119,15 @@ bool CubeLog::Append(const Cell& cell, int64_t delta) {
 }
 
 bool CubeLog::Sync() {
+  obs::ScopedLatencyTimer timer(&WalObs::Get().sync_ns);
+  if (obs::Enabled()) WalObs::Get().syncs.Increment();
   out_.flush();
   return out_.good();
 }
 
 ReplayResult CubeLog::Replay(const std::string& path, DynamicDataCube* cube) {
   ReplayResult result;
+  obs::TraceSpan span("wal.replay", 0, 0, &WalObs::Get().replay_ns);
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return result;
   const int dims = ReadHeader(&in);
@@ -128,6 +159,11 @@ ReplayResult CubeLog::Replay(const std::string& path, DynamicDataCube* cube) {
     }
     cube->Add(cell, delta);
     ++result.applied;
+  }
+  if (obs::Enabled()) {
+    WalObs::Get().replay_records.Add(result.applied);
+    span.set_arg0(result.applied);
+    span.set_arg1(result.clean_tail ? 1 : 0);
   }
   return result;
 }
@@ -172,6 +208,8 @@ bool DurableCube::Add(const Cell& cell, int64_t delta, bool sync) {
 }
 
 bool DurableCube::Checkpoint() {
+  obs::TraceSpan span("wal.checkpoint");
+  if (obs::Enabled()) WalObs::Get().checkpoints.Increment();
   if (log_ != nullptr && !log_->Sync()) return false;
   if (!SaveSnapshotToFile(*cube_, snapshot_path_)) return false;
   // Reset the log; reopen the append handle.

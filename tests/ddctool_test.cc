@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 namespace ddc {
 namespace tools {
 namespace {
@@ -159,6 +161,50 @@ TEST_F(DdcToolTest, HelpPrintsUsage) {
   std::string out;
   EXPECT_EQ(Run({"help"}, &out), 0);
   EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+// Counts occurrences of `needle` in `text`.
+size_t CountOf(const std::string& text, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST_F(DdcToolTest, StatsRendersUnifiedMetricSurface) {
+  obs::SetEnabled(true);
+  if (!obs::Enabled()) GTEST_SKIP() << "built with DDC_OBS=OFF";
+  std::string out;
+  ASSERT_EQ(Run({"stats", "--ops", "200", "--format", "text"}, &out), 0);
+  // At least 12 distinct metrics across every instrumented namespace.
+  EXPECT_GE(CountOf(out, "# TYPE "), size_t{12});
+  for (const char* ns :
+       {"ddc_", "sharded_", "threadpool_", "arena_", "wal_"}) {
+    EXPECT_NE(out.find(ns), std::string::npos) << "namespace " << ns;
+  }
+  EXPECT_NE(out.find("_p50 "), std::string::npos);
+  EXPECT_NE(out.find("_p99 "), std::string::npos);
+
+  // JSON form carries the same namespaces, dotted, with percentiles.
+  ASSERT_EQ(Run({"stats", "--ops", "200", "--format", "json"}, &out), 0);
+  for (const char* key :
+       {"\"ddc.", "\"sharded.", "\"threadpool.", "\"arena.", "\"wal.",
+        "\"p50\":", "\"p99\":"}) {
+    EXPECT_NE(out.find(key), std::string::npos) << "key " << key;
+  }
+  // Workload determinism: the machine-independent counters agree between
+  // the two runs (both runs reset the registry first).
+  std::string again;
+  ASSERT_EQ(Run({"stats", "--ops", "200", "--format", "json"}, &again), 0);
+  const size_t counters_pos = again.find("\"histograms\"");
+  ASSERT_NE(counters_pos, std::string::npos);
+  EXPECT_EQ(out.substr(0, counters_pos), again.substr(0, counters_pos));
+
+  std::string err;
+  EXPECT_NE(Run({"stats", "--format", "yaml"}, nullptr, &err), 0);
+  EXPECT_NE(Run({"stats", "--side", "3"}, nullptr, &err), 0);
 }
 
 }  // namespace

@@ -1,0 +1,246 @@
+// Unit tests for the observability subsystem (src/obs): histogram bucket
+// geometry, percentile readout against a sorted-vector oracle, renderer
+// goldens on a private registry, trace-ring wraparound, and the disabled
+// path recording nothing.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ddc {
+namespace obs {
+namespace {
+
+// The runtime-toggle tests need the compiled-in instrumentation; under
+// -DDDC_OBS=OFF SetEnabled is a no-op and they would vacuously fail.
+bool RuntimeToggleAvailable() {
+  SetEnabled(true);
+  return Enabled();
+}
+
+TEST(HistogramBuckets, BoundariesMatchPowerOfTwoLayout) {
+  // Bucket 0 is the {v <= 0} bucket.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-1), 0);
+  EXPECT_EQ(Histogram::BucketIndex(INT64_MIN), 0);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0);
+
+  // Bucket b >= 1 holds [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4);
+  for (int b = 1; b < Histogram::kNumBuckets - 1; ++b) {
+    const int64_t lo = int64_t{1} << (b - 1);
+    const int64_t hi = (int64_t{1} << b) - 1;
+    EXPECT_EQ(Histogram::BucketIndex(lo), b) << "lo of bucket " << b;
+    EXPECT_EQ(Histogram::BucketIndex(hi), b) << "hi of bucket " << b;
+    EXPECT_EQ(Histogram::BucketUpperBound(b), hi);
+  }
+
+  // The top bucket absorbs everything past 2^62.
+  EXPECT_EQ(Histogram::BucketIndex(INT64_MAX), Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1),
+            INT64_MAX);
+}
+
+// Nearest-rank percentile over a sorted copy — the exact answer the
+// log-bucketed readout approximates.
+int64_t OraclePercentile(std::vector<int64_t> values, double q) {
+  std::sort(values.begin(), values.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  if (rank < 1) rank = 1;
+  if (rank > values.size()) rank = values.size();
+  return values[rank - 1];
+}
+
+TEST(HistogramPercentile, WithinTwoXOfSortedVectorOracle) {
+  Histogram hist;
+  std::vector<int64_t> values;
+  uint64_t state = 42;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    // Skewed positive values spanning several orders of magnitude.
+    const int64_t value = static_cast<int64_t>((state >> 33) % 1000000) + 1;
+    values.push_back(value);
+    hist.Record(value);
+  }
+  const Histogram::Snapshot snap = hist.Read();
+  ASSERT_EQ(snap.count, 5000);
+  for (double q : {0.0, 0.25, 0.50, 0.90, 0.99, 1.0}) {
+    const int64_t exact = OraclePercentile(values, q);
+    const int64_t reported = snap.Percentile(q);
+    EXPECT_GE(reported, exact) << "q=" << q;
+    EXPECT_LE(reported, 2 * exact) << "q=" << q;
+  }
+  // The extreme quantile is clamped to the observed maximum, not a bucket
+  // upper bound.
+  EXPECT_EQ(snap.Percentile(1.0),
+            *std::max_element(values.begin(), values.end()));
+}
+
+TEST(HistogramPercentile, EmptyAndReset) {
+  Histogram hist;
+  EXPECT_EQ(hist.Read().Percentile(0.5), 0);
+  hist.Record(100);
+  hist.Record(7);
+  EXPECT_EQ(hist.Count(), 2);
+  EXPECT_EQ(hist.Sum(), 107);
+  EXPECT_EQ(hist.Max(), 100);
+  hist.Reset();
+  EXPECT_EQ(hist.Count(), 0);
+  EXPECT_EQ(hist.Sum(), 0);
+  EXPECT_EQ(hist.Max(), 0);
+  EXPECT_EQ(hist.Read().Percentile(0.99), 0);
+}
+
+TEST(HistogramRecord, NegativeValuesClampToZeroBucket) {
+  Histogram hist;
+  hist.Record(-50);
+  const Histogram::Snapshot snap = hist.Read();
+  EXPECT_EQ(snap.counts[0], 1);
+  EXPECT_EQ(snap.sum, 0);
+  EXPECT_EQ(snap.Percentile(0.5), 0);
+}
+
+TEST(MetricsRegistry, InternsByNameAndSurvivesReset) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("a.count");
+  Counter* c2 = registry.GetCounter("a.count");
+  EXPECT_EQ(c1, c2);
+  c1->Add(5);
+  EXPECT_EQ(c2->Value(), 5);
+  registry.Reset();
+  EXPECT_EQ(c1->Value(), 0);
+  // Reset zeroes; it does not unregister.
+  EXPECT_EQ(registry.GetCounter("a.count"), c1);
+}
+
+// Exact goldens over a private registry with one instrument of each kind.
+// Histogram samples {1, 3, 100}: buckets le=1, le=3, le=127; p50 = 3 (rank
+// 2 lands in the le=3 bucket), p90/p99 = min(127, max=100) = 100.
+class RenderGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_.GetCounter("ddc.test.count")->Add(3);
+    registry_.GetGauge("g.depth")->Set(-2);
+    Histogram* hist = registry_.GetHistogram("h.lat_ns");
+    hist->Record(1);
+    hist->Record(3);
+    hist->Record(100);
+  }
+  MetricsRegistry registry_;
+};
+
+TEST_F(RenderGoldenTest, Text) {
+  std::ostringstream os;
+  RenderText(registry_, os);
+  EXPECT_EQ(os.str(),
+            "# TYPE ddc_test_count counter\n"
+            "ddc_test_count 3\n"
+            "# TYPE g_depth gauge\n"
+            "g_depth -2\n"
+            "# TYPE h_lat_ns histogram\n"
+            "h_lat_ns_bucket{le=\"1\"} 1\n"
+            "h_lat_ns_bucket{le=\"3\"} 2\n"
+            "h_lat_ns_bucket{le=\"127\"} 3\n"
+            "h_lat_ns_bucket{le=\"+Inf\"} 3\n"
+            "h_lat_ns_sum 104\n"
+            "h_lat_ns_count 3\n"
+            "h_lat_ns_p50 3\n"
+            "h_lat_ns_p90 100\n"
+            "h_lat_ns_p99 100\n"
+            "h_lat_ns_max 100\n");
+}
+
+TEST_F(RenderGoldenTest, Json) {
+  std::ostringstream os;
+  RenderJson(registry_, os);
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"ddc.test.count\": 3\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"g.depth\": -2\n"
+            "  },\n"
+            "  \"histograms\": {\n"
+            "    \"h.lat_ns\": {\"count\": 3, \"sum\": 104, \"max\": 100, "
+            "\"p50\": 3, \"p90\": 100, \"p99\": 100, \"buckets\": "
+            "[{\"le\": 1, \"count\": 1}, {\"le\": 3, \"count\": 1}, "
+            "{\"le\": 127, \"count\": 1}]}\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(RenderEmpty, EmptyRegistrySections) {
+  MetricsRegistry registry;
+  std::ostringstream os;
+  RenderJson(registry, os);
+  EXPECT_EQ(os.str(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}\n");
+}
+
+TEST(TraceRing, WrapsAtCapacityKeepingNewestEvents) {
+  if (!RuntimeToggleAvailable()) GTEST_SKIP() << "built with DDC_OBS=OFF";
+  ResetTrace();
+  const size_t capacity = TraceCapacityPerThread();
+  for (size_t i = 0; i < capacity + 10; ++i) {
+    TraceSpan span("obs_test.wrap", static_cast<int64_t>(i));
+  }
+  std::vector<TraceEvent> events;
+  DrainTrace(&events);
+  ASSERT_EQ(events.size(), capacity);
+  // The 10 oldest events were overwritten; everything kept is ordered.
+  int64_t min_arg0 = events[0].arg0;
+  for (const TraceEvent& event : events) {
+    min_arg0 = std::min(min_arg0, event.arg0);
+    EXPECT_LE(event.start_ns, event.end_ns);
+  }
+  EXPECT_EQ(min_arg0, 10);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].start_ns, events[i].start_ns);
+  }
+  ResetTrace();
+  DrainTrace(&events);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(TraceSpan, FeedsOptionalLatencyHistogram) {
+  if (!RuntimeToggleAvailable()) GTEST_SKIP() << "built with DDC_OBS=OFF";
+  Histogram hist;
+  {
+    TraceSpan span("obs_test.hist", 1, 2, &hist);
+  }
+  EXPECT_EQ(hist.Count(), 1);
+}
+
+TEST(DisabledPath, RecordsNothing) {
+  if (!RuntimeToggleAvailable()) GTEST_SKIP() << "built with DDC_OBS=OFF";
+  ResetTrace();
+  SetEnabled(false);
+  Histogram hist;
+  {
+    ScopedLatencyTimer timer(&hist);
+    TraceSpan span("obs_test.disabled");
+  }
+  SetEnabled(true);
+  EXPECT_EQ(hist.Count(), 0);
+  std::vector<TraceEvent> events;
+  DrainTrace(&events);
+  EXPECT_TRUE(events.empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ddc

@@ -23,6 +23,16 @@ what a noisy 1-core CI container can meaningfully gate on. Structural keys
 (dims, side, batch, ...) are never treated as metrics, but a baseline/fresh
 pair whose structures disagree (a metric key missing on either side) fails,
 so a silently renamed or dropped curve cannot pass the gate.
+
+Tail-latency ratios (any metric key containing "p99") are inherently noisier
+than means — one scheduler hiccup moves the p99 of a small-rep smoke run —
+so they get their own, typically wider, band via --p99-tolerance (defaults
+to --tolerance when not given).
+
+--require SUBSTR (repeatable) is a schema check on the fresh file: at least
+one leaf key must contain each given substring, so a bench that silently
+stops emitting its percentile block fails even if every surviving ratio
+passes.
 """
 
 import argparse
@@ -69,7 +79,16 @@ def main():
                         help="Check only dimensionless speedup/ratio keys")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="Allowed fractional drop (default 0.20)")
+    parser.add_argument("--p99-tolerance", type=float, default=None,
+                        help="Allowed fractional drop for metric keys "
+                             "containing 'p99' (default: --tolerance)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="SUBSTR",
+                        help="Fail unless some fresh leaf key contains "
+                             "SUBSTR (repeatable schema check)")
     args = parser.parse_args()
+    if args.p99_tolerance is None:
+        args.p99_tolerance = args.tolerance
 
     if args.run:
         env = dict(os.environ)
@@ -101,18 +120,26 @@ def main():
             failures.append(f"{key}: non-numeric metric")
             continue
         checked += 1
-        floor = base_value * (1.0 - args.tolerance)
+        tolerance = (args.p99_tolerance if "p99" in key.lower()
+                     else args.tolerance)
+        floor = base_value * (1.0 - tolerance)
         status = "ok"
         if fresh_value < floor:
             status = "REGRESSED"
             failures.append(
                 f"{key}: {fresh_value:.3f} < {base_value:.3f} "
-                f"* (1 - {args.tolerance:.2f}) = {floor:.3f}")
+                f"* (1 - {tolerance:.2f}) = {floor:.3f}")
         print(f"  {key}: baseline {base_value:.3f} fresh {fresh_value:.3f} "
               f"[{status}]")
     for key in sorted(fresh):
         if is_metric(key, args.ratios_only) and key not in baseline:
             failures.append(f"{key}: present in fresh, missing in baseline")
+
+    for required in args.require:
+        if not any(required in key for key in fresh):
+            failures.append(
+                f"--require {required}: no fresh key contains it "
+                f"(schema drifted?)")
 
     if checked == 0:
         failures.append("no metric keys matched — wrong file or filter?")

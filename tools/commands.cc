@@ -1,15 +1,28 @@
 #include "tools/commands.h"
 
+#include <cstdio>
 #include <fstream>
 #include <memory>
 #include <ostream>
 #include <sstream>
+#include <vector>
+
+#include <unistd.h>
 
 #include "common/bit_util.h"
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "common/workload.h"
+#include "concurrent/concurrent_cube.h"
+#include "concurrent/sharded_cube.h"
 #include "ddc/dynamic_data_cube.h"
 #include "ddc/snapshot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "olap/measure.h"
 #include "query/executor.h"
 #include "tools/csv.h"
+#include "wal/cube_log.h"
 
 namespace ddc {
 namespace tools {
@@ -131,7 +144,9 @@ std::string UsageText() {
          "[a,b] AND ...]\"\n"
          "  ddctool info   CUBE\n"
          "  ddctool export CUBE --csv OUT\n"
-         "  ddctool shrink CUBE\n";
+         "  ddctool shrink CUBE\n"
+         "  ddctool stats  [--dims D] [--side S] [--ops N] [--shards K]\n"
+         "                 [--format text|json|both] [--trace OUT|-]\n";
 }
 
 int CmdCreate(const std::vector<std::string>& args, std::ostream& out,
@@ -324,6 +339,168 @@ int CmdShrink(const std::vector<std::string>& args, std::ostream& out,
   return 0;
 }
 
+namespace {
+
+// The deterministic mixed workload behind `ddctool stats`: touches every
+// instrumented subsystem so the rendered registry demonstrates the full
+// metric surface (see DESIGN.md §9). Sized by --ops; everything is seeded,
+// so repeat runs produce identical counter totals.
+void RunStatsWorkload(int dims, int64_t side, int64_t ops, int shards) {
+  const size_t ud = static_cast<size_t>(dims);
+
+  // Single-writer cube: updates (with growth past `side`), point reads,
+  // range queries, a batched report, and a shrink — covers ddc.*, arena.*.
+  DynamicDataCube cube(dims, side);
+  Cell cell(ud);
+  for (int64_t i = 0; i < ops; ++i) {
+    for (size_t j = 0; j < ud; ++j) {
+      cell[j] = (i * 7 + static_cast<int64_t>(j) * 13) % (side * 2);
+    }
+    cube.Add(cell, 1 + i % 5);
+  }
+  Box all{UniformCell(dims, 0), UniformCell(dims, side - 1)};
+  (void)cube.RangeSum(all);
+  (void)cube.Get(UniformCell(dims, 1));
+  std::vector<Box> slices;
+  for (Coord g = 0; g < side; g += 2) {
+    Box slice = all;
+    slice.hi[0] = std::min<Coord>(side - 1, g + 1);
+    slice.lo[0] = g;
+    slices.push_back(slice);
+  }
+  std::vector<int64_t> sums(slices.size());
+  cube.RangeSumBatch(slices, sums);
+  (void)RunQuery("SUM GROUP BY d0 SIZE 4", cube);
+  cube.ShrinkToFit();
+
+  // Measure cube: the grouped COUNT/AVG path goes through olap::GroupBy.
+  MeasureCube measures(dims, side);
+  for (int64_t i = 0; i < ops / 4 + 1; ++i) {
+    for (size_t j = 0; j < ud; ++j) {
+      cell[j] = (i * 5 + static_cast<int64_t>(j) * 3) % side;
+    }
+    measures.AddObservation(cell, i % 7);
+  }
+  (void)RunQuery("AVG GROUP BY d0 SIZE 2", measures);
+
+  // Sharded facade: point ops, one grouped batch, cross-shard reads.
+  ShardedCube striped(dims, side, shards);
+  std::vector<UpdateOp> batch;
+  for (int64_t i = 0; i < ops; ++i) {
+    for (size_t j = 0; j < ud; ++j) {
+      cell[j] = (i * 11 + static_cast<int64_t>(j) * 17) % side;
+    }
+    if (i % 3 == 0) {
+      striped.Add(cell, 1);
+    } else {
+      batch.push_back(UpdateOp{cell, 1, UpdateKind::kAdd});
+    }
+  }
+  striped.BatchApply(batch);
+  (void)striped.Get(UniformCell(dims, 0));
+  (void)striped.RangeSum(all);  // Spans every slab: the cross-shard path.
+  striped.RangeSumBatch(slices, sums);
+  (void)striped.TotalSum();
+
+  // Coarse-locked facade: one batched fan-out through the shared pool.
+  ConcurrentCube coarse(dims, side);
+  for (Coord c = 0; c < side; ++c) coarse.Add(UniformCell(dims, c % side), 1);
+  coarse.RangeSumBatch(slices, sums);
+
+  // A private pool guarantees threadpool.* samples even on hosts where the
+  // shared pool sizes itself to zero workers.
+  {
+    ThreadPool pool(2);
+    pool.ParallelFor(16, [](size_t i) {
+      int64_t sink = 0;
+      for (int k = 0; k < 1000; ++k) sink += k;
+      DDC_CHECK(sink > 0 || i == 0);
+    });
+  }
+
+  // Durable cube: appends (some synced), a checkpoint, then a second
+  // instance recovering the un-checkpointed tail — covers wal.*.
+  const std::string base =
+      "/tmp/ddctool_stats_" + std::to_string(::getpid());
+  {
+    DurableCube durable(dims, side, base);
+    for (int64_t i = 0; i < ops / 8 + 4; ++i) {
+      for (size_t j = 0; j < ud; ++j) cell[j] = (i + static_cast<int64_t>(j)) % side;
+      durable.Add(cell, 1, /*sync=*/i % 4 == 0);
+    }
+    durable.Checkpoint();
+    for (int64_t i = 0; i < 4; ++i) {
+      cell.assign(ud, i % side);
+      durable.Add(cell, 2, /*sync=*/false);
+    }
+  }
+  { DurableCube recovered(dims, side, base); }
+  std::remove((base + ".snap").c_str());
+  std::remove((base + ".log").c_str());
+}
+
+}  // namespace
+
+int CmdStats(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  ParsedArgs parsed;
+  if (!ParseArgs(args, &parsed, err)) return 2;
+  int64_t dims = 2;
+  if (parsed.GetInt("dims", &dims) && (dims < 1 || dims > 20)) {
+    err << "stats: --dims must be in [1, 20]\n";
+    return 2;
+  }
+  int64_t side = 8;
+  if (parsed.GetInt("side", &side) && (side < 2 || !IsPowerOfTwo(side))) {
+    err << "stats: --side must be a power of two >= 2\n";
+    return 2;
+  }
+  int64_t ops = 512;
+  if (parsed.GetInt("ops", &ops) && ops < 1) {
+    err << "stats: --ops must be >= 1\n";
+    return 2;
+  }
+  int64_t shards = 4;
+  if (parsed.GetInt("shards", &shards) && shards < 1) {
+    err << "stats: --shards must be >= 1\n";
+    return 2;
+  }
+  std::string format = "both";
+  parsed.GetFlag("format", &format);
+  if (format != "text" && format != "json" && format != "both") {
+    err << "stats: --format must be text, json or both\n";
+    return 2;
+  }
+
+  if (!obs::Enabled()) {
+    err << "stats: observability is disabled "
+           "(DDC_OBS_ENABLED=0 or built with -DDDC_OBS=OFF); "
+           "metrics below will be empty\n";
+  }
+  obs::MetricsRegistry::Default().Reset();
+  obs::ResetTrace();
+  RunStatsWorkload(static_cast<int>(dims), side, ops,
+                   static_cast<int>(shards));
+
+  if (format == "text" || format == "both") obs::RenderText(out);
+  if (format == "json" || format == "both") obs::RenderJson(out);
+  std::string trace_path;
+  if (parsed.GetFlag("trace", &trace_path)) {
+    if (trace_path == "-") {
+      obs::RenderTraceJson(out);
+    } else {
+      std::ofstream trace_out(trace_path, std::ios::trunc);
+      if (!trace_out.is_open()) {
+        err << "stats: cannot write trace to '" << trace_path << "'\n";
+        return 1;
+      }
+      obs::RenderTraceJson(trace_out);
+      out << "trace written to " << trace_path << "\n";
+    }
+  }
+  return 0;
+}
+
 int RunDdcTool(const std::vector<std::string>& args, std::ostream& out,
                std::ostream& err) {
   if (args.empty()) {
@@ -340,6 +517,7 @@ int RunDdcTool(const std::vector<std::string>& args, std::ostream& out,
   if (command == "info") return CmdInfo(rest, out, err);
   if (command == "export") return CmdExport(rest, out, err);
   if (command == "shrink") return CmdShrink(rest, out, err);
+  if (command == "stats") return CmdStats(rest, out, err);
   if (command == "help" || command == "--help") {
     out << UsageText();
     return 0;

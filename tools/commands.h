@@ -10,6 +10,8 @@
 //   ddctool info    CUBE
 //   ddctool export  CUBE --csv OUT
 //   ddctool shrink  CUBE
+//   ddctool stats   [--dims D] [--side S] [--ops N] [--shards K]
+//                   [--format text|json|both] [--trace OUT|-]
 //
 // Every command returns a process exit code (0 = success) and writes its
 // human-readable output to `out` and diagnostics to `err`.
@@ -46,6 +48,10 @@ int CmdExport(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err);
 int CmdShrink(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err);
+// Runs a seeded mixed workload across every instrumented subsystem and
+// renders the metrics registry (text and/or JSON; optional trace dump).
+int CmdStats(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err);
 
 std::string UsageText();
 
