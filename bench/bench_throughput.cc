@@ -228,7 +228,7 @@ double MeasureConcurrentTput(Impl impl, int num_shards, int threads,
             case Impl::kShardedBatched:
               batch.push_back({op.cell, op.delta, UpdateKind::kAdd});
               if (batch.size() >= kWriteBatch) {
-                sharded->BatchApply(batch);
+                sharded->ApplyBatch(batch);
                 batch.clear();
               }
               break;
@@ -238,7 +238,7 @@ double MeasureConcurrentTput(Impl impl, int num_shards, int threads,
                           : sharded->RangeSum(op.box);
         }
       }
-      if (!batch.empty()) sharded->BatchApply(batch);
+      if (!batch.empty()) sharded->ApplyBatch(batch);
       sink.fetch_add(local, std::memory_order_relaxed);
     });
   }

@@ -44,6 +44,19 @@ Cell CellSub(const Cell& a, const Cell& b);
 // Renders "(c0, c1, ..., cd-1)" for diagnostics and test failure messages.
 std::string CellToString(const Cell& cell);
 
+// FNV-1a over the coordinate bytes; the Hash argument for unordered
+// containers keyed by Cell (corner dedup maps, batch coalescing).
+struct CellHash {
+  size_t operator()(const Cell& cell) const {
+    uint64_t h = 1469598103934665603ull;  // FNV offset basis.
+    for (const Coord c : cell) {
+      h ^= static_cast<uint64_t>(c);
+      h *= 1099511628211ull;  // FNV prime.
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
 }  // namespace ddc
 
 #endif  // DDC_COMMON_CELL_H_

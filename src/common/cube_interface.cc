@@ -19,4 +19,23 @@ void CubeInterface::RangeSumBatch(std::span<const Box> ranges,
   }
 }
 
+void CubeInterface::ApplyBatch(std::span<const Mutation> batch) {
+  CheckBatchWellFormed(batch);
+  for (const Mutation& m : batch) {
+    if (m.kind == MutationKind::kSet) {
+      Set(m.cell, m.delta);
+    } else {
+      Add(m.cell, m.delta);
+    }
+  }
+}
+
+void CubeInterface::CheckBatchWellFormed(
+    std::span<const Mutation> batch) const {
+  const size_t d = static_cast<size_t>(dims());
+  for (const Mutation& m : batch) {
+    DDC_CHECK(m.cell.size() == d);
+  }
+}
+
 }  // namespace ddc

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/cell.h"
+#include "common/mutation.h"
 #include "common/op_counter.h"
 #include "common/range.h"
 
@@ -40,6 +41,14 @@ class CubeInterface {
 
   // Returns A[cell].
   virtual int64_t Get(const Cell& cell) const = 0;
+
+  // Applies `batch` front to back; semantically identical to calling Add /
+  // Set per mutation in order — the contract the differential tests rely
+  // on. Every mutation's cell must have dims() coordinates (checked).
+  // Structures that can amortize work across a batch (one shared tree
+  // descent, per-cell delta coalescing, per-shard lock grouping, WAL group
+  // commit) override this; the default is the plain loop.
+  virtual void ApplyBatch(std::span<const Mutation> batch);
 
   // Returns SUM(A[DomainLo() .. cell]). `cell` must be inside the domain.
   virtual int64_t PrefixSum(const Cell& cell) const = 0;
@@ -70,6 +79,11 @@ class CubeInterface {
   virtual std::string name() const = 0;
 
  protected:
+  // Aborts unless every mutation's cell has dims() coordinates. Overrides
+  // of ApplyBatch call this before touching any state so a malformed batch
+  // dies without partially applying.
+  void CheckBatchWellFormed(std::span<const Mutation> batch) const;
+
   mutable OpCounters counters_;
 };
 

@@ -1,0 +1,84 @@
+// Mutation: the common unit of the batched write path.
+//
+// Every cube accepts writes either one at a time (Set/Add virtuals) or as a
+// MutationBatch through CubeInterface::ApplyBatch. A batch is semantically a
+// *sequence*: applying it must be indistinguishable from applying each
+// mutation in order with Add/Set. That sequencing matters only when a batch
+// touches the same cell more than once — CoalesceMutations below folds such
+// runs into a single net effect per cell so that batched implementations can
+// do one tree descent per distinct cell without changing the observable
+// result.
+
+#ifndef DDC_COMMON_MUTATION_H_
+#define DDC_COMMON_MUTATION_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cell.h"
+
+namespace ddc {
+
+// What a mutation does to its cell: kAdd means A[cell] += value, kSet means
+// A[cell] = value.
+enum class MutationKind { kAdd, kSet };
+
+// A single point write. `delta` is the additive delta for kAdd and the
+// assigned value for kSet.
+struct Mutation {
+  Cell cell;
+  int64_t delta;
+  MutationKind kind = MutationKind::kAdd;
+};
+
+// An ordered sequence of mutations, applied front to back.
+using MutationBatch = std::vector<Mutation>;
+
+// Historical spellings, kept so existing call sites (ShardedCube batches,
+// workload generators, benches) compile unchanged.
+using UpdateKind = MutationKind;
+using UpdateOp = Mutation;
+
+// The per-cell net effect of a mutation subsequence. If `has_set` is false
+// the cell's run was pure kAdd and `pending_add` is the total delta. If
+// `has_set` is true the run contains at least one kSet; the final value is
+// `set_value + pending_add` regardless of what the cell held before, so the
+// equivalent single Add delta is `set_value + pending_add - <current
+// value>`.
+struct CoalescedCell {
+  Cell cell;
+  int64_t pending_add = 0;
+  bool has_set = false;
+  int64_t set_value = 0;
+};
+
+// Folds `batch` into one CoalescedCell per distinct cell, preserving the
+// order in which cells first appear. Sequential semantics are preserved
+// exactly: a kSet discards any earlier effect on its cell, and kAdds after
+// it accumulate on top of the set value.
+inline std::vector<CoalescedCell> CoalesceMutations(
+    std::span<const Mutation> batch) {
+  std::vector<CoalescedCell> cells;
+  cells.reserve(batch.size());
+  std::unordered_map<Cell, size_t, CellHash> index;
+  index.reserve(batch.size());
+  for (const Mutation& m : batch) {
+    auto [it, inserted] = index.try_emplace(m.cell, cells.size());
+    if (inserted) cells.push_back(CoalescedCell{m.cell, 0, false, 0});
+    CoalescedCell& c = cells[it->second];
+    if (m.kind == MutationKind::kSet) {
+      c.has_set = true;
+      c.set_value = m.delta;
+      c.pending_add = 0;
+    } else {
+      c.pending_add += m.delta;
+    }
+  }
+  return cells;
+}
+
+}  // namespace ddc
+
+#endif  // DDC_COMMON_MUTATION_H_

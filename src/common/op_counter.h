@@ -55,8 +55,8 @@ struct OpCounters {
 // and the renderers see one unified account (see src/obs/metrics.h).
 struct ConcurrentOpStats {
   std::atomic<int64_t> point_writes{0};   // Add/Set calls applied.
-  std::atomic<int64_t> batches{0};        // BatchApply calls.
-  std::atomic<int64_t> batched_ops{0};    // Ops applied through BatchApply.
+  std::atomic<int64_t> batches{0};        // ApplyBatch calls.
+  std::atomic<int64_t> batched_ops{0};    // Ops applied through ApplyBatch.
   std::atomic<int64_t> point_reads{0};    // Get calls.
   std::atomic<int64_t> range_queries{0};  // RangeSum/TotalSum calls.
   // Cross-shard reads whose sequence validation failed and retried.

@@ -16,22 +16,11 @@
 
 #include "common/cell.h"
 #include "common/md_array.h"
+#include "common/mutation.h"
 #include "common/range.h"
 #include "common/shape.h"
 
 namespace ddc {
-
-// A single point update. `kAdd` means A[cell] += value; `kSet` means
-// A[cell] = value. Generators emit kAdd; kSet exists for the batched write
-// paths (ShardedCube::BatchApply), where a batch mixes both op kinds.
-enum class UpdateKind { kAdd, kSet };
-
-struct UpdateOp {
-  Cell cell;
-  // For kAdd the additive delta; for kSet the value assigned.
-  int64_t delta;
-  UpdateKind kind = UpdateKind::kAdd;
-};
 
 // Uniform-and-skewed generator over a fixed domain.
 class WorkloadGenerator {

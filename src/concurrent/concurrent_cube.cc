@@ -28,6 +28,20 @@ obs::Histogram& RangeBatchNsHist() {
   return hist;
 }
 
+obs::Histogram& ApplyBatchSizeHist() {
+  static obs::Histogram& hist =
+      *obs::MetricsRegistry::Default().GetHistogram(
+          "concurrent.apply_batch.size");
+  return hist;
+}
+
+obs::Histogram& ApplyBatchNsHist() {
+  static obs::Histogram& hist =
+      *obs::MetricsRegistry::Default().GetHistogram(
+          "concurrent.apply_batch.ns");
+  return hist;
+}
+
 }  // namespace
 
 ConcurrentCube::ConcurrentCube(int dims, int64_t initial_side,
@@ -42,6 +56,64 @@ void ConcurrentCube::Add(const Cell& cell, int64_t delta) {
 void ConcurrentCube::Set(const Cell& cell, int64_t value) {
   std::unique_lock lock(mutex_);
   cube_.Set(cell, value);
+}
+
+void ConcurrentCube::ApplyBatch(std::span<const Mutation> batch) {
+  for (const Mutation& m : batch) {
+    DDC_CHECK(static_cast<int>(m.cell.size()) == dims());
+  }
+  if (batch.empty()) return;
+  obs::TraceSpan span("concurrent.apply_batch",
+                      static_cast<int64_t>(batch.size()), 0,
+                      &ApplyBatchNsHist());
+  if (obs::Enabled()) {
+    ApplyBatchSizeHist().Record(static_cast<int64_t>(batch.size()));
+  }
+  // Coalescing is pure computation over the batch; do it before taking the
+  // lock so the exclusive hold covers only the actual application.
+  const std::vector<CoalescedCell> coalesced = CoalesceMutations(batch);
+  std::vector<size_t> set_cells;
+  for (size_t i = 0; i < coalesced.size(); ++i) {
+    if (coalesced[i].has_set) set_cells.push_back(i);
+  }
+
+  std::unique_lock lock(mutex_);
+  // Resolve each kSet run against the cell's pre-batch value. Reads are
+  // const and nothing else can write while we hold the lock exclusively,
+  // so large runs fan out across the pool (workers take no locks; the
+  // ParallelFor join orders their reads before the writes below).
+  std::vector<int64_t> base(set_cells.size(), 0);
+  constexpr size_t kMinChunk = 8;
+  if (set_cells.size() < 2 * kMinChunk) {
+    for (size_t k = 0; k < set_cells.size(); ++k) {
+      base[k] = cube_.Get(coalesced[set_cells[k]].cell);
+    }
+  } else {
+    ThreadPool& pool = ThreadPool::Shared();
+    const size_t lanes = static_cast<size_t>(pool.num_threads()) + 1;
+    const size_t num_chunks =
+        std::clamp<size_t>(set_cells.size() / kMinChunk, size_t{1}, lanes);
+    const size_t chunk = (set_cells.size() + num_chunks - 1) / num_chunks;
+    pool.ParallelFor(num_chunks, [&](size_t c) {
+      const size_t begin = c * chunk;
+      const size_t end = std::min(set_cells.size(), begin + chunk);
+      for (size_t k = begin; k < end; ++k) {
+        base[k] = cube_.Get(coalesced[set_cells[k]].cell);
+      }
+    });
+  }
+
+  MutationBatch resolved;
+  resolved.reserve(coalesced.size());
+  size_t set_k = 0;
+  for (const CoalescedCell& c : coalesced) {
+    const int64_t net = c.has_set
+                            ? c.set_value + c.pending_add - base[set_k++]
+                            : c.pending_add;
+    if (net == 0) continue;
+    resolved.push_back(Mutation{c.cell, net, MutationKind::kAdd});
+  }
+  cube_.ApplyBatch(resolved);
 }
 
 void ConcurrentCube::ShrinkToFit(int64_t min_side) {

@@ -19,6 +19,7 @@
 #include <span>
 
 #include "common/cell.h"
+#include "common/mutation.h"
 #include "common/range.h"
 #include "ddc/ddc_options.h"
 #include "ddc/dynamic_data_cube.h"
@@ -38,6 +39,14 @@ class ConcurrentCube {
   // Writers (exclusive).
   void Add(const Cell& cell, int64_t delta);
   void Set(const Cell& cell, int64_t value);
+  // Applies the whole batch under ONE exclusive acquisition (the
+  // CubeInterface::ApplyBatch contract; results equal sequential Add/Set).
+  // The batch is coalesced to one net effect per cell before the lock is
+  // taken; large kSet runs resolve their base values by fanning Get calls
+  // across the shared thread pool — safe because tree reads are const and
+  // no other writer can enter while this thread holds the lock exclusively
+  // — and the resolved pure-Add batch lands in one shared-descent apply.
+  void ApplyBatch(std::span<const Mutation> batch);
   void ShrinkToFit(int64_t min_side = 2);
 
   // Readers (shared).

@@ -87,7 +87,7 @@ ShardedCube::ShardedCube(int dims, int64_t initial_side, int num_shards,
                                                    WithoutCounters(options));
     // Shard-aware growth hook: runs on the writer thread, under this
     // shard's exclusive lock.
-    shard.cube->SetReRootListener([&shard](int64_t, int64_t) {
+    shard.cube->lifecycle().Subscribe([&shard](const ReRootEvent&) {
       shard.reroots.fetch_add(1, std::memory_order_relaxed);
       shard.stats.reroots.fetch_add(1, std::memory_order_relaxed);
       if (obs::Enabled()) ShardedObs::Get().reroots.Increment();
@@ -118,29 +118,25 @@ void ShardedCube::Set(const Cell& cell, int64_t value) {
   if (obs::Enabled()) ShardedObs::Get().point_writes.Increment();
 }
 
-void ShardedCube::BatchApply(std::span<const UpdateOp> ops) {
+void ShardedCube::ApplyBatch(std::span<const Mutation> ops) {
   if (ops.empty()) return;
   obs::TraceSpan span("sharded.batch_apply",
                       static_cast<int64_t>(ops.size()));
-  // Group op indices by shard; batch order is preserved within each group.
-  std::vector<std::vector<const UpdateOp*>> groups(
-      static_cast<size_t>(num_shards_));
-  for (const UpdateOp& op : ops) {
-    groups[static_cast<size_t>(ShardOf(op.cell))].push_back(&op);
+  // Group the mutations by shard; batch order is preserved within each
+  // group, which is all the common contract requires (mutations in
+  // different shards target different cells and commute).
+  std::vector<MutationBatch> groups(static_cast<size_t>(num_shards_));
+  for (const Mutation& op : ops) {
+    groups[static_cast<size_t>(ShardOf(op.cell))].push_back(op);
   }
   bool counted_batch = false;
   for (int s = 0; s < num_shards_; ++s) {
-    const auto& group = groups[static_cast<size_t>(s)];
+    const MutationBatch& group = groups[static_cast<size_t>(s)];
     if (group.empty()) continue;
     Shard& shard = shards_[static_cast<size_t>(s)];
     WriteShard(shard, [&](DynamicDataCube* cube) {
-      for (const UpdateOp* op : group) {
-        if (op->kind == UpdateKind::kAdd) {
-          cube->Add(op->cell, op->delta);
-        } else {
-          cube->Set(op->cell, op->delta);
-        }
-      }
+      // One shared-descent batched apply per shard group.
+      cube->ApplyBatch(group);
     });
     // The batch itself is billed once, to its lowest touched shard; the op
     // count is billed where the ops landed.

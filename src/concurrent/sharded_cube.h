@@ -14,11 +14,12 @@
 //
 // Concurrency protocol
 //   - Point writes (Add/Set) lock exactly one shard exclusively.
-//   - BatchApply groups the ops of a batch by shard and applies each
+//   - ApplyBatch groups the mutations of a batch by shard and applies each
 //     shard's group under ONE exclusive acquisition — amortizing the lock
-//     cost across the group. A batch is atomic per shard (a reader either
-//     sees none or all of the batch's effect on that shard) but not across
-//     shards.
+//     cost across the group; inside the shard the group goes through the
+//     DDC's own batched shared-descent apply. A batch is atomic per shard
+//     (a reader either sees none or all of the batch's effect on that
+//     shard) but not across shards.
 //   - Single-shard reads take that shard's lock shared.
 //   - Cross-shard reads (RangeSum spanning slabs, TotalSum) must not hold
 //     several locks at once on the fast path. They combine per-shard
@@ -42,7 +43,7 @@
 //
 // Growth: each shard's DynamicDataCube grows (re-roots) independently under
 // its own exclusive lock; re-rootings are observed through the DDC's
-// re-root listener (shard-aware growth hook) and surface in stats().
+// CubeLifecycle hub (shard-aware growth hook) and surface in stats().
 //
 // The shard cubes run with operation counters disabled (queries must be
 // strictly const under shared locks — same reasoning as ConcurrentCube);
@@ -61,9 +62,9 @@
 #include <vector>
 
 #include "common/cell.h"
+#include "common/mutation.h"
 #include "common/op_counter.h"
 #include "common/range.h"
-#include "common/workload.h"
 #include "ddc/ddc_options.h"
 #include "ddc/dynamic_data_cube.h"
 
@@ -92,11 +93,13 @@ class ShardedCube {
   void Add(const Cell& cell, int64_t delta);
   void Set(const Cell& cell, int64_t value);
 
-  // Applies every op of the batch, grouped by shard, one exclusive lock
-  // acquisition per touched shard. Ops targeting the same shard are applied
-  // in batch order; the final state always equals sequential application
-  // (ops on different cells commute, ops on the same cell share a shard).
-  void BatchApply(std::span<const UpdateOp> ops);
+  // Applies every mutation of the batch (the CubeInterface::ApplyBatch
+  // contract), grouped by shard, one exclusive lock acquisition per touched
+  // shard; each shard group is handed to the shard cube's batched apply in
+  // batch order. The final state always equals sequential application
+  // (mutations on different cells commute, mutations on the same cell share
+  // a shard and keep their relative order).
+  void ApplyBatch(std::span<const Mutation> ops);
 
   // Shrinks every shard in turn (each under its own exclusive lock).
   void ShrinkToFit(int64_t min_side = 2);

@@ -23,6 +23,35 @@ Cell Transverse(const Cell& offset, int skip_dim) {
   return out;
 }
 
+// Allocation-free variant for the batched descent's hot loop: writes the
+// transverse position into a caller-owned buffer that keeps its capacity
+// across calls.
+void TransverseInto(const Cell& offset, int skip_dim, Cell& out) {
+  out.clear();
+  for (size_t i = 0; i < offset.size(); ++i) {
+    if (static_cast<int>(i) == skip_dim) continue;
+    out.push_back(offset[i]);
+  }
+}
+
+// Counting-sorts `items` (each carrying a `home` child mask) so every
+// child's items form one contiguous run, using the caller's reusable
+// scratch buffers. Shared by the batched query and batched update descents.
+template <typename Item>
+void CountingSortByHome(std::span<Item> items, std::vector<Item>& sorted,
+                        std::vector<size_t>& begin,
+                        std::vector<size_t>& cursor, uint32_t num_children) {
+  std::fill(begin.begin(), begin.end(), size_t{0});
+  for (const Item& item : items) ++begin[item.home + 1];
+  for (uint32_t m = 0; m < num_children; ++m) begin[m + 1] += begin[m];
+  sorted.resize(items.size());
+  std::copy(begin.begin(), begin.end() - 1, cursor.begin());
+  for (size_t q = 0; q < items.size(); ++q) {
+    sorted[cursor[items[q].home]++] = std::move(items[q]);
+  }
+  std::move(sorted.begin(), sorted.end(), items.begin());
+}
+
 }  // namespace
 
 obs::Counter& DdcCore::ObsValuesRead() {
@@ -146,6 +175,137 @@ void DdcCore::AddRec(Node* node, int64_t node_side,
     CountNode(raw);
     raw->at(box_offset) += delta;
     CountWrite(1);
+  }
+}
+
+void DdcCore::AddBatch(std::span<const Cell> cells,
+                       std::span<const int64_t> deltas) {
+  DDC_CHECK(cells.size() == deltas.size());
+  if (cells.empty()) return;
+  if (side_ <= min_box_side_) {
+    // Whole cube is one leaf block: the batch costs one block visit.
+    bool touched = false;
+    for (size_t q = 0; q < cells.size(); ++q) {
+      DDC_DCHECK(static_cast<int>(cells[q].size()) == dims_);
+      if (deltas[q] == 0) continue;
+      if (root_raw_ == nullptr) {
+        root_raw_ =
+            arena_->Create<MdArray<int64_t>>(Shape::Cube(dims_, side_));
+      }
+      if (!touched) {
+        CountNode(root_raw_);
+        touched = true;
+      }
+      total_ += deltas[q];
+      root_raw_->at(cells[q]) += deltas[q];
+      CountWrite(1);
+    }
+    return;
+  }
+  std::vector<UpdateItem> items;
+  items.reserve(cells.size());
+  for (size_t q = 0; q < cells.size(); ++q) {
+    DDC_DCHECK(static_cast<int>(cells[q].size()) == dims_);
+    if (deltas[q] == 0) continue;
+    total_ += deltas[q];
+    items.push_back(UpdateItem{cells[q], deltas[q], 0});
+  }
+  if (items.empty()) return;
+  EnsureNode(&root_);
+  UpdateScratch scratch;
+  scratch.begin.resize(num_children_ + 1);
+  scratch.cursor.resize(num_children_);
+  AddBatchRec(root_, side_, items, scratch);
+}
+
+void DdcCore::AddBatchRec(Node* node, int64_t node_side,
+                          std::span<UpdateItem> items,
+                          UpdateScratch& scratch) {
+  // Once the descent has fanned out to a single item there is nothing left
+  // to share; the plain point-update descent finishes the path without the
+  // grouping machinery.
+  if (items.size() == 1) {
+    AddRec(node, node_side, items[0].offset, items[0].delta);
+    return;
+  }
+  // The node (and its box array) is visited once for the whole group, as in
+  // the batched query descent.
+  CountNode(node);
+  const int64_t k = node_side / 2;
+  for (UpdateItem& item : items) {
+    uint32_t mask = 0;
+    for (int i = 0; i < dims_; ++i) {
+      size_t ui = static_cast<size_t>(i);
+      if (item.offset[ui] >= k) {
+        mask |= 1u << i;
+        item.offset[ui] -= k;
+      }
+    }
+    item.home = mask;
+  }
+  CountingSortByHome(items, scratch.sorted, scratch.begin, scratch.cursor,
+                     num_children_);
+
+  size_t lo = 0;
+  while (lo < items.size()) {
+    const uint32_t mask = items[lo].home;
+    size_t hi = lo + 1;
+    while (hi < items.size() && items[hi].home == mask) ++hi;
+    const auto group = items.subspan(lo, hi - lo);
+    lo = hi;
+
+    int64_t group_sum = 0;
+    for (const UpdateItem& item : group) group_sum += item.delta;
+    BoxData* box = EnsureBox(node, mask, k);
+    box->subtotal += group_sum;  // One write absorbs the whole group.
+    CountWrite(1);
+
+    if (dims_ > 1) {
+      // All updates sharing a dimension-j line land on one face cell
+      // (Section 4.2), so a large group needs one FaceStore::Add per
+      // distinct line, not per update. The accumulator map only pays for
+      // itself on groups big enough to contain shared lines, though: its
+      // clear() walks a bucket array sized by the largest group ever seen,
+      // which would swamp the many small groups at deep levels.
+      constexpr size_t kFaceAccMinGroup = 16;
+      if (group.size() < kFaceAccMinGroup) {
+        for (const UpdateItem& item : group) {
+          for (int j = 0; j < dims_; ++j) {
+            TransverseInto(item.offset, j, scratch.transverse);
+            box->faces[j].Add(scratch.transverse, item.delta);
+          }
+        }
+      } else {
+        auto& acc = scratch.face_acc;
+        for (int j = 0; j < dims_; ++j) {
+          acc.clear();
+          for (const UpdateItem& item : group) {
+            // operator[] only copies the scratch key when the line is new;
+            // repeat lines (the coalescing payoff) stay allocation-free.
+            TransverseInto(item.offset, j, scratch.transverse);
+            acc[scratch.transverse] += item.delta;
+          }
+          for (const auto& [line, line_delta] : acc) {
+            if (line_delta != 0) box->faces[j].Add(line, line_delta);
+          }
+        }
+      }
+    }
+
+    if (k > min_box_side_) {
+      if (node->child_nodes == nullptr) {
+        node->child_nodes = arena_->CreateArray<Node*>(num_children_);
+      }
+      Node* child = EnsureNode(&node->child_nodes[mask]);
+      AddBatchRec(child, k, group, scratch);
+    } else {
+      MdArray<int64_t>* raw = EnsureRaw(node, mask, k);
+      CountNode(raw);
+      for (const UpdateItem& item : group) {
+        raw->at(item.offset) += item.delta;
+      }
+      CountWrite(static_cast<int64_t>(group.size()));
+    }
   }
 }
 
@@ -408,19 +568,8 @@ void DdcCore::PrefixSumBatchRec(const Node* node, int64_t node_side,
   // Counting sort the group by home child so each child is descended once,
   // with its queries contiguous. The scratch buffers are free again by the
   // time the recursion below re-enters this function.
-  std::vector<size_t>& begin = scratch.begin;
-  std::fill(begin.begin(), begin.end(), size_t{0});
-  for (const BatchItem& item : items) ++begin[item.home + 1];
-  for (uint32_t m = 0; m < num_children_; ++m) begin[m + 1] += begin[m];
-  scratch.sorted.resize(items.size());
-  {
-    std::vector<size_t>& cursor = scratch.cursor;
-    std::copy(begin.begin(), begin.end() - 1, cursor.begin());
-    for (size_t q = 0; q < items.size(); ++q) {
-      scratch.sorted[cursor[items[q].home]++] = std::move(items[q]);
-    }
-  }
-  std::move(scratch.sorted.begin(), scratch.sorted.end(), items.begin());
+  CountingSortByHome(items, scratch.sorted, scratch.begin, scratch.cursor,
+                     num_children_);
 
   // Groups are contiguous runs of equal `home`; rediscover them by scanning
   // (begin/cursor are clobbered once the recursion reuses the scratch).

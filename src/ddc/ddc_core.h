@@ -42,6 +42,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/arena.h"
@@ -87,6 +88,16 @@ class DdcCore {
 
   // A[cell] += delta; local coordinates in [0, side).
   void Add(const Cell& cell, int64_t delta);
+
+  // A[cells[i]] += deltas[i] for the whole batch in one walk — the Figure 12
+  // propagation run once per node group instead of once per update: updates
+  // descending through the same child share each node visit, the group's
+  // box subtotal absorbs one grouped write per level, and updates on the
+  // same dimension-j line coalesce into a single FaceStore::Add. Equivalent
+  // to calling Add in a loop (callers wanting same-cell coalescing do it
+  // beforehand; duplicates are merely slower here, not wrong).
+  // deltas.size() must equal cells.size().
+  void AddBatch(std::span<const Cell> cells, std::span<const int64_t> deltas);
 
   // Bulk-builds the cube from a dense array (shape must be the cube's
   // domain). The cube must be empty. A single bottom-up pass writes each
@@ -193,12 +204,39 @@ class DdcCore {
     Cell clamped;
   };
 
+  // One in-flight update of an AddBatch: the target offset, rebased as the
+  // walk descends, its delta, and the cached home-child mask.
+  struct UpdateItem {
+    Cell offset;
+    int64_t delta;
+    uint32_t home;
+  };
+
+  // The write-path counterpart of BatchScratch: counting-sort workspace
+  // plus a reusable map that coalesces same-line face contributions within
+  // one box group. Shared across every node of one AddBatch walk.
+  struct UpdateScratch {
+    std::vector<UpdateItem> sorted;
+    std::vector<size_t> begin;
+    std::vector<size_t> cursor;
+    std::unordered_map<Cell, int64_t, CellHash> face_acc;
+    // Reused transverse-coordinate buffer: the batched descent performs
+    // dims face adds per item per level, and materializing each transverse
+    // position into a fresh Cell would make allocation the dominant cost.
+    Cell transverse;
+  };
+
   Node* EnsureNode(Node** slot);
   BoxData* EnsureBox(Node* node, uint32_t mask, int64_t box_side);
   MdArray<int64_t>* EnsureRaw(Node* node, uint32_t mask, int64_t box_side);
 
   void AddRec(Node* node, int64_t node_side, const Cell& offset_in_node,
               int64_t delta);
+  // Batched update descent: groups the items by home child (the same
+  // counting sort the query batch uses), applies each group's coalesced
+  // box-level writes, and recurses once per group.
+  void AddBatchRec(Node* node, int64_t node_side,
+                   std::span<UpdateItem> items, UpdateScratch& scratch);
   // Builds the subtree for the region [anchor, anchor + node_side) of
   // `array`; returns the region total. `node` may be discarded by the
   // caller if the total is zero and nothing was materialized.

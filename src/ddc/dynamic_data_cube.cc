@@ -24,6 +24,11 @@ obs::Histogram& UpdateDepthHist() {
       *obs::MetricsRegistry::Default().GetHistogram("ddc.update.depth");
   return h;
 }
+obs::Histogram& UpdateBatchSizeHist() {
+  static obs::Histogram& h =
+      *obs::MetricsRegistry::Default().GetHistogram("ddc.update.batch.size");
+  return h;
+}
 obs::Histogram& PrefixSumNsHist() {
   static obs::Histogram& h =
       *obs::MetricsRegistry::Default().GetHistogram("ddc.query.prefix_sum_ns");
@@ -104,6 +109,27 @@ bool DynamicDataCube::InDomain(const Cell& cell) const {
   return true;
 }
 
+void DynamicDataCube::ReRootInto(int64_t new_side, Cell new_origin,
+                                 ReRootReason reason) {
+  const int64_t old_side = side();
+  obs::TraceSpan span("ddc.reroot", old_side, new_side, &ReRootNsHist());
+  if (obs::Enabled()) ReRootCounter().Increment();
+  // Re-root into a fresh arena: the retired tree (old nodes, faces, leaf
+  // blocks) is freed wholesale when the old arena is dropped below.
+  auto new_arena = std::make_unique<Arena>();
+  auto new_core = std::make_unique<DdcCore>(dims_, new_side, options_,
+                                            CountersPtr(), new_arena.get());
+  const Cell shift = CellSub(origin_, new_origin);
+  core_->ForEachNonZero([&](const Cell& local, int64_t value) {
+    new_core->Add(CellAdd(local, shift), value);
+  });
+  core_ = std::move(new_core);    // Retires the old core first...
+  arena_ = std::move(new_arena);  // ...then drops its backing arena.
+  ReattachListener();
+  origin_ = std::move(new_origin);
+  lifecycle_.Notify(ReRootEvent{reason, old_side, new_side});
+}
+
 void DynamicDataCube::EnsureContains(const Cell& cell) {
   DDC_CHECK(static_cast<int>(cell.size()) == dims_);
   while (!InDomain(cell)) {
@@ -112,29 +138,13 @@ void DynamicDataCube::EnsureContains(const Cell& cell) {
     // region becomes the upper half, otherwise the lower half. This is the
     // "growth in any direction" of Section 5.
     const int64_t old_side = side();
-    obs::TraceSpan span("ddc.reroot", old_side, old_side * 2,
-                        &ReRootNsHist());
-    if (obs::Enabled()) ReRootCounter().Increment();
     Cell new_origin = origin_;
     for (int i = 0; i < dims_; ++i) {
       size_t ui = static_cast<size_t>(i);
       if (cell[ui] < origin_[ui]) new_origin[ui] -= old_side;
     }
-    // Re-root into a fresh arena: the retired tree (old nodes, faces, leaf
-    // blocks) is freed wholesale when the old arena is dropped below.
-    auto new_arena = std::make_unique<Arena>();
-    auto new_core = std::make_unique<DdcCore>(dims_, old_side * 2, options_,
-                                              CountersPtr(), new_arena.get());
-    const Cell shift = CellSub(origin_, new_origin);
-    core_->ForEachNonZero([&](const Cell& local, int64_t value) {
-      new_core->Add(CellAdd(local, shift), value);
-    });
-    core_ = std::move(new_core);   // Retires the old core first...
-    arena_ = std::move(new_arena); // ...then drops its backing arena.
-    ReattachListener();
-    origin_ = std::move(new_origin);
+    ReRootInto(old_side * 2, std::move(new_origin), ReRootReason::kGrowth);
     ++growth_doublings_;
-    if (reroot_listener_) reroot_listener_(old_side, side());
   }
 }
 
@@ -155,15 +165,7 @@ void DynamicDataCube::ShrinkToFit(int64_t min_side) {
     }
   });
   if (!any) {
-    const int64_t old_side = side();
-    obs::TraceSpan span("ddc.reroot", old_side, min_side, &ReRootNsHist());
-    if (obs::Enabled()) ReRootCounter().Increment();
-    auto new_arena = std::make_unique<Arena>();
-    core_ = std::make_unique<DdcCore>(dims_, min_side, options_,
-                                      CountersPtr(), new_arena.get());
-    arena_ = std::move(new_arena);
-    ReattachListener();
-    if (reroot_listener_) reroot_listener_(old_side, side());
+    ReRootInto(min_side, origin_, ReRootReason::kShrink);
     return;
   }
   Coord max_extent = 1;
@@ -172,23 +174,8 @@ void DynamicDataCube::ShrinkToFit(int64_t min_side) {
     max_extent = std::max(max_extent, hi[ui] - lo[ui] + 1);
   }
   const int64_t new_side = std::max(min_side, CeilPowerOfTwo(max_extent));
-  const int64_t old_side = side();
-  if (new_side >= old_side) return;  // Nothing to gain.
-
-  obs::TraceSpan span("ddc.reroot", old_side, new_side, &ReRootNsHist());
-  if (obs::Enabled()) ReRootCounter().Increment();
-  const Cell new_origin = CellAdd(origin_, lo);
-  auto new_arena = std::make_unique<Arena>();
-  auto new_core = std::make_unique<DdcCore>(dims_, new_side, options_,
-                                            CountersPtr(), new_arena.get());
-  core_->ForEachNonZero([&](const Cell& local, int64_t value) {
-    new_core->Add(CellSub(local, lo), value);
-  });
-  core_ = std::move(new_core);
-  arena_ = std::move(new_arena);
-  ReattachListener();
-  origin_ = new_origin;
-  if (reroot_listener_) reroot_listener_(old_side, new_side);
+  if (new_side >= side()) return;  // Nothing to gain.
+  ReRootInto(new_side, CellAdd(origin_, lo), ReRootReason::kShrink);
 }
 
 void DynamicDataCube::Add(const Cell& cell, int64_t delta) {
@@ -203,6 +190,46 @@ void DynamicDataCube::Set(const Cell& cell, int64_t value) {
   Add(cell, value - Get(cell));
 }
 
+void DynamicDataCube::ApplyBatch(std::span<const Mutation> batch) {
+  CheckBatchWellFormed(batch);
+  if (batch.empty()) return;
+  obs::TraceSpan span("ddc.apply_batch", static_cast<int64_t>(batch.size()));
+  if (obs::Enabled()) {
+    UpdateBatchSizeHist().Record(static_cast<int64_t>(batch.size()));
+  }
+  // Grow first: the shared descent below needs every cell in-domain, and a
+  // re-root mid-descent would invalidate already-rebased local offsets.
+  // This is also what makes a batch straddling growth correct: geometry is
+  // settled before any delta lands.
+  for (const Mutation& m : batch) EnsureContains(m.cell);
+
+  // Fold the mutation sequence into one net Add per distinct cell. A kSet
+  // run resolves against the cell's current value, which is still its
+  // pre-batch value because nothing has been applied yet.
+  std::vector<CoalescedCell> coalesced = CoalesceMutations(batch);
+  std::vector<Cell> cells;
+  std::vector<int64_t> deltas;
+  cells.reserve(coalesced.size());
+  deltas.reserve(coalesced.size());
+  for (CoalescedCell& c : coalesced) {
+    const int64_t net = c.has_set
+                            ? c.set_value + c.pending_add - Get(c.cell)
+                            : c.pending_add;
+    if (net == 0) continue;
+    // Rebase to local coordinates in place and hand the cell's storage to
+    // the descent — one allocation per distinct cell for the whole batch.
+    for (size_t i = 0; i < c.cell.size(); ++i) c.cell[i] -= origin_[i];
+    cells.push_back(std::move(c.cell));
+    deltas.push_back(net);
+  }
+  if (obs::Enabled()) {
+    span.set_arg1(static_cast<int64_t>(cells.size()));
+    UpdateDepthHist().Record(core_->DescentLevels());
+  }
+  if (cells.empty()) return;
+  core_->AddBatch(cells, deltas);
+}
+
 int64_t DynamicDataCube::Get(const Cell& cell) const {
   if (!InDomain(cell)) return 0;
   return core_->Get(ToLocal(cell));
@@ -214,23 +241,6 @@ int64_t DynamicDataCube::PrefixSum(const Cell& cell) const {
   if (obs::Enabled()) QueryDepthHist().Record(core_->DescentLevels());
   return core_->PrefixSum(ToLocal(cell));
 }
-
-namespace {
-
-// FNV-1a over the coordinates; corners of neighbouring ranges collide on
-// equality, which is exactly what the dedup map wants.
-struct CellHash {
-  size_t operator()(const Cell& cell) const {
-    uint64_t h = 1469598103934665603ull;
-    for (Coord c : cell) {
-      h ^= static_cast<uint64_t>(c);
-      h *= 1099511628211ull;
-    }
-    return static_cast<size_t>(h);
-  }
-};
-
-}  // namespace
 
 void DynamicDataCube::RangeSumBatch(std::span<const Box> ranges,
                                     std::span<int64_t> out) const {
@@ -302,10 +312,6 @@ void DynamicDataCube::RangeSumBatch(std::span<const Box> ranges,
   for (const Term& t : terms) {
     out[t.query] += t.sign * prefix[t.corner];
   }
-}
-
-void DynamicDataCube::SetReRootListener(ReRootListener listener) {
-  reroot_listener_ = std::move(listener);
 }
 
 void DynamicDataCube::SetNodeVisitListener(

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "common/cube_interface.h"
+#include "common/cube_lifecycle.h"
 #include "ddc/ddc_core.h"
 #include "ddc/ddc_options.h"
 
@@ -55,6 +56,13 @@ class DynamicDataCube : public CubeInterface {
   // Set/Add grow the domain automatically when `cell` lies outside it.
   void Set(const Cell& cell, int64_t value) override;
   void Add(const Cell& cell, int64_t delta) override;
+  // Batched writes. The batch is first grown into the domain (growth
+  // happens up front, so a batch straddling a re-root sees a stable
+  // geometry), then folded to one net delta per distinct cell — preserving
+  // the sequential Add/Set semantics exactly — and applied in one shared
+  // tree descent (DdcCore::AddBatch). Results are identical to applying the
+  // mutations in a loop.
+  void ApplyBatch(std::span<const Mutation> batch) override;
   // Get/PrefixSum/RangeSum treat cells outside the domain as zero.
   int64_t Get(const Cell& cell) const override;
   int64_t PrefixSum(const Cell& cell) const override;
@@ -95,15 +103,15 @@ class DynamicDataCube : public CubeInterface {
   // re-rooting. Pass an empty function to detach.
   void SetNodeVisitListener(DdcCore::NodeVisitListener listener);
 
-  // Observer for re-rooting events: invoked once per growth doubling
-  // (new_side == 2 * old_side) and once per ShrinkToFit rebuild
-  // (new_side <= old_side), after the new core is in place. Sharded facades
-  // use this to account growth per shard without polling. The listener runs
-  // on the mutating thread — under whatever lock the caller holds — so it
-  // must be cheap and must not re-enter the cube. Pass an empty function to
-  // detach.
-  using ReRootListener = std::function<void(int64_t old_side, int64_t new_side)>;
-  void SetReRootListener(ReRootListener listener);
+  // Lifecycle hub for re-rooting events: every subscriber is notified once
+  // per growth doubling (new_side == 2 * old_side) and once per
+  // ShrinkToFit rebuild (new_side <= old_side), after the new core is in
+  // place and the old tree's arena has been retired. Sharded facades use
+  // this to account growth per shard; DurableCube uses it to schedule
+  // checkpoints. Callbacks run on the mutating thread — under whatever lock
+  // the caller holds — so they must be cheap and must not re-enter the
+  // cube (see common/cube_lifecycle.h for the full contract).
+  CubeLifecycle& lifecycle() { return lifecycle_; }
 
   // Invokes fn(cell, value) for every nonzero cell, in global coordinates.
   void ForEachNonZero(
@@ -116,6 +124,12 @@ class DynamicDataCube : public CubeInterface {
     return options_.enable_counters ? &counters_ : nullptr;
   }
   void ReattachListener();
+  // The one re-root body: rebuilds the tree into a fresh arena+core of
+  // `new_side` anchored at `new_origin`, re-inserting every nonzero cell,
+  // then swaps the pair in (retiring the old tree wholesale), restores the
+  // node-visit listener, and fires lifecycle().Notify. Growth and both
+  // shrink paths funnel through here.
+  void ReRootInto(int64_t new_side, Cell new_origin, ReRootReason reason);
 
   int dims_;
   DdcOptions options_;
@@ -127,7 +141,7 @@ class DynamicDataCube : public CubeInterface {
   std::unique_ptr<DdcCore> core_;
   int64_t growth_doublings_ = 0;
   DdcCore::NodeVisitListener node_visit_listener_;
-  ReRootListener reroot_listener_;
+  CubeLifecycle lifecycle_;
 };
 
 }  // namespace ddc

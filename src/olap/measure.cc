@@ -17,6 +17,21 @@ void MeasureCube::RemoveObservation(const Cell& cell, int64_t value) {
   count_.Add(cell, -1);
 }
 
+void MeasureCube::AddObservationBatch(
+    std::span<const Observation> observations) {
+  if (observations.empty()) return;
+  MutationBatch sums;
+  MutationBatch counts;
+  sums.reserve(observations.size());
+  counts.reserve(observations.size());
+  for (const Observation& o : observations) {
+    sums.push_back(Mutation{o.cell, o.value, MutationKind::kAdd});
+    counts.push_back(Mutation{o.cell, 1, MutationKind::kAdd});
+  }
+  sum_.ApplyBatch(sums);
+  count_.ApplyBatch(counts);
+}
+
 int64_t MeasureCube::RangeSum(const Box& box) const {
   return sum_.RangeSum(box);
 }

@@ -16,11 +16,18 @@
 #include <vector>
 
 #include "common/cell.h"
+#include "common/mutation.h"
 #include "common/range.h"
 #include "ddc/ddc_options.h"
 #include "ddc/dynamic_data_cube.h"
 
 namespace ddc {
+
+// One encoded observation, the unit of batch ingest.
+struct Observation {
+  Cell cell;
+  int64_t value;
+};
 
 class MeasureCube {
  public:
@@ -33,6 +40,12 @@ class MeasureCube {
 
   // Removes a previously recorded observation (the inverse operator).
   void RemoveObservation(const Cell& cell, int64_t value);
+
+  // Batch ingest: two batched writes total — one ApplyBatch on the SUM cube
+  // (each observation's value) and one on the COUNT cube (+1 each) — instead
+  // of 2·N point updates. Repeated cells coalesce inside the shared-descent
+  // apply. Results equal a loop of AddObservation.
+  void AddObservationBatch(std::span<const Observation> observations);
 
   // Aggregates over a closed box.
   int64_t RangeSum(const Box& box) const;

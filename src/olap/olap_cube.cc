@@ -32,6 +32,16 @@ void OlapCube::Remove(const std::vector<AttributeValue>& values,
   measure_.RemoveObservation(EncodeCell(values), measure);
 }
 
+void OlapCube::InsertBatch(std::span<const OlapRecord> records) {
+  if (records.empty()) return;
+  std::vector<Observation> encoded;
+  encoded.reserve(records.size());
+  for (const OlapRecord& r : records) {
+    encoded.push_back(Observation{EncodeCell(r.values), r.measure});
+  }
+  measure_.AddObservationBatch(encoded);
+}
+
 Box OlapCube::EncodeBox(const std::vector<AttributeRange>& ranges) {
   DDC_CHECK(ranges.size() == dimensions_.size());
   Box box{Cell(ranges.size()), Cell(ranges.size())};

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,12 @@ namespace ddc {
 struct AttributeRange {
   AttributeValue lo;
   AttributeValue hi;
+};
+
+// One raw record for batch ingest: attribute values plus the measure.
+struct OlapRecord {
+  std::vector<AttributeValue> values;
+  int64_t measure;
 };
 
 class OlapCube {
@@ -47,6 +54,11 @@ class OlapCube {
 
   // Removes a previously inserted observation.
   void Remove(const std::vector<AttributeValue>& values, int64_t measure);
+
+  // Inserts a batch of records through the measure cube's batched write
+  // path (two ApplyBatch calls total, not 2·N point updates). Equivalent
+  // to a loop of Insert.
+  void InsertBatch(std::span<const OlapRecord> records);
 
   // Translates per-dimension attribute ranges into an index box.
   Box EncodeBox(const std::vector<AttributeRange>& ranges);

@@ -23,6 +23,12 @@ obs::Histogram& ResultRowsHist() {
   return hist;
 }
 
+obs::Histogram& WriteMutationsHist() {
+  static obs::Histogram& hist =
+      *obs::MetricsRegistry::Default().GetHistogram("query.write.mutations");
+  return hist;
+}
+
 // Builds the query box over [lo, hi] (the structure's domain) from the
 // predicates. Returns false with *error on a bad dimension or an empty
 // intersection.
@@ -171,6 +177,29 @@ QueryResult ExecuteQuery(const Query& query, const DynamicDataCube& cube) {
   return result;
 }
 
+QueryResult ExecuteWrite(const WriteStatement& write, CubeInterface* cube) {
+  QueryResult result;
+  result.is_write = true;
+  obs::TraceSpan span("query.write",
+                      static_cast<int64_t>(write.mutations.size()));
+  // Validate up front so a bad statement is an error result, not a
+  // DDC_CHECK abort inside ApplyBatch.
+  const size_t d = static_cast<size_t>(cube->dims());
+  for (const Mutation& m : write.mutations) {
+    if (m.cell.size() != d) {
+      result.error = "write point has " + std::to_string(m.cell.size()) +
+                     " coordinates but the cube has " + std::to_string(d) +
+                     " dimensions";
+      return result;
+    }
+  }
+  cube->ApplyBatch(write.mutations);
+  result.mutations_applied = static_cast<int64_t>(write.mutations.size());
+  if (obs::Enabled()) WriteMutationsHist().Record(result.mutations_applied);
+  result.ok = true;
+  return result;
+}
+
 namespace {
 
 template <typename CubeT>
@@ -195,8 +224,26 @@ QueryResult RunQuery(const std::string& text, const DynamicDataCube& cube) {
   return RunQueryImpl(text, cube);
 }
 
+QueryResult RunStatement(const std::string& text, DynamicDataCube* cube) {
+  std::string error;
+  const std::optional<Statement> statement = ParseStatement(text, &error);
+  if (!statement.has_value()) {
+    QueryResult result;
+    result.error = "parse error: " + error;
+    return result;
+  }
+  if (statement->write.has_value()) {
+    return ExecuteWrite(*statement->write, cube);
+  }
+  return ExecuteQuery(*statement->query, *cube);
+}
+
 std::string FormatResult(const QueryResult& result) {
   if (!result.ok) return "error: " + result.error + "\n";
+  if (result.is_write) {
+    return "applied " + std::to_string(result.mutations_applied) +
+           " mutation" + (result.mutations_applied == 1 ? "" : "s") + "\n";
+  }
   TablePrinter table({"group", AggregateName(result.aggregate)});
   for (const QueryResultRow& row : result.rows) {
     std::string group =

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cube_interface.h"
 #include "common/range.h"
 #include "ddc/dynamic_data_cube.h"
 #include "olap/measure.h"
@@ -38,6 +39,10 @@ struct QueryResult {
   std::string error;  // Set when !ok.
   Aggregate aggregate = Aggregate::kSum;
   std::vector<QueryResultRow> rows;
+  // Write statements only: true, with the number of mutations applied
+  // (rows stays empty).
+  bool is_write = false;
+  int64_t mutations_applied = 0;
 };
 
 // Executes against a MeasureCube (supports SUM, COUNT and AVG).
@@ -47,9 +52,20 @@ QueryResult ExecuteQuery(const Query& query, const MeasureCube& cube);
 // error result because the cube carries no observation counts).
 QueryResult ExecuteQuery(const Query& query, const DynamicDataCube& cube);
 
+// Applies a write statement through the cube's batched write path: the
+// whole statement is ONE ApplyBatch call (one shared descent on a DDC).
+// Cells whose dimensionality doesn't match the cube produce an error
+// result without touching the cube.
+QueryResult ExecuteWrite(const WriteStatement& write, CubeInterface* cube);
+
 // Convenience: parse + execute.
 QueryResult RunQuery(const std::string& text, const MeasureCube& cube);
 QueryResult RunQuery(const std::string& text, const DynamicDataCube& cube);
+
+// Parses and runs a full statement — a read query or an ADD/SET write —
+// against one cube. Writes land through ExecuteWrite (batched); reads
+// behave exactly like RunQuery.
+QueryResult RunStatement(const std::string& text, DynamicDataCube* cube);
 
 // Renders a result as a fixed-width table (one line per row).
 std::string FormatResult(const QueryResult& result);

@@ -51,6 +51,21 @@ class Parser {
   Parser(std::vector<Token> tokens, std::string* error)
       : tokens_(std::move(tokens)), error_(error) {}
 
+  std::optional<Statement> ParseStatement() {
+    if (!AtEnd() && (Peek().text == "ADD" || Peek().text == "SET")) {
+      std::optional<WriteStatement> write = ParseWrite();
+      if (!write.has_value()) return std::nullopt;
+      Statement statement;
+      statement.write = std::move(write);
+      return statement;
+    }
+    std::optional<Query> query = Parse();
+    if (!query.has_value()) return std::nullopt;
+    Statement statement;
+    statement.query = std::move(query);
+    return statement;
+  }
+
   std::optional<Query> Parse() {
     Query query;
     // Aggregate.
@@ -126,6 +141,42 @@ class Parser {
   }
 
  private:
+  // write := ("ADD" | "SET") point ("," point)*
+  // point := "AT" "[" int ("," int)* "]" "=" int
+  std::optional<WriteStatement> ParseWrite() {
+    const MutationKind kind =
+        (Next().text == "SET") ? MutationKind::kSet : MutationKind::kAdd;
+    WriteStatement write;
+    while (true) {
+      if (AtEnd() || Peek().text != "AT") return Fail("expected AT");
+      Next();
+      if (!Expect("[")) return std::nullopt;
+      Cell cell;
+      while (true) {
+        int64_t coord = 0;
+        if (!ParseInt(&coord)) return std::nullopt;
+        cell.push_back(coord);
+        if (!AtEnd() && Peek().text == ",") {
+          Next();
+          continue;
+        }
+        break;
+      }
+      if (!Expect("]")) return std::nullopt;
+      if (!Expect("=")) return std::nullopt;
+      int64_t value = 0;
+      if (!ParseInt(&value)) return std::nullopt;
+      write.mutations.push_back(Mutation{std::move(cell), value, kind});
+      if (AtEnd()) break;
+      if (Peek().text != ",") {
+        return Fail("expected ',' or end of statement, got '" + Peek().raw +
+                    "'");
+      }
+      Next();
+    }
+    return write;
+  }
+
   bool AtEnd() const { return index_ >= tokens_.size(); }
   const Token& Peek() const { return tokens_[index_]; }
   const Token& Next() { return tokens_[index_++]; }
@@ -194,6 +245,12 @@ class Parser {
 std::optional<Query> ParseQuery(const std::string& text, std::string* error) {
   Parser parser(Tokenize(text), error);
   return parser.Parse();
+}
+
+std::optional<Statement> ParseStatement(const std::string& text,
+                                        std::string* error) {
+  Parser parser(Tokenize(text), error);
+  return parser.ParseStatement();
 }
 
 }  // namespace ddc

@@ -2,6 +2,7 @@
 //
 // Grammar (case-insensitive keywords, whitespace-separated):
 //
+//   statement := query | write
 //   query     := aggregate groupby? where?
 //   aggregate := "SUM" | "COUNT" | "AVG"
 //   groupby   := "GROUP" "BY" dim ("SIZE" int)?        -- default SIZE 1
@@ -9,16 +10,23 @@
 //   pred      := dim "IN" "[" int "," int "]"
 //              | dim "=" int
 //   dim       := "d" int                               -- d0, d1, ...
+//   write     := ("ADD" | "SET") point ("," point)*
+//   point     := "AT" "[" int ("," int)* "]" "=" int
 //
 // Examples:
 //   SUM WHERE d0 IN [27, 45] AND d1 IN [220, 222]
 //   AVG GROUP BY d1 SIZE 7 WHERE d0 = 3
 //   COUNT
+//   ADD AT [3, 4] = 10, AT [5, 6] = -2
+//   SET AT [0, 0] = 100
 //
 // Dimensions without a predicate span the cube's whole domain. Repeated
 // predicates on one dimension intersect. The language is deliberately tiny:
 // every query maps to range aggregates (one per group), which is exactly
-// what the underlying structures serve in polylog time.
+// what the underlying structures serve in polylog time. A write statement
+// maps to exactly one MutationBatch: all of its points land through a
+// single ApplyBatch call (one shared descent; one WAL record when the
+// target is durable).
 
 #ifndef DDC_QUERY_QUERY_H_
 #define DDC_QUERY_QUERY_H_
@@ -29,6 +37,7 @@
 #include <vector>
 
 #include "common/cell.h"
+#include "common/mutation.h"
 
 namespace ddc {
 
@@ -49,6 +58,19 @@ struct Query {
   Aggregate aggregate = Aggregate::kSum;
   std::optional<GroupBySpec> group_by;
   std::vector<Predicate> predicates;
+};
+
+// A batched write statement: every point carries the statement's verb (ADD
+// → kAdd, SET → kSet) and the whole list is applied through one ApplyBatch
+// call, in order.
+struct WriteStatement {
+  MutationBatch mutations;
+};
+
+// A parsed statement: exactly one of `query` (a read) or `write` is set.
+struct Statement {
+  std::optional<Query> query;
+  std::optional<WriteStatement> write;
 };
 
 // Renders a query back to its canonical text (for diagnostics and tests).

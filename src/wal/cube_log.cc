@@ -18,6 +18,8 @@ struct WalObs {
   obs::Counter& syncs;
   obs::Counter& checkpoints;
   obs::Counter& replay_records;
+  obs::Counter& group_commit_batches;
+  obs::Counter& group_commit_ops;
   obs::Histogram& append_ns;
   obs::Histogram& sync_ns;
   obs::Histogram& replay_ns;
@@ -29,6 +31,8 @@ struct WalObs {
                         *reg.GetCounter("wal.syncs"),
                         *reg.GetCounter("wal.checkpoints"),
                         *reg.GetCounter("wal.replay.records"),
+                        *reg.GetCounter("wal.group_commit.batches"),
+                        *reg.GetCounter("wal.group_commit.ops"),
                         *reg.GetHistogram("wal.append.ns"),
                         *reg.GetHistogram("wal.sync.ns"),
                         *reg.GetHistogram("wal.replay.ns")};
@@ -37,20 +41,30 @@ struct WalObs {
   }
 };
 
-constexpr char kMagic[8] = {'D', 'D', 'C', 'W', 'L', 'O', 'G', '1'};
+constexpr char kMagic[8] = {'D', 'D', 'C', 'W', 'L', 'O', 'G', '2'};
 
-// Record checksum: a simple multiply-xor mix over the fields. Not
-// cryptographic — it detects torn writes and bit flips, which is all a
-// local WAL needs.
-uint64_t Mix(const Cell& cell, int64_t delta) {
+// Upper bound on the per-record mutation count accepted at replay. A torn
+// or corrupt count field would otherwise send the reader chasing gigabytes
+// of garbage before noticing; any value past this is treated as a torn
+// tail.
+constexpr int32_t kMaxBatchOps = 1 << 20;
+
+// Record checksum: a simple multiply-xor mix over every field of the batch
+// record. Not cryptographic — it detects torn writes and bit flips, which
+// is all a local WAL needs.
+uint64_t Mix(std::span<const Mutation> batch) {
   uint64_t h = 0x9e3779b97f4a7c15ull;
   auto fold = [&h](int64_t v) {
     h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ull + (h << 6) +
          (h >> 2);
     h *= 0xff51afd7ed558ccdull;
   };
-  for (Coord c : cell) fold(c);
-  fold(delta);
+  fold(static_cast<int64_t>(batch.size()));
+  for (const Mutation& m : batch) {
+    fold(static_cast<int64_t>(m.kind));
+    for (Coord c : m.cell) fold(c);
+    fold(m.delta);
+  }
   return h;
 }
 
@@ -108,13 +122,30 @@ std::unique_ptr<CubeLog> CubeLog::Open(const std::string& path, int dims) {
 }
 
 bool CubeLog::Append(const Cell& cell, int64_t delta) {
-  DDC_CHECK(static_cast<int>(cell.size()) == dims_);
+  const Mutation m{cell, delta, MutationKind::kAdd};
+  return AppendBatch(std::span<const Mutation>(&m, 1));
+}
+
+bool CubeLog::AppendBatch(std::span<const Mutation> batch) {
+  if (batch.empty()) return true;
+  for (const Mutation& m : batch) {
+    DDC_CHECK(static_cast<int>(m.cell.size()) == dims_);
+  }
+  DDC_CHECK(batch.size() <= static_cast<size_t>(kMaxBatchOps));
   obs::ScopedLatencyTimer timer(&WalObs::Get().append_ns);
-  if (obs::Enabled()) WalObs::Get().appends.Increment();
-  for (Coord c : cell) WritePod<int64_t>(&out_, c);
-  WritePod<int64_t>(&out_, delta);
-  WritePod<uint64_t>(&out_, Mix(cell, delta));
-  ++appended_;
+  if (obs::Enabled()) {
+    WalObs::Get().appends.Increment();
+    WalObs::Get().group_commit_batches.Increment();
+    WalObs::Get().group_commit_ops.Add(static_cast<int64_t>(batch.size()));
+  }
+  WritePod<int32_t>(&out_, static_cast<int32_t>(batch.size()));
+  for (const Mutation& m : batch) {
+    WritePod<int32_t>(&out_, static_cast<int32_t>(m.kind));
+    for (Coord c : m.cell) WritePod<int64_t>(&out_, c);
+    WritePod<int64_t>(&out_, m.delta);
+  }
+  WritePod<uint64_t>(&out_, Mix(batch));
+  appended_ += static_cast<int64_t>(batch.size());
   return out_.good();
 }
 
@@ -134,31 +165,46 @@ ReplayResult CubeLog::Replay(const std::string& path, DynamicDataCube* cube) {
   if (dims < 0 || dims != cube->dims()) return result;
   result.header_ok = true;
 
-  Cell cell(static_cast<size_t>(dims));
+  MutationBatch batch;
   while (true) {
-    // The first field decides between clean EOF (nothing of a record read)
+    // The count field decides between clean EOF (nothing of a record read)
     // and a torn record (any bytes of a record present).
-    if (!ReadPod(&in, &cell[0])) {
+    int32_t count = 0;
+    if (!ReadPod(&in, &count)) {
       result.clean_tail = (in.gcount() == 0);
       break;
     }
+    if (count < 1 || count > kMaxBatchOps) {
+      result.clean_tail = false;  // Garbage count: treat as torn.
+      break;
+    }
+    batch.clear();
+    batch.reserve(static_cast<size_t>(count));
     bool complete = true;
-    for (int i = 1; i < dims && complete; ++i) {
-      complete = ReadPod(&in, &cell[static_cast<size_t>(i)]);
+    for (int32_t r = 0; r < count && complete; ++r) {
+      int32_t kind = 0;
+      Mutation m;
+      m.cell.resize(static_cast<size_t>(dims));
+      complete = ReadPod(&in, &kind);
+      for (int i = 0; i < dims && complete; ++i) {
+        complete = ReadPod(&in, &m.cell[static_cast<size_t>(i)]);
+      }
+      complete = complete && ReadPod(&in, &m.delta) && (kind == 0 || kind == 1);
+      if (!complete) break;
+      m.kind = static_cast<MutationKind>(kind);
+      batch.push_back(std::move(m));
     }
-    int64_t delta = 0;
     uint64_t checksum = 0;
-    complete = complete && ReadPod(&in, &delta) && ReadPod(&in, &checksum);
-    if (!complete) {
-      result.clean_tail = false;  // Mid-record EOF: torn tail.
+    complete = complete && ReadPod(&in, &checksum);
+    if (!complete || checksum != Mix(batch)) {
+      result.clean_tail = false;  // Mid-record EOF or bit flip: torn tail.
       break;
     }
-    if (checksum != Mix(cell, delta)) {
-      result.clean_tail = false;
-      break;
-    }
-    cube->Add(cell, delta);
-    ++result.applied;
+    // The whole record lands through the batched write path — replay
+    // reconstructs the original group commit, all-or-nothing.
+    cube->ApplyBatch(batch);
+    result.applied += count;
+    ++result.batches;
   }
   if (obs::Enabled()) {
     WalObs::Get().replay_records.Add(result.applied);
@@ -195,6 +241,11 @@ DurableCube::DurableCube(int dims, int64_t initial_side,
     }
   }
   log_ = CubeLog::Open(log_path_, dims);
+  // Count re-roots through the cube's lifecycle hub — subscribed after
+  // recovery so replay-induced growth doesn't immediately demand a
+  // checkpoint of a cube that was just snapshot-consistent.
+  cube_->lifecycle().Subscribe(
+      [this](const ReRootEvent&) { ++reroots_since_checkpoint_; });
 }
 
 bool DurableCube::Add(const Cell& cell, int64_t delta, bool sync) {
@@ -207,6 +258,19 @@ bool DurableCube::Add(const Cell& cell, int64_t delta, bool sync) {
   return logged;
 }
 
+bool DurableCube::ApplyBatch(std::span<const Mutation> batch, bool sync) {
+  if (batch.empty()) return true;
+  // Log-before-apply, like Add — but the whole batch rides one record and
+  // (with sync) one flush: the group commit.
+  bool logged = false;
+  if (log_ != nullptr) {
+    logged = log_->AppendBatch(batch);
+    if (sync) logged = log_->Sync() && logged;
+  }
+  cube_->ApplyBatch(batch);
+  return logged;
+}
+
 bool DurableCube::Checkpoint() {
   obs::TraceSpan span("wal.checkpoint");
   if (obs::Enabled()) WalObs::Get().checkpoints.Increment();
@@ -216,7 +280,13 @@ bool DurableCube::Checkpoint() {
   log_.reset();
   if (!CubeLog::Reset(log_path_, cube_->dims())) return false;
   log_ = CubeLog::Open(log_path_, cube_->dims());
+  reroots_since_checkpoint_ = 0;
   return log_ != nullptr;
+}
+
+bool DurableCube::CheckpointIfRerooted() {
+  if (reroots_since_checkpoint_ == 0) return true;
+  return Checkpoint();
 }
 
 }  // namespace ddc

@@ -1,16 +1,24 @@
 // Write-ahead logging for dynamic cubes.
 //
 // The paper's whole point is cheap point updates; making them *durable*
-// requires an append-only log (an update is one tiny record) paired with
-// periodic snapshots (ddc/snapshot.h). CubeLog is that log: fixed-width
-// little-endian records, each carrying a checksum so replay stops cleanly
-// at a torn tail after a crash.
+// requires an append-only log paired with periodic snapshots
+// (ddc/snapshot.h). CubeLog is that log. The unit of logging is the same as
+// the unit of the write path everywhere else: a MutationBatch. One record
+// holds a whole batch behind a single checksum, so a group commit costs one
+// append and one sync no matter how many mutations it carries, and replay
+// applies each record through ApplyBatch — a batch is durable
+// all-or-nothing (a torn or corrupt record ends replay; everything before
+// it applies).
 //
-// File layout:
-//   magic "DDCWLOG1" (8 bytes), int32 dims
-//   records: { int64 cell[dims]; int64 delta; uint64 checksum }
-// where checksum = Mix(cell..., delta) (see implementation). A record with
-// a bad checksum (torn write) ends replay; everything before it applies.
+// File layout (little-endian):
+//   magic "DDCWLOG2" (8 bytes), int32 dims
+//   records: { int32 count;
+//              count x { int32 kind; int64 cell[dims]; int64 value };
+//              uint64 checksum }
+// where checksum = Mix(count, mutations...) (see implementation) and kind
+// is MutationKind (0 = add, 1 = set). A point Append is a count-1 record.
+// "DDCWLOG1" logs (the pre-batch format, one record per point delta) are
+// not readable; recovery treats them as a bad header.
 
 #ifndef DDC_WAL_CUBE_LOG_H_
 #define DDC_WAL_CUBE_LOG_H_
@@ -18,17 +26,22 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "common/cell.h"
+#include "common/mutation.h"
 #include "ddc/dynamic_data_cube.h"
 
 namespace ddc {
 
 struct ReplayResult {
   bool header_ok = false;
-  // Records applied successfully.
+  // Mutations applied successfully (summed over whole batch records; a
+  // batch never applies partially).
   int64_t applied = 0;
+  // Batch records applied successfully.
+  int64_t batches = 0;
   // False when replay stopped at a corrupt/torn record (the tail was
   // discarded — the expected state after a crash mid-append).
   bool clean_tail = true;
@@ -45,13 +58,21 @@ class CubeLog {
 
   int dims() const { return dims_; }
 
-  // Appends one update record (buffered). Returns false on write failure.
+  // Appends one point update as a count-1 batch record (buffered). Returns
+  // false on write failure.
   bool Append(const Cell& cell, int64_t delta);
+
+  // Appends the whole batch as ONE record behind one checksum (buffered);
+  // with the Sync that follows a group commit, the batch costs one append
+  // + one sync regardless of size. Every cell must have dims()
+  // coordinates (checked). An empty batch writes nothing. Returns false on
+  // write failure.
+  bool AppendBatch(std::span<const Mutation> batch);
 
   // Flushes buffered records to the file.
   bool Sync();
 
-  // Records appended through this handle.
+  // Mutations appended through this handle (batches count each mutation).
   int64_t appended() const { return appended_; }
 
   // Replays `path` into `cube` (whose dimensionality must match the log's).
@@ -99,8 +120,33 @@ class DurableCube {
   // boundary; leaving it false batches flushes until Checkpoint).
   bool Add(const Cell& cell, int64_t delta, bool sync = false);
 
+  // Group commit: logs the whole batch as one record, optionally syncs
+  // (one append + one sync for the entire batch), then applies it through
+  // the cube's batched write path. Durability is all-or-nothing for the
+  // batch — after a crash, replay either re-applies every mutation of the
+  // record or none. Returns false when logging (or the sync) failed; the
+  // in-memory apply happens regardless, mirroring Add.
+  bool ApplyBatch(std::span<const Mutation> batch, bool sync = true);
+
   // Writes a snapshot and resets the log. Returns false on I/O failure.
   bool Checkpoint();
+
+  // Re-roots (growth or shrink) of the wrapped cube since the last
+  // checkpoint (or construction), observed through the cube's
+  // CubeLifecycle hub. A re-root is a natural checkpoint trigger: the
+  // in-memory tree was just rebuilt wholesale, so snapshotting now bounds
+  // replay work after a crash.
+  int64_t reroots_since_checkpoint() const {
+    return reroots_since_checkpoint_;
+  }
+
+  // Checkpoints iff at least one re-root happened since the last
+  // checkpoint. Deliberately NOT run inside the lifecycle callback: a
+  // checkpoint from within the re-root of a half-applied update would
+  // snapshot pre-update state while resetting a log that already holds the
+  // update's record — losing it. Call at a quiescent point (e.g. after
+  // ApplyBatch returns). Returns false on I/O failure.
+  bool CheckpointIfRerooted();
 
   // Records replayed from the log at construction (post-snapshot updates
   // that survived the last run).
@@ -115,6 +161,7 @@ class DurableCube {
   std::unique_ptr<DynamicDataCube> cube_;
   std::unique_ptr<CubeLog> log_;
   ReplayResult recovery_;
+  int64_t reroots_since_checkpoint_ = 0;
 };
 
 }  // namespace ddc

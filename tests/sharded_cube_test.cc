@@ -95,8 +95,8 @@ TEST(ShardedCubeTest, DifferentialAgainstCoarseAndNaive) {
   EXPECT_EQ(sharded.TotalSum(), naive.RangeSum(Box{{0, 0}, {31, 31}}));
 }
 
-// BatchApply must equal sequential application of the same mixed stream.
-TEST(ShardedCubeTest, BatchApplyMatchesSequentialApplication) {
+// ApplyBatch must equal sequential application of the same mixed stream.
+TEST(ShardedCubeTest, ApplyBatchMatchesSequentialApplication) {
   const uint64_t seed = TestSeed(97);
   const Shape shape = Shape::Cube(2, 32);
   NaiveCube naive(shape);
@@ -118,7 +118,7 @@ TEST(ShardedCubeTest, BatchApplyMatchesSequentialApplication) {
       }
       batch.push_back(op);
     }
-    sharded.BatchApply(batch);
+    sharded.ApplyBatch(batch);
     for (const UpdateOp& op : batch) {
       if (op.kind == UpdateKind::kAdd) {
         naive.Add(op.cell, op.delta);

@@ -1,5 +1,5 @@
 // Concurrency stress for ShardedCube: writer/reader thread mixes over
-// Add/Set/BatchApply/RangeSum/ShrinkToFit with a final quiesced equivalence
+// Add/Set/ApplyBatch/RangeSum/ShrinkToFit with a final quiesced equivalence
 // check against a mutex-protected shadow NaiveCube. Runs under the
 // `sanitize` ctest label — the ThreadSanitizer build of this binary is the
 // real assertion; the value checks catch logic races TSan cannot see.
@@ -70,7 +70,7 @@ TEST(ShardedStressTest, MixedWorkloadQuiescesToShadow) {
           for (int64_t b = 0; b < batch_size; ++b) {
             batch.push_back({own_cell(), gen.Value(-9, 9), UpdateKind::kAdd});
           }
-          cube.BatchApply(batch);
+          cube.ApplyBatch(batch);
           std::lock_guard lock(shadow_mutex);
           for (const UpdateOp& op : batch) shadow.Add(op.cell, op.delta);
         }
@@ -130,7 +130,7 @@ TEST(ShardedStressTest, MixedWorkloadQuiescesToShadow) {
 }
 
 // Per-shard batch atomicity: two cells in the same slab are only ever
-// incremented together through BatchApply, so a single-shard RangeSum over
+// incremented together through ApplyBatch, so a single-shard RangeSum over
 // exactly those cells must always observe an even total — even while other
 // writers force growth re-rooting of the very shard being read.
 TEST(ShardedStressTest, BatchIsAtomicPerShardUnderGrowth) {
@@ -144,7 +144,7 @@ TEST(ShardedStressTest, BatchIsAtomicPerShardUnderGrowth) {
     for (int i = 0; i < 400; ++i) {
       const std::vector<UpdateOp> batch = {{kA, 1, UpdateKind::kAdd},
                                            {kB, 1, UpdateKind::kAdd}};
-      cube.BatchApply(batch);
+      cube.ApplyBatch(batch);
     }
   });
 

@@ -83,13 +83,14 @@ TEST_F(WalTest, TornTailStopsReplayCleanly) {
     log->Append({2, 2}, 9);
     log->Sync();
   }
-  // Truncate mid-record: header (12) + one record (3*8+8 = 32) + 10 bytes.
+  // Truncate mid-record: header (12) + one count-1 batch record
+  // (4 count + 4 kind + 2*8 cell + 8 value + 8 checksum = 40) + 10 bytes.
   std::ifstream in(log_only_, std::ios::binary);
   std::string bytes((std::istreambuf_iterator<char>(in)),
                     std::istreambuf_iterator<char>());
   in.close();
   std::ofstream out(log_only_, std::ios::binary | std::ios::trunc);
-  out.write(bytes.data(), 12 + 32 + 10);
+  out.write(bytes.data(), 12 + 40 + 10);
   out.close();
 
   DynamicDataCube cube(2, 16);
@@ -109,11 +110,12 @@ TEST_F(WalTest, CorruptChecksumStopsReplay) {
     log->Append({4}, 6);
     log->Sync();
   }
-  // Flip a byte inside the second record's delta.
+  // Flip a byte inside the second record's value.
   std::fstream file(log_only_, std::ios::binary | std::ios::in |
                                    std::ios::out);
-  // Header 12 + record (8+8+8=24) + cell(8) + 2 bytes into delta.
-  file.seekp(12 + 24 + 8 + 2);
+  // Header 12 + first record (4+4+8+8+8 = 32) + second record's count(4) +
+  // kind(4) + cell(8) + 2 bytes into the value.
+  file.seekp(12 + 32 + 4 + 4 + 8 + 2);
   char byte = 0x55;
   file.write(&byte, 1);
   file.close();
@@ -122,6 +124,104 @@ TEST_F(WalTest, CorruptChecksumStopsReplay) {
   const ReplayResult result = CubeLog::Replay(log_only_, &cube);
   EXPECT_EQ(result.applied, 1);
   EXPECT_FALSE(result.clean_tail);
+}
+
+TEST_F(WalTest, GroupCommitRoundTrip) {
+  {
+    auto log = CubeLog::Open(log_only_, 2);
+    ASSERT_NE(log, nullptr);
+    const MutationBatch batch = {
+        Mutation{{1, 2}, 10, MutationKind::kAdd},
+        Mutation{{3, 4}, 7, MutationKind::kSet},
+        Mutation{{1, 2}, -3, MutationKind::kAdd},
+    };
+    EXPECT_TRUE(log->AppendBatch(batch));
+    EXPECT_TRUE(log->AppendBatch({}));  // Empty batch writes nothing.
+    EXPECT_TRUE(log->Sync());
+    EXPECT_EQ(log->appended(), 3);
+  }
+  DynamicDataCube cube(2, 16);
+  const ReplayResult result = CubeLog::Replay(log_only_, &cube);
+  EXPECT_TRUE(result.header_ok);
+  EXPECT_TRUE(result.clean_tail);
+  EXPECT_EQ(result.applied, 3);
+  EXPECT_EQ(result.batches, 1);  // One record for the whole batch.
+  EXPECT_EQ(cube.Get({1, 2}), 7);
+  EXPECT_EQ(cube.Get({3, 4}), 7);
+}
+
+TEST_F(WalTest, TornBatchRecordIsAllOrNothing) {
+  {
+    auto log = CubeLog::Open(log_only_, 1);
+    ASSERT_NE(log, nullptr);
+    log->Append({1}, 5);
+    const MutationBatch batch = {
+        Mutation{{2}, 6, MutationKind::kAdd},
+        Mutation{{3}, 7, MutationKind::kAdd},
+    };
+    log->AppendBatch(batch);
+    log->Sync();
+  }
+  // Truncate inside the second mutation of the batch record: header (12) +
+  // count-1 record (32) + count(4) + first mutation (4+8+8) + 6 bytes.
+  std::ifstream in(log_only_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(log_only_, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), 12 + 32 + 4 + 20 + 6);
+  out.close();
+
+  DynamicDataCube cube(1, 16);
+  const ReplayResult result = CubeLog::Replay(log_only_, &cube);
+  EXPECT_TRUE(result.header_ok);
+  EXPECT_FALSE(result.clean_tail);
+  EXPECT_EQ(result.applied, 1);   // The point record only.
+  EXPECT_EQ(result.batches, 1);
+  EXPECT_EQ(cube.Get({1}), 5);
+  EXPECT_EQ(cube.Get({2}), 0);    // Nothing of the torn batch applied.
+  EXPECT_EQ(cube.Get({3}), 0);
+}
+
+TEST_F(WalTest, DurableApplyBatchSurvivesRestart) {
+  {
+    DurableCube cube(2, 16, base_);
+    ASSERT_TRUE(cube.durable());
+    const MutationBatch batch = {
+        Mutation{{1, 1}, 4, MutationKind::kAdd},
+        Mutation{{2, 2}, 9, MutationKind::kSet},
+        Mutation{{1, 1}, 1, MutationKind::kAdd},
+    };
+    EXPECT_TRUE(cube.ApplyBatch(batch));  // sync defaults to true.
+    EXPECT_EQ(cube.cube().Get({1, 1}), 5);
+  }
+  DurableCube reopened(2, 16, base_);
+  EXPECT_EQ(reopened.recovery().batches, 1);
+  EXPECT_EQ(reopened.recovery().applied, 3);
+  EXPECT_EQ(reopened.cube().Get({1, 1}), 5);
+  EXPECT_EQ(reopened.cube().Get({2, 2}), 9);
+}
+
+TEST_F(WalTest, CheckpointIfRerootedFiresOnlyAfterGrowth) {
+  DurableCube cube(2, 8, base_);
+  ASSERT_TRUE(cube.durable());
+  cube.Add({1, 1}, 3, true);
+  EXPECT_EQ(cube.reroots_since_checkpoint(), 0);
+  EXPECT_TRUE(cube.CheckpointIfRerooted());  // No re-root: cheap no-op.
+  EXPECT_EQ(cube.reroots_since_checkpoint(), 0);
+
+  // Growth past the seed side re-roots; the lifecycle subscription counts
+  // it and the deferred checkpoint then resets the log.
+  const MutationBatch batch = {Mutation{{20, 20}, 2, MutationKind::kAdd}};
+  EXPECT_TRUE(cube.ApplyBatch(batch));
+  EXPECT_GT(cube.reroots_since_checkpoint(), 0);
+  EXPECT_TRUE(cube.CheckpointIfRerooted());
+  EXPECT_EQ(cube.reroots_since_checkpoint(), 0);
+
+  DurableCube reopened(2, 8, base_);
+  EXPECT_EQ(reopened.recovery().applied, 0);  // All state in the snapshot.
+  EXPECT_EQ(reopened.cube().Get({1, 1}), 3);
+  EXPECT_EQ(reopened.cube().Get({20, 20}), 2);
 }
 
 TEST_F(WalTest, DurableCubeSurvivesRestart) {

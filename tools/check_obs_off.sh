@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Verifies the -DDDC_OBS=OFF configuration still compiles and behaves: every
+# obs:: call site must vanish behind the no-op facade, including the ones the
+# batched-update pipeline added (histograms, counters, trace spans). Builds a
+# dedicated tree and runs the suites that exercise the instrumented paths.
+#
+#   tools/check_obs_off.sh            # configure + build + run
+#
+# The build tree lands in build-obsoff/ next to the source tree, so it never
+# disturbs the regular build/ directory. Part of the verify flow alongside
+# tools/run_sanitizers.sh.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Suites that cross every instrumented layer: the DDC core write/query paths,
+# the batched-update differential suite, the concurrent cubes, and the obs
+# facade itself (obs_test asserts the no-op behavior when compiled out).
+OBS_OFF_TARGETS=(ddc_core_test update_batch_test query_batch_test
+                 concurrent_test obs_test)
+
+echo "=== DDC_OBS=OFF: configuring build-obsoff ==="
+cmake -B build-obsoff -S . -DDDC_OBS=OFF > /dev/null
+echo "=== DDC_OBS=OFF: building ==="
+cmake --build build-obsoff -j "$(nproc)" --target "${OBS_OFF_TARGETS[@]}"
+echo "=== DDC_OBS=OFF: running ==="
+for t in "${OBS_OFF_TARGETS[@]}"; do
+  ./build-obsoff/tests/"$t" > /dev/null
+done
+
+echo "DDC_OBS=OFF build and tests passed."

@@ -142,6 +142,8 @@ std::string UsageText() {
          "  ddctool query  CUBE --range lo1:hi1,...,lod:hid\n"
          "  ddctool select CUBE \"SUM [GROUP BY dK [SIZE g]] [WHERE dI IN "
          "[a,b] AND ...]\"\n"
+         "                 (also writes: \"ADD AT [c1,...,cd] = v, AT ...\" "
+         "/ \"SET AT ... = v\")\n"
          "  ddctool info   CUBE\n"
          "  ddctool export CUBE --csv OUT\n"
          "  ddctool shrink CUBE\n"
@@ -262,9 +264,13 @@ int CmdSelect(const std::vector<std::string>& args, std::ostream& out,
   }
   auto cube = OpenCube(parsed.positional[0], err);
   if (cube == nullptr) return 1;
-  const QueryResult result = RunQuery(parsed.positional[1], *cube);
+  const QueryResult result = RunStatement(parsed.positional[1], cube.get());
   if (!result.ok) {
     err << "select: " << result.error << "\n";
+    return 1;
+  }
+  // Write statements mutate the cube; persist the result.
+  if (result.is_write && !SaveCube(*cube, parsed.positional[0], err)) {
     return 1;
   }
   out << FormatResult(result);
@@ -371,16 +377,39 @@ void RunStatsWorkload(int dims, int64_t side, int64_t ops, int shards) {
   std::vector<int64_t> sums(slices.size());
   cube.RangeSumBatch(slices, sums);
   (void)RunQuery("SUM GROUP BY d0 SIZE 4", cube);
+  // One batched update (ddc.update.batch.*) and one write statement
+  // (query.write.*) through the same shared-descent path.
+  MutationBatch updates;
+  for (int64_t i = 0; i < ops / 4 + 2; ++i) {
+    for (size_t j = 0; j < ud; ++j) {
+      cell[j] = (i * 3 + static_cast<int64_t>(j) * 7) % side;
+    }
+    updates.push_back(Mutation{cell, 1, MutationKind::kAdd});
+  }
+  cube.ApplyBatch(updates);
+  {
+    std::string write = "ADD AT [0";
+    for (int j = 1; j < dims; ++j) write += ", 0";
+    write += "] = 1";
+    (void)RunStatement(write, &cube);
+  }
   cube.ShrinkToFit();
 
-  // Measure cube: the grouped COUNT/AVG path goes through olap::GroupBy.
+  // Measure cube: the grouped COUNT/AVG path goes through olap::GroupBy;
+  // half the observations arrive through the batched ingest path.
   MeasureCube measures(dims, side);
+  std::vector<Observation> observations;
   for (int64_t i = 0; i < ops / 4 + 1; ++i) {
     for (size_t j = 0; j < ud; ++j) {
       cell[j] = (i * 5 + static_cast<int64_t>(j) * 3) % side;
     }
-    measures.AddObservation(cell, i % 7);
+    if (i % 2 == 0) {
+      measures.AddObservation(cell, i % 7);
+    } else {
+      observations.push_back(Observation{cell, i % 7});
+    }
   }
+  measures.AddObservationBatch(observations);
   (void)RunQuery("AVG GROUP BY d0 SIZE 2", measures);
 
   // Sharded facade: point ops, one grouped batch, cross-shard reads.
@@ -396,7 +425,7 @@ void RunStatsWorkload(int dims, int64_t side, int64_t ops, int shards) {
       batch.push_back(UpdateOp{cell, 1, UpdateKind::kAdd});
     }
   }
-  striped.BatchApply(batch);
+  striped.ApplyBatch(batch);
   (void)striped.Get(UniformCell(dims, 0));
   (void)striped.RangeSum(all);  // Spans every slab: the cross-shard path.
   striped.RangeSumBatch(slices, sums);
@@ -418,8 +447,9 @@ void RunStatsWorkload(int dims, int64_t side, int64_t ops, int shards) {
     });
   }
 
-  // Durable cube: appends (some synced), a checkpoint, then a second
-  // instance recovering the un-checkpointed tail — covers wal.*.
+  // Durable cube: appends (some synced), one group commit, a checkpoint,
+  // then a second instance recovering the un-checkpointed tail — covers
+  // wal.* including wal.group_commit.*.
   const std::string base =
       "/tmp/ddctool_stats_" + std::to_string(::getpid());
   {
@@ -428,6 +458,13 @@ void RunStatsWorkload(int dims, int64_t side, int64_t ops, int shards) {
       for (size_t j = 0; j < ud; ++j) cell[j] = (i + static_cast<int64_t>(j)) % side;
       durable.Add(cell, 1, /*sync=*/i % 4 == 0);
     }
+    MutationBatch group;
+    for (int64_t i = 0; i < 8; ++i) {
+      cell.assign(ud, i % side);
+      group.push_back(Mutation{cell, 1, MutationKind::kAdd});
+    }
+    durable.ApplyBatch(group);
+    durable.CheckpointIfRerooted();
     durable.Checkpoint();
     for (int64_t i = 0; i < 4; ++i) {
       cell.assign(ud, i % side);

@@ -17,7 +17,7 @@ cd "$(dirname "$0")/.."
 # The targets behind `ctest -L sanitize` (keep in sync with
 # tests/CMakeLists.txt). Building only these keeps a sanitizer run fast.
 SANITIZE_TARGETS=(concurrent_test sharded_cube_test sharded_stress_test
-                  query_batch_test obs_concurrent_test)
+                  query_batch_test update_batch_test obs_concurrent_test)
 
 run_one() {
   local kind="$1"
