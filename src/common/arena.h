@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 
 namespace ddc {
@@ -137,6 +138,13 @@ class Arena {
   };
 
   void NewBlock(size_t bytes, size_t align) {
+    if (DDC_FAULTPOINT("arena.alloc.fail")) {
+      // Injected allocation failure, raised before any arena state changes:
+      // the cube that was mid-descent may hold a partially applied batch,
+      // so the owner must discard it (durable state is unaffected — the WAL
+      // already holds the record).
+      fault::RaiseAllocFailure("arena.alloc.fail");
+    }
     size_t want = next_block_size_;
     // Oversized single objects get their own block.
     if (bytes + align > want) want = bytes + align;

@@ -19,8 +19,8 @@ void CubeInterface::RangeSumBatch(std::span<const Box> ranges,
   }
 }
 
-void CubeInterface::ApplyBatch(std::span<const Mutation> batch) {
-  CheckBatchWellFormed(batch);
+bool CubeInterface::ApplyBatch(std::span<const Mutation> batch) {
+  if (!BatchWellFormed(batch, dims())) return false;
   for (const Mutation& m : batch) {
     if (m.kind == MutationKind::kSet) {
       Set(m.cell, m.delta);
@@ -28,14 +28,7 @@ void CubeInterface::ApplyBatch(std::span<const Mutation> batch) {
       Add(m.cell, m.delta);
     }
   }
-}
-
-void CubeInterface::CheckBatchWellFormed(
-    std::span<const Mutation> batch) const {
-  const size_t d = static_cast<size_t>(dims());
-  for (const Mutation& m : batch) {
-    DDC_CHECK(m.cell.size() == d);
-  }
+  return true;
 }
 
 }  // namespace ddc

@@ -44,11 +44,13 @@ class CubeInterface {
 
   // Applies `batch` front to back; semantically identical to calling Add /
   // Set per mutation in order — the contract the differential tests rely
-  // on. Every mutation's cell must have dims() coordinates (checked).
-  // Structures that can amortize work across a batch (one shared tree
-  // descent, per-cell delta coalescing, per-shard lock grouping, WAL group
-  // commit) override this; the default is the plain loop.
-  virtual void ApplyBatch(std::span<const Mutation> batch);
+  // on. Returns false (and applies nothing) when any mutation's cell does
+  // not have dims() coordinates; a malformed batch is a recoverable error,
+  // not an abort (see BatchWellFormed in common/mutation.h). Structures
+  // that can amortize work across a batch (one shared tree descent,
+  // per-cell delta coalescing, per-shard lock grouping, WAL group commit)
+  // override this; the default is the plain loop.
+  virtual bool ApplyBatch(std::span<const Mutation> batch);
 
   // Returns SUM(A[DomainLo() .. cell]). `cell` must be inside the domain.
   virtual int64_t PrefixSum(const Cell& cell) const = 0;
@@ -79,11 +81,6 @@ class CubeInterface {
   virtual std::string name() const = 0;
 
  protected:
-  // Aborts unless every mutation's cell has dims() coordinates. Overrides
-  // of ApplyBatch call this before touching any state so a malformed batch
-  // dies without partially applying.
-  void CheckBatchWellFormed(std::span<const Mutation> batch) const;
-
   mutable OpCounters counters_;
 };
 

@@ -36,6 +36,19 @@ struct Mutation {
 // An ordered sequence of mutations, applied front to back.
 using MutationBatch = std::vector<Mutation>;
 
+// True iff every mutation's cell has exactly `dims` coordinates. ApplyBatch
+// implementations check this before touching any state and reject the batch
+// as a recoverable error (return false, nothing applied) — a malformed
+// batch is a caller bug the durability and query layers must surface, not
+// die on.
+inline bool BatchWellFormed(std::span<const Mutation> batch, int dims) {
+  const size_t d = static_cast<size_t>(dims);
+  for (const Mutation& m : batch) {
+    if (m.cell.size() != d) return false;
+  }
+  return true;
+}
+
 // Historical spellings, kept so existing call sites (ShardedCube batches,
 // workload generators, benches) compile unchanged.
 using UpdateKind = MutationKind;

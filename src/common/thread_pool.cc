@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <utility>
 
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 
 namespace ddc {
@@ -117,6 +119,13 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   state.live_helpers.store(helpers_wanted, std::memory_order_relaxed);
   for (size_t h = 0; h < helpers_wanted; ++h) {
     Enqueue([&state, drain] {
+      if (DDC_FAULTPOINT("pool.task.delay")) {
+        // Stall this helper lane only (the caller lane keeps draining):
+        // long enough for a writer to slip in under a seqlock-validated
+        // read, which forces ShardedCube retries and all-locks fallbacks.
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            50 + static_cast<int64_t>(fault::RandBelow(451))));
+      }
       drain();
       // Notify while still holding the mutex: the caller destroys `state`
       // (its stack frame) as soon as wait() observes zero, and wait() can

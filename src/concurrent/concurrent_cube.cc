@@ -58,11 +58,9 @@ void ConcurrentCube::Set(const Cell& cell, int64_t value) {
   cube_.Set(cell, value);
 }
 
-void ConcurrentCube::ApplyBatch(std::span<const Mutation> batch) {
-  for (const Mutation& m : batch) {
-    DDC_CHECK(static_cast<int>(m.cell.size()) == dims());
-  }
-  if (batch.empty()) return;
+bool ConcurrentCube::ApplyBatch(std::span<const Mutation> batch) {
+  if (!BatchWellFormed(batch, dims())) return false;
+  if (batch.empty()) return true;
   obs::TraceSpan span("concurrent.apply_batch",
                       static_cast<int64_t>(batch.size()), 0,
                       &ApplyBatchNsHist());
@@ -114,6 +112,7 @@ void ConcurrentCube::ApplyBatch(std::span<const Mutation> batch) {
     resolved.push_back(Mutation{c.cell, net, MutationKind::kAdd});
   }
   cube_.ApplyBatch(resolved);
+  return true;
 }
 
 void ConcurrentCube::ShrinkToFit(int64_t min_side) {

@@ -46,7 +46,8 @@ class ConcurrentCube {
   // across the shared thread pool — safe because tree reads are const and
   // no other writer can enter while this thread holds the lock exclusively
   // — and the resolved pure-Add batch lands in one shared-descent apply.
-  void ApplyBatch(std::span<const Mutation> batch);
+  // Returns false (nothing applied) on a malformed batch.
+  bool ApplyBatch(std::span<const Mutation> batch);
   void ShrinkToFit(int64_t min_side = 2);
 
   // Readers (shared).

@@ -118,8 +118,9 @@ void ShardedCube::Set(const Cell& cell, int64_t value) {
   if (obs::Enabled()) ShardedObs::Get().point_writes.Increment();
 }
 
-void ShardedCube::ApplyBatch(std::span<const Mutation> ops) {
-  if (ops.empty()) return;
+bool ShardedCube::ApplyBatch(std::span<const Mutation> ops) {
+  if (!BatchWellFormed(ops, dims_)) return false;
+  if (ops.empty()) return true;
   obs::TraceSpan span("sharded.batch_apply",
                       static_cast<int64_t>(ops.size()));
   // Group the mutations by shard; batch order is preserved within each
@@ -153,6 +154,7 @@ void ShardedCube::ApplyBatch(std::span<const Mutation> ops) {
           static_cast<int64_t>(group.size()));
     }
   }
+  return true;
 }
 
 void ShardedCube::ShrinkToFit(int64_t min_side) {

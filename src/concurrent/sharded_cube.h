@@ -98,8 +98,9 @@ class ShardedCube {
   // shard; each shard group is handed to the shard cube's batched apply in
   // batch order. The final state always equals sequential application
   // (mutations on different cells commute, mutations on the same cell share
-  // a shard and keep their relative order).
-  void ApplyBatch(std::span<const Mutation> ops);
+  // a shard and keep their relative order). Returns false (nothing
+  // applied) on a malformed batch.
+  bool ApplyBatch(std::span<const Mutation> ops);
 
   // Shrinks every shard in turn (each under its own exclusive lock).
   void ShrinkToFit(int64_t min_side = 2);

@@ -190,9 +190,9 @@ void DynamicDataCube::Set(const Cell& cell, int64_t value) {
   Add(cell, value - Get(cell));
 }
 
-void DynamicDataCube::ApplyBatch(std::span<const Mutation> batch) {
-  CheckBatchWellFormed(batch);
-  if (batch.empty()) return;
+bool DynamicDataCube::ApplyBatch(std::span<const Mutation> batch) {
+  if (!BatchWellFormed(batch, dims())) return false;
+  if (batch.empty()) return true;
   obs::TraceSpan span("ddc.apply_batch", static_cast<int64_t>(batch.size()));
   if (obs::Enabled()) {
     UpdateBatchSizeHist().Record(static_cast<int64_t>(batch.size()));
@@ -226,8 +226,9 @@ void DynamicDataCube::ApplyBatch(std::span<const Mutation> batch) {
     span.set_arg1(static_cast<int64_t>(cells.size()));
     UpdateDepthHist().Record(core_->DescentLevels());
   }
-  if (cells.empty()) return;
+  if (cells.empty()) return true;
   core_->AddBatch(cells, deltas);
+  return true;
 }
 
 int64_t DynamicDataCube::Get(const Cell& cell) const {

@@ -61,8 +61,9 @@ class DynamicDataCube : public CubeInterface {
   // geometry), then folded to one net delta per distinct cell — preserving
   // the sequential Add/Set semantics exactly — and applied in one shared
   // tree descent (DdcCore::AddBatch). Results are identical to applying the
-  // mutations in a loop.
-  void ApplyBatch(std::span<const Mutation> batch) override;
+  // mutations in a loop. Returns false (nothing applied) on a malformed
+  // batch (cell arity != dims()).
+  bool ApplyBatch(std::span<const Mutation> batch) override;
   // Get/PrefixSum/RangeSum treat cells outside the domain as zero.
   int64_t Get(const Cell& cell) const override;
   int64_t PrefixSum(const Cell& cell) const override;

@@ -1,12 +1,16 @@
 #include "ddc/snapshot.h"
 
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <system_error>
 #include <vector>
 
 #include "common/bit_util.h"
+#include "fault/failpoint.h"
 
 namespace ddc {
 
@@ -105,9 +109,34 @@ std::unique_ptr<DynamicDataCube> ReadSnapshot(std::istream* in) {
 }
 
 bool SaveSnapshotToFile(const DynamicDataCube& cube, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) return false;
-  return WriteSnapshot(cube, &out) && out.good();
+  // Write-to-temp + rename: the old snapshot stays intact until the new one
+  // is fully on disk. Writing over `path` directly would let a crash (or
+  // the wal.checkpoint.tear failpoint) destroy the only snapshot while the
+  // log holds just post-checkpoint records — unrecoverable data loss.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return false;
+    if (!WriteSnapshot(cube, &out) || !out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (DDC_FAULTPOINT("wal.checkpoint.tear")) {
+    // Simulate a crash mid-checkpoint: the temp file is torn at a
+    // fault-chosen byte and never renamed. The previous snapshot (if any)
+    // survives untouched, which is the property this failpoint exists to
+    // prove.
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(tmp, ec);
+    if (!ec && size > 0) {
+      std::filesystem::resize_file(
+          tmp, fault::RandBelow(static_cast<uint64_t>(size)), ec);
+    }
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
 std::unique_ptr<DynamicDataCube> LoadSnapshotFromFile(

@@ -1,0 +1,340 @@
+#include "fault/failpoint.h"
+
+#ifdef DDC_FAULTS_ENABLED
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace ddc {
+namespace fault {
+namespace {
+
+// splitmix64: the same tiny deterministic stream the test harnesses use.
+uint64_t SplitMix(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+struct Site {
+  Trigger trigger;
+  uint64_t hits = 0;      // evaluations while armed
+  uint64_t triggers = 0;  // firings
+  obs::Counter* mirror = nullptr;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Site, std::less<>> sites;
+  uint64_t rng = 0x9E3779B97F4A7C15ull;
+  bool env_parsed = false;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry;  // never destroyed (exit-time sites)
+  return *r;
+}
+
+// Count of armed sites; the Enabled() fast path. Updated under the mutex,
+// read relaxed on every DDC_FAULTPOINT evaluation.
+std::atomic<int> g_armed{0};
+
+void RecountArmedLocked(Registry& r) {
+  int armed = 0;
+  for (const auto& [name, site] : r.sites) {
+    if (site.trigger.mode != Trigger::kOff) ++armed;
+  }
+  g_armed.store(armed, std::memory_order_relaxed);
+}
+
+void ArmLocked(Registry& r, std::string_view site, Trigger trigger) {
+  auto [it, inserted] = r.sites.try_emplace(std::string(site));
+  it->second.trigger = trigger;
+  if (it->second.mirror == nullptr) {
+    it->second.mirror = obs::MetricsRegistry::Default().GetCounter(
+        "fault." + it->first + ".triggers");
+  }
+  RecountArmedLocked(r);
+}
+
+bool ParseUint(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseProb(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end == nullptr || *end != '\0' || v < 0.0 || v > 1.0) return false;
+  *out = v;
+  return true;
+}
+
+// Parses one `<site>=<mode>:<arg>[:crash]` entry (or `seed=N`) and applies
+// it under the registry lock.
+bool ApplyEntryLocked(Registry& r, std::string_view entry,
+                      std::string* error) {
+  const size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    if (error != nullptr) {
+      *error = "faultpoint entry missing '=': '" + std::string(entry) + "'";
+    }
+    return false;
+  }
+  const std::string_view site = entry.substr(0, eq);
+  std::string_view spec = entry.substr(eq + 1);
+  if (site == "seed") {
+    uint64_t seed = 0;
+    if (!ParseUint(spec, &seed)) {
+      if (error != nullptr) {
+        *error = "bad seed value '" + std::string(spec) + "'";
+      }
+      return false;
+    }
+    r.rng = seed;
+    return true;
+  }
+
+  bool crash = false;
+  if (spec.size() >= 6 && spec.substr(spec.size() - 6) == ":crash") {
+    crash = true;
+    spec = spec.substr(0, spec.size() - 6);
+  }
+  const size_t colon = spec.find(':');
+  const std::string_view mode = spec.substr(0, colon);
+  const std::string_view arg =
+      colon == std::string_view::npos ? std::string_view{}
+                                      : spec.substr(colon + 1);
+  Trigger t;
+  uint64_t n = 0;
+  double p = 0.0;
+  if (mode == "off" && arg.empty()) {
+    t = Trigger{};
+    t.crash = crash;
+  } else if (mode == "count" && ParseUint(arg, &n)) {
+    t = Trigger::Count(n, crash);
+  } else if (mode == "after" && ParseUint(arg, &n)) {
+    t = Trigger::After(n, crash);
+  } else if (mode == "every" && ParseUint(arg, &n) && n > 0) {
+    t = Trigger::Every(n, crash);
+  } else if (mode == "prob" && ParseProb(arg, &p)) {
+    t = Trigger::Prob(p, crash);
+  } else {
+    if (error != nullptr) {
+      *error = "bad trigger spec for site '" + std::string(site) + "': '" +
+               std::string(spec) + "'";
+    }
+    return false;
+  }
+  ArmLocked(r, site, t);
+  return true;
+}
+
+bool ArmFromSpecLocked(Registry& r, std::string_view spec,
+                       std::string* error) {
+  while (!spec.empty()) {
+    const size_t semi = spec.find(';');
+    const std::string_view entry =
+        semi == std::string_view::npos ? spec : spec.substr(0, semi);
+    spec = semi == std::string_view::npos ? std::string_view{}
+                                          : spec.substr(semi + 1);
+    if (entry.empty()) continue;
+    if (!ApplyEntryLocked(r, entry, error)) return false;
+  }
+  return true;
+}
+
+// One-time DDC_FAULTPOINTS environment parse; malformed specs are loudly
+// rejected (a harness that armed nothing by typo would silently test the
+// happy path).
+void ParseEnvLocked(Registry& r) {
+  if (r.env_parsed) return;
+  r.env_parsed = true;
+  const char* env = std::getenv("DDC_FAULTPOINTS");
+  if (env == nullptr || env[0] == '\0') return;
+  std::string error;
+  if (!ArmFromSpecLocked(r, env, &error)) {
+    std::fprintf(stderr, "[fault] DDC_FAULTPOINTS rejected: %s\n",
+                 error.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+  std::fprintf(stderr, "[fault] armed from DDC_FAULTPOINTS: %s\n", env);
+  std::fflush(stderr);
+}
+
+struct EnvInit {
+  EnvInit() {
+    Registry& r = GetRegistry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    ParseEnvLocked(r);
+  }
+};
+
+}  // namespace
+
+bool Enabled() {
+  // The env spec must be able to arm sites before the first evaluation even
+  // if no code called Arm explicitly; a function-local static keeps the
+  // parse out of static-init order trouble.
+  static EnvInit env_init;
+  (void)env_init;
+  return g_armed.load(std::memory_order_relaxed) > 0;
+}
+
+void Arm(std::string_view site, Trigger trigger) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  ArmLocked(r, site, trigger);
+}
+
+void Disarm(std::string_view site) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.sites.find(site);
+  if (it != r.sites.end()) it->second.trigger = Trigger{};
+  RecountArmedLocked(r);
+}
+
+void DisarmAll() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& [name, site] : r.sites) {
+    site.trigger = Trigger{};
+    site.hits = 0;
+    site.triggers = 0;
+  }
+  RecountArmedLocked(r);
+}
+
+void SetSeed(uint64_t seed) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.rng = seed;
+}
+
+bool ArmFromSpec(std::string_view spec, std::string* error) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return ArmFromSpecLocked(r, spec, error);
+}
+
+uint64_t Hits(std::string_view site) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+uint64_t Triggers(std::string_view site) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.triggers;
+}
+
+uint64_t RandBelow(uint64_t n) {
+  if (n == 0) return 0;
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return SplitMix(&r.rng) % n;
+}
+
+void RaiseAllocFailure(const char* site) { throw AllocFailure{site}; }
+
+namespace internal {
+
+bool Evaluate(std::string_view site) {
+  Registry& r = GetRegistry();
+  bool fire = false;
+  bool crash = false;
+  uint64_t trigger_no = 0;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.sites.find(site);
+    if (it == r.sites.end()) return false;
+    Site& s = it->second;
+    Trigger& t = s.trigger;
+    if (t.mode == Trigger::kOff) return false;
+    s.hits++;
+    switch (t.mode) {
+      case Trigger::kOff:
+        break;
+      case Trigger::kCount:
+        if (t.n > 0) {
+          fire = true;
+          if (--t.n == 0) {
+            t.mode = Trigger::kOff;
+            RecountArmedLocked(r);
+          }
+        }
+        break;
+      case Trigger::kAfter:
+        if (t.n > 0) {
+          --t.n;
+        } else {
+          fire = true;
+        }
+        break;
+      case Trigger::kEvery:
+        fire = (s.hits % t.n) == 0;
+        break;
+      case Trigger::kProb: {
+        const double draw =
+            static_cast<double>(SplitMix(&r.rng) >> 11) * 0x1.0p-53;
+        fire = draw < t.p;
+        break;
+      }
+    }
+    if (fire) {
+      s.triggers++;
+      trigger_no = s.triggers;
+      crash = t.crash;
+      if (s.mirror != nullptr && obs::Enabled()) s.mirror->Increment();
+    }
+  }
+  if (fire && crash) {
+    // The crashloop protocol: announce the kill point, then die without
+    // running atexit handlers or flushing buffered streams — the closest
+    // in-process stand-in for SIGKILL mid-syscall.
+    std::fprintf(stderr, "[fault] %.*s fired (trigger %llu): crashing\n",
+                 static_cast<int>(site.size()), site.data(),
+                 static_cast<unsigned long long>(trigger_no));
+    std::fflush(stderr);
+    _exit(kCrashExitCode);
+  }
+  return fire;
+}
+
+}  // namespace internal
+}  // namespace fault
+}  // namespace ddc
+
+#else  // !DDC_FAULTS_ENABLED
+
+// Keep the translation unit non-empty in the compiled-out configuration.
+namespace ddc {
+namespace fault {
+namespace internal {
+void FailpointCompiledOut() {}
+}  // namespace internal
+}  // namespace fault
+}  // namespace ddc
+
+#endif  // DDC_FAULTS_ENABLED

@@ -1,0 +1,159 @@
+// Deterministic fault injection: a process-wide registry of named failpoint
+// sites that test harnesses arm to make I/O and memory misbehave on purpose.
+//
+// Design constraints, mirroring obs/metrics.h:
+//   1. Zero cost when compiled out: the default build (-DDDC_FAULTS=OFF)
+//      turns DDC_FAULTPOINT(site) into a literal `false`, so every guarded
+//      branch folds away and the production libraries carry no undefined
+//      references into this library (tools/check_faults_off.sh proves it).
+//   2. Deterministic when on: every probabilistic decision draws from one
+//      seeded splitmix64 stream under the registry mutex, so a single-
+//      threaded workload replays bit-identically from (seed, arm spec).
+//      Multi-threaded workloads are serialized per draw (valid, not
+//      bit-reproducible across schedules).
+//   3. Observable: each trigger bumps a per-site counter that is mirrored
+//      into the metrics registry as `fault.<site>.triggers` when obs is on.
+//
+// Site naming follows the metric convention: dotted lower_snake segments,
+// `layer.object.failure` — e.g. wal.write.short, arena.alloc.fail. See
+// DESIGN.md §11 for the full catalogue and the spec grammar.
+//
+// Arming is programmatic (Arm/ArmFromSpec) or via the DDC_FAULTPOINTS
+// environment variable, parsed on first use:
+//
+//   DDC_FAULTPOINTS="seed=42;wal.write.short=count:3;wal.sync.fail=prob:0.1:crash"
+//
+// Entries are ';'-separated. `seed=N` seeds the RNG; every other entry is
+// `<site>=<mode>:<arg>[:crash]` where mode is one of
+//   count:N   fire on the next N evaluations, then disarm
+//   after:N   skip N evaluations, then fire on every one
+//   every:K   fire on every K-th evaluation (1-based)
+//   prob:P    fire each evaluation with probability P in [0,1]
+//   off       registered but never fires (placeholder)
+// and the optional `:crash` suffix makes a firing site _exit(kCrashExitCode)
+// instead of returning true — the hook tools/crashloop.sh uses to kill
+// ddctool mid-commit.
+
+#ifndef DDC_FAULT_FAILPOINT_H_
+#define DDC_FAULT_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ddc {
+namespace fault {
+
+// Exit code a `:crash`-armed site terminates the process with. Chosen to be
+// distinguishable from test-framework and shell failure codes; crashloop.sh
+// treats exactly this code as "injected crash, restart and recover".
+inline constexpr int kCrashExitCode = 87;
+
+// Thrown by arena.alloc.fail (via RaiseAllocFailure) to model allocation
+// failure as a recoverable error instead of an abort. The codebase is
+// otherwise exception-free: this type exists only on injected-fault paths,
+// and a cube that threw must be discarded (its in-memory state may hold a
+// partially applied batch; durable state is unaffected).
+struct AllocFailure {
+  const char* site;
+};
+
+struct Trigger {
+  enum Mode { kOff, kCount, kAfter, kEvery, kProb };
+  Mode mode = kOff;
+  // kCount: remaining firings. kAfter: evaluations to skip. kEvery: period.
+  uint64_t n = 0;
+  double p = 0.0;  // kProb only
+  bool crash = false;
+
+  static Trigger Count(uint64_t n, bool crash = false) {
+    return Trigger{kCount, n, 0.0, crash};
+  }
+  static Trigger After(uint64_t n, bool crash = false) {
+    return Trigger{kAfter, n, 0.0, crash};
+  }
+  static Trigger Every(uint64_t k, bool crash = false) {
+    return Trigger{kEvery, k, 0.0, crash};
+  }
+  static Trigger Prob(double p, bool crash = false) {
+    return Trigger{kProb, 0, p, crash};
+  }
+};
+
+#ifdef DDC_FAULTS_ENABLED
+
+// Compile-time on. Enabled() is the hot-path guard: one relaxed atomic load
+// of the armed-site count, true only while at least one site is armed.
+constexpr bool Compiled() { return true; }
+bool Enabled();
+
+// Arm `site` with the given trigger (replaces any existing trigger). Sites
+// are created on first Arm; evaluating a never-armed site is a no-op.
+void Arm(std::string_view site, Trigger trigger);
+void Disarm(std::string_view site);
+// Disarms every site and clears hit/trigger counters. Harnesses call this
+// between simulated process lifetimes.
+void DisarmAll();
+
+// Seeds the shared RNG stream (kProb draws, RandBelow). Deterministic
+// replay = same seed + same arm spec + same evaluation order.
+void SetSeed(uint64_t seed);
+
+// Parses a DDC_FAULTPOINTS-grammar spec and arms everything in it. Returns
+// false (with *error set) on a malformed spec; valid prefix entries before
+// the bad one stay armed.
+bool ArmFromSpec(std::string_view spec, std::string* error);
+
+// Counters: evaluations of an armed site / firings. Unarmed sites report 0.
+uint64_t Hits(std::string_view site);
+uint64_t Triggers(std::string_view site);
+
+// Uniform draw in [0, n) from the registry RNG (n == 0 returns 0). Fault
+// sites use it to pick tear offsets and delays so those choices replay too.
+uint64_t RandBelow(uint64_t n);
+
+// Throws AllocFailure{site}. Out-of-line so call sites stay branch + call.
+[[noreturn]] void RaiseAllocFailure(const char* site);
+
+namespace internal {
+// True if `site` is armed and its trigger fires for this evaluation. Crash
+// triggers never return: they flush stderr and _exit(kCrashExitCode).
+bool Evaluate(std::string_view site);
+}  // namespace internal
+
+// The site macro: `if (DDC_FAULTPOINT("wal.sync.fail")) { ...fail... }`.
+// One relaxed load when nothing is armed; full evaluation only while a
+// harness has armed at least one site.
+#define DDC_FAULTPOINT(site) \
+  (::ddc::fault::Enabled() && ::ddc::fault::internal::Evaluate(site))
+
+#else  // !DDC_FAULTS_ENABLED
+
+// Compile-time off: the macro is a literal false, the API is inert, and no
+// symbol from this library is referenced by guarded call sites.
+constexpr bool Compiled() { return false; }
+constexpr bool Enabled() { return false; }
+
+inline void Arm(std::string_view, Trigger) {}
+inline void Disarm(std::string_view) {}
+inline void DisarmAll() {}
+inline void SetSeed(uint64_t) {}
+inline bool ArmFromSpec(std::string_view, std::string* error) {
+  if (error != nullptr) error->clear();
+  return true;
+}
+inline uint64_t Hits(std::string_view) { return 0; }
+inline uint64_t Triggers(std::string_view) { return 0; }
+inline uint64_t RandBelow(uint64_t) { return 0; }
+// Inline so guarded-out call sites never create a reference into the fault
+// library; unreachable in this configuration (the guard is literal false).
+[[noreturn]] inline void RaiseAllocFailure(const char*) { __builtin_trap(); }
+
+#define DDC_FAULTPOINT(site) false
+
+#endif  // DDC_FAULTS_ENABLED
+
+}  // namespace fault
+}  // namespace ddc
+
+#endif  // DDC_FAULT_FAILPOINT_H_

@@ -182,8 +182,9 @@ QueryResult ExecuteWrite(const WriteStatement& write, CubeInterface* cube) {
   result.is_write = true;
   obs::TraceSpan span("query.write",
                       static_cast<int64_t>(write.mutations.size()));
-  // Validate up front so a bad statement is an error result, not a
-  // DDC_CHECK abort inside ApplyBatch.
+  // Validate up front so the error can name the offending arity; ApplyBatch
+  // itself rejects malformed batches too (second check below), so either
+  // way a bad statement is an error result, never an abort.
   const size_t d = static_cast<size_t>(cube->dims());
   for (const Mutation& m : write.mutations) {
     if (m.cell.size() != d) {
@@ -193,7 +194,10 @@ QueryResult ExecuteWrite(const WriteStatement& write, CubeInterface* cube) {
       return result;
     }
   }
-  cube->ApplyBatch(write.mutations);
+  if (!cube->ApplyBatch(write.mutations)) {
+    result.error = "malformed write batch rejected by the cube";
+    return result;
+  }
   result.mutations_applied = static_cast<int64_t>(write.mutations.size());
   if (obs::Enabled()) WriteMutationsHist().Record(result.mutations_applied);
   result.ok = true;

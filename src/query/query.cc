@@ -37,4 +37,32 @@ std::string QueryToString(const Query& query) {
   return out;
 }
 
+std::string WriteToString(const WriteStatement& write) {
+  // A write statement carries one verb for every point, so a mixed-kind
+  // batch (possible to build in code, impossible to parse) renders its
+  // first mutation's verb; parse→print→parse round-trips are exact for
+  // anything the parser can produce.
+  std::string out = write.mutations.empty() ||
+                            write.mutations.front().kind == MutationKind::kAdd
+                        ? "ADD"
+                        : "SET";
+  bool first = true;
+  for (const Mutation& m : write.mutations) {
+    out += first ? " AT [" : ", AT [";
+    first = false;
+    for (size_t i = 0; i < m.cell.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(m.cell[i]);
+    }
+    out += "] = " + std::to_string(m.delta);
+  }
+  return out;
+}
+
+std::string StatementToString(const Statement& statement) {
+  if (statement.query.has_value()) return QueryToString(*statement.query);
+  if (statement.write.has_value()) return WriteToString(*statement.write);
+  return "";
+}
+
 }  // namespace ddc

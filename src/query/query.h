@@ -76,6 +76,14 @@ struct Statement {
 // Renders a query back to its canonical text (for diagnostics and tests).
 std::string QueryToString(const Query& query);
 
+// Renders a write statement back to its canonical text. Parseable write
+// statements (one verb for every point) round-trip exactly; a hand-built
+// mixed-kind batch renders the first mutation's verb.
+std::string WriteToString(const WriteStatement& write);
+
+// Canonical text for either kind of statement (empty for an empty one).
+std::string StatementToString(const Statement& statement);
+
 const char* AggregateName(Aggregate aggregate);
 
 }  // namespace ddc

@@ -1,11 +1,15 @@
 #include "wal/cube_log.h"
 
 #include <cstring>
+#include <filesystem>
+#include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "ddc/snapshot.h"
+#include "fault/failpoint.h"
 #include "obs/trace.h"
 
 namespace ddc {
@@ -42,12 +46,7 @@ struct WalObs {
 };
 
 constexpr char kMagic[8] = {'D', 'D', 'C', 'W', 'L', 'O', 'G', '2'};
-
-// Upper bound on the per-record mutation count accepted at replay. A torn
-// or corrupt count field would otherwise send the reader chasing gigabytes
-// of garbage before noticing; any value past this is treated as a torn
-// tail.
-constexpr int32_t kMaxBatchOps = 1 << 20;
+constexpr int32_t kMaxBatchOps = CubeLog::kMaxBatchOps;
 
 // Record checksum: a simple multiply-xor mix over every field of the batch
 // record. Not cryptographic — it detects torn writes and bit flips, which
@@ -71,6 +70,11 @@ uint64_t Mix(std::span<const Mutation> batch) {
 template <typename T>
 void WritePod(std::ostream* out, T value) {
   out->write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+void AppendPod(std::string* buf, T value) {
+  buf->append(reinterpret_cast<const char*>(&value), sizeof(value));
 }
 
 template <typename T>
@@ -102,8 +106,25 @@ int ReadHeader(std::istream* in) {
 
 }  // namespace
 
-CubeLog::CubeLog(std::ofstream out, int dims)
-    : out_(std::move(out)), dims_(dims) {}
+CubeLog::CubeLog(std::ofstream out, std::string path, int dims)
+    : out_(std::move(out)), path_(std::move(path)), dims_(dims) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path_, ec);
+  written_bytes_ = ec ? 0 : static_cast<int64_t>(size);
+  synced_bytes_ = written_bytes_;
+}
+
+CubeLog::~CubeLog() {
+  if (!poisoned_) return;
+  // An injected write/sync failure is a crash point: the bytes the caller
+  // was never acked for must not outlive this handle, including anything a
+  // closing flush would push out. Close first (the stream may flush), then
+  // cut the file back to the last durable byte.
+  out_.close();
+  std::error_code ec;
+  std::filesystem::resize_file(path_, static_cast<uintmax_t>(synced_bytes_),
+                               ec);
+}
 
 std::unique_ptr<CubeLog> CubeLog::Open(const std::string& path, int dims) {
   DDC_CHECK(dims >= 1 && dims <= 20);
@@ -118,7 +139,7 @@ std::unique_ptr<CubeLog> CubeLog::Open(const std::string& path, int dims) {
   }
   std::ofstream out(path, std::ios::binary | std::ios::app);
   if (!out.is_open()) return nullptr;
-  return std::unique_ptr<CubeLog>(new CubeLog(std::move(out), dims));
+  return std::unique_ptr<CubeLog>(new CubeLog(std::move(out), path, dims));
 }
 
 bool CubeLog::Append(const Cell& cell, int64_t delta) {
@@ -128,32 +149,67 @@ bool CubeLog::Append(const Cell& cell, int64_t delta) {
 
 bool CubeLog::AppendBatch(std::span<const Mutation> batch) {
   if (batch.empty()) return true;
-  for (const Mutation& m : batch) {
-    DDC_CHECK(static_cast<int>(m.cell.size()) == dims_);
+  if (poisoned_) return false;
+  if (!BatchWellFormed(batch, dims_) ||
+      batch.size() > static_cast<size_t>(kMaxBatchOps)) {
+    return false;  // Recoverable caller error; nothing written.
   }
-  DDC_CHECK(batch.size() <= static_cast<size_t>(kMaxBatchOps));
   obs::ScopedLatencyTimer timer(&WalObs::Get().append_ns);
   if (obs::Enabled()) {
     WalObs::Get().appends.Increment();
     WalObs::Get().group_commit_batches.Increment();
     WalObs::Get().group_commit_ops.Add(static_cast<int64_t>(batch.size()));
   }
-  WritePod<int32_t>(&out_, static_cast<int32_t>(batch.size()));
+  // Serialize the whole record up front: the stream sees one contiguous
+  // write, and the short-write failpoint below can tear it at an arbitrary
+  // byte the way a crash mid-write() would.
+  std::string buf;
+  buf.reserve(sizeof(int32_t) +
+              batch.size() * (sizeof(int32_t) +
+                              (static_cast<size_t>(dims_) + 1) *
+                                  sizeof(int64_t)) +
+              sizeof(uint64_t));
+  AppendPod<int32_t>(&buf, static_cast<int32_t>(batch.size()));
   for (const Mutation& m : batch) {
-    WritePod<int32_t>(&out_, static_cast<int32_t>(m.kind));
-    for (Coord c : m.cell) WritePod<int64_t>(&out_, c);
-    WritePod<int64_t>(&out_, m.delta);
+    AppendPod<int32_t>(&buf, static_cast<int32_t>(m.kind));
+    for (Coord c : m.cell) AppendPod<int64_t>(&buf, c);
+    AppendPod<int64_t>(&buf, m.delta);
   }
-  WritePod<uint64_t>(&out_, Mix(batch));
+  AppendPod<uint64_t>(&buf, Mix(batch));
+  if (DDC_FAULTPOINT("wal.write.short")) {
+    // Write + flush a strict prefix of the record, then poison: the torn
+    // bytes are on disk (replay must discard them) and nothing may ever be
+    // appended behind them.
+    const auto cut = static_cast<std::streamsize>(
+        fault::RandBelow(static_cast<uint64_t>(buf.size())));
+    out_.write(buf.data(), cut);
+    out_.flush();
+    written_bytes_ += static_cast<int64_t>(cut);
+    if (out_.good()) synced_bytes_ = written_bytes_;
+    poisoned_ = true;
+    return false;
+  }
+  out_.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!out_.good()) return false;
+  written_bytes_ += static_cast<int64_t>(buf.size());
   appended_ += static_cast<int64_t>(batch.size());
-  return out_.good();
+  return true;
 }
 
 bool CubeLog::Sync() {
   obs::ScopedLatencyTimer timer(&WalObs::Get().sync_ns);
   if (obs::Enabled()) WalObs::Get().syncs.Increment();
+  if (poisoned_) return false;
+  if (DDC_FAULTPOINT("wal.sync.fail")) {
+    // The flush never happens: buffered records are lost when the handle
+    // dies (the destructor truncates back to synced_bytes_).
+    poisoned_ = true;
+    return false;
+  }
   out_.flush();
-  return out_.good();
+  if (!out_.good()) return false;
+  synced_bytes_ = written_bytes_;
+  return true;
 }
 
 ReplayResult CubeLog::Replay(const std::string& path, DynamicDataCube* cube) {
@@ -259,6 +315,10 @@ bool DurableCube::Add(const Cell& cell, int64_t delta, bool sync) {
 }
 
 bool DurableCube::ApplyBatch(std::span<const Mutation> batch, bool sync) {
+  if (!BatchWellFormed(batch, cube_->dims()) ||
+      batch.size() > static_cast<size_t>(CubeLog::kMaxBatchOps)) {
+    return false;  // Malformed: recoverable error, nothing logged or applied.
+  }
   if (batch.empty()) return true;
   // Log-before-apply, like Add — but the whole batch rides one record and
   // (with sync) one flush: the group commit.
@@ -268,6 +328,12 @@ bool DurableCube::ApplyBatch(std::span<const Mutation> batch, bool sync) {
     if (sync) logged = log_->Sync() && logged;
   }
   cube_->ApplyBatch(batch);
+  if (logged) {
+    // Crash latch for recovery harnesses: the batch is durable here but the
+    // caller has not observed the ack yet — the one window where recovery
+    // may legitimately come back with one more batch than was acked.
+    (void)DDC_FAULTPOINT("wal.commit.acked");
+  }
   return logged;
 }
 

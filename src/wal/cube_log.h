@@ -49,12 +49,24 @@ struct ReplayResult {
 
 class CubeLog {
  public:
+  // Upper bound on the per-record mutation count accepted at append and
+  // replay. A torn or corrupt count field would otherwise send the reader
+  // chasing gigabytes of garbage before noticing; any value past this is
+  // treated as a torn tail (and oversized batches are rejected at append).
+  static constexpr int32_t kMaxBatchOps = 1 << 20;
+
   // Opens `path` for appending, creating it (with a header) if absent. An
   // existing file must carry a matching header. Returns nullptr on error.
   static std::unique_ptr<CubeLog> Open(const std::string& path, int dims);
 
   CubeLog(const CubeLog&) = delete;
   CubeLog& operator=(const CubeLog&) = delete;
+
+  // If an injected failure poisoned the handle, destruction truncates the
+  // file back to the last durably synced byte: everything the caller was
+  // never acked for is gone, exactly as if the process had died at the
+  // failure point. (A clean handle closes normally.)
+  ~CubeLog();
 
   int dims() const { return dims_; }
 
@@ -64,13 +76,26 @@ class CubeLog {
 
   // Appends the whole batch as ONE record behind one checksum (buffered);
   // with the Sync that follows a group commit, the batch costs one append
-  // + one sync regardless of size. Every cell must have dims()
-  // coordinates (checked). An empty batch writes nothing. Returns false on
-  // write failure.
+  // + one sync regardless of size. Returns false — writing nothing — on a
+  // malformed batch (cell arity != dims(), or more than kMaxBatchOps
+  // mutations), and false on write failure. An empty batch writes nothing
+  // and succeeds.
+  //
+  // Failpoint `wal.write.short` (DDC_FAULTS builds): tears the record at a
+  // fault-chosen byte, flushes the torn prefix, and poisons the handle.
   bool AppendBatch(std::span<const Mutation> batch);
 
   // Flushes buffered records to the file.
+  //
+  // Failpoint `wal.sync.fail`: reports failure without flushing and
+  // poisons the handle (the buffered bytes will never reach the file).
   bool Sync();
+
+  // True once an injected write/sync failure occurred. A poisoned log
+  // accepts no further appends or syncs: anything written after a failed
+  // write would sit behind garbage and silently vanish at replay, so the
+  // only sound continuation is crash + recovery (see DESIGN.md §11).
+  bool poisoned() const { return poisoned_; }
 
   // Mutations appended through this handle (batches count each mutation).
   int64_t appended() const { return appended_; }
@@ -83,11 +108,17 @@ class CubeLog {
   static bool Reset(const std::string& path, int dims);
 
  private:
-  CubeLog(std::ofstream out, int dims);
+  CubeLog(std::ofstream out, std::string path, int dims);
 
   std::ofstream out_;
+  std::string path_;
   int dims_;
   int64_t appended_ = 0;
+  // Crash-simulation bookkeeping (meaningful only under injected faults):
+  // bytes logically written through this handle vs bytes known flushed.
+  int64_t written_bytes_ = 0;
+  int64_t synced_bytes_ = 0;
+  bool poisoned_ = false;
 };
 
 // DurableCube: a DynamicDataCube whose updates are logged before they are
@@ -124,8 +155,16 @@ class DurableCube {
   // (one append + one sync for the entire batch), then applies it through
   // the cube's batched write path. Durability is all-or-nothing for the
   // batch — after a crash, replay either re-applies every mutation of the
-  // record or none. Returns false when logging (or the sync) failed; the
-  // in-memory apply happens regardless, mirroring Add.
+  // record or none. A malformed batch (cell arity != dims, or oversized)
+  // is rejected up front: returns false, nothing logged or applied. For a
+  // well-formed batch, returns false when logging (or the sync) failed;
+  // the in-memory apply happens regardless, mirroring Add.
+  //
+  // A true return is the durability *ack*: the committed-prefix recovery
+  // contract (DESIGN.md §11) promises every acked batch survives a crash.
+  // The `wal.commit.acked` failpoint sits between the sync and the return
+  // so crash harnesses can kill the process in the acked-but-unobserved
+  // window.
   bool ApplyBatch(std::span<const Mutation> batch, bool sync = true);
 
   // Writes a snapshot and resets the log. Returns false on I/O failure.

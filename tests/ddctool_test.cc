@@ -207,6 +207,44 @@ TEST_F(DdcToolTest, StatsRendersUnifiedMetricSurface) {
   EXPECT_NE(Run({"stats", "--side", "3"}, nullptr, &err), 0);
 }
 
+TEST_F(DdcToolTest, FaultRunCompletesAndResumesWithoutFaults) {
+  const std::string base = "/tmp/ddctool_test_faultrun";
+  for (const char* suffix : {".snap", ".log", ".acks"}) {
+    std::remove((base + suffix).c_str());
+  }
+
+  // A clean run (no faults armed) applies the whole deterministic workload
+  // and verifies it against the shadow cube.
+  std::string out;
+  ASSERT_EQ(Run({"faultrun", "--base", base, "--batches", "20", "--seed",
+                 "5"},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("completed batches=20"), std::string::npos) << out;
+
+  // Re-running resumes from the acked prefix (everything), replays nothing
+  // new, and re-verifies.
+  ASSERT_EQ(Run({"faultrun", "--base", base, "--batches", "20", "--seed",
+                 "5"},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("recovered acked=20"), std::string::npos) << out;
+  EXPECT_NE(out.find("completed batches=20"), std::string::npos) << out;
+
+  // Usage errors are exit code 2 with a diagnostic, not a crash.
+  std::string err;
+  EXPECT_EQ(Run({"faultrun"}, nullptr, &err), 2);
+  EXPECT_FALSE(err.empty());
+  EXPECT_EQ(Run({"faultrun", "--base", base, "--dims", "0"}, nullptr, &err),
+            2);
+
+  for (const char* suffix : {".snap", ".log", ".acks"}) {
+    std::remove((base + suffix).c_str());
+  }
+}
+
 }  // namespace
 }  // namespace tools
 }  // namespace ddc

@@ -318,18 +318,34 @@ TEST(UpdateBatchTest, QueryWriteStatementsApplyAsOneBatch) {
   EXPECT_FALSE(bad.ok);
 }
 
-using UpdateBatchDeathTest = ::testing::Test;
+TEST(UpdateBatchTest, MalformedBatchIsRejectedWithoutApplying) {
+  // A batch whose second mutation has the wrong arity: the whole batch must
+  // be rejected as a recoverable error with NO mutation applied — not even
+  // the well-formed first one, and certainly not an abort.
+  const MutationBatch bad = {Mutation{{1, 2}, 5, MutationKind::kAdd},
+                             Mutation{{1, 2, 3}, 1, MutationKind::kAdd}};
 
-TEST(UpdateBatchDeathTest, MalformedBatchAborts) {
-  const MutationBatch bad = {Mutation{{1, 2, 3}, 1, MutationKind::kAdd}};
-  // Overridden path (DDC) and default-loop path (naive) both check arity
-  // before touching state.
-  DynamicDataCube ddc(2, 16);
-  EXPECT_DEATH(ddc.ApplyBatch(bad), "DDC_CHECK");
-  NaiveCube naive(Shape::Cube(2, 8));
-  EXPECT_DEATH(naive.ApplyBatch(bad), "DDC_CHECK");
+  DynamicDataCube ddc(2, 16);  // Overridden shared-descent path.
+  ddc.Add({1, 2}, 3);
+  EXPECT_FALSE(ddc.ApplyBatch(bad));
+  EXPECT_EQ(ddc.Get({1, 2}), 3);
+  EXPECT_EQ(ddc.TotalSum(), 3);
+
+  NaiveCube naive(Shape::Cube(2, 8));  // Default-loop path.
+  naive.Add({1, 2}, 3);
+  EXPECT_FALSE(naive.ApplyBatch(bad));
+  EXPECT_EQ(naive.Get({1, 2}), 3);
+
   ConcurrentCube concurrent(2, 16);
-  EXPECT_DEATH(concurrent.ApplyBatch(bad), "DDC_CHECK");
+  concurrent.Add({1, 2}, 3);
+  EXPECT_FALSE(concurrent.ApplyBatch(bad));
+  EXPECT_EQ(concurrent.Get({1, 2}), 3);
+
+  ShardedCube sharded(2, 16, 4);
+  sharded.Add({1, 2}, 3);
+  EXPECT_FALSE(sharded.ApplyBatch(bad));
+  EXPECT_EQ(sharded.Get({1, 2}), 3);
+  EXPECT_EQ(sharded.TotalSum(), 3);
 }
 
 }  // namespace

@@ -1,12 +1,17 @@
 #include "wal/cube_log.h"
 
+#include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/workload.h"
+#include "test_seed.h"
 
 namespace ddc {
 namespace {
@@ -277,6 +282,118 @@ TEST_F(WalTest, RecoveryAfterTornTailSelfHeals) {
   DurableCube again(2, 16, base_);
   EXPECT_EQ(again.recovery().applied, 0);
   EXPECT_EQ(again.cube().TotalSum(), 9);
+}
+
+// Every-byte truncation property: after a seeded session of interleaved
+// batches, checkpoints, and growth-driven re-roots, cutting the log at ANY
+// byte of the final record must recover exactly the committed prefix —
+// every earlier batch, never a partial final one. This is the exhaustive
+// version of TornTailStopsReplayCleanly: instead of one hand-picked tear
+// point, every tear point the kernel could produce.
+TEST_F(WalTest, TruncationAtEveryByteOfFinalRecordRecoversCommittedPrefix) {
+  const uint64_t seed = TestSeed(90210);
+  auto mix = [](uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+
+  const std::string log_path = base_ + ".log";
+  constexpr int kBatches = 10;
+  std::vector<MutationBatch> batches;
+  uint64_t rng = seed;
+  for (int i = 0; i < kBatches; ++i) {
+    MutationBatch batch;
+    const int n = 1 + static_cast<int>(mix(&rng) % 4);
+    for (int j = 0; j < n; ++j) {
+      // Coordinates past the initial side (8) force growth re-roots.
+      batch.push_back(Mutation{{static_cast<Coord>(mix(&rng) % 40),
+                                static_cast<Coord>(mix(&rng) % 40)},
+                               static_cast<int64_t>(mix(&rng) % 15) - 7,
+                               mix(&rng) % 5 == 0 ? MutationKind::kSet
+                                                  : MutationKind::kAdd});
+    }
+    batches.push_back(std::move(batch));
+  }
+
+  uintmax_t prior_size = 0;
+  uintmax_t final_size = 0;
+  {
+    DurableCube cube(2, 8, base_);
+    ASSERT_TRUE(cube.durable());
+    for (int i = 0; i < kBatches; ++i) {
+      if (i == kBatches - 1) {
+        prior_size = std::filesystem::file_size(log_path);
+      }
+      ASSERT_TRUE(cube.ApplyBatch(batches[i], /*sync=*/true));
+      // Interleave checkpoint flavours, but only strictly before the final
+      // batch so the tail under test stays in the log.
+      if (i == 3) {
+        ASSERT_TRUE(cube.Checkpoint());
+      }
+      if (i == 6) cube.CheckpointIfRerooted();
+    }
+    final_size = std::filesystem::file_size(log_path);
+  }
+  ASSERT_GT(final_size, prior_size);
+
+  // Reference states: all batches, and all-but-the-last.
+  auto collect = [](const DynamicDataCube& cube) {
+    std::map<Cell, int64_t> cells;
+    cube.ForEachNonZero(
+        [&cells](const Cell& cell, int64_t value) { cells[cell] = value; });
+    return cells;
+  };
+  std::map<Cell, int64_t> want_full;
+  std::map<Cell, int64_t> want_prefix;
+  {
+    DynamicDataCube full(2, 8);
+    for (int i = 0; i < kBatches; ++i) ASSERT_TRUE(full.ApplyBatch(batches[i]));
+    want_full = collect(full);
+    DynamicDataCube prefix(2, 8);
+    for (int i = 0; i < kBatches - 1; ++i) {
+      ASSERT_TRUE(prefix.ApplyBatch(batches[i]));
+    }
+    want_prefix = collect(prefix);
+  }
+
+  // Snapshot + log bytes from the finished session.
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string snap_bytes = slurp(base_ + ".snap");
+  const std::string log_bytes = slurp(log_path);
+  ASSERT_EQ(log_bytes.size(), final_size);
+  ASSERT_FALSE(snap_bytes.empty());
+
+  const std::string scratch = "/tmp/ddc_wal_trunc_scratch";
+  for (uintmax_t len = prior_size; len <= final_size; ++len) {
+    SCOPED_TRACE("log truncated to " + std::to_string(len) + " of " +
+                 std::to_string(final_size) + " bytes");
+    {
+      std::ofstream snap(scratch + ".snap",
+                        std::ios::binary | std::ios::trunc);
+      snap.write(snap_bytes.data(),
+                 static_cast<std::streamsize>(snap_bytes.size()));
+    }
+    {
+      std::ofstream log(scratch + ".log", std::ios::binary | std::ios::trunc);
+      log.write(log_bytes.data(), static_cast<std::streamsize>(len));
+    }
+    {
+      DurableCube recovered(2, 8, scratch);
+      const bool complete = len == final_size;
+      EXPECT_EQ(recovered.recovery().clean_tail,
+                complete || len == prior_size);
+      EXPECT_EQ(collect(recovered.cube()),
+                complete ? want_full : want_prefix);
+    }
+    std::remove((scratch + ".snap").c_str());
+    std::remove((scratch + ".log").c_str());
+  }
 }
 
 TEST_F(WalTest, RandomizedDurabilityRoundTrip) {

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Verifies the default -DDDC_FAULTS=OFF configuration really compiles the
+# failpoints to nothing:
+#
+#   1. Symbol gate: no production static library may carry an undefined
+#      reference into the fault registry (ddc::fault::...). With the macro
+#      expanding to a literal `false`, the guarded branches must fold away
+#      entirely — a stray reference means a call site bypassed the macro.
+#   2. Behaviour gate: the suites covering every faultpointed layer (WAL,
+#      arena, thread pool, batched updates, ddctool faultrun) pass, and the
+#      fault-specific suites skip themselves cleanly.
+#   3. Perf gate: bench_smoke still meets the committed baselines — the
+#      failpoint sites sit on the WAL append/sync and arena hot paths, so a
+#      non-folded guard would show up as a ratio regression.
+#
+#   tools/check_faults_off.sh           # configure + build + gate
+#
+# The build tree lands in build-faultsoff/ next to the source tree. Part of
+# the verify flow alongside tools/check_obs_off.sh.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAULTS_OFF_TARGETS=(wal_test arena_test update_batch_test ddctool_test
+                    fault_recovery_test query_fuzz_test
+                    bench_query_batch bench_update_batch ddctool)
+
+echo "=== DDC_FAULTS=OFF: configuring build-faultsoff ==="
+cmake -B build-faultsoff -S . -DDDC_FAULTS=OFF > /dev/null
+echo "=== DDC_FAULTS=OFF: building ==="
+cmake --build build-faultsoff -j "$(nproc)" --target "${FAULTS_OFF_TARGETS[@]}"
+
+echo "=== DDC_FAULTS=OFF: symbol gate (no refs into ddc::fault) ==="
+# Every non-fault production archive must be free of undefined references to
+# the fault registry. The mangled prefix for ddc::fault is "3ddc5fault".
+fail=0
+while IFS= read -r lib; do
+  case "$lib" in
+    */libddc_fault.a) continue ;;
+  esac
+  if nm -u "$lib" 2>/dev/null | grep -q "3ddc5fault"; then
+    echo "FAIL: $lib references ddc::fault symbols in a faults-off build:"
+    nm -u "$lib" | grep "3ddc5fault" | head -5
+    fail=1
+  fi
+done < <(find build-faultsoff/src build-faultsoff/tools -name 'libddc_*.a')
+if [ "$fail" -ne 0 ]; then
+  echo "check_faults_off: failpoints did not compile out" >&2
+  exit 1
+fi
+echo "symbol gate passed: production libraries carry no fault references"
+
+echo "=== DDC_FAULTS=OFF: running suites ==="
+for t in wal_test arena_test update_batch_test ddctool_test \
+         fault_recovery_test query_fuzz_test; do
+  ./build-faultsoff/tests/"$t" > /dev/null
+done
+
+echo "=== DDC_FAULTS=OFF: bench_smoke ratio gate ==="
+ctest --test-dir build-faultsoff -L bench_smoke --output-on-failure
+
+echo "DDC_FAULTS=OFF gates passed."

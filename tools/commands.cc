@@ -17,6 +17,7 @@
 #include "concurrent/sharded_cube.h"
 #include "ddc/dynamic_data_cube.h"
 #include "ddc/snapshot.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "olap/measure.h"
@@ -148,7 +149,11 @@ std::string UsageText() {
          "  ddctool export CUBE --csv OUT\n"
          "  ddctool shrink CUBE\n"
          "  ddctool stats  [--dims D] [--side S] [--ops N] [--shards K]\n"
-         "                 [--format text|json|both] [--trace OUT|-]\n";
+         "                 [--format text|json|both] [--trace OUT|-]\n"
+         "  ddctool faultrun --base PATH [--dims D] [--side S] [--seed N]\n"
+         "                 [--batches N] [--batch-size K] [--acks FILE]\n"
+         "                 (crash-recovery child for tools/crashloop.sh; "
+         "exits 87 at injected crash points)\n";
 }
 
 int CmdCreate(const std::vector<std::string>& args, std::ostream& out,
@@ -538,6 +543,217 @@ int CmdStats(const std::vector<std::string>& args, std::ostream& out,
   return 0;
 }
 
+namespace {
+
+// --- faultrun: the crash-recovery differential child process ---------------
+//
+// tools/crashloop.sh runs `ddctool faultrun` repeatedly with crash-armed
+// DDC_FAULTPOINTS. The workload is a pure function of (--seed, batch
+// index), so after a kill the next run reconstructs the committed prefix
+// from nothing but the ack file and the two integers, verifies recovery
+// against it, and resumes. Protocol details in DESIGN.md §11.
+
+uint64_t FaultrunMix(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Batch i of the deterministic workload. Mixed ADD/SET, deltas in [-9, 9];
+// coordinates mostly inside 2x the seed side, with every 8th batch
+// reaching to 4x so growth re-roots keep happening across restarts.
+MutationBatch FaultrunBatch(uint64_t seed, int64_t index, int dims,
+                            int64_t side, int64_t batch_size) {
+  uint64_t s =
+      seed ^ (0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(index) + 1));
+  const int64_t n =
+      1 + static_cast<int64_t>(FaultrunMix(&s) %
+                               static_cast<uint64_t>(batch_size));
+  const int64_t reach = (index % 8 == 5) ? side * 4 : side * 2;
+  MutationBatch batch;
+  batch.reserve(static_cast<size_t>(n));
+  for (int64_t k = 0; k < n; ++k) {
+    Mutation m;
+    m.cell.resize(static_cast<size_t>(dims));
+    for (int d = 0; d < dims; ++d) {
+      m.cell[static_cast<size_t>(d)] = static_cast<Coord>(
+          FaultrunMix(&s) % static_cast<uint64_t>(reach));
+    }
+    m.delta = static_cast<int64_t>(FaultrunMix(&s) % 19) - 9;
+    m.kind = (FaultrunMix(&s) % 4 == 0) ? MutationKind::kSet
+                                        : MutationKind::kAdd;
+    batch.push_back(std::move(m));
+  }
+  return batch;
+}
+
+// The shadow oracle: a fresh cube with batches [0, upto) applied.
+std::unique_ptr<DynamicDataCube> FaultrunExpected(uint64_t seed, int64_t upto,
+                                                  int dims, int64_t side,
+                                                  int64_t batch_size) {
+  auto cube = std::make_unique<DynamicDataCube>(dims, side);
+  for (int64_t i = 0; i < upto; ++i) {
+    cube->ApplyBatch(FaultrunBatch(seed, i, dims, side, batch_size));
+  }
+  return cube;
+}
+
+bool FaultrunCubesEqual(const DynamicDataCube& a, const DynamicDataCube& b) {
+  if (a.TotalSum() != b.TotalSum()) return false;
+  bool equal = true;
+  a.ForEachNonZero([&](const Cell& cell, int64_t v) {
+    if (b.Get(cell) != v) equal = false;
+  });
+  b.ForEachNonZero([&](const Cell& cell, int64_t v) {
+    if (a.Get(cell) != v) equal = false;
+  });
+  return equal;
+}
+
+// Counts sequential "ack <i>" lines; -1 on a gap or garbage (a damaged ack
+// file means the harness itself is broken — fail loudly, don't guess).
+int64_t ReadAckCount(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return 0;
+  int64_t count = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line != "ack " + std::to_string(count)) return -1;
+    ++count;
+  }
+  return count;
+}
+
+bool AppendAck(const std::string& path, int64_t index) {
+  std::ofstream out(path, std::ios::app);
+  if (!out.is_open()) return false;
+  out << "ack " << index << "\n";
+  out.flush();
+  return out.good();
+}
+
+}  // namespace
+
+int CmdFaultRun(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  ParsedArgs parsed;
+  if (!ParseArgs(args, &parsed, err)) return 2;
+  std::string base;
+  if (!parsed.GetFlag("base", &base)) {
+    err << "faultrun: --base PATH is required\n";
+    return 2;
+  }
+  int64_t dims = 2;
+  if (parsed.GetInt("dims", &dims) && (dims < 1 || dims > 20)) {
+    err << "faultrun: --dims must be in [1, 20]\n";
+    return 2;
+  }
+  int64_t side = 16;
+  if (parsed.GetInt("side", &side) && (side < 2 || !IsPowerOfTwo(side))) {
+    err << "faultrun: --side must be a power of two >= 2\n";
+    return 2;
+  }
+  int64_t seed = 1;
+  parsed.GetInt("seed", &seed);
+  int64_t batches = 64;
+  if (parsed.GetInt("batches", &batches) && batches < 1) {
+    err << "faultrun: --batches must be >= 1\n";
+    return 2;
+  }
+  int64_t batch_size = 8;
+  if (parsed.GetInt("batch-size", &batch_size) && batch_size < 1) {
+    err << "faultrun: --batch-size must be >= 1\n";
+    return 2;
+  }
+  std::string acks = base + ".acks";
+  parsed.GetFlag("acks", &acks);
+
+  const int64_t acked = ReadAckCount(acks);
+  if (acked < 0) {
+    err << "faultrun: corrupt ack file '" << acks << "'\n";
+    return 4;
+  }
+
+  DurableCube durable(static_cast<int>(dims), side, base);
+  if (!durable.durable()) {
+    err << "faultrun: cannot open durable files at '" << base << "'\n";
+    return 4;
+  }
+
+  // Committed-prefix check: recovery must equal the acked prefix exactly —
+  // except that one *unacked* committed batch is legal, because a crash can
+  // land between the WAL sync and the ack write (the wal.commit.acked
+  // window). In that case the ack is reconciled and the run resumes after
+  // it.
+  int64_t resume = acked;
+  auto expected = FaultrunExpected(static_cast<uint64_t>(seed), acked,
+                                   static_cast<int>(dims), side, batch_size);
+  if (!FaultrunCubesEqual(durable.cube(), *expected)) {
+    bool reconciled = false;
+    if (acked < batches) {
+      expected->ApplyBatch(FaultrunBatch(static_cast<uint64_t>(seed), acked,
+                                         static_cast<int>(dims), side,
+                                         batch_size));
+      if (FaultrunCubesEqual(durable.cube(), *expected)) {
+        AppendAck(acks, acked);
+        resume = acked + 1;
+        reconciled = true;
+      }
+    }
+    if (!reconciled) {
+      err << "faultrun: recovered state matches neither the acked prefix ("
+          << acked << " batches) nor prefix+1 — committed-prefix contract "
+          << "violated\n";
+      return 3;
+    }
+  }
+  out << "faultrun: recovered acked=" << acked << " resume=" << resume
+      << " replayed=" << durable.recovery().batches << " batches\n";
+
+  for (int64_t i = resume; i < batches; ++i) {
+    const MutationBatch batch = FaultrunBatch(
+        static_cast<uint64_t>(seed), i, static_cast<int>(dims), side,
+        batch_size);
+    bool ok = false;
+    try {
+      ok = durable.ApplyBatch(batch, /*sync=*/true);
+    } catch (const fault::AllocFailure&) {
+      // The in-memory tree may hold a partial batch; the WAL already has
+      // the record. Only a crash + recovery yields a consistent state.
+      _exit(fault::kCrashExitCode);
+    }
+    if (!ok) {
+      // Failed append/sync: the log refuses further writes (poisoned), so
+      // continuing is impossible — treat it exactly like a crash and let
+      // the next run recover the acked prefix.
+      err << "faultrun: WAL append failed at batch " << i
+          << " (crash point)\n";
+      err.flush();
+      _exit(fault::kCrashExitCode);
+    }
+    AppendAck(acks, i);
+    if (i % 7 == 3) {
+      durable.Checkpoint();  // May fail under wal.checkpoint.tear: fine,
+                             // the log still holds everything post-snapshot.
+    } else if (i % 5 == 2) {
+      durable.CheckpointIfRerooted();
+    }
+  }
+
+  auto final_expected =
+      FaultrunExpected(static_cast<uint64_t>(seed), batches,
+                       static_cast<int>(dims), side, batch_size);
+  if (!FaultrunCubesEqual(durable.cube(), *final_expected)) {
+    err << "faultrun: final state diverges from the shadow cube\n";
+    return 3;
+  }
+  out << "faultrun: completed batches=" << batches
+      << " total=" << durable.cube().TotalSum() << "\n";
+  return 0;
+}
+
 int RunDdcTool(const std::vector<std::string>& args, std::ostream& out,
                std::ostream& err) {
   if (args.empty()) {
@@ -555,6 +771,7 @@ int RunDdcTool(const std::vector<std::string>& args, std::ostream& out,
   if (command == "export") return CmdExport(rest, out, err);
   if (command == "shrink") return CmdShrink(rest, out, err);
   if (command == "stats") return CmdStats(rest, out, err);
+  if (command == "faultrun") return CmdFaultRun(rest, out, err);
   if (command == "help" || command == "--help") {
     out << UsageText();
     return 0;

@@ -12,6 +12,8 @@
 //   ddctool shrink  CUBE
 //   ddctool stats   [--dims D] [--side S] [--ops N] [--shards K]
 //                   [--format text|json|both] [--trace OUT|-]
+//   ddctool faultrun --base PATH [--dims D] [--side S] [--seed N]
+//                   [--batches N] [--batch-size K] [--acks FILE]
 //
 // Every command returns a process exit code (0 = success) and writes its
 // human-readable output to `out` and diagnostics to `err`.
@@ -52,6 +54,15 @@ int CmdShrink(const std::vector<std::string>& args, std::ostream& out,
 // renders the metrics registry (text and/or JSON; optional trace dump).
 int CmdStats(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err);
+// Crash-recovery differential child for tools/crashloop.sh: applies a
+// deterministic (seed, index)-derived batch sequence to a DurableCube,
+// acking each durable batch to a sidecar file, and on startup verifies the
+// recovered state equals the acked prefix (or prefix+1 for a crash in the
+// synced-but-unacked window, which it reconciles). Exit codes: 0 done, 2
+// usage, 3 committed-prefix violation, 4 I/O setup failure; exits with
+// fault::kCrashExitCode (87) at injected crash points.
+int CmdFaultRun(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
 
 std::string UsageText();
 

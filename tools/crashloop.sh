@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Crash-recovery loop driver: runs `ddctool faultrun` as a child process
+# with crash-armed faultpoints, lets injected faults kill it mid-commit,
+# restarts it, and relies on faultrun's own committed-prefix verification
+# (recovered state must equal the acked batches exactly, give or take the
+# one synced-but-unacked batch) to fail loudly on any divergence. A final
+# fault-free pass must finish the workload and verify against the shadow
+# cube.
+#
+#   tools/crashloop.sh --ddctool build-faults/tools/ddctool \
+#       [--cycles 40] [--batches 200] [--seed 7] [--workdir DIR]
+#
+# Requires a ddctool built with -DDDC_FAULTS=ON (a faults-off binary never
+# crashes, so the loop degenerates to one clean run and says so). Exit
+# codes: 0 success, 1 contract violation or setup failure.
+#
+# Protocol (DESIGN.md §11): the child exits 87 (fault::kCrashExitCode) at
+# an injected crash point — restart and recover; exits 0 — workload done;
+# anything else is a real failure.
+
+set -euo pipefail
+
+DDCTOOL=""
+CYCLES=40
+BATCHES=200
+SEED=7
+WORKDIR=""
+
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --ddctool) DDCTOOL="$2"; shift 2 ;;
+    --cycles)  CYCLES="$2"; shift 2 ;;
+    --batches) BATCHES="$2"; shift 2 ;;
+    --seed)    SEED="$2"; shift 2 ;;
+    --workdir) WORKDIR="$2"; shift 2 ;;
+    *) echo "crashloop: unknown argument '$1'" >&2; exit 1 ;;
+  esac
+done
+
+if [ -z "$DDCTOOL" ] || [ ! -x "$DDCTOOL" ]; then
+  echo "crashloop: --ddctool PATH (an executable ddctool) is required" >&2
+  exit 1
+fi
+
+if [ -z "$WORKDIR" ]; then
+  WORKDIR="$(mktemp -d "${TMPDIR:-/tmp}/ddc_crashloop.XXXXXX")"
+  trap 'rm -rf "$WORKDIR"' EXIT
+fi
+BASE="$WORKDIR/cube"
+RUN=("$DDCTOOL" faultrun --base "$BASE" --dims 2 --side 16
+     --seed "$SEED" --batches "$BATCHES")
+
+# Rotate through the crash sites so every commit-path window gets killed:
+# a torn record write, a failed sync, a torn checkpoint, an allocation
+# failure mid-apply, and the synced-but-unacked ack window.
+SPECS=(
+  "wal.write.short=after:6:crash"
+  "wal.sync.fail=after:9:crash"
+  "wal.commit.acked=after:4:crash"
+  "arena.alloc.fail=after:20:crash"
+  "wal.checkpoint.tear=after:1:crash"
+)
+
+cycle=0
+while [ "$cycle" -lt "$CYCLES" ]; do
+  spec="seed=$((SEED + cycle));${SPECS[$((cycle % ${#SPECS[@]}))]}"
+  echo "--- crashloop cycle $cycle: DDC_FAULTPOINTS='$spec'"
+  rc=0
+  DDC_FAULTPOINTS="$spec" "${RUN[@]}" || rc=$?
+  if [ "$rc" -eq 0 ]; then
+    echo "crashloop: workload completed during cycle $cycle"
+    break
+  elif [ "$rc" -ne 87 ]; then
+    echo "crashloop: child failed with rc=$rc (not an injected crash)" >&2
+    exit 1
+  fi
+  cycle=$((cycle + 1))
+done
+
+if [ "$cycle" -eq "$CYCLES" ] && [ "${rc:-87}" -eq 87 ]; then
+  echo "crashloop: $CYCLES crash cycles injected; finishing fault-free"
+fi
+
+# Final pass with no faults armed: must recover, finish every remaining
+# batch, and verify the full workload against the shadow cube.
+"${RUN[@]}"
+echo "crashloop: committed-prefix recovery held across $cycle injected crashes"

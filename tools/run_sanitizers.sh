@@ -14,10 +14,11 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-# The targets behind `ctest -L sanitize` (keep in sync with
+# The targets behind `ctest -L "sanitize|fault"` (keep in sync with
 # tests/CMakeLists.txt). Building only these keeps a sanitizer run fast.
 SANITIZE_TARGETS=(concurrent_test sharded_cube_test sharded_stress_test
-                  query_batch_test update_batch_test obs_concurrent_test)
+                  query_batch_test update_batch_test obs_concurrent_test
+                  fault_recovery_test query_fuzz_test wal_test ddctool)
 
 run_one() {
   local kind="$1"
@@ -28,15 +29,19 @@ run_one() {
     *) echo "unknown sanitizer '$kind' (want thread|address)" >&2; exit 2 ;;
   esac
   echo "=== ${kind} sanitizer: configuring ${dir} ==="
-  cmake -B "$dir" -S . -DDDC_SANITIZE="$kind" > /dev/null
+  # Faults on: the crash-recovery differential suite and the crashloop
+  # harness do their real work only in a faults build, and every injected
+  # failure path (poisoned-log truncation, AllocFailure unwinding, delayed
+  # pool lanes) should be exercised under both sanitizers.
+  cmake -B "$dir" -S . -DDDC_SANITIZE="$kind" -DDDC_FAULTS=ON > /dev/null
   echo "=== ${kind} sanitizer: building ==="
   cmake --build "$dir" -j "$(nproc)" --target "${SANITIZE_TARGETS[@]}"
-  echo "=== ${kind} sanitizer: running ctest -L sanitize ==="
+  echo "=== ${kind} sanitizer: running ctest -L 'sanitize|fault' ==="
   # halt_on_error makes the first report fail the test instead of merely
   # printing; second_deadlock_stack improves lock-order reports.
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
-    ctest --test-dir "$dir" -L sanitize --output-on-failure
+    ctest --test-dir "$dir" -L "sanitize|fault" --output-on-failure
 }
 
 if [ "$#" -eq 0 ]; then
