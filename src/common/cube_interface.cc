@@ -19,13 +19,34 @@ void CubeInterface::RangeSumBatch(std::span<const Box> ranges,
   }
 }
 
+void CubeInterface::RangeAdd(const Box& box, int64_t delta) {
+  const Box clipped = IntersectBoxes(box, Box{DomainLo(), DomainHi()});
+  if (clipped.IsEmpty() || delta == 0) return;
+  ForEachCellInBox(clipped, [this, delta](const Cell& c) { Add(c, delta); });
+}
+
+void CubeInterface::RangeSet(const Box& box, int64_t value) {
+  const Box clipped = IntersectBoxes(box, Box{DomainLo(), DomainHi()});
+  if (clipped.IsEmpty()) return;
+  ForEachCellInBox(clipped, [this, value](const Cell& c) { Set(c, value); });
+}
+
 bool CubeInterface::ApplyBatch(std::span<const Mutation> batch) {
   if (!BatchWellFormed(batch, dims())) return false;
   for (const Mutation& m : batch) {
-    if (m.kind == MutationKind::kSet) {
-      Set(m.cell, m.delta);
-    } else {
-      Add(m.cell, m.delta);
+    switch (m.kind) {
+      case MutationKind::kAdd:
+        Add(m.cell, m.delta);
+        break;
+      case MutationKind::kSet:
+        Set(m.cell, m.delta);
+        break;
+      case MutationKind::kRangeAdd:
+        RangeAdd(m.box(), m.delta);
+        break;
+      case MutationKind::kRangeSet:
+        RangeSet(m.box(), m.delta);
+        break;
     }
   }
   return true;

@@ -42,14 +42,30 @@ class CubeInterface {
   // Returns A[cell].
   virtual int64_t Get(const Cell& cell) const = 0;
 
+  // Adds `delta` to every cell of the closed box [box.lo .. box.hi]. The
+  // box is clipped to the current domain (cells outside it are untouched);
+  // an empty box — including inverted bounds — is a no-op. The default is
+  // the per-cell loop; DynamicDataCube overrides it with the signed-corner
+  // overlay scheme (DESIGN.md §12) and additionally grows to contain the
+  // box instead of clipping, matching its point-write semantics.
+  virtual void RangeAdd(const Box& box, int64_t delta);
+
+  // Sets every cell of the clipped box to `value`. Same clipping and
+  // empty-box rules as RangeAdd. Range-set is inherently Theta(|box|) for
+  // nonzero `value` (each cell's prior value must be individually
+  // discarded), so every implementation routes it cell-by-cell through the
+  // same write pipeline as point sets.
+  virtual void RangeSet(const Box& box, int64_t value);
+
   // Applies `batch` front to back; semantically identical to calling Add /
-  // Set per mutation in order — the contract the differential tests rely
-  // on. Returns false (and applies nothing) when any mutation's cell does
-  // not have dims() coordinates; a malformed batch is a recoverable error,
-  // not an abort (see BatchWellFormed in common/mutation.h). Structures
-  // that can amortize work across a batch (one shared tree descent,
-  // per-cell delta coalescing, per-shard lock grouping, WAL group commit)
-  // override this; the default is the plain loop.
+  // Set / RangeAdd / RangeSet per mutation in order — the contract the
+  // differential tests rely on. Returns false (and applies nothing) when
+  // any mutation carries the wrong coordinate arity for dims() (range
+  // mutations carry 2d coordinates; see BatchWellFormed in
+  // common/mutation.h); a malformed batch is a recoverable error, not an
+  // abort. Structures that can amortize work across a batch (one shared
+  // tree descent, per-cell delta coalescing, per-shard lock grouping, WAL
+  // group commit) override this; the default is the plain loop.
   virtual bool ApplyBatch(std::span<const Mutation> batch);
 
   // Returns SUM(A[DomainLo() .. cell]). `cell` must be inside the domain.

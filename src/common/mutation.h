@@ -3,11 +3,12 @@
 // Every cube accepts writes either one at a time (Set/Add virtuals) or as a
 // MutationBatch through CubeInterface::ApplyBatch. A batch is semantically a
 // *sequence*: applying it must be indistinguishable from applying each
-// mutation in order with Add/Set. That sequencing matters only when a batch
-// touches the same cell more than once — CoalesceMutations below folds such
-// runs into a single net effect per cell so that batched implementations can
-// do one tree descent per distinct cell without changing the observable
-// result.
+// mutation in order with Add/Set/RangeAdd/RangeSet. That sequencing matters
+// only when mutations overlap on cells — CoalesceMutations below folds
+// point runs into a single net effect per cell so that batched
+// implementations can do one tree descent per distinct cell without
+// changing the observable result, and BuildCoalesceProgram extends the same
+// idea to batches that also carry hyper-rectangle (range) mutations.
 
 #ifndef DDC_COMMON_MUTATION_H_
 #define DDC_COMMON_MUTATION_H_
@@ -15,38 +16,79 @@
 #include <cstdint>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/cell.h"
+#include "common/range.h"
 
 namespace ddc {
 
-// What a mutation does to its cell: kAdd means A[cell] += value, kSet means
-// A[cell] = value.
-enum class MutationKind { kAdd, kSet };
+// What a mutation does. Point kinds: kAdd means A[cell] += value, kSet means
+// A[cell] = value. Range kinds operate on every cell of the closed box
+// [cell .. hi]: kRangeAdd means A[c] += value for all c in the box, kRangeSet
+// means A[c] = value for all c in the box. An empty box (lo[i] > hi[i] in
+// any dimension) is a no-op, which makes inverted bounds from untrusted
+// query text harmless by construction.
+enum class MutationKind { kAdd, kSet, kRangeAdd, kRangeSet };
 
-// A single point write. `delta` is the additive delta for kAdd and the
-// assigned value for kSet.
+inline bool IsRangeKind(MutationKind kind) {
+  return kind == MutationKind::kRangeAdd || kind == MutationKind::kRangeSet;
+}
+
+// A single write. For point kinds `cell` is the target and `hi` must be
+// empty; for range kinds `cell` is the box's low corner and `hi` its high
+// corner (both inclusive — a range mutation carries 2d coordinates).
+// `delta` is the additive delta for kAdd/kRangeAdd and the assigned value
+// for kSet/kRangeSet.
 struct Mutation {
   Cell cell;
-  int64_t delta;
+  int64_t delta = 0;
   MutationKind kind = MutationKind::kAdd;
+  Cell hi{};
+
+  bool is_range() const { return IsRangeKind(kind); }
+  // The box a range mutation covers. Only meaningful when is_range().
+  Box box() const { return Box{cell, hi}; }
 };
+
+inline Mutation MakeRangeAdd(Cell lo, Cell hi, int64_t delta) {
+  return Mutation{std::move(lo), delta, MutationKind::kRangeAdd,
+                  std::move(hi)};
+}
+
+inline Mutation MakeRangeSet(Cell lo, Cell hi, int64_t value) {
+  return Mutation{std::move(lo), value, MutationKind::kRangeSet,
+                  std::move(hi)};
+}
 
 // An ordered sequence of mutations, applied front to back.
 using MutationBatch = std::vector<Mutation>;
 
-// True iff every mutation's cell has exactly `dims` coordinates. ApplyBatch
-// implementations check this before touching any state and reject the batch
-// as a recoverable error (return false, nothing applied) — a malformed
-// batch is a caller bug the durability and query layers must surface, not
-// die on.
+// True iff every mutation carries the right number of coordinates for
+// `dims`: point mutations need a dims-ary cell and an *empty* hi (a point
+// with a stray high corner is a malformed range, not a point), range
+// mutations need dims-ary cell and hi both. ApplyBatch implementations
+// check this before touching any state and reject the batch as a
+// recoverable error (return false, nothing applied) — a malformed batch is
+// a caller bug the durability and query layers must surface, not die on.
 inline bool BatchWellFormed(std::span<const Mutation> batch, int dims) {
   const size_t d = static_cast<size_t>(dims);
   for (const Mutation& m : batch) {
     if (m.cell.size() != d) return false;
+    if (m.is_range() ? m.hi.size() != d : !m.hi.empty()) return false;
   }
   return true;
+}
+
+// True iff any mutation in `batch` is a range kind. Layers whose fast path
+// only understands points (seqlock sharding, coalesce-outside-lock) use
+// this to route range-carrying batches through their exact slow path.
+inline bool BatchHasRange(std::span<const Mutation> batch) {
+  for (const Mutation& m : batch) {
+    if (m.is_range()) return true;
+  }
+  return false;
 }
 
 // Historical spellings, kept so existing call sites (ShardedCube batches,
@@ -67,10 +109,12 @@ struct CoalescedCell {
   int64_t set_value = 0;
 };
 
-// Folds `batch` into one CoalescedCell per distinct cell, preserving the
-// order in which cells first appear. Sequential semantics are preserved
-// exactly: a kSet discards any earlier effect on its cell, and kAdds after
-// it accumulate on top of the set value.
+// Folds a *point-only* `batch` into one CoalescedCell per distinct cell,
+// preserving the order in which cells first appear. Sequential semantics
+// are preserved exactly: a kSet discards any earlier effect on its cell,
+// and kAdds after it accumulate on top of the set value. Precondition: no
+// range mutations (they cannot be folded per-cell; use
+// BuildCoalesceProgram for mixed batches).
 inline std::vector<CoalescedCell> CoalesceMutations(
     std::span<const Mutation> batch) {
   std::vector<CoalescedCell> cells;
@@ -90,6 +134,49 @@ inline std::vector<CoalescedCell> CoalesceMutations(
     }
   }
   return cells;
+}
+
+// One step of a coalesce program: a run of point mutations folded per cell
+// (first-appearance order), optionally followed by one range mutation. The
+// program's steps applied front to back — each step's coalesced points
+// first, then its range op — reproduce the batch's sequential semantics
+// exactly.
+struct CoalescedStep {
+  std::vector<CoalescedCell> points;
+  bool has_range = false;
+  Mutation range;  // Meaningful only when has_range.
+};
+
+// Splits `batch` into CoalescedSteps. Every range mutation acts as a
+// barrier: it closes the current point run (points before it happened
+// before it; points after it open a new step). This is deliberately
+// conservative — a range op is a barrier even for cells it does not cover —
+// because it keeps the transform trivially order-exact for every
+// interleaving, which the property tests check against a cell-by-cell
+// oracle. Point runs between barriers still coalesce to one descent per
+// distinct cell, so the common point-heavy batch loses nothing.
+inline std::vector<CoalescedStep> BuildCoalesceProgram(
+    std::span<const Mutation> batch) {
+  std::vector<CoalescedStep> steps;
+  MutationBatch run;
+  for (const Mutation& m : batch) {
+    if (!m.is_range()) {
+      run.push_back(m);
+      continue;
+    }
+    CoalescedStep step;
+    step.points = CoalesceMutations(run);
+    run.clear();
+    step.has_range = true;
+    step.range = m;
+    steps.push_back(std::move(step));
+  }
+  if (!run.empty()) {
+    CoalescedStep step;
+    step.points = CoalesceMutations(run);
+    steps.push_back(std::move(step));
+  }
+  return steps;
 }
 
 }  // namespace ddc

@@ -38,6 +38,31 @@ Box IntersectBoxes(const Box& a, const Box& b) {
   return Box{CellMax(a.lo, b.lo), CellMin(a.hi, b.hi)};
 }
 
+void ForEachCellInBox(const Box& box,
+                      const std::function<void(const Cell&)>& fn) {
+  DDC_CHECK(box.lo.size() == box.hi.size());
+  if (box.IsEmpty()) return;
+  const size_t d = box.lo.size();
+  Cell cell = box.lo;
+  if (d == 0) {
+    fn(cell);
+    return;
+  }
+  while (true) {
+    fn(cell);
+    size_t i = d;
+    while (i > 0) {
+      --i;
+      if (cell[i] < box.hi[i]) {
+        ++cell[i];
+        break;
+      }
+      cell[i] = box.lo[i];
+      if (i == 0) return;
+    }
+  }
+}
+
 int64_t RangeSumFromPrefix(
     const Box& box, const Cell& anchor,
     const std::function<int64_t(const Cell&)>& prefix) {

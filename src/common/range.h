@@ -35,6 +35,13 @@ struct Box {
 // Returns the box clipped to `bounds` (may be empty).
 Box IntersectBoxes(const Box& a, const Box& b);
 
+// Invokes `fn(cell)` for every cell of the closed box in row-major order
+// (last dimension fastest). An empty box invokes nothing. Cost is
+// Theta(NumCells()) — callers on the hot write path should prefer the
+// signed-corner decomposition (DESIGN.md §12) over cell-by-cell expansion.
+void ForEachCellInBox(const Box& box,
+                      const std::function<void(const Cell&)>& fn);
+
 // Evaluates SUM over the closed box [lo, hi] given a prefix-sum oracle.
 //
 // `prefix(c)` must return SUM(A[anchor .. c]), where `anchor` is the lowest

@@ -58,6 +58,16 @@ void ConcurrentCube::Set(const Cell& cell, int64_t value) {
   cube_.Set(cell, value);
 }
 
+void ConcurrentCube::RangeAdd(const Box& box, int64_t delta) {
+  std::unique_lock lock(mutex_);
+  cube_.RangeAdd(box, delta);
+}
+
+void ConcurrentCube::RangeSet(const Box& box, int64_t value) {
+  std::unique_lock lock(mutex_);
+  cube_.RangeSet(box, value);
+}
+
 bool ConcurrentCube::ApplyBatch(std::span<const Mutation> batch) {
   if (!BatchWellFormed(batch, dims())) return false;
   if (batch.empty()) return true;
@@ -66,6 +76,15 @@ bool ConcurrentCube::ApplyBatch(std::span<const Mutation> batch) {
                       &ApplyBatchNsHist());
   if (obs::Enabled()) {
     ApplyBatchSizeHist().Record(static_cast<int64_t>(batch.size()));
+  }
+  if (BatchHasRange(batch)) {
+    // Range mutations can change cells between the steps of a batch, so
+    // the coalesce-outside-the-lock trick below (which resolves every kSet
+    // against the pre-batch value) would mis-order. Forward the whole
+    // batch to the cube's step-by-step program apply under one exclusive
+    // hold — still a single lock acquisition for the batch.
+    std::unique_lock lock(mutex_);
+    return cube_.ApplyBatch(batch);
   }
   // Coalescing is pure computation over the batch; do it before taking the
   // lock so the exclusive hold covers only the actual application.

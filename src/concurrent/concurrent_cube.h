@@ -39,14 +39,23 @@ class ConcurrentCube {
   // Writers (exclusive).
   void Add(const Cell& cell, int64_t delta);
   void Set(const Cell& cell, int64_t value);
+  // Range writers: one exclusive acquisition around the wrapped cube's
+  // range op (signed-corner overlay for RangeAdd, per-cell expansion for
+  // RangeSet; growth/clipping semantics are the wrapped cube's).
+  void RangeAdd(const Box& box, int64_t delta);
+  void RangeSet(const Box& box, int64_t value);
   // Applies the whole batch under ONE exclusive acquisition (the
-  // CubeInterface::ApplyBatch contract; results equal sequential Add/Set).
-  // The batch is coalesced to one net effect per cell before the lock is
-  // taken; large kSet runs resolve their base values by fanning Get calls
-  // across the shared thread pool — safe because tree reads are const and
-  // no other writer can enter while this thread holds the lock exclusively
-  // — and the resolved pure-Add batch lands in one shared-descent apply.
-  // Returns false (nothing applied) on a malformed batch.
+  // CubeInterface::ApplyBatch contract; results equal sequential Add /
+  // Set / RangeAdd / RangeSet). A point-only batch is coalesced to one net
+  // effect per cell before the lock is taken; large kSet runs resolve
+  // their base values by fanning Get calls across the shared thread pool —
+  // safe because tree reads are const and no other writer can enter while
+  // this thread holds the lock exclusively — and the resolved pure-Add
+  // batch lands in one shared-descent apply. A batch carrying range
+  // mutations forwards to the wrapped cube's program apply under the same
+  // single exclusive hold (kSet resolution against pre-batch values would
+  // be wrong once a range op can change cells mid-batch). Returns false
+  // (nothing applied) on a malformed batch.
   bool ApplyBatch(std::span<const Mutation> batch);
   void ShrinkToFit(int64_t min_side = 2);
 

@@ -118,6 +118,16 @@ void ShardedCube::Set(const Cell& cell, int64_t value) {
   if (obs::Enabled()) ShardedObs::Get().point_writes.Increment();
 }
 
+void ShardedCube::RangeAdd(const Box& box, int64_t delta) {
+  const Mutation m = MakeRangeAdd(box.lo, box.hi, delta);
+  (void)ApplyBatch(std::span<const Mutation>(&m, 1));
+}
+
+void ShardedCube::RangeSet(const Box& box, int64_t value) {
+  const Mutation m = MakeRangeSet(box.lo, box.hi, value);
+  (void)ApplyBatch(std::span<const Mutation>(&m, 1));
+}
+
 bool ShardedCube::ApplyBatch(std::span<const Mutation> ops) {
   if (!BatchWellFormed(ops, dims_)) return false;
   if (ops.empty()) return true;
@@ -125,10 +135,31 @@ bool ShardedCube::ApplyBatch(std::span<const Mutation> ops) {
                       static_cast<int64_t>(ops.size()));
   // Group the mutations by shard; batch order is preserved within each
   // group, which is all the common contract requires (mutations in
-  // different shards target different cells and commute).
+  // different shards target different cells and commute; a range mutation
+  // splits into disjoint per-shard sub-boxes that inherit its position in
+  // each shard's group).
   std::vector<MutationBatch> groups(static_cast<size_t>(num_shards_));
   for (const Mutation& op : ops) {
-    groups[static_cast<size_t>(ShardOf(op.cell))].push_back(op);
+    if (!op.is_range()) {
+      groups[static_cast<size_t>(ShardOf(op.cell))].push_back(op);
+      continue;
+    }
+    Box box = op.box();
+    if (box.IsEmpty()) continue;
+    if (op.delta == 0) {
+      // A zero range-add is a no-op; a zero range-set only matters where
+      // values already live, so clip it to the current overall domain
+      // before fanning out slabs (mirrors DynamicDataCube::RangeSet).
+      if (op.kind == MutationKind::kRangeAdd) continue;
+      box = IntersectBoxes(box, Box{DomainLo(), DomainHi()});
+      if (box.IsEmpty()) continue;
+    }
+    for (const SubQuery& q : DecomposeWrite(box)) {
+      Mutation sub = op;
+      sub.cell = q.box.lo;
+      sub.hi = q.box.hi;
+      groups[static_cast<size_t>(q.shard)].push_back(std::move(sub));
+    }
   }
   bool counted_batch = false;
   for (int s = 0; s < num_shards_; ++s) {
@@ -206,6 +237,36 @@ std::vector<ShardedCube::SubQuery> ShardedCube::Decompose(
             [](const SubQuery& a, const SubQuery& b) {
               return a.shard < b.shard;
             });
+  return sub;
+}
+
+std::vector<ShardedCube::SubQuery> ShardedCube::DecomposeWrite(
+    const Box& box) const {
+  std::vector<SubQuery> sub;
+  if (box.IsEmpty()) return sub;
+  const int64_t slab_lo = SlabIndex(box.lo[0]);
+  const int64_t slab_hi = SlabIndex(box.hi[0]);
+  sub.reserve(static_cast<size_t>(
+      std::min<int64_t>(slab_hi - slab_lo + 1, 64)));
+  for (int64_t slab = slab_lo; slab <= slab_hi; ++slab) {
+    const int shard = static_cast<int>(FloorMod(slab, num_shards_));
+    const Coord lo0 = std::max<Coord>(box.lo[0], slab * slab_width_);
+    const Coord hi0 =
+        std::min<Coord>(box.hi[0], slab * slab_width_ + slab_width_ - 1);
+    // Adjacent slabs of the same shard (only possible with one shard)
+    // merge into a single sub-box.
+    if (!sub.empty() && sub.back().shard == shard &&
+        sub.back().box.hi[0] + 1 == lo0) {
+      sub.back().box.hi[0] = hi0;
+      continue;
+    }
+    SubQuery q;
+    q.shard = shard;
+    q.box = box;
+    q.box.lo[0] = lo0;
+    q.box.hi[0] = hi0;
+    sub.push_back(std::move(q));
+  }
   return sub;
 }
 

@@ -93,13 +93,23 @@ class ShardedCube {
   void Add(const Cell& cell, int64_t delta);
   void Set(const Cell& cell, int64_t value);
 
+  // Range writers: one mutation through ApplyBatch (per-slab decomposition,
+  // one lock per touched shard). Growth/clipping semantics match
+  // DynamicDataCube: range-add grows each touched shard to contain its
+  // slab piece; a zero-valued range-set clips to the current domain.
+  void RangeAdd(const Box& box, int64_t delta);
+  void RangeSet(const Box& box, int64_t value);
+
   // Applies every mutation of the batch (the CubeInterface::ApplyBatch
   // contract), grouped by shard, one exclusive lock acquisition per touched
   // shard; each shard group is handed to the shard cube's batched apply in
-  // batch order. The final state always equals sequential application
-  // (mutations on different cells commute, mutations on the same cell share
-  // a shard and keep their relative order). Returns false (nothing
-  // applied) on a malformed batch.
+  // batch order. Range mutations are first decomposed along dimension 0
+  // into exactly one sub-box per owned slab run — unlike the read path's
+  // whole-box shortcut, a write must hand each cell to exactly one shard,
+  // or the box would be applied once per shard. The final state always
+  // equals sequential application (mutations on different cells commute,
+  // mutations on the same cell share a shard and keep their relative
+  // order). Returns false (nothing applied) on a malformed batch.
   bool ApplyBatch(std::span<const Mutation> ops);
 
   // Shrinks every shard in turn (each under its own exclusive lock).
@@ -168,8 +178,15 @@ class ShardedCube {
   // coordinates may be negative after growth).
   int64_t SlabIndex(Coord c0) const;
   // Decomposes `box` into at most one sub-box per shard (clipped along
-  // dimension 0 to the slabs that shard owns inside the box).
+  // dimension 0 to the slabs that shard owns inside the box). READ-ONLY
+  // decomposition: when the box spans every shard it passes the whole box
+  // to each (safe for sums — a shard only holds its own cells — but wrong
+  // for writes).
   std::vector<SubQuery> Decompose(const Box& box) const;
+  // Write-exact decomposition: one clipped sub-box per slab intersecting
+  // the box (adjacent slabs of the same shard merged), covering every cell
+  // exactly once. Ascending slab order along dimension 0.
+  std::vector<SubQuery> DecomposeWrite(const Box& box) const;
   // Sums `sub` with the sequence-validated retry protocol.
   int64_t CombineSubQueries(const std::vector<SubQuery>& sub) const;
   // The protocol itself: `shard_ids` ascending, `partial(k, cube)` computes

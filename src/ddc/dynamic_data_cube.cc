@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "common/bit_util.h"
 #include "common/check.h"
@@ -54,6 +56,16 @@ obs::Counter& BatchCornersDeduped() {
       "ddc.query.batch.corners_deduped");
   return c;
 }
+obs::Histogram& RangeAddNsHist() {
+  static obs::Histogram& h = *obs::MetricsRegistry::Default().GetHistogram(
+      "ddc.update.range_add.ns");
+  return h;
+}
+obs::Counter& RangeAddCounter() {
+  static obs::Counter& c =
+      *obs::MetricsRegistry::Default().GetCounter("ddc.update.range_adds");
+  return c;
+}
 obs::Counter& ReRootCounter() {
   static obs::Counter& c =
       *obs::MetricsRegistry::Default().GetCounter("ddc.reroots");
@@ -66,6 +78,65 @@ obs::Histogram& ReRootNsHist() {
 }
 
 }  // namespace
+
+// The range-add overlay (DESIGN.md §12). A range-add of v on the closed box
+// [l..h] is the d-dimensional difference array D: for every subset S of the
+// dimensions, D gains (-1)^|S| * v at the corner whose i-th coordinate is
+// l[i] for i not in S and h[i]+1 for i in S. The overlay value at a cell x
+// is then SUM(D[p] : p <= x), and the overlay's prefix sum over [0..c]
+// expands (per the identity prod(c_i + 1 - p_i) = sum over subsets T of
+// prod_{i in T}(-p_i) * prod_{i not in T}(c_i + 1)) into 2^d weighted
+// prefix sums, one per tree:
+//
+//   OverlayPrefix(c) = sum over T of prod_{i not in T}(c_i + 1)
+//                        * PrefixSum_{tree T}(c)
+//
+// where tree T stores D[p] * prod_{i in T}(-p_i) at p. Every corner lands
+// in every tree as one point delta, so a range-add is 2^d corners x 2^d
+// trees of polylog point descents — O(4^d log^d n), independent of the box
+// volume. Corners with a coordinate at h[i]+1 == side fall outside the
+// local domain; they are excluded from the trees (no in-domain query point
+// ever dominates them) but retained in the global-coordinate `corners` map
+// so a growth re-root can re-materialize them.
+struct DynamicDataCube::RangeOverlay {
+  // Net corner deltas in GLOBAL coordinates; entries that cancel to zero
+  // are erased. This map, not the trees, is the durable truth: re-rooting
+  // rebuilds every tree from it (the per-tree stored values depend on local
+  // coordinates, which a re-root changes).
+  std::unordered_map<Cell, int64_t, CellHash> corners;
+  // Journal of applied range-add boxes (global coordinates). Only used to
+  // enumerate candidate cells in ForEachNonZero; values come from the
+  // trees, so stale (cancelled-out) boxes merely cost iteration time.
+  std::vector<Box> boxes;
+  // Tree memory, retired wholesale on re-root like the primary arena.
+  std::unique_ptr<Arena> arena;
+  // 2^d trees; index T's bit i set means dimension i contributes -p_i.
+  std::vector<std::unique_ptr<DdcCore>> trees;
+};
+
+namespace {
+
+// prod_{i in T}(-p[i]) — the weight tree T applies to a corner delta at p.
+int64_t CornerWeight(uint32_t tree_mask, const Cell& p) {
+  int64_t w = 1;
+  for (int i = 0; tree_mask >> i != 0; ++i) {
+    if (tree_mask & (1u << i)) w *= -p[static_cast<size_t>(i)];
+  }
+  return w;
+}
+
+// prod_{i not in T}(c[i] + 1) — the query-side weight of tree T at c.
+int64_t QueryWeight(uint32_t tree_mask, int dims, const Cell& c) {
+  int64_t w = 1;
+  for (int i = 0; i < dims; ++i) {
+    if (!(tree_mask & (1u << i))) w *= c[static_cast<size_t>(i)] + 1;
+  }
+  return w;
+}
+
+}  // namespace
+
+DynamicDataCube::~DynamicDataCube() = default;
 
 DynamicDataCube::DynamicDataCube(int dims, int64_t initial_side,
                                  DdcOptions options)
@@ -126,6 +197,9 @@ void DynamicDataCube::ReRootInto(int64_t new_side, Cell new_origin,
   core_ = std::move(new_core);    // Retires the old core first...
   arena_ = std::move(new_arena);  // ...then drops its backing arena.
   ReattachListener();
+  // The overlay trees store local-coordinate-dependent values, so the new
+  // geometry needs them rebuilt from the global corner map.
+  RebuildOverlay(new_side, new_origin);
   origin_ = std::move(new_origin);
   lifecycle_.Notify(ReRootEvent{reason, old_side, new_side});
 }
@@ -154,7 +228,7 @@ void DynamicDataCube::ShrinkToFit(int64_t min_side) {
   bool any = false;
   Cell lo;
   Cell hi;
-  core_->ForEachNonZero([&](const Cell& local, int64_t) {
+  const auto widen = [&](const Cell& local) {
     if (!any) {
       lo = local;
       hi = local;
@@ -163,7 +237,19 @@ void DynamicDataCube::ShrinkToFit(int64_t min_side) {
       lo = CellMin(lo, local);
       hi = CellMax(hi, local);
     }
-  });
+  };
+  core_->ForEachNonZero(
+      [&](const Cell& local, int64_t) { widen(local); });
+  if (overlay_ != nullptr) {
+    // Live corner deltas bound the region where the overlay is nonzero
+    // (every nonzero overlay cell is dominated-by/dominates some corner of
+    // a contributing box), so shrinking to the corner hull is exact — and
+    // boxes whose corners cancelled out no longer pin the domain.
+    for (const auto& [corner, delta] : overlay_->corners) {
+      (void)delta;
+      widen(ToLocal(corner));
+    }
+  }
   if (!any) {
     ReRootInto(min_side, origin_, ReRootReason::kShrink);
     return;
@@ -190,28 +276,17 @@ void DynamicDataCube::Set(const Cell& cell, int64_t value) {
   Add(cell, value - Get(cell));
 }
 
-bool DynamicDataCube::ApplyBatch(std::span<const Mutation> batch) {
-  if (!BatchWellFormed(batch, dims())) return false;
-  if (batch.empty()) return true;
-  obs::TraceSpan span("ddc.apply_batch", static_cast<int64_t>(batch.size()));
-  if (obs::Enabled()) {
-    UpdateBatchSizeHist().Record(static_cast<int64_t>(batch.size()));
-  }
-  // Grow first: the shared descent below needs every cell in-domain, and a
-  // re-root mid-descent would invalidate already-rebased local offsets.
-  // This is also what makes a batch straddling growth correct: geometry is
-  // settled before any delta lands.
-  for (const Mutation& m : batch) EnsureContains(m.cell);
-
-  // Fold the mutation sequence into one net Add per distinct cell. A kSet
-  // run resolves against the cell's current value, which is still its
-  // pre-batch value because nothing has been applied yet.
-  std::vector<CoalescedCell> coalesced = CoalesceMutations(batch);
+void DynamicDataCube::ApplyCoalescedPoints(
+    std::vector<CoalescedCell>& points) {
   std::vector<Cell> cells;
   std::vector<int64_t> deltas;
-  cells.reserve(coalesced.size());
-  deltas.reserve(coalesced.size());
-  for (CoalescedCell& c : coalesced) {
+  cells.reserve(points.size());
+  deltas.reserve(points.size());
+  for (CoalescedCell& c : points) {
+    // A kSet run resolves against the cell's current value — which, because
+    // steps apply in order, is exactly the value the sequential semantics
+    // prescribe at this point of the batch (overlay included: Get composes
+    // both layers).
     const int64_t net = c.has_set
                             ? c.set_value + c.pending_add - Get(c.cell)
                             : c.pending_add;
@@ -222,25 +297,250 @@ bool DynamicDataCube::ApplyBatch(std::span<const Mutation> batch) {
     cells.push_back(std::move(c.cell));
     deltas.push_back(net);
   }
-  if (obs::Enabled()) {
-    span.set_arg1(static_cast<int64_t>(cells.size()));
-    UpdateDepthHist().Record(core_->DescentLevels());
-  }
-  if (cells.empty()) return true;
+  if (cells.empty()) return;
   core_->AddBatch(cells, deltas);
+}
+
+void DynamicDataCube::ApplyRangeAddInDomain(const Box& box, int64_t delta) {
+  obs::ScopedLatencyTimer timer(&RangeAddNsHist());
+  if (obs::Enabled()) RangeAddCounter().Increment();
+  if (overlay_ == nullptr) {
+    overlay_ = std::make_unique<RangeOverlay>();
+    overlay_->arena = std::make_unique<Arena>();
+    const uint32_t num_trees = 1u << dims_;
+    overlay_->trees.reserve(num_trees);
+    for (uint32_t t = 0; t < num_trees; ++t) {
+      // Overlay descents deliberately skip the op counters: the Table 2 /
+      // op-count experiments measure the primary tree's costs.
+      overlay_->trees.push_back(std::make_unique<DdcCore>(
+          dims_, side(), options_, /*counters=*/nullptr,
+          overlay_->arena.get()));
+    }
+  }
+  overlay_->boxes.push_back(box);
+  range_total_ += delta * box.NumCells();
+
+  // The 2^d signed corner deltas of the difference array, in local
+  // coordinates. All corners of one box are distinct (h[i]+1 > l[i]), so
+  // no within-call coalescing is needed.
+  const Cell l = ToLocal(box.lo);
+  const Cell h = ToLocal(box.hi);
+  const uint32_t num_corners = 1u << dims_;
+  std::vector<Cell> corners;
+  std::vector<int64_t> corner_deltas;  // Raw D deltas (tree weight applied below).
+  corners.reserve(num_corners);
+  corner_deltas.reserve(num_corners);
+  for (uint32_t mask = 0; mask < num_corners; ++mask) {
+    Cell p(static_cast<size_t>(dims_));
+    bool in_local_domain = true;
+    for (int i = 0; i < dims_; ++i) {
+      const size_t ui = static_cast<size_t>(i);
+      p[ui] = (mask & (1u << i)) ? h[ui] + 1 : l[ui];
+      in_local_domain = in_local_domain && p[ui] < side();
+    }
+    const int64_t d_delta =
+        (std::popcount(mask) % 2 == 0) ? delta : -delta;
+    // The global map keeps every corner — including those at h[i]+1 ==
+    // side, which the trees cannot hold — so growth can re-materialize
+    // them later.
+    const Cell global = CellAdd(p, origin_);
+    auto [it, inserted] = overlay_->corners.try_emplace(global, 0);
+    it->second += d_delta;
+    if (it->second == 0) overlay_->corners.erase(it);
+    if (in_local_domain) {
+      corners.push_back(std::move(p));
+      corner_deltas.push_back(d_delta);
+    }
+  }
+
+  // Land the corners in every tree, one batched descent per tree — the
+  // same shared-scratch walk point batches use.
+  const uint32_t num_trees = 1u << dims_;
+  std::vector<Cell> tree_cells;
+  std::vector<int64_t> tree_deltas;
+  for (uint32_t t = 0; t < num_trees; ++t) {
+    tree_cells.clear();
+    tree_deltas.clear();
+    for (size_t k = 0; k < corners.size(); ++k) {
+      const int64_t w = CornerWeight(t, corners[k]) * corner_deltas[k];
+      if (w == 0) continue;  // A corner on a zero axis contributes nothing.
+      tree_cells.push_back(corners[k]);
+      tree_deltas.push_back(w);
+    }
+    if (!tree_cells.empty()) {
+      overlay_->trees[t]->AddBatch(tree_cells, tree_deltas);
+    }
+  }
+}
+
+void DynamicDataCube::RangeAdd(const Box& box, int64_t delta) {
+  DDC_CHECK(box.dims() == dims_ &&
+            box.hi.size() == static_cast<size_t>(dims_));
+  if (box.IsEmpty() || delta == 0) return;
+  obs::TraceSpan span("ddc.range_add", box.NumCells());
+  EnsureContains(box.lo);
+  EnsureContains(box.hi);
+  ApplyRangeAddInDomain(box, delta);
+}
+
+void DynamicDataCube::RangeSet(const Box& box, int64_t value) {
+  DDC_CHECK(box.dims() == dims_ &&
+            box.hi.size() == static_cast<size_t>(dims_));
+  const Mutation m = MakeRangeSet(box.lo, box.hi, value);
+  (void)ApplyBatch(std::span<const Mutation>(&m, 1));
+}
+
+bool DynamicDataCube::ApplyBatch(std::span<const Mutation> batch) {
+  if (!BatchWellFormed(batch, dims())) return false;
+  if (batch.empty()) return true;
+  obs::TraceSpan span("ddc.apply_batch", static_cast<int64_t>(batch.size()));
+  if (obs::Enabled()) {
+    UpdateBatchSizeHist().Record(static_cast<int64_t>(batch.size()));
+  }
+  // Grow first: the shared descents below need every cell in-domain, and a
+  // re-root mid-descent would invalidate already-rebased local offsets.
+  // This is also what makes a batch straddling growth correct: geometry is
+  // settled before any delta lands. Range boxes grow only when they will
+  // materialize values (nonzero range-add / range-set); a zero-valued or
+  // empty range op clips to the domain instead, so `SET 0 IN [huge box]`
+  // cannot balloon the domain.
+  for (const Mutation& m : batch) {
+    if (!m.is_range()) {
+      EnsureContains(m.cell);
+    } else if (m.delta != 0 && !m.box().IsEmpty()) {
+      EnsureContains(m.cell);
+      EnsureContains(m.hi);
+    }
+  }
+
+  if (!BatchHasRange(batch)) {
+    // Point-only fast path: one coalesce, one shared descent.
+    std::vector<CoalescedCell> coalesced = CoalesceMutations(batch);
+    if (obs::Enabled()) {
+      span.set_arg1(static_cast<int64_t>(coalesced.size()));
+      UpdateDepthHist().Record(core_->DescentLevels());
+    }
+    ApplyCoalescedPoints(coalesced);
+    return true;
+  }
+
+  // Mixed batch: run the coalesce program step by step. Each range op is a
+  // barrier; the point runs between barriers still share one descent each.
+  for (CoalescedStep& step : BuildCoalesceProgram(batch)) {
+    ApplyCoalescedPoints(step.points);
+    if (!step.has_range) continue;
+    const Mutation& r = step.range;
+    const Box target = r.box();
+    if (target.IsEmpty()) continue;
+    if (r.kind == MutationKind::kRangeAdd) {
+      if (r.delta != 0) ApplyRangeAddInDomain(target, r.delta);
+      continue;
+    }
+    // kRangeSet: inherently per-cell (each cell's prior value must be
+    // individually discarded), expanded through the same coalesced-point
+    // pipeline as point sets. Zero-valued sets clip (see growth note
+    // above); nonzero ones were grown into the domain.
+    const Box clipped =
+        r.delta == 0 ? IntersectBoxes(target, Box{DomainLo(), DomainHi()})
+                     : target;
+    if (clipped.IsEmpty()) continue;
+    std::vector<CoalescedCell> sets;
+    sets.reserve(static_cast<size_t>(clipped.NumCells()));
+    ForEachCellInBox(clipped, [&sets, &r](const Cell& c) {
+      sets.push_back(CoalescedCell{c, 0, /*has_set=*/true, r.delta});
+    });
+    ApplyCoalescedPoints(sets);
+  }
+  if (obs::Enabled()) UpdateDepthHist().Record(core_->DescentLevels());
   return true;
+}
+
+int64_t DynamicDataCube::OverlayValueLocal(const Cell& local) const {
+  if (overlay_ == nullptr) return 0;
+  // Tree 0 (T = empty set, weight 1) stores the raw difference array D; the
+  // overlay value at a cell is D's dominated-sum, i.e. tree 0's prefix.
+  return overlay_->trees[0]->PrefixSum(local);
+}
+
+int64_t DynamicDataCube::OverlayPrefixLocal(const Cell& local) const {
+  if (overlay_ == nullptr) return 0;
+  int64_t total = 0;
+  for (uint32_t t = 0; t < overlay_->trees.size(); ++t) {
+    total += QueryWeight(t, dims_, local) * overlay_->trees[t]->PrefixSum(local);
+  }
+  return total;
+}
+
+void DynamicDataCube::OverlayPrefixBatchLocal(std::span<const Cell> locals,
+                                              std::span<int64_t> out) const {
+  if (overlay_ == nullptr || locals.empty()) return;
+  std::vector<int64_t> tree_prefix(locals.size());
+  for (uint32_t t = 0; t < overlay_->trees.size(); ++t) {
+    overlay_->trees[t]->PrefixSumBatch(locals, tree_prefix);
+    for (size_t k = 0; k < locals.size(); ++k) {
+      out[k] += QueryWeight(t, dims_, locals[k]) * tree_prefix[k];
+    }
+  }
+}
+
+void DynamicDataCube::RebuildOverlay(int64_t new_side,
+                                     const Cell& new_origin) {
+  if (overlay_ == nullptr) return;
+  auto new_arena = std::make_unique<Arena>();
+  std::vector<std::unique_ptr<DdcCore>> new_trees;
+  const uint32_t num_trees = 1u << dims_;
+  new_trees.reserve(num_trees);
+  std::vector<Cell> cells;
+  std::vector<int64_t> deltas;
+  for (uint32_t t = 0; t < num_trees; ++t) {
+    new_trees.push_back(std::make_unique<DdcCore>(dims_, new_side, options_,
+                                                  /*counters=*/nullptr,
+                                                  new_arena.get()));
+    cells.clear();
+    deltas.clear();
+    for (const auto& [global, d_delta] : overlay_->corners) {
+      Cell local = CellSub(global, new_origin);
+      bool in_domain = true;
+      for (int i = 0; i < dims_; ++i) {
+        const Coord c = local[static_cast<size_t>(i)];
+        // Every live corner sits at or above the nonzero hull, which both
+        // growth and shrink preserve; only the high face (== new_side) can
+        // fall outside, and no in-domain query point dominates it.
+        DDC_CHECK(c >= 0);
+        in_domain = in_domain && c < new_side;
+      }
+      if (!in_domain) continue;
+      const int64_t w = CornerWeight(t, local) * d_delta;
+      if (w == 0) continue;
+      cells.push_back(std::move(local));
+      deltas.push_back(w);
+    }
+    if (!cells.empty()) new_trees.back()->AddBatch(cells, deltas);
+  }
+  overlay_->trees = std::move(new_trees);
+  overlay_->arena = std::move(new_arena);
+}
+
+int64_t DynamicDataCube::StorageCells() const {
+  int64_t cells = core_->StorageCells();
+  if (overlay_ != nullptr) {
+    for (const auto& tree : overlay_->trees) cells += tree->StorageCells();
+  }
+  return cells;
 }
 
 int64_t DynamicDataCube::Get(const Cell& cell) const {
   if (!InDomain(cell)) return 0;
-  return core_->Get(ToLocal(cell));
+  const Cell local = ToLocal(cell);
+  return core_->Get(local) + OverlayValueLocal(local);
 }
 
 int64_t DynamicDataCube::PrefixSum(const Cell& cell) const {
   DDC_CHECK(InDomain(cell));
   obs::ScopedLatencyTimer timer(&PrefixSumNsHist());
   if (obs::Enabled()) QueryDepthHist().Record(core_->DescentLevels());
-  return core_->PrefixSum(ToLocal(cell));
+  const Cell local = ToLocal(cell);
+  return core_->PrefixSum(local) + OverlayPrefixLocal(local);
 }
 
 void DynamicDataCube::RangeSumBatch(std::span<const Box> ranges,
@@ -308,6 +608,9 @@ void DynamicDataCube::RangeSumBatch(std::span<const Box> ranges,
   }
   std::vector<int64_t> prefix(corners.size());
   core_->PrefixSumBatch(corners, prefix);
+  // The overlay's contribution to each unique corner rides the same
+  // dedup: one extra batched descent per overlay tree.
+  OverlayPrefixBatchLocal(corners, prefix);
 
   // Phase 3: recombine.
   for (const Term& t : terms) {
@@ -328,9 +631,34 @@ void DynamicDataCube::ReattachListener() {
 
 void DynamicDataCube::ForEachNonZero(
     const std::function<void(const Cell&, int64_t)>& fn) const {
+  if (overlay_ == nullptr) {
+    core_->ForEachNonZero([&](const Cell& local, int64_t value) {
+      fn(CellAdd(local, origin_), value);
+    });
+    return;
+  }
+  // Logical enumeration = primary nonzero cells with the overlay folded in,
+  // plus journal-box cells the primary tree does not hold. Each cell is
+  // emitted at most once; cells whose two layers cancel are skipped.
+  std::unordered_set<Cell, CellHash> seen;
   core_->ForEachNonZero([&](const Cell& local, int64_t value) {
-    fn(CellAdd(local, origin_), value);
+    seen.insert(local);
+    const int64_t v = value + OverlayValueLocal(local);
+    if (v != 0) fn(CellAdd(local, origin_), v);
   });
+  const Box local_domain{UniformCell(dims_, 0),
+                         UniformCell(dims_, side() - 1)};
+  for (const Box& box : overlay_->boxes) {
+    const Box local_box{ToLocal(box.lo), ToLocal(box.hi)};
+    // Journal boxes can poke outside the domain after a shrink; the
+    // clipped-away region is provably zero (shrink keeps the corner hull).
+    const Box clipped = IntersectBoxes(local_box, local_domain);
+    ForEachCellInBox(clipped, [&](const Cell& local) {
+      if (!seen.insert(local).second) return;
+      const int64_t v = OverlayValueLocal(local);
+      if (v != 0) fn(CellAdd(local, origin_), v);
+    });
+  }
 }
 
 }  // namespace ddc

@@ -11,6 +11,17 @@
 // a sparse cube costs O(nnz * polylog) per doubling and empty space costs
 // nothing, in contrast to the prefix-sum methods which must materialize and
 // recompute the full bounding box (Figure 16).
+//
+// Range mutations (DESIGN.md §12): RangeAdd(box, v) is sublinear in the
+// box. The box decomposes into 2^d signed corner deltas (the d-dimensional
+// difference array of Mishra, arXiv 1311.6093) held in an *overlay* of 2^d
+// auxiliary DdcCore trees beside the primary tree; each corner lands as a
+// polylog point descent, so a range-add costs O(4^d log^d n) regardless of
+// how many cells the box covers. Reads compose the two layers: Get adds the
+// overlay's difference-array prefix at the cell, PrefixSum adds the 2^d
+// weighted overlay prefixes, and re-rooting rebuilds the overlay trees from
+// a global corner map kept in domain-independent coordinates. RangeSet is
+// inherently per-cell and expands through the point pipeline.
 
 #ifndef DDC_DDC_DYNAMIC_DATA_CUBE_H_
 #define DDC_DDC_DYNAMIC_DATA_CUBE_H_
@@ -43,6 +54,9 @@ class DynamicDataCube : public CubeInterface {
   DynamicDataCube(const DynamicDataCube&) = delete;
   DynamicDataCube& operator=(const DynamicDataCube&) = delete;
 
+  // Out-of-line: RangeOverlay is an incomplete type here.
+  ~DynamicDataCube() override;
+
   // Bulk-builds a cube from a dense array in one bottom-up pass (each
   // stored value written once). The array must be a power-of-two cube of
   // side >= 2; the resulting domain is anchored at the origin.
@@ -56,13 +70,28 @@ class DynamicDataCube : public CubeInterface {
   // Set/Add grow the domain automatically when `cell` lies outside it.
   void Set(const Cell& cell, int64_t value) override;
   void Add(const Cell& cell, int64_t delta) override;
+  // Adds `delta` to every cell of the closed box, growing the domain to
+  // contain it first (unlike the fixed-domain cubes, which clip). Sublinear
+  // in the box: 2^d signed corner deltas land in the overlay trees, each a
+  // batched polylog descent. A no-op for an empty box or zero delta.
+  void RangeAdd(const Box& box, int64_t delta) override;
+  // Sets every cell of the box to `value` through the per-cell point
+  // pipeline (range-set cannot be sublinear: each cell's prior value must
+  // be discarded individually). Grows to contain the box when `value` is
+  // nonzero; a zero-valued range-set clips to the current domain instead —
+  // out-of-domain cells already read 0, so growth would only materialize
+  // empty space (mirroring how point Set(cell, 0) outside the domain is a
+  // no-op).
+  void RangeSet(const Box& box, int64_t value) override;
   // Batched writes. The batch is first grown into the domain (growth
   // happens up front, so a batch straddling a re-root sees a stable
-  // geometry), then folded to one net delta per distinct cell — preserving
-  // the sequential Add/Set semantics exactly — and applied in one shared
-  // tree descent (DdcCore::AddBatch). Results are identical to applying the
-  // mutations in a loop. Returns false (nothing applied) on a malformed
-  // batch (cell arity != dims()).
+  // geometry — including the high corners of range mutations), then folded
+  // into a coalesce program (common/mutation.h): point runs collapse to one
+  // net delta per distinct cell and land in one shared tree descent
+  // (DdcCore::AddBatch); each range mutation is a barrier applied between
+  // runs. Results are identical to applying the mutations in a loop.
+  // Returns false (nothing applied) on a malformed batch (point mutations
+  // carry dims() coordinates, range mutations 2*dims()).
   bool ApplyBatch(std::span<const Mutation> batch) override;
   // Get/PrefixSum/RangeSum treat cells outside the domain as zero.
   int64_t Get(const Cell& cell) const override;
@@ -74,11 +103,13 @@ class DynamicDataCube : public CubeInterface {
   // (DdcCore::PrefixSumBatch). Results are identical to per-range RangeSum.
   void RangeSumBatch(std::span<const Box> ranges,
                      std::span<int64_t> out) const override;
-  int64_t StorageCells() const override { return core_->StorageCells(); }
+  // Includes the overlay trees' storage once any range-add has landed.
+  int64_t StorageCells() const override;
   std::string name() const override { return "dynamic_data_cube"; }
 
-  // Sum over the entire cube; O(1).
-  int64_t TotalSum() const { return core_->TotalSum(); }
+  // Sum over the entire cube; O(1). The overlay's contribution is tracked
+  // as a scalar at range-add time.
+  int64_t TotalSum() const { return core_->TotalSum() + range_total_; }
 
   int64_t side() const { return core_->side(); }
   const DdcOptions& options() const { return options_; }
@@ -114,11 +145,17 @@ class DynamicDataCube : public CubeInterface {
   // cube (see common/cube_lifecycle.h for the full contract).
   CubeLifecycle& lifecycle() { return lifecycle_; }
 
-  // Invokes fn(cell, value) for every nonzero cell, in global coordinates.
+  // Invokes fn(cell, value) for every *logically* nonzero cell (primary
+  // tree plus overlay), in global coordinates. With range-adds applied this
+  // enumerates the journal of range boxes cell-by-cell, so it costs up to
+  // Theta(sum of box volumes) — snapshotting flattens the overlay into
+  // plain points, which keeps the snapshot format oblivious to ranges.
   void ForEachNonZero(
       const std::function<void(const Cell&, int64_t)>& fn) const;
 
  private:
+  struct RangeOverlay;
+
   bool InDomain(const Cell& cell) const;
   Cell ToLocal(const Cell& cell) const { return CellSub(cell, origin_); }
   OpCounters* CountersPtr() {
@@ -132,6 +169,26 @@ class DynamicDataCube : public CubeInterface {
   // shrink paths funnel through here.
   void ReRootInto(int64_t new_side, Cell new_origin, ReRootReason reason);
 
+  // Applies one range-add whose box already lies inside the domain:
+  // accumulates the 2^d signed corner deltas into the global corner map,
+  // journals the box, bumps range_total_, and lands the corners in the
+  // overlay trees (one AddBatch per tree). Creates the overlay lazily.
+  void ApplyRangeAddInDomain(const Box& box, int64_t delta);
+  // Point-batch tail of ApplyBatch: coalesced cells -> net deltas -> one
+  // core AddBatch.
+  void ApplyCoalescedPoints(std::vector<CoalescedCell>& points);
+  // Overlay read paths; all take LOCAL coordinates and return 0 when no
+  // overlay exists.
+  int64_t OverlayValueLocal(const Cell& local) const;
+  int64_t OverlayPrefixLocal(const Cell& local) const;
+  // out[i] += overlay prefix at locals[i], batched per overlay tree.
+  void OverlayPrefixBatchLocal(std::span<const Cell> locals,
+                               std::span<int64_t> out) const;
+  // Rebuilds the overlay trees for a new geometry from the global corner
+  // map (the stored per-tree values depend on local coordinates, so trees
+  // cannot be copied across a re-root).
+  void RebuildOverlay(int64_t new_side, const Cell& new_origin);
+
   int dims_;
   DdcOptions options_;
   Cell origin_;
@@ -143,6 +200,12 @@ class DynamicDataCube : public CubeInterface {
   int64_t growth_doublings_ = 0;
   DdcCore::NodeVisitListener node_visit_listener_;
   CubeLifecycle lifecycle_;
+  // Range-add overlay (created by the first range-add; null until then so
+  // point-only cubes pay nothing). See DESIGN.md §12.
+  std::unique_ptr<RangeOverlay> overlay_;
+  // SUM over all applied range-adds of delta * box cells: TotalSum() =
+  // primary total + this.
+  int64_t range_total_ = 0;
 };
 
 }  // namespace ddc

@@ -188,7 +188,14 @@ QueryResult ExecuteWrite(const WriteStatement& write, CubeInterface* cube) {
   const size_t d = static_cast<size_t>(cube->dims());
   for (const Mutation& m : write.mutations) {
     if (m.cell.size() != d) {
-      result.error = "write point has " + std::to_string(m.cell.size()) +
+      result.error = "write target has " + std::to_string(m.cell.size()) +
+                     " coordinates but the cube has " + std::to_string(d) +
+                     " dimensions";
+      return result;
+    }
+    if (m.is_range() && m.hi.size() != d) {
+      result.error = "range write's high corner has " +
+                     std::to_string(m.hi.size()) +
                      " coordinates but the cube has " + std::to_string(d) +
                      " dimensions";
       return result;

@@ -14,7 +14,10 @@ struct Token {
   size_t position;    // Byte offset in the input.
 };
 
-// Splits on whitespace; brackets, commas and '=' are their own tokens.
+// Splits on whitespace; brackets, commas and '=' are their own tokens. A
+// run of dots is one token, so "[3..7]" and "[3 .. 7]" both yield the range
+// separator ".." (a lone "." or "..." token fails parsing with a clean
+// error instead of gluing onto a number).
 std::vector<Token> Tokenize(const std::string& text) {
   std::vector<Token> tokens;
   size_t i = 0;
@@ -29,11 +32,18 @@ std::vector<Token> Tokenize(const std::string& text) {
       ++i;
       continue;
     }
+    if (c == '.') {
+      size_t start = i;
+      while (i < text.size() && text[i] == '.') ++i;
+      std::string dots = text.substr(start, i - start);
+      tokens.push_back(Token{dots, dots, start});
+      continue;
+    }
     size_t start = i;
     while (i < text.size() &&
            !std::isspace(static_cast<unsigned char>(text[i])) &&
            text[i] != '[' && text[i] != ']' && text[i] != ',' &&
-           text[i] != '=') {
+           text[i] != '=' && text[i] != '.') {
       ++i;
     }
     std::string raw = text.substr(start, i - start);
@@ -141,32 +151,50 @@ class Parser {
   }
 
  private:
-  // write := ("ADD" | "SET") point ("," point)*
-  // point := "AT" "[" int ("," int)* "]" "=" int
+  // write  := ("ADD" | "SET") target ("," target)*
+  // target := "AT" "[" int ("," int)* "]" "=" int
+  //         | int "IN" "[" int ("," int)* ".." int ("," int)* "]"
+  // A point target carries the statement's verb (ADD → kAdd, SET → kSet); a
+  // range target carries its range twin (kRangeAdd / kRangeSet). Inverted
+  // bounds (lo > hi in any dimension) parse fine and denote the empty box —
+  // a no-op write — mirroring the empty-box convention everywhere else.
   std::optional<WriteStatement> ParseWrite() {
-    const MutationKind kind =
-        (Next().text == "SET") ? MutationKind::kSet : MutationKind::kAdd;
+    const bool is_set = Next().text == "SET";
     WriteStatement write;
     while (true) {
-      if (AtEnd() || Peek().text != "AT") return Fail("expected AT");
-      Next();
-      if (!Expect("[")) return std::nullopt;
-      Cell cell;
-      while (true) {
-        int64_t coord = 0;
-        if (!ParseInt(&coord)) return std::nullopt;
-        cell.push_back(coord);
-        if (!AtEnd() && Peek().text == ",") {
-          Next();
-          continue;
+      if (AtEnd()) return Fail("expected AT or a range value");
+      if (Peek().text == "AT") {
+        Next();
+        if (!Expect("[")) return std::nullopt;
+        Cell cell;
+        if (!ParseCoords(&cell)) return std::nullopt;
+        if (!Expect("]")) return std::nullopt;
+        if (!Expect("=")) return std::nullopt;
+        int64_t value = 0;
+        if (!ParseInt(&value)) return std::nullopt;
+        write.mutations.push_back(
+            Mutation{std::move(cell), value,
+                     is_set ? MutationKind::kSet : MutationKind::kAdd});
+      } else {
+        int64_t value = 0;
+        if (!ParseInt(&value)) return std::nullopt;
+        if (!Expect("IN")) return std::nullopt;
+        if (!Expect("[")) return std::nullopt;
+        Cell lo;
+        if (!ParseCoords(&lo)) return std::nullopt;
+        if (!Expect("..")) return std::nullopt;
+        Cell hi;
+        if (!ParseCoords(&hi)) return std::nullopt;
+        if (!Expect("]")) return std::nullopt;
+        if (lo.size() != hi.size()) {
+          return Fail("range corners have mismatched arity (" +
+                      std::to_string(lo.size()) + " vs " +
+                      std::to_string(hi.size()) + " coordinates)");
         }
-        break;
+        write.mutations.push_back(
+            is_set ? MakeRangeSet(std::move(lo), std::move(hi), value)
+                   : MakeRangeAdd(std::move(lo), std::move(hi), value));
       }
-      if (!Expect("]")) return std::nullopt;
-      if (!Expect("=")) return std::nullopt;
-      int64_t value = 0;
-      if (!ParseInt(&value)) return std::nullopt;
-      write.mutations.push_back(Mutation{std::move(cell), value, kind});
       if (AtEnd()) break;
       if (Peek().text != ",") {
         return Fail("expected ',' or end of statement, got '" + Peek().raw +
@@ -175,6 +203,20 @@ class Parser {
       Next();
     }
     return write;
+  }
+
+  // Comma-separated integer list (at least one), e.g. "3, 4, 5".
+  bool ParseCoords(Cell* cell) {
+    while (true) {
+      int64_t coord = 0;
+      if (!ParseInt(&coord)) return false;
+      cell->push_back(coord);
+      if (!AtEnd() && Peek().text == ",") {
+        Next();
+        continue;
+      }
+      return true;
+    }
   }
 
   bool AtEnd() const { return index_ >= tokens_.size(); }

@@ -38,23 +38,37 @@ std::string QueryToString(const Query& query) {
 }
 
 std::string WriteToString(const WriteStatement& write) {
-  // A write statement carries one verb for every point, so a mixed-kind
+  // A write statement carries one verb for every target, so a mixed-verb
   // batch (possible to build in code, impossible to parse) renders its
   // first mutation's verb; parse→print→parse round-trips are exact for
-  // anything the parser can produce.
-  std::string out = write.mutations.empty() ||
-                            write.mutations.front().kind == MutationKind::kAdd
-                        ? "ADD"
-                        : "SET";
+  // anything the parser can produce. Point and range targets may mix
+  // freely under one verb (kAdd with kRangeAdd, kSet with kRangeSet).
+  const bool is_set =
+      !write.mutations.empty() &&
+      (write.mutations.front().kind == MutationKind::kSet ||
+       write.mutations.front().kind == MutationKind::kRangeSet);
+  std::string out = is_set ? "SET" : "ADD";
+  auto append_coords = [&out](const Cell& cell) {
+    for (size_t i = 0; i < cell.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(cell[i]);
+    }
+  };
   bool first = true;
   for (const Mutation& m : write.mutations) {
-    out += first ? " AT [" : ", AT [";
+    out += first ? " " : ", ";
     first = false;
-    for (size_t i = 0; i < m.cell.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += std::to_string(m.cell[i]);
+    if (m.is_range()) {
+      out += std::to_string(m.delta) + " IN [";
+      append_coords(m.cell);
+      out += " .. ";
+      append_coords(m.hi);
+      out += "]";
+    } else {
+      out += "AT [";
+      append_coords(m.cell);
+      out += "] = " + std::to_string(m.delta);
     }
-    out += "] = " + std::to_string(m.delta);
   }
   return out;
 }

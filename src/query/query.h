@@ -10,8 +10,9 @@
 //   pred      := dim "IN" "[" int "," int "]"
 //              | dim "=" int
 //   dim       := "d" int                               -- d0, d1, ...
-//   write     := ("ADD" | "SET") point ("," point)*
-//   point     := "AT" "[" int ("," int)* "]" "=" int
+//   write     := ("ADD" | "SET") target ("," target)*
+//   target    := "AT" "[" int ("," int)* "]" "=" int
+//              | int "IN" "[" int ("," int)* ".." int ("," int)* "]"
 //
 // Examples:
 //   SUM WHERE d0 IN [27, 45] AND d1 IN [220, 222]
@@ -19,14 +20,19 @@
 //   COUNT
 //   ADD AT [3, 4] = 10, AT [5, 6] = -2
 //   SET AT [0, 0] = 100
+//   ADD 5 IN [0, 0 .. 9, 9]
+//   SET 0 IN [3, 3 .. 5, 5], AT [4, 4] = 7
 //
 // Dimensions without a predicate span the cube's whole domain. Repeated
 // predicates on one dimension intersect. The language is deliberately tiny:
 // every query maps to range aggregates (one per group), which is exactly
 // what the underlying structures serve in polylog time. A write statement
-// maps to exactly one MutationBatch: all of its points land through a
-// single ApplyBatch call (one shared descent; one WAL record when the
-// target is durable).
+// maps to exactly one MutationBatch: point targets carry the verb's point
+// kind (ADD → kAdd, SET → kSet), range targets its range kind (kRangeAdd /
+// kRangeSet), and the whole list lands through a single ApplyBatch call
+// (one shared descent for the point runs; one WAL record when the target
+// is durable). A range target's corners must agree in arity; inverted
+// bounds (lo > hi anywhere) denote the empty box and write nothing.
 
 #ifndef DDC_QUERY_QUERY_H_
 #define DDC_QUERY_QUERY_H_
@@ -60,9 +66,9 @@ struct Query {
   std::vector<Predicate> predicates;
 };
 
-// A batched write statement: every point carries the statement's verb (ADD
-// → kAdd, SET → kSet) and the whole list is applied through one ApplyBatch
-// call, in order.
+// A batched write statement: every target carries the statement's verb
+// (points as kAdd/kSet, ranges as kRangeAdd/kRangeSet) and the whole list
+// is applied through one ApplyBatch call, in order.
 struct WriteStatement {
   MutationBatch mutations;
 };

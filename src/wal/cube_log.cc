@@ -62,6 +62,12 @@ uint64_t Mix(std::span<const Mutation> batch) {
   for (const Mutation& m : batch) {
     fold(static_cast<int64_t>(m.kind));
     for (Coord c : m.cell) fold(c);
+    // The high corner is folded only for range kinds, mirroring the record
+    // layout — point records hash (and serialize) exactly as they did
+    // before range kinds existed, so pre-range logs still validate.
+    if (m.is_range()) {
+      for (Coord c : m.hi) fold(c);
+    }
     fold(m.delta);
   }
   return h;
@@ -166,13 +172,18 @@ bool CubeLog::AppendBatch(std::span<const Mutation> batch) {
   std::string buf;
   buf.reserve(sizeof(int32_t) +
               batch.size() * (sizeof(int32_t) +
-                              (static_cast<size_t>(dims_) + 1) *
+                              (2 * static_cast<size_t>(dims_) + 1) *
                                   sizeof(int64_t)) +
               sizeof(uint64_t));
   AppendPod<int32_t>(&buf, static_cast<int32_t>(batch.size()));
   for (const Mutation& m : batch) {
     AppendPod<int32_t>(&buf, static_cast<int32_t>(m.kind));
     for (Coord c : m.cell) AppendPod<int64_t>(&buf, c);
+    // Range records carry 2d coordinates: low corner, then high corner.
+    // Point records keep the pre-range byte layout.
+    if (m.is_range()) {
+      for (Coord c : m.hi) AppendPod<int64_t>(&buf, c);
+    }
     AppendPod<int64_t>(&buf, m.delta);
   }
   AppendPod<uint64_t>(&buf, Mix(batch));
@@ -241,11 +252,19 @@ ReplayResult CubeLog::Replay(const std::string& path, DynamicDataCube* cube) {
       int32_t kind = 0;
       Mutation m;
       m.cell.resize(static_cast<size_t>(dims));
-      complete = ReadPod(&in, &kind);
+      // Kind gates how many coordinates follow, so it must be validated
+      // before the reads it steers (0..3: add, set, range-add, range-set).
+      complete = ReadPod(&in, &kind) && kind >= 0 && kind <= 3;
       for (int i = 0; i < dims && complete; ++i) {
         complete = ReadPod(&in, &m.cell[static_cast<size_t>(i)]);
       }
-      complete = complete && ReadPod(&in, &m.delta) && (kind == 0 || kind == 1);
+      if (complete && IsRangeKind(static_cast<MutationKind>(kind))) {
+        m.hi.resize(static_cast<size_t>(dims));
+        for (int i = 0; i < dims && complete; ++i) {
+          complete = ReadPod(&in, &m.hi[static_cast<size_t>(i)]);
+        }
+      }
+      complete = complete && ReadPod(&in, &m.delta);
       if (!complete) break;
       m.kind = static_cast<MutationKind>(kind);
       batch.push_back(std::move(m));

@@ -13,12 +13,18 @@
 // File layout (little-endian):
 //   magic "DDCWLOG2" (8 bytes), int32 dims
 //   records: { int32 count;
-//              count x { int32 kind; int64 cell[dims]; int64 value };
+//              count x { int32 kind; int64 cell[dims];
+//                        int64 hi[dims] (range kinds only); int64 value };
 //              uint64 checksum }
 // where checksum = Mix(count, mutations...) (see implementation) and kind
-// is MutationKind (0 = add, 1 = set). A point Append is a count-1 record.
-// "DDCWLOG1" logs (the pre-batch format, one record per point delta) are
-// not readable; recovery treats them as a bad header.
+// is MutationKind (0 = add, 1 = set, 2 = range-add, 3 = range-set). Range
+// mutations carry 2d coordinates — the box's low corner in `cell` and its
+// high corner in `hi` — so a region-wide write costs one fixed-size record
+// no matter how many cells the box covers. Point records keep the exact
+// pre-range byte layout (the checksum folds `hi` only for range kinds), so
+// logs written before range kinds existed replay unchanged. A point Append
+// is a count-1 record. "DDCWLOG1" logs (the pre-batch format, one record
+// per point delta) are not readable; recovery treats them as a bad header.
 
 #ifndef DDC_WAL_CUBE_LOG_H_
 #define DDC_WAL_CUBE_LOG_H_

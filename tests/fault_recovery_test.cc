@@ -13,11 +13,13 @@
 // library in (-DDDC_FAULTS=ON); tools/run_sanitizers.sh runs it under both
 // TSan and ASan with faults on.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -57,14 +59,31 @@ MutationBatch RandomBatch(uint64_t* rng) {
   const int size = 1 + static_cast<int>(SplitMix(rng) % 5);
   MutationBatch batch;
   for (int i = 0; i < size; ++i) {
+    const int64_t value = static_cast<int64_t>(SplitMix(rng) % 19) - 9;
+    if (SplitMix(rng) % 5 == 0) {
+      // Range mutations are first-class WAL v2 records: a crash can land
+      // mid range-batch, and replay must be all-or-nothing for the record.
+      Cell lo{static_cast<Coord>(SplitMix(rng) % (kCellMax + 1)),
+              static_cast<Coord>(SplitMix(rng) % (kCellMax + 1))};
+      Cell hi{std::min<Coord>(kCellMax, lo[0] + static_cast<Coord>(
+                                                    SplitMix(rng) % 6)),
+              std::min<Coord>(kCellMax, lo[1] + static_cast<Coord>(
+                                                    SplitMix(rng) % 6))};
+      if (SplitMix(rng) % 8 == 0) std::swap(lo, hi);  // Empty box no-op.
+      batch.push_back(SplitMix(rng) % 2 == 0
+                          ? MakeRangeAdd(std::move(lo), std::move(hi), value)
+                          : MakeRangeSet(std::move(lo), std::move(hi), value));
+      continue;
+    }
     Cell cell{static_cast<Coord>(SplitMix(rng) % (kCellMax + 1)),
               static_cast<Coord>(SplitMix(rng) % (kCellMax + 1))};
-    // Distinct cells per batch: batch semantics for duplicate cells are a
-    // coalescing concern (mutation.h), not a durability one.
+    // Distinct cells per point run: batch semantics for duplicate point
+    // cells are a coalescing concern (mutation.h), not a durability one.
+    // (Ranges overlap points freely — order preservation across the range
+    // barrier IS a durability concern, so it stays exercised here.)
     bool dup = false;
-    for (const Mutation& m : batch) dup = dup || m.cell == cell;
+    for (const Mutation& m : batch) dup = dup || (!m.is_range() && m.cell == cell);
     if (dup) continue;
-    const int64_t value = static_cast<int64_t>(SplitMix(rng) % 19) - 9;
     const MutationKind kind =
         SplitMix(rng) % 4 == 0 ? MutationKind::kSet : MutationKind::kAdd;
     batch.push_back(Mutation{std::move(cell), value, kind});
@@ -74,10 +93,19 @@ MutationBatch RandomBatch(uint64_t* rng) {
 
 void ApplyToShadow(NaiveCube* shadow, const MutationBatch& batch) {
   for (const Mutation& m : batch) {
-    if (m.kind == MutationKind::kAdd) {
-      shadow->Add(m.cell, m.delta);
-    } else {
-      shadow->Set(m.cell, m.delta);
+    switch (m.kind) {
+      case MutationKind::kAdd:
+        shadow->Add(m.cell, m.delta);
+        break;
+      case MutationKind::kSet:
+        shadow->Set(m.cell, m.delta);
+        break;
+      case MutationKind::kRangeAdd:
+        shadow->RangeAdd(m.box(), m.delta);
+        break;
+      case MutationKind::kRangeSet:
+        shadow->RangeSet(m.box(), m.delta);
+        break;
     }
   }
 }
@@ -267,6 +295,34 @@ TEST_F(FaultRecoveryTest, ShortWritePoisonsLogAndRecoveryDropsTornBatch) {
   EXPECT_EQ(recovered.cube().Get({2, 2}), 0);
   EXPECT_EQ(recovered.cube().Get({3, 3}), 0);
   EXPECT_EQ(recovered.recovery().batches, 1);
+}
+
+TEST_F(FaultRecoveryTest, CrashMidRangeBatchDropsWholeRecord) {
+  fault::SetSeed(TestSeed(15));
+  {
+    DurableCube cube(2, 16, base_);
+    ASSERT_TRUE(cube.ApplyBatch(OneAdd({1, 1}, 5)));
+    const MutationBatch committed{MakeRangeAdd({0, 0}, {9, 9}, 3)};
+    ASSERT_TRUE(cube.ApplyBatch(committed));
+
+    // Tear the record of a batch that mixes a point with two range ops:
+    // none of its three mutations may survive, not even a prefix.
+    fault::Arm("wal.write.short", fault::Trigger::Count(1));
+    MutationBatch torn;
+    torn.push_back(Mutation{{2, 2}, 7, MutationKind::kAdd});
+    torn.push_back(MakeRangeAdd({0, 0}, {5, 5}, 2));
+    torn.push_back(MakeRangeSet({4, 4}, {6, 6}, 1));
+    EXPECT_FALSE(cube.ApplyBatch(torn));
+    EXPECT_EQ(fault::Triggers("wal.write.short"), 1u);
+    fault::DisarmAll();
+  }
+  DurableCube recovered(2, 16, base_);
+  EXPECT_EQ(recovered.recovery().batches, 2);
+  EXPECT_EQ(recovered.cube().Get({1, 1}), 5 + 3);  // Point + committed box.
+  EXPECT_EQ(recovered.cube().Get({0, 0}), 3);
+  EXPECT_EQ(recovered.cube().Get({9, 9}), 3);
+  EXPECT_EQ(recovered.cube().Get({4, 4}), 3);  // Torn range-set never landed.
+  EXPECT_EQ(recovered.cube().TotalSum(), 5 + 3 * 100);
 }
 
 TEST_F(FaultRecoveryTest, SyncFailDropsBufferedRecordExactly) {

@@ -60,19 +60,37 @@ Query RandomQuery(uint64_t* rng) {
   return query;
 }
 
+// A random write statement mixing point targets (AT [...] = v) and range
+// targets (v IN [lo .. hi]) under one verb. Range bounds are sometimes
+// degenerate (lo == hi) and sometimes inverted (empty box) — the grammar
+// admits both, the latter as a parse-fine no-op write.
 WriteStatement RandomWrite(uint64_t* rng, int dims) {
   WriteStatement write;
-  const MutationKind kind =
-      SplitMix(rng) % 2 == 0 ? MutationKind::kAdd : MutationKind::kSet;
-  const int points = static_cast<int>(1 + SplitMix(rng) % 5);
-  for (int i = 0; i < points; ++i) {
-    Mutation m;
-    for (int d = 0; d < dims; ++d) {
-      m.cell.push_back(RandRange(rng, -1000000, 1000000));
+  const bool is_set = SplitMix(rng) % 2 == 0;
+  const int targets = static_cast<int>(1 + SplitMix(rng) % 5);
+  for (int i = 0; i < targets; ++i) {
+    const int64_t value = RandRange(rng, -1000000, 1000000);
+    if (SplitMix(rng) % 3 == 0) {
+      Cell lo;
+      Cell hi;
+      for (int d = 0; d < dims; ++d) {
+        lo.push_back(RandRange(rng, -1000000, 1000000));
+        hi.push_back(SplitMix(rng) % 4 == 0
+                         ? lo.back()
+                         : RandRange(rng, -1000000, 1000000));
+      }
+      write.mutations.push_back(
+          is_set ? MakeRangeSet(std::move(lo), std::move(hi), value)
+                 : MakeRangeAdd(std::move(lo), std::move(hi), value));
+    } else {
+      Mutation m;
+      for (int d = 0; d < dims; ++d) {
+        m.cell.push_back(RandRange(rng, -1000000, 1000000));
+      }
+      m.delta = value;
+      m.kind = is_set ? MutationKind::kSet : MutationKind::kAdd;
+      write.mutations.push_back(std::move(m));
     }
-    m.delta = RandRange(rng, -1000000, 1000000);
-    m.kind = kind;
-    write.mutations.push_back(std::move(m));
   }
   return write;
 }
@@ -83,7 +101,7 @@ WriteStatement RandomWrite(uint64_t* rng, int dims) {
 std::string MutateText(uint64_t* rng, std::string text) {
   static const char kAlphabet[] =
       "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
-      "[],=- \t\n\0#;$";
+      "[],=-. \t\n\0#;$";
   const int edits = static_cast<int>(1 + SplitMix(rng) % 4);
   for (int e = 0; e < edits; ++e) {
     if (text.empty()) break;
@@ -175,10 +193,13 @@ TEST(QueryFuzzTest, ExecutingFuzzedStatementsNeverAborts) {
       // aggregation path, out-of-range dims exercise the error path.
       text = QueryToString(query);
     } else {
-      // Small coordinates: executed writes must not balloon the domain.
+      // Small coordinates: executed writes must not balloon the domain
+      // (range corners clamp too — a clamped box covers at most 32^2
+      // cells, so even kRangeSet's per-cell expansion stays cheap).
       WriteStatement write = RandomWrite(&rng, 2);
       for (Mutation& m : write.mutations) {
         for (Coord& c : m.cell) c = ((c % 32) + 32) % 32;
+        for (Coord& c : m.hi) c = ((c % 32) + 32) % 32;
         m.delta %= 1000;
       }
       text = WriteToString(write);
@@ -192,6 +213,33 @@ TEST(QueryFuzzTest, ExecutingFuzzedStatementsNeverAborts) {
   // Cube still alive: a full aggregate walk works after the fuzz barrage.
   (void)cube.TotalSum();
   EXPECT_EQ(cube.dims(), 2);
+}
+
+TEST(QueryFuzzTest, RangeStatementEdgeCases) {
+  DynamicDataCube cube(2, 16);
+  // Inverted bounds: parses, executes, writes nothing.
+  QueryResult result = RunStatement("ADD 5 IN [7, 7 .. 3, 3]", &cube);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(cube.TotalSum(), 0);
+  // Degenerate (single-cell) bounds equal a point write.
+  result = RunStatement("ADD 5 IN [2, 2 .. 2, 2]", &cube);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(cube.Get({2, 2}), 5);
+  // Both spellings of the range separator tokenize.
+  EXPECT_TRUE(RunStatement("ADD 1 IN [0,0..1,1]", &cube).ok);
+  EXPECT_TRUE(RunStatement("SET 0 IN [0, 0 .. 3, 3]", &cube).ok);
+  EXPECT_EQ(cube.TotalSum(), 0);
+  // Mismatched corner arity is a parse error, not an abort.
+  result = RunStatement("ADD 5 IN [1 .. 2, 3]", &cube);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+  // A range over the wrong dimensionality is an executor error.
+  result = RunStatement("ADD 5 IN [1, 2, 3 .. 4, 5, 6]", &cube);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("dimension"), std::string::npos);
+  // Stray dot runs fail cleanly.
+  EXPECT_FALSE(RunStatement("ADD 5 IN [1, 2 . 3, 4]", &cube).ok);
+  EXPECT_FALSE(RunStatement("ADD 5 IN [1, 2 ... 3, 4]", &cube).ok);
 }
 
 }  // namespace

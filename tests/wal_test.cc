@@ -188,6 +188,110 @@ TEST_F(WalTest, TornBatchRecordIsAllOrNothing) {
   EXPECT_EQ(cube.Get({3}), 0);
 }
 
+TEST_F(WalTest, RangeRecordRoundTrip) {
+  {
+    auto log = CubeLog::Open(log_only_, 2);
+    ASSERT_NE(log, nullptr);
+    // Point records keep the exact pre-range layout: header (12) + one
+    // count-1 record (4 count + 4 kind + 16 cell + 8 value + 8 checksum).
+    EXPECT_TRUE(log->Append({1, 1}, 5));
+    EXPECT_TRUE(log->Sync());
+    EXPECT_EQ(std::filesystem::file_size(log_only_), 12u + 40u);
+    // A range mutation carries 2d coordinates: its serialized form is one
+    // fixed-size record no matter how many cells the box covers.
+    const MutationBatch batch = {
+        Mutation{{2, 2}, 7, MutationKind::kAdd},
+        MakeRangeAdd({0, 0}, {9, 9}, 3),
+        MakeRangeSet({4, 4}, {6, 6}, 2),
+    };
+    EXPECT_TRUE(log->AppendBatch(batch));
+    EXPECT_TRUE(log->Sync());
+    // Record: count(4) + point(4+16+8) + 2 x range(4+16+16+8) + checksum(8).
+    EXPECT_EQ(std::filesystem::file_size(log_only_),
+              12u + 40u + (4u + 28u + 44u + 44u + 8u));
+    EXPECT_EQ(log->appended(), 4);
+  }
+  DynamicDataCube cube(2, 16);
+  const ReplayResult result = CubeLog::Replay(log_only_, &cube);
+  EXPECT_TRUE(result.header_ok);
+  EXPECT_TRUE(result.clean_tail);
+  EXPECT_EQ(result.applied, 4);
+  EXPECT_EQ(result.batches, 2);
+  EXPECT_EQ(cube.Get({1, 1}), 5 + 3);
+  EXPECT_EQ(cube.Get({2, 2}), 7 + 3);
+  EXPECT_EQ(cube.Get({0, 0}), 3);
+  EXPECT_EQ(cube.Get({5, 5}), 2);           // Inside the range-set box.
+  EXPECT_EQ(cube.Get({4, 4}), 2);
+  EXPECT_EQ(cube.Get({9, 9}), 3);
+  EXPECT_EQ(cube.TotalSum(), 5 + 7 + 3 * 100 - 3 * 9 + 2 * 9);
+}
+
+TEST_F(WalTest, TruncationAtEveryByteOfFinalRangeRecordIsAllOrNothing) {
+  // Committed prefix: one point record and one range record.
+  const MutationBatch committed_a = {Mutation{{1, 1}, 5, MutationKind::kAdd}};
+  const MutationBatch committed_b = {MakeRangeAdd({0, 0}, {3, 3}, 2)};
+  // Final record under the truncation sweep: a mixed point/range batch.
+  const MutationBatch final_batch = {
+      Mutation{{2, 2}, 7, MutationKind::kAdd},
+      MakeRangeSet({1, 1}, {2, 2}, 4),
+      MakeRangeAdd({0, 2}, {5, 5}, -1),
+  };
+  uintmax_t prior_size = 0;
+  uintmax_t final_size = 0;
+  {
+    auto log = CubeLog::Open(log_only_, 2);
+    ASSERT_NE(log, nullptr);
+    ASSERT_TRUE(log->AppendBatch(committed_a));
+    ASSERT_TRUE(log->AppendBatch(committed_b));
+    ASSERT_TRUE(log->Sync());
+    prior_size = std::filesystem::file_size(log_only_);
+    ASSERT_TRUE(log->AppendBatch(final_batch));
+    ASSERT_TRUE(log->Sync());
+    final_size = std::filesystem::file_size(log_only_);
+  }
+  ASSERT_GT(final_size, prior_size);
+
+  std::ifstream in(log_only_, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_EQ(bytes.size(), final_size);
+
+  DynamicDataCube want_prefix(2, 16);
+  ASSERT_TRUE(want_prefix.ApplyBatch(committed_a));
+  ASSERT_TRUE(want_prefix.ApplyBatch(committed_b));
+  DynamicDataCube want_full(2, 16);
+  ASSERT_TRUE(want_full.ApplyBatch(committed_a));
+  ASSERT_TRUE(want_full.ApplyBatch(committed_b));
+  ASSERT_TRUE(want_full.ApplyBatch(final_batch));
+
+  const std::string scratch = "/tmp/ddc_wal_range_trunc.log";
+  for (uintmax_t len = prior_size; len <= final_size; ++len) {
+    SCOPED_TRACE("truncated to " + std::to_string(len) + " of " +
+                 std::to_string(final_size) + " bytes");
+    {
+      std::ofstream out(scratch, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(len));
+    }
+    DynamicDataCube cube(2, 16);
+    const ReplayResult result = CubeLog::Replay(scratch, &cube);
+    const bool complete = len == final_size;
+    EXPECT_TRUE(result.header_ok);
+    EXPECT_EQ(result.clean_tail, complete || len == prior_size);
+    EXPECT_EQ(result.applied, complete ? 5 : 2);
+    EXPECT_EQ(result.batches, complete ? 3 : 2);
+    const DynamicDataCube& want = complete ? want_full : want_prefix;
+    for (Coord x = 0; x < 8; ++x) {
+      for (Coord y = 0; y < 8; ++y) {
+        ASSERT_EQ(cube.Get({x, y}), want.Get({x, y}))
+            << "cell (" << x << ", " << y << ")";
+      }
+    }
+    EXPECT_EQ(cube.TotalSum(), want.TotalSum());
+  }
+  std::remove(scratch.c_str());
+}
+
 TEST_F(WalTest, DurableApplyBatchSurvivesRestart) {
   {
     DurableCube cube(2, 16, base_);

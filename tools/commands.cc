@@ -144,7 +144,9 @@ std::string UsageText() {
          "  ddctool select CUBE \"SUM [GROUP BY dK [SIZE g]] [WHERE dI IN "
          "[a,b] AND ...]\"\n"
          "                 (also writes: \"ADD AT [c1,...,cd] = v, AT ...\" "
-         "/ \"SET AT ... = v\")\n"
+         "/ \"SET AT ... = v\"\n"
+         "                  and range writes: \"ADD v IN [l1,...,ld .. "
+         "h1,...,hd]\" / \"SET v IN [...]\")\n"
          "  ddctool info   CUBE\n"
          "  ddctool export CUBE --csv OUT\n"
          "  ddctool shrink CUBE\n"

@@ -18,7 +18,8 @@ cd "$(dirname "$0")/.."
 # tests/CMakeLists.txt). Building only these keeps a sanitizer run fast.
 SANITIZE_TARGETS=(concurrent_test sharded_cube_test sharded_stress_test
                   query_batch_test update_batch_test obs_concurrent_test
-                  fault_recovery_test query_fuzz_test wal_test ddctool)
+                  fault_recovery_test query_fuzz_test wal_test
+                  range_mutation_test ddctool)
 
 run_one() {
   local kind="$1"
