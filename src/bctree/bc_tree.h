@@ -19,13 +19,27 @@
 // behaviour Section 5 relies on while keeping the paper's node layout
 // (per-entry STS, data in the leaves, bottom-up update of one STS per level).
 //
-// Memory layout: nodes live in an Arena — either one passed in (the owning
-// cube's arena, so a face's tree sits next to the box that owns it) or a
-// private one for standalone trees. A node is a fixed pair of inline arena
-// arrays (f sums, f child pointers; leaves have no child array), replacing
-// the seed's vector-of-unique_ptr layout: one descent now walks allocation-
-// ordered memory instead of chasing per-node heap blocks. Whether a node is
-// a leaf is implied by its span (span == fanout), so no flag is stored.
+// Memory layout (cache-conscious, see DESIGN.md §13). A node is one arena
+// slab: f subtree sums followed, for interior nodes, by f child pointers.
+// The slab is aligned so the sum array never straddles a cache line — at the
+// tuned default fanout 8 the sums are exactly one 64-byte line, so one
+// descent level costs one line fill (plus one pointer line for interior
+// nodes). Descents are branchless: power-of-two fanouts replace the
+// per-level div/mod with shift/mask, and the per-entry STS compare loop is
+// a predicated whole-line masked sum (kernels::MaskedPrefixSum). The
+// pre-optimization scalar descent is retained verbatim and reachable via
+// kernels::ForceScalar — it is the semantic contract the differential tests
+// pin the optimized path against, bit-exactly.
+//
+// Layouts:
+//  * kSparse (default): lazily materialized pointer tree, as in the paper.
+//  * kDense: the whole conceptual tree as one flat 64-byte-aligned slab in
+//    BFS (Eytzinger-style) order with implicit child addressing
+//    (child(slot, c) = slot*f + 1 + c) — no child pointers at all, so a
+//    descent is pure arithmetic over contiguous memory. Costs
+//    (f^height - 1)/(f - 1) * f entries regardless of population, so it
+//    suits dense a-priori key spaces (bulk-built faces), not the sparse
+//    Section 5 regime.
 
 #ifndef DDC_BCTREE_BC_TREE_H_
 #define DDC_BCTREE_BC_TREE_H_
@@ -39,8 +53,15 @@
 
 namespace ddc {
 
+// Node placement strategy; see the header comment.
+enum class BcLayout { kSparse, kDense };
+
 class BcTree : public CumulativeStore1D {
  public:
+  // Tuned on the bench_kernels fanout sweep (7/8/15/16): 8 sums * 8 bytes =
+  // exactly one 64-byte cache line per descent level, which beat both the
+  // shallower two-line fanout-16 tree and the odd fanouts that lose the
+  // shift/mask addressing. See ddc_options.h for the recorded numbers.
   static constexpr int kDefaultFanout = 8;
 
   // Creates an all-zero tree holding `capacity` row sums. `fanout` is the
@@ -48,7 +69,7 @@ class BcTree : public CumulativeStore1D {
   // `arena` when given (not owned; must outlive the tree), otherwise from a
   // private arena.
   explicit BcTree(int64_t capacity, int fanout = kDefaultFanout,
-                  Arena* arena = nullptr);
+                  Arena* arena = nullptr, BcLayout layout = BcLayout::kSparse);
 
   BcTree(const BcTree&) = delete;
   BcTree& operator=(const BcTree&) = delete;
@@ -56,7 +77,9 @@ class BcTree : public CumulativeStore1D {
   // Bulk-builds the tree bottom-up from `values` (one per index; shorter
   // vectors are zero-extended). The tree must be empty. Writes each stored
   // entry exactly once — O(capacity) instead of O(capacity log capacity)
-  // repeated Adds — and materializes only subtrees with nonzero content.
+  // repeated Adds — and (in the sparse layout) materializes only subtrees
+  // with nonzero content. Subtree totals accumulate through the vectorized
+  // block-sum kernel.
   void BuildFrom(const std::vector<int64_t>& values);
 
   void Add(int64_t index, int64_t delta) override;
@@ -67,6 +90,7 @@ class BcTree : public CumulativeStore1D {
   int64_t StorageCells() const override { return allocated_entries_; }
 
   int fanout() const { return fanout_; }
+  BcLayout layout() const { return layout_; }
 
   // Height of the (conceptual) tree: number of levels including the leaf
   // level; a single-leaf tree has height 1.
@@ -78,20 +102,53 @@ class BcTree : public CumulativeStore1D {
   bool CheckInvariants() const;
 
  private:
-  struct Node {
-    // Interior: sums[i] is the STS of children[i] (the paper stores f-1 STS
-    // values and derives the last branch; storing all f child sums is an
-    // equivalent layout and is what we count as storage).
-    // Leaf: sums[i] is the individual row-sum value at index lo + i, and
-    // children is null.
-    int64_t* sums = nullptr;
-    Node** children = nullptr;
-  };
+  // A node is an opaque pointer to one aligned arena slab:
+  //   [ f x int64_t sums ][ f x Node* children ]   (interior)
+  //   [ f x int64_t sums ]                         (leaf)
+  // Whether a node is a leaf is implied by its span (span == fanout), so no
+  // flag is stored and the two shapes share one handle type.
+  struct Node;
 
-  // Allocates a node with its inline arrays; `is_leaf` nodes carry no child
-  // array. Counts the f stored entries.
+  int64_t* NodeSums(Node* node) const {
+    return reinterpret_cast<int64_t*>(node);
+  }
+  const int64_t* NodeSums(const Node* node) const {
+    return reinterpret_cast<const int64_t*>(node);
+  }
+  Node** NodeChildren(Node* node) const {
+    return reinterpret_cast<Node**>(reinterpret_cast<int64_t*>(node) +
+                                    fanout_);
+  }
+  Node* const* NodeChildren(const Node* node) const {
+    return reinterpret_cast<Node* const*>(
+        reinterpret_cast<const int64_t*>(node) + fanout_);
+  }
+
+  // Allocates a node slab (leaves carry no child array), zeroed, aligned so
+  // the sum array never straddles a cache line. Counts the f stored entries.
   Node* NewNode(bool is_leaf);
-  Node* EnsureChild(Node* node, size_t child_index, bool child_is_leaf);
+
+  // Optimized descents, specialized on whether the fanout supports
+  // shift/mask child addressing.
+  template <bool kPow2>
+  void AddFast(int64_t index, int64_t delta);
+  template <bool kPow2>
+  int64_t CumulativeSumFast(int64_t index) const;
+
+  // The pre-optimization scalar reference descents (verbatim seed shape:
+  // per-level div/mod, early-terminating per-entry STS loop). Reached via
+  // kernels::ForceScalar; bit-exact with the fast paths by construction,
+  // which kernel_layout_test verifies.
+  void AddScalarRef(int64_t index, int64_t delta);
+  int64_t CumulativeSumScalarRef(int64_t index) const;
+
+  // Dense-layout (implicit-addressing) operations.
+  void EnsureDense();
+  void AddDense(int64_t index, int64_t delta);
+  int64_t CumulativeSumDense(int64_t index) const;
+  int64_t ValueDense(int64_t index) const;
+  void BuildFromDense(const std::vector<int64_t>& values);
+
   // Builds the subtree covering values[lo, lo+span); returns nullptr when
   // the range is entirely zero. Sets *subtree_total.
   Node* BuildRange(const std::vector<int64_t>& values, int64_t lo,
@@ -101,13 +158,17 @@ class BcTree : public CumulativeStore1D {
 
   int64_t capacity_;
   int fanout_;
+  BcLayout layout_;
   int height_;
   int64_t root_span_;  // fanout_^(height_-1) * fanout_ covers >= capacity_
+  int log2_fanout_;    // log2(fanout_) when a power of two, else -1.
   int64_t total_ = 0;
   int64_t allocated_entries_ = 0;
   std::unique_ptr<Arena> owned_arena_;  // Set only for standalone trees.
   Arena* arena_;
-  Node* root_ = nullptr;
+  Node* root_ = nullptr;       // Sparse layout.
+  int64_t* dense_ = nullptr;   // Dense layout: dense_slots_ * fanout_ sums.
+  int64_t dense_slots_ = 0;    // (fanout^height - 1) / (fanout - 1).
 };
 
 }  // namespace ddc

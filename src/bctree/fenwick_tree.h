@@ -20,6 +20,13 @@ class FenwickTree : public CumulativeStore1D {
   FenwickTree(const FenwickTree&) = delete;
   FenwickTree& operator=(const FenwickTree&) = delete;
 
+  // Bulk-builds from `values` (one per index; shorter vectors are
+  // zero-extended). The tree must be empty. One O(capacity) in-place
+  // propagation pass — each tree cell is written once and pushed to its
+  // parent once — instead of the O(capacity log capacity) loop of Adds; the
+  // grand total accumulates through the vectorized block-sum kernel.
+  void BuildFrom(const std::vector<int64_t>& values);
+
   void Add(int64_t index, int64_t delta) override;
   int64_t CumulativeSum(int64_t index) const override;
   int64_t Value(int64_t index) const override;

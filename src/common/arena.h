@@ -67,6 +67,11 @@ inline obs::Counter& BytesReserved() {
 
 class Arena {
  public:
+  // Every block base is aligned to this, so Allocate() can honor any
+  // power-of-two alignment up to it — the cache-line-sized node layouts
+  // (BcTree, kernel descents) depend on 64-byte placement.
+  static constexpr size_t kMaxAlign = 64;
+
   Arena() = default;
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
@@ -83,9 +88,14 @@ class Arena {
     }
   }
 
-  // Raw aligned allocation. `align` must be a power of two <= alignof(max_align_t).
+  // Raw aligned allocation. `align` must be a power of two <= kMaxAlign.
+  // Alignment is real, not incidental: block bases are 64-byte aligned, so
+  // an aligned offset within the block is an aligned address (the seed's
+  // blocks were only new[]-aligned, which silently capped usable alignment
+  // at 16 bytes).
   void* Allocate(size_t bytes, size_t align) {
-    DDC_DCHECK(align > 0 && (align & (align - 1)) == 0);
+    DDC_DCHECK(align > 0 && align <= kMaxAlign &&
+               (align & (align - 1)) == 0);
     size_t offset = (cursor_ + align - 1) & ~(align - 1);
     if (offset + bytes > block_size_) {
       NewBlock(bytes, align);
@@ -95,6 +105,12 @@ class Arena {
     bytes_used_ = bytes_total_ - block_size_ + cursor_;
     return block_ + offset;
   }
+
+  // Cache-line-aligned allocation: the returned address is 64-byte aligned,
+  // so a block of up to 64 bytes occupies exactly one cache line. Used for
+  // the fixed-fanout B_c-tree node slabs, where one descent level must cost
+  // one line fill.
+  void* AllocateAligned(size_t bytes) { return Allocate(bytes, kMaxAlign); }
 
   // Constructs a T in the arena. Registers T's destructor unless T is
   // trivially destructible; either way the object must never be deleted.
@@ -148,8 +164,13 @@ class Arena {
     size_t want = next_block_size_;
     // Oversized single objects get their own block.
     if (bytes + align > want) want = bytes + align;
-    blocks_.push_back(std::make_unique<char[]>(want));
-    block_ = blocks_.back().get();
+    // Over-allocate by kMaxAlign and round the base up, so every block base
+    // is 64-byte aligned regardless of what new[] returned.
+    blocks_.push_back(std::make_unique<char[]>(want + kMaxAlign));
+    const uintptr_t raw =
+        reinterpret_cast<uintptr_t>(blocks_.back().get());
+    block_ = reinterpret_cast<char*>((raw + kMaxAlign - 1) &
+                                     ~(uintptr_t{kMaxAlign} - 1));
     block_size_ = want;
     cursor_ = 0;
     bytes_total_ += want;

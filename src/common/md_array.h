@@ -46,6 +46,10 @@ class MdArray {
 
   void Fill(T value) { data_.assign(data_.size(), value); }
 
+  // Raw row-major storage; the innermost dimension is contiguous. Block
+  // kernels (leaf-prefix sums) run directly over this.
+  const T* data() const { return data_.data(); }
+
   // Invokes fn(cell, value&) for every cell in row-major order.
   template <typename Fn>
   void ForEach(Fn&& fn) {

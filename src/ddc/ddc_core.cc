@@ -5,6 +5,7 @@
 
 #include "common/bit_util.h"
 #include "common/check.h"
+#include "common/kernels.h"
 #include "common/shape.h"
 
 namespace ddc {
@@ -53,6 +54,29 @@ void CountingSortByHome(std::span<Item> items, std::vector<Item>& sorted,
 }
 
 }  // namespace
+
+// Thread-local scratch for the const batched-query descent: capacity
+// persists across PrefixSumBatch calls (and across the cubes one thread
+// serves), so steady-state batches run allocation-free. `busy` falls back
+// to a fresh local scratch on reentrancy instead of corrupting a walk.
+struct DdcCore::BatchTls {
+  BatchScratch scratch;
+  std::vector<BatchItem> items;
+  bool busy = false;
+};
+
+DdcCore::BatchTls& DdcCore::GetBatchTls() {
+  thread_local BatchTls tls;
+  return tls;
+}
+
+size_t DdcCore::update_scratch_bytes() const {
+  return update_items_.capacity() * sizeof(UpdateItem) +
+         update_scratch_.sorted.capacity() * sizeof(UpdateItem) +
+         update_scratch_.begin.capacity() * sizeof(size_t) +
+         update_scratch_.cursor.capacity() * sizeof(size_t) +
+         update_scratch_.deltas.capacity() * sizeof(int64_t);
+}
 
 obs::Counter& DdcCore::ObsValuesRead() {
   static obs::Counter& c =
@@ -202,7 +226,11 @@ void DdcCore::AddBatch(std::span<const Cell> cells,
     }
     return;
   }
-  std::vector<UpdateItem> items;
+  // The items buffer and the counting-sort scratch are members: consecutive
+  // batches on one cube (the ApplyBatch steady state) reuse the grown
+  // capacity instead of paying a heap round-trip per batch.
+  std::vector<UpdateItem>& items = update_items_;
+  items.clear();
   items.reserve(cells.size());
   for (size_t q = 0; q < cells.size(); ++q) {
     DDC_DCHECK(static_cast<int>(cells[q].size()) == dims_);
@@ -212,10 +240,9 @@ void DdcCore::AddBatch(std::span<const Cell> cells,
   }
   if (items.empty()) return;
   EnsureNode(&root_);
-  UpdateScratch scratch;
-  scratch.begin.resize(num_children_ + 1);
-  scratch.cursor.resize(num_children_);
-  AddBatchRec(root_, side_, items, scratch);
+  update_scratch_.begin.resize(num_children_ + 1);
+  update_scratch_.cursor.resize(num_children_);
+  AddBatchRec(root_, side_, items, update_scratch_);
 }
 
 void DdcCore::AddBatchRec(Node* node, int64_t node_side,
@@ -246,16 +273,37 @@ void DdcCore::AddBatchRec(Node* node, int64_t node_side,
   CountingSortByHome(items, scratch.sorted, scratch.begin, scratch.cursor,
                      num_children_);
 
+  // Contiguous per-item deltas in sorted order: each group's subtotal then
+  // collapses to one vectorized block sum instead of a strided struct walk.
+  // Only worth the extra pass while the node still holds a crowd; deeper
+  // nodes with small groups keep the scalar loop.
+  const bool use_delta_buffer = !kernels::UseScalar() && items.size() >= 32;
+  if (use_delta_buffer) {
+    scratch.deltas.resize(items.size());
+    for (size_t q = 0; q < items.size(); ++q) {
+      scratch.deltas[q] = items[q].delta;
+    }
+  }
+
+  // Pass 1: every group's node-local writes (box subtotal + face adds)
+  // before any recursion — the node's box array stays hot across groups,
+  // and the delta buffer is free again for deeper nodes by the time pass 2
+  // descends.
   size_t lo = 0;
   while (lo < items.size()) {
     const uint32_t mask = items[lo].home;
     size_t hi = lo + 1;
     while (hi < items.size() && items[hi].home == mask) ++hi;
     const auto group = items.subspan(lo, hi - lo);
-    lo = hi;
 
-    int64_t group_sum = 0;
-    for (const UpdateItem& item : group) group_sum += item.delta;
+    int64_t group_sum;
+    if (use_delta_buffer) {
+      group_sum = kernels::Sum(scratch.deltas.data() + lo, hi - lo);
+    } else {
+      group_sum = 0;
+      for (const UpdateItem& item : group) group_sum += item.delta;
+    }
+    lo = hi;
     BoxData* box = EnsureBox(node, mask, k);
     box->subtotal += group_sum;  // One write absorbs the whole group.
     CountWrite(1);
@@ -289,6 +337,30 @@ void DdcCore::AddBatchRec(Node* node, int64_t node_side,
             if (line_delta != 0) box->faces[j].Add(line, line_delta);
           }
         }
+      }
+    }
+  }
+
+  // Pass 2: descend per group. Before one group's subtree runs, the next
+  // group's level-(L+1) target is prefetched, so its miss latency overlaps
+  // the current group's work.
+  lo = 0;
+  while (lo < items.size()) {
+    const uint32_t mask = items[lo].home;
+    size_t hi = lo + 1;
+    while (hi < items.size() && items[hi].home == mask) ++hi;
+    const auto group = items.subspan(lo, hi - lo);
+    lo = hi;
+
+    if (lo < items.size()) {
+      const uint32_t next_mask = items[lo].home;
+      if (k > min_box_side_) {
+        if (node->child_nodes != nullptr) {
+          kernels::PrefetchRead(node->child_nodes[next_mask]);
+        }
+      } else if (node->child_raw != nullptr &&
+                 node->child_raw[next_mask] != nullptr) {
+        kernels::PrefetchRead(node->child_raw[next_mask]->data());
       }
     }
 
@@ -488,18 +560,29 @@ void DdcCore::PrefixSumBatch(std::span<const Cell> cells,
     std::fill(out.begin(), out.end(), int64_t{0});
     return;
   }
-  std::vector<BatchItem> items(cells.size());
+  // PrefixSumBatch is const (ConcurrentCube runs it from parallel readers),
+  // so reusable scratch lives in thread-local storage rather than in the
+  // cube. The busy flag covers reentrancy (a nested cube's batch issued
+  // from inside an outer batch): the inner call falls back to fresh local
+  // buffers instead of clobbering the outer call's scratch.
+  BatchTls& tls = GetBatchTls();
+  BatchTls local;
+  BatchTls& use = tls.busy ? local : tls;
+  use.busy = true;
+  std::vector<BatchItem>& items = use.items;
+  items.resize(cells.size());
   for (size_t q = 0; q < cells.size(); ++q) {
     DDC_DCHECK(static_cast<int>(cells[q].size()) == dims_);
     out[q] = 0;
     items[q].offset = cells[q];
     items[q].out = &out[q];
   }
-  BatchScratch scratch;
+  BatchScratch& scratch = use.scratch;
   scratch.begin.resize(num_children_ + 1);
   scratch.cursor.resize(num_children_);
   scratch.clamped.resize(static_cast<size_t>(dims_));
   PrefixSumBatchRec(root_, side_, items, scratch);
+  use.busy = false;
 }
 
 void DdcCore::PrefixSumBatchRec(const Node* node, int64_t node_side,
@@ -554,8 +637,9 @@ void DdcCore::PrefixSumBatchRec(const Node* node, int64_t node_side,
         *item.out += node->boxes[mask].subtotal;
         CountRead(1);
       } else {
+        TransverseInto(clamped, first_beyond, scratch.transverse);
         *item.out += node->boxes[mask].faces[first_beyond].PrefixSum(
-            Transverse(clamped, first_beyond));
+            scratch.transverse);
       }
     }
 
@@ -567,9 +651,13 @@ void DdcCore::PrefixSumBatchRec(const Node* node, int64_t node_side,
 
   // Counting sort the group by home child so each child is descended once,
   // with its queries contiguous. The scratch buffers are free again by the
-  // time the recursion below re-enters this function.
-  CountingSortByHome(items, scratch.sorted, scratch.begin, scratch.cursor,
-                     num_children_);
+  // time the recursion below re-enters this function. A one-item group is
+  // already sorted — deep levels are dominated by them, so skipping the
+  // sort there matters.
+  if (items.size() > 1) {
+    CountingSortByHome(items, scratch.sorted, scratch.begin, scratch.cursor,
+                       num_children_);
+  }
 
   // Groups are contiguous runs of equal `home`; rediscover them by scanning
   // (begin/cursor are clobbered once the recursion reuses the scratch).
@@ -580,6 +668,23 @@ void DdcCore::PrefixSumBatchRec(const Node* node, int64_t node_side,
     while (hi < items.size() && items[hi].home == mask) ++hi;
     auto group = items.subspan(lo, hi - lo);
     lo = hi;
+
+    // Prefetch the next group's level-(L+1) target so its cache miss
+    // overlaps this group's descent.
+    if (lo < items.size()) {
+      const uint32_t next_mask = items[lo].home;
+      if (node->boxes[next_mask].present) {
+        if (k <= min_box_side_) {
+          if (node->child_raw != nullptr &&
+              node->child_raw[next_mask] != nullptr) {
+            kernels::PrefetchRead(node->child_raw[next_mask]->data());
+          }
+        } else if (node->child_nodes != nullptr) {
+          kernels::PrefetchRead(node->child_nodes[next_mask]);
+        }
+      }
+    }
+
     if (!node->boxes[mask].present) continue;  // All-zero region: adds 0.
     if (k <= min_box_side_) {
       const MdArray<int64_t>* raw =
@@ -599,6 +704,37 @@ void DdcCore::PrefixSumBatchRec(const Node* node, int64_t node_side,
 
 int64_t DdcCore::RawPrefix(const MdArray<int64_t>& raw,
                            const Cell& offset) const {
+  if (kernels::UseScalar()) return RawPrefixScalarRef(raw, offset);
+  CountNode(&raw);  // A leaf block is one secondary-storage unit.
+  // Row-major leaf blocks keep the innermost dimension contiguous, so the
+  // Section 4.4 dominance sum is an odometer over the outer dimensions with
+  // one vectorized block sum per inner run. Counter semantics match the
+  // scalar reference: one node, one read per cell summed.
+  const size_t inner = static_cast<size_t>(dims_ - 1);
+  const size_t run = static_cast<size_t>(offset[inner]) + 1;
+  const int64_t* data = raw.data();
+  int64_t sum = 0;
+  int64_t reads = 0;
+  Cell cursor(static_cast<size_t>(dims_), 0);
+  while (true) {
+    const int64_t base = raw.shape().LinearIndex(cursor);
+    sum += kernels::Sum(data + base, run);
+    reads += static_cast<int64_t>(run);
+    int dim = dims_ - 2;
+    while (dim >= 0) {
+      size_t ud = static_cast<size_t>(dim);
+      if (++cursor[ud] <= offset[ud]) break;
+      cursor[ud] = 0;
+      --dim;
+    }
+    if (dim < 0) break;
+  }
+  CountRead(reads);
+  return sum;
+}
+
+int64_t DdcCore::RawPrefixScalarRef(const MdArray<int64_t>& raw,
+                                    const Cell& offset) const {
   CountNode(&raw);  // A leaf block is one secondary-storage unit.
   int64_t sum = 0;
   Cell cursor(static_cast<size_t>(dims_), 0);

@@ -138,6 +138,11 @@ class DdcCore {
   // The arena this core allocates from (owned or borrowed).
   Arena* arena() const { return arena_; }
 
+  // Heap bytes currently held by the reusable write-path scratch (items
+  // buffer + counting-sort workspace). Test support: repeated same-shaped
+  // AddBatch calls must not grow this — the scratch-reuse contract.
+  size_t update_scratch_bytes() const;
+
   // Number of tree levels a full root-to-leaf descent visits (the raw leaf
   // block counts as one level): log2(side / min_box_side) + 1. Queries and
   // updates record this into the ddc.query.depth / ddc.update.depth
@@ -193,16 +198,26 @@ class DdcCore {
   };
 
   // Reusable buffers for the batched descent. The recursion only needs them
-  // between entering a node and recursing into its children, so one set —
-  // allocated once per PrefixSumBatch call — serves every node of the walk
-  // (the alternative, fresh vectors per node, dominated the batch's cost on
-  // shallow trees).
+  // between entering a node and recursing into its children, so one set
+  // serves every node of the walk (the alternative, fresh vectors per node,
+  // dominated the batch's cost on shallow trees). Query scratch lives in a
+  // thread-local pool (see GetBatchTls) so repeated PrefixSumBatch calls
+  // reuse capacity without making the const read path carry mutable state —
+  // ConcurrentCube runs parallel readers against one cube.
   struct BatchScratch {
     std::vector<BatchItem> sorted;
     std::vector<size_t> begin;
     std::vector<size_t> cursor;
     Cell clamped;
+    Cell transverse;  // Face-query key scratch: avoids a per-face-query
+                      // Cell allocation in the batched walk.
   };
+
+  // Thread-local scratch pool for the const batched-query path; defined in
+  // ddc_core.cc. `busy` guards against (hypothetical) reentrant batched
+  // queries on one thread — the fallback is a fresh local scratch.
+  struct BatchTls;
+  static BatchTls& GetBatchTls();
 
   // One in-flight update of an AddBatch: the target offset, rebased as the
   // walk descends, its delta, and the cached home-child mask.
@@ -214,7 +229,10 @@ class DdcCore {
 
   // The write-path counterpart of BatchScratch: counting-sort workspace
   // plus a reusable map that coalesces same-line face contributions within
-  // one box group. Shared across every node of one AddBatch walk.
+  // one box group. Shared across every node of one AddBatch walk, and —
+  // writes are externally synchronized — held as a member so consecutive
+  // ApplyBatch calls on one cube reuse the grown capacity instead of
+  // reallocating per batch.
   struct UpdateScratch {
     std::vector<UpdateItem> sorted;
     std::vector<size_t> begin;
@@ -224,6 +242,10 @@ class DdcCore {
     // dims face adds per item per level, and materializing each transverse
     // position into a fresh Cell would make allocation the dominant cost.
     Cell transverse;
+    // Contiguous per-item deltas in counting-sorted order, so a group's
+    // subtotal is one vectorized block sum instead of a strided struct
+    // walk. Refilled per node; only used for groups worth the extra pass.
+    std::vector<int64_t> deltas;
   };
 
   Node* EnsureNode(Node** slot);
@@ -252,8 +274,14 @@ class DdcCore {
                          std::span<BatchItem> items,
                          BatchScratch& scratch) const;
 
-  // Sums raw-block cells over the component-wise range [0 .. offset].
+  // Sums raw-block cells over the component-wise range [0 .. offset] — the
+  // Section 4.4 space-opt leaf sum. The optimized path runs the vectorized
+  // block-sum kernel over each contiguous innermost run; the scalar
+  // reference (seed shape: full odometer, one LinearIndex per cell) is kept
+  // for the kernels::ForceScalar contract.
   int64_t RawPrefix(const MdArray<int64_t>& raw, const Cell& offset) const;
+  int64_t RawPrefixScalarRef(const MdArray<int64_t>& raw,
+                             const Cell& offset) const;
 
   int64_t NodeStorage(const Node* node, int64_t node_side) const;
   void NodeStats(const Node* node, int64_t node_side, DdcStats* stats) const;
@@ -297,6 +325,10 @@ class DdcCore {
   // side_ <= min_box_side_ (the whole cube is one leaf block).
   Node* root_ = nullptr;
   MdArray<int64_t>* root_raw_ = nullptr;
+  // Write-path scratch, reused across AddBatch/ApplyBatch calls (writes are
+  // externally synchronized, so plain members are safe here).
+  UpdateScratch update_scratch_;
+  std::vector<UpdateItem> update_items_;
 };
 
 }  // namespace ddc

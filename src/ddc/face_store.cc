@@ -21,7 +21,9 @@ void FaceStore::Init(Arena* arena, int transverse_dims, int64_t side,
       fenwick_ = arena->Create<FenwickTree>(side);
       fenwick_->set_counters(counters);
     } else {
-      bc_ = arena->Create<BcTree>(side, options.bc_fanout, arena);
+      bc_ = arena->Create<BcTree>(
+          side, options.bc_fanout, arena,
+          options.bc_dense ? BcLayout::kDense : BcLayout::kSparse);
       bc_->set_counters(counters);
     }
     return;
@@ -84,12 +86,14 @@ void FaceStore::BuildFromDense(const MdArray<int64_t>& line_sums) {
     bc_->BuildFrom(values);
     return;
   }
-  // Fenwick: no bulk path needed — capacity writes either way.
+  // Fenwick: one O(capacity) propagation pass instead of a loop of
+  // O(log capacity) Adds.
+  std::vector<int64_t> values(
+      static_cast<size_t>(line_sums.shape().extent(0)));
   for (int64_t i = 0; i < line_sums.size(); ++i) {
-    if (line_sums.at_linear(i) != 0) {
-      fenwick_->Add(i, line_sums.at_linear(i));
-    }
+    values[static_cast<size_t>(i)] = line_sums.at_linear(i);
   }
+  fenwick_->BuildFrom(values);
 }
 
 }  // namespace ddc

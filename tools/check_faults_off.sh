@@ -24,7 +24,8 @@ cd "$(dirname "$0")/.."
 
 FAULTS_OFF_TARGETS=(wal_test arena_test update_batch_test ddctool_test
                     fault_recovery_test query_fuzz_test
-                    bench_query_batch bench_update_batch ddctool)
+                    bench_query_batch bench_update_batch bench_range_update
+                    bench_kernels ddctool)
 
 echo "=== DDC_FAULTS=OFF: configuring build-faultsoff ==="
 cmake -B build-faultsoff -S . -DDDC_FAULTS=OFF > /dev/null

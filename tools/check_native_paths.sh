@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Builds and tests BOTH kernel dispatch paths:
+#
+#   build-native-off/  -DDDC_NATIVE=OFF  portable optimized kernels only
+#   build-native-on/   -DDDC_NATIVE=ON   -march=native + AVX2 kernels where
+#                                        the host supports them
+#
+# Each build runs the full default ctest suite (which includes the
+# kernel_layout_test scalar/optimized differentials) and the bench_kernels
+# smoke floors, so a kernel that is fast but wrong — or one that only works
+# under one dispatch mode — cannot land. Usage:
+#
+#   tools/check_native_paths.sh          # both modes, tests + bench floors
+#   tools/check_native_paths.sh --fast   # both modes, tests only
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+if [ "${1:-}" = "--fast" ]; then
+  FAST=1
+fi
+
+run_mode() {
+  local mode="$1"
+  local dir="$2"
+  echo "=== DDC_NATIVE=${mode}: configuring ${dir} ==="
+  cmake -B "$dir" -S . -DDDC_NATIVE="$mode" > /dev/null
+  echo "=== DDC_NATIVE=${mode}: building ==="
+  cmake --build "$dir" -j "$(nproc)" > /dev/null
+  echo "=== DDC_NATIVE=${mode}: ctest ==="
+  ctest --test-dir "$dir" --output-on-failure -LE bench_smoke
+  if [ "$FAST" -eq 0 ]; then
+    echo "=== DDC_NATIVE=${mode}: bench_kernels smoke floors ==="
+    DDC_BENCH_SMOKE=1 DDC_BENCH_JSON="$dir/BENCH_kernels_smoke_check.json" \
+      "$dir/bench/bench_kernels"
+  fi
+}
+
+run_mode OFF build-native-off
+run_mode ON build-native-on
+
+echo "Both kernel dispatch paths build, test, and hold their floors."

@@ -19,7 +19,14 @@ cd "$(dirname "$0")/.."
 SANITIZE_TARGETS=(concurrent_test sharded_cube_test sharded_stress_test
                   query_batch_test update_batch_test obs_concurrent_test
                   fault_recovery_test query_fuzz_test wal_test
-                  range_mutation_test ddctool)
+                  range_mutation_test kernel_layout_test ddctool)
+
+# Sanitizer runs exercise the SIMD dispatch paths too: DDC_NATIVE=ON (the
+# default here, on top of the sanitizer flags) compiles the AVX2 kernels on
+# capable hosts, so TSan/ASan see the same code production -march=native
+# builds run. Export DDC_NATIVE=OFF to check the portable kernels instead;
+# tools/check_native_paths.sh drives both dispatch modes end to end.
+DDC_NATIVE="${DDC_NATIVE:-ON}"
 
 run_one() {
   local kind="$1"
@@ -34,7 +41,8 @@ run_one() {
   # harness do their real work only in a faults build, and every injected
   # failure path (poisoned-log truncation, AllocFailure unwinding, delayed
   # pool lanes) should be exercised under both sanitizers.
-  cmake -B "$dir" -S . -DDDC_SANITIZE="$kind" -DDDC_FAULTS=ON > /dev/null
+  cmake -B "$dir" -S . -DDDC_SANITIZE="$kind" -DDDC_FAULTS=ON \
+        -DDDC_NATIVE="$DDC_NATIVE" > /dev/null
   echo "=== ${kind} sanitizer: building ==="
   cmake --build "$dir" -j "$(nproc)" --target "${SANITIZE_TARGETS[@]}"
   echo "=== ${kind} sanitizer: running ctest -L 'sanitize|fault' ==="
