@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/introspect.h"
 #include "obs/trace.h"
 
 namespace ddc {
@@ -159,6 +160,15 @@ bool ShardedCube::ApplyBatch(std::span<const Mutation> ops) {
       sub.cell = q.box.lo;
       sub.hi = q.box.hi;
       groups[static_cast<size_t>(q.shard)].push_back(std::move(sub));
+    }
+  }
+  if (obs::CostLedger* l = obs::ActiveLedger()) {
+    // The fan-out shape only: the per-shard tree work runs inside
+    // WriteShard (same thread here, but attributed by the core hooks).
+    for (const MutationBatch& group : groups) {
+      if (group.empty()) continue;
+      ++l->shard_groups;
+      l->shard_subqueries += static_cast<int64_t>(group.size());
     }
   }
   bool counted_batch = false;
@@ -399,6 +409,16 @@ void ShardedCube::RangeSumBatch(std::span<const Box> boxes,
     shard_ids.push_back(s);
   }
   if (shard_ids.empty()) return;
+  if (obs::CostLedger* l = obs::ActiveLedger()) {
+    // Decomposition shape, recorded on the calling thread; the per-shard
+    // descents may run on pool threads, whose node/value counts are not
+    // attributed to this ledger (see obs/introspect.h).
+    l->shard_groups += static_cast<int64_t>(shard_ids.size());
+    for (int s : shard_ids) {
+      l->shard_subqueries +=
+          static_cast<int64_t>(work[static_cast<size_t>(s)].boxes.size());
+    }
+  }
 
   ConcurrentOpStats& billing =
       shards_[static_cast<size_t>(shard_ids[0])].stats;

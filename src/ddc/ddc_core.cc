@@ -96,6 +96,12 @@ obs::Counter& DdcCore::ObsNodesVisited() {
   return c;
 }
 
+obs::Counter& DdcCore::ObsFaceLookups() {
+  static obs::Counter& c =
+      *obs::MetricsRegistry::Default().GetCounter("ddc.face_lookups");
+  return c;
+}
+
 DdcCore::DdcCore(int dims, int64_t side, const DdcOptions& options,
                  OpCounters* counters, Arena* arena)
     : dims_(dims), side_(side), options_(options), counters_(counters) {
@@ -537,6 +543,7 @@ int64_t DdcCore::PrefixSumRec(const Node* node, int64_t node_side,
       } else {
         // The needed row-sum value has coordinate first_beyond maxed; read
         // it from that face as a (d-1)-dimensional prefix query.
+        CountFaceLookup();
         sum += node->boxes[mask].faces[first_beyond].PrefixSum(
             Transverse(clamped, first_beyond));
       }
@@ -637,6 +644,7 @@ void DdcCore::PrefixSumBatchRec(const Node* node, int64_t node_side,
         *item.out += node->boxes[mask].subtotal;
         CountRead(1);
       } else {
+        CountFaceLookup();
         TransverseInto(clamped, first_beyond, scratch.transverse);
         *item.out += node->boxes[mask].faces[first_beyond].PrefixSum(
             scratch.transverse);

@@ -51,6 +51,7 @@
 #include "common/op_counter.h"
 #include "ddc/ddc_options.h"
 #include "ddc/face_store.h"
+#include "obs/introspect.h"
 #include "obs/metrics.h"
 
 namespace ddc {
@@ -294,21 +295,35 @@ class DdcCore {
   static obs::Counter& ObsValuesRead();
   static obs::Counter& ObsValuesWritten();
   static obs::Counter& ObsNodesVisited();
+  static obs::Counter& ObsFaceLookups();
 
+  // The Count* members also fold into the calling thread's CostLedger (when
+  // one is installed) at exactly the sites that mirror into the registry —
+  // the equality EXPLAIN ANALYZE's differential test relies on.
   void CountRead(int64_t n) const {
     if (counters_ != nullptr) counters_->values_read += n;
     if (obs::Enabled()) ObsValuesRead().Add(n);
+    if (obs::CostLedger* l = obs::ActiveLedger()) l->values_read += n;
   }
   void CountWrite(int64_t n) const {
     if (counters_ != nullptr) counters_->values_written += n;
     if (obs::Enabled()) ObsValuesWritten().Add(n);
+    if (obs::CostLedger* l = obs::ActiveLedger()) l->values_written += n;
   }
   void CountNode(const void* node_identity) const {
     if (counters_ != nullptr) ++counters_->nodes_visited;
     if (obs::Enabled()) ObsNodesVisited().Increment();
+    if (obs::CostLedger* l = obs::ActiveLedger()) ++l->nodes_visited;
     if (node_visit_listener_ != nullptr && *node_visit_listener_) {
       (*node_visit_listener_)(node_identity);
     }
+  }
+  // Face-store consultations (the faces[...].PrefixSum branches of the
+  // Figure 10 descent). Ledger + registry only; OpCounters already see the
+  // nested core's own reads.
+  void CountFaceLookup() const {
+    if (obs::Enabled()) ObsFaceLookups().Increment();
+    if (obs::CostLedger* l = obs::ActiveLedger()) ++l->face_lookups;
   }
 
   int dims_;

@@ -10,6 +10,7 @@
 #include "common/bit_util.h"
 #include "common/check.h"
 #include "obs/trace.h"
+#include "obs/workload_recorder.h"
 
 namespace ddc {
 
@@ -413,6 +414,19 @@ bool DynamicDataCube::ApplyBatch(std::span<const Mutation> batch) {
     }
   }
 
+  if (obs::Enabled()) {
+    // Fold the executed mutations into the hot-range sketch (a point op is
+    // a 1-cell box). Geometry is already settled, so these are the ranges
+    // that actually land. BatchScope: one flush for the whole batch.
+    obs::WorkloadRecorder::BatchScope scope(obs::WorkloadRecorder::Default(),
+                                            /*mutations=*/true, dims_);
+    for (const Mutation& m : batch) {
+      const int64_t* lo = m.cell.data();
+      const int64_t* hi = m.is_range() ? m.hi.data() : m.cell.data();
+      scope.Record(lo, hi);
+    }
+  }
+
   if (!BatchHasRange(batch)) {
     // Point-only fast path: one coalesce, one shared descent.
     std::vector<CoalescedCell> coalesced = CoalesceMutations(batch);
@@ -539,8 +553,20 @@ int64_t DynamicDataCube::PrefixSum(const Cell& cell) const {
   DDC_CHECK(InDomain(cell));
   obs::ScopedLatencyTimer timer(&PrefixSumNsHist());
   if (obs::Enabled()) QueryDepthHist().Record(core_->DescentLevels());
+  if (obs::CostLedger* l = obs::ActiveLedger()) {
+    l->tree_depth = std::max(
+        l->tree_depth, static_cast<int64_t>(core_->DescentLevels()));
+  }
   const Cell local = ToLocal(cell);
   return core_->PrefixSum(local) + OverlayPrefixLocal(local);
+}
+
+int64_t DynamicDataCube::RangeSum(const Box& box) const {
+  if (obs::Enabled()) {
+    obs::WorkloadRecorder::Default().RecordRead(box.lo.data(),
+                                                box.hi.data(), dims_);
+  }
+  return CubeInterface::RangeSum(box);
 }
 
 void DynamicDataCube::RangeSumBatch(std::span<const Box> ranges,
@@ -549,6 +575,13 @@ void DynamicDataCube::RangeSumBatch(std::span<const Box> ranges,
   if (ranges.empty()) return;
   obs::TraceSpan span("ddc.range_sum_batch",
                       static_cast<int64_t>(ranges.size()));
+  if (obs::Enabled()) {
+    obs::WorkloadRecorder::BatchScope scope(obs::WorkloadRecorder::Default(),
+                                            /*mutations=*/false, dims_);
+    for (const Box& r : ranges) {
+      scope.Record(r.lo.data(), r.hi.data());
+    }
+  }
 
   // Phase 1: decompose every (clipped) range into signed corner terms,
   // deduplicating corners across the whole batch. A rollup's adjacent
@@ -606,6 +639,17 @@ void DynamicDataCube::RangeSumBatch(std::span<const Box> ranges,
         static_cast<int64_t>(terms.size() - corners.size()));
     span.set_arg1(static_cast<int64_t>(corners.size()));
   }
+  if (obs::CostLedger* l = obs::ActiveLedger()) {
+    l->corner_terms += static_cast<int64_t>(terms.size());
+    l->unique_corners += static_cast<int64_t>(corners.size());
+    l->corners_deduped +=
+        static_cast<int64_t>(terms.size() - corners.size());
+    if (overlay_ != nullptr && !corners.empty()) {
+      l->overlay_terms += static_cast<int64_t>(overlay_->trees.size());
+    }
+    l->tree_depth = std::max(
+        l->tree_depth, static_cast<int64_t>(core_->DescentLevels()));
+  }
   std::vector<int64_t> prefix(corners.size());
   core_->PrefixSumBatch(corners, prefix);
   // The overlay's contribution to each unique corner rides the same
@@ -616,6 +660,49 @@ void DynamicDataCube::RangeSumBatch(std::span<const Box> ranges,
   for (const Term& t : terms) {
     out[t.query] += t.sign * prefix[t.corner];
   }
+}
+
+DynamicDataCube::RangeSumPlan DynamicDataCube::PlanRangeSumBatch(
+    std::span<const Box> ranges) const {
+  // Phase 1 of RangeSumBatch, count-only: same clipping, same skip rules,
+  // same dedup keying — so the plan matches what an execution would record
+  // — but no descent and no counter/recorder traffic.
+  RangeSumPlan plan;
+  plan.descent_levels = core_->DescentLevels();
+  if (overlay_ != nullptr) {
+    plan.overlay_trees = static_cast<int64_t>(overlay_->trees.size());
+  }
+  const Box domain{DomainLo(), DomainHi()};
+  const int d = dims_;
+  const uint32_t num_corners = 1u << d;
+  std::unordered_set<Cell, CellHash> unique;
+  Cell corner(static_cast<size_t>(d));
+  for (const Box& range : ranges) {
+    const Box clipped = IntersectBoxes(range, domain);
+    if (clipped.IsEmpty()) continue;
+    ++plan.ranges;
+    for (uint32_t mask = 0; mask < num_corners; ++mask) {
+      bool below_anchor = false;
+      for (int i = 0; i < d; ++i) {
+        size_t ui = static_cast<size_t>(i);
+        if (mask & (1u << i)) {
+          corner[ui] = clipped.lo[ui] - 1;
+          if (corner[ui] < domain.lo[ui]) {
+            below_anchor = true;
+            break;
+          }
+        } else {
+          corner[ui] = clipped.hi[ui];
+        }
+      }
+      if (below_anchor) continue;
+      ++plan.corner_terms;
+      if (unique.insert(ToLocal(corner)).second) ++plan.unique_corners;
+    }
+  }
+  plan.corners_deduped = plan.corner_terms - plan.unique_corners;
+  if (plan.unique_corners == 0) plan.overlay_trees = 0;
+  return plan;
 }
 
 void DynamicDataCube::SetNodeVisitListener(

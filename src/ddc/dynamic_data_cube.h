@@ -96,6 +96,10 @@ class DynamicDataCube : public CubeInterface {
   // Get/PrefixSum/RangeSum treat cells outside the domain as zero.
   int64_t Get(const Cell& cell) const override;
   int64_t PrefixSum(const Cell& cell) const override;
+  // Single range sum (inclusion-exclusion over prefix sums, as in the
+  // base). Overridden only to feed the workload recorder — every executed
+  // read range, single or batched, lands in the heatmap sketch.
+  int64_t RangeSum(const Box& box) const override;
   // Batched range sums. Each range decomposes into at most 2^d signed
   // corner prefix sums (Figure 4); corners shared between ranges (adjacent
   // rollup slices share an entire corner set) are deduplicated, and the
@@ -129,6 +133,20 @@ class DynamicDataCube : public CubeInterface {
 
   // Structural statistics of the primary tree.
   DdcStats Stats() const { return core_->Stats(); }
+
+  // Planned shape of a RangeSumBatch call: runs only the phase-1 corner
+  // decomposition (no tree descent, no mutation of any counter), so EXPLAIN
+  // can print the decomposition without executing it. The counts match what
+  // an immediately following RangeSumBatch on the same ranges would record.
+  struct RangeSumPlan {
+    int64_t ranges = 0;          // Ranges non-empty after domain clipping.
+    int64_t corner_terms = 0;    // Signed corner terms before dedup.
+    int64_t unique_corners = 0;  // Distinct prefix-sum descents.
+    int64_t corners_deduped = 0; // corner_terms - unique_corners.
+    int64_t overlay_trees = 0;   // Overlay descents per unique corner.
+    int64_t descent_levels = 0;  // Current primary-tree depth.
+  };
+  RangeSumPlan PlanRangeSumBatch(std::span<const Box> ranges) const;
 
   // Observer for primary-tree node/leaf-block touches (see
   // DdcCore::set_node_visit_listener); survives growth and shrink

@@ -10,6 +10,7 @@
 #include <map>
 #include <mutex>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace ddc {
@@ -317,6 +318,10 @@ bool Evaluate(std::string_view site) {
                  static_cast<int>(site.size()), site.data(),
                  static_cast<unsigned long long>(trigger_no));
     std::fflush(stderr);
+    // Post-mortem visibility: dump the flight recorder ring (annotated with
+    // this crash site) to $DDC_FLIGHTREC_DUMP before dying, so crashloop.sh
+    // can assert what the process was doing when the fault fired.
+    obs::FlightRecorderCrashDump(site.data(), site.size());
     _exit(kCrashExitCode);
   }
   return fire;

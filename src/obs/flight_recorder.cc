@@ -1,0 +1,179 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+
+#include "obs/metrics.h"
+
+namespace ddc {
+namespace obs {
+
+namespace {
+
+// Cached $DDC_FLIGHTREC_DUMP value; resolved once so the signal handler and
+// the crash branch never call getenv from an async context.
+const char* DumpPath() {
+  static const char* path = [] {
+    const char* p = std::getenv("DDC_FLIGHTREC_DUMP");
+    return (p != nullptr && p[0] != '\0') ? strdup(p) : nullptr;
+  }();
+  return path;
+}
+
+// Formats one record into buf. Returns bytes written (no truncation at the
+// chosen buffer size: every field is a bounded integer).
+int FormatRecord(char* buf, size_t cap, const FlightRecord& r, bool first) {
+  return std::snprintf(
+      buf, cap,
+      "%s\n  {\"seq\": %llu, \"ts_ns\": %llu, \"tid\": %u, \"kind\": %u, "
+      "\"stmt_hash\": \"%016llx\", \"nodes_visited\": %lld, "
+      "\"values_read\": %lld, \"values_written\": %lld, "
+      "\"corner_terms\": %lld, \"duration_ns\": %lld, \"arg\": %lld}",
+      first ? "" : ",", static_cast<unsigned long long>(r.seq),
+      static_cast<unsigned long long>(r.ts_ns), r.tid, r.kind,
+      static_cast<unsigned long long>(r.statement_hash),
+      static_cast<long long>(r.nodes_visited),
+      static_cast<long long>(r.values_read),
+      static_cast<long long>(r.values_written),
+      static_cast<long long>(r.corner_terms),
+      static_cast<long long>(r.duration_ns), static_cast<long long>(r.arg));
+}
+
+bool WriteAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void FatalSignalHandler(int signo) {
+  FlightRecorderCrashDump("signal", 6);
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Default() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Record(FlightRecord record) {
+  const uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  record.seq = seq;
+  record.ts_ns = NowNanos();
+  record.tid = FlightThreadId();
+  slots_[seq % kCapacity] = record;
+}
+
+void FlightRecorder::Snapshot(std::vector<FlightRecord>* out) const {
+  out->clear();
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  const uint64_t kept = head < kCapacity ? head : kCapacity;
+  out->reserve(static_cast<size_t>(kept));
+  for (uint64_t i = head - kept; i < head; ++i) {
+    out->push_back(slots_[i % kCapacity]);
+  }
+}
+
+void FlightRecorder::Reset() {
+  head_.store(0, std::memory_order_relaxed);
+}
+
+void FlightRecorder::RenderJson(std::ostream& os) const {
+  std::vector<FlightRecord> records;
+  Snapshot(&records);
+  os << "{\"total\": " << TotalRecorded() << ", \"capacity\": " << kCapacity
+     << ", \"records\": [";
+  char buf[512];
+  for (size_t i = 0; i < records.size(); ++i) {
+    FormatRecord(buf, sizeof(buf), records[i], i == 0);
+    os << buf;
+  }
+  os << (records.empty() ? "" : "\n") << "]}\n";
+}
+
+int FlightRecorder::DumpToFd(int fd, const char* crash_site,
+                             size_t crash_site_len) const {
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  const uint64_t kept = head < kCapacity ? head : kCapacity;
+  char buf[512];
+  int n = std::snprintf(buf, sizeof(buf),
+                        "{\"total\": %llu, \"capacity\": %zu, \"crash_site\": "
+                        "\"",
+                        static_cast<unsigned long long>(head), kCapacity);
+  if (!WriteAll(fd, buf, static_cast<size_t>(n))) return -1;
+  if (crash_site != nullptr && crash_site_len > 0) {
+    // The site name is a failpoint identifier ([a-z0-9._] by convention);
+    // written verbatim, bounded.
+    if (!WriteAll(fd, crash_site,
+                  crash_site_len < 128 ? crash_site_len : 128)) {
+      return -1;
+    }
+  }
+  if (!WriteAll(fd, "\", \"records\": [", 15)) return -1;
+  bool first = true;
+  for (uint64_t i = head - kept; i < head; ++i) {
+    n = FormatRecord(buf, sizeof(buf), slots_[i % kCapacity], first);
+    first = false;
+    if (!WriteAll(fd, buf, static_cast<size_t>(n))) return -1;
+  }
+  if (!WriteAll(fd, kept == 0 ? "]}\n" : "\n]}\n", kept == 0 ? 3 : 4)) {
+    return -1;
+  }
+  return 0;
+}
+
+bool FlightRecorder::DumpToFile(const char* path, const char* crash_site,
+                                size_t crash_site_len) const {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const int rc = DumpToFd(fd, crash_site, crash_site_len);
+  ::close(fd);
+  return rc == 0;
+}
+
+uint64_t HashStatement(const char* data, size_t size) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis.
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;  // FNV prime.
+  }
+  return h;
+}
+
+uint32_t FlightThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void FlightRecorderCrashDump(const char* site, size_t site_len) {
+  const char* path = DumpPath();
+  if (path == nullptr) return;
+  FlightRecorder::Default().DumpToFile(path, site, site_len);
+}
+
+void InstallFlightRecorderSignalHandlers() {
+  DumpPath();  // Resolve the env var now, outside any signal context.
+  ::signal(SIGSEGV, FatalSignalHandler);
+  ::signal(SIGBUS, FatalSignalHandler);
+  ::signal(SIGABRT, FatalSignalHandler);
+}
+
+}  // namespace obs
+}  // namespace ddc

@@ -1,0 +1,110 @@
+// FlightRecorder: a fixed-size lock-free ring of the most recent annotated
+// operations, for post-mortem "what was the system doing?" visibility.
+//
+// Every executed statement (and ddctool faultrun batch) appends one
+// FlightRecord — statement hash, cost-ledger summary, timestamp, thread —
+// with a single fetch_add on the ring head plus a plain slot store. There
+// are no locks and no allocation: a dump taken while writers are running
+// may observe a torn slot at the wrap boundary (documented, acceptable for
+// a diagnostic ring; records carry their sequence number so a torn slot is
+// detectable as a seq mismatch).
+//
+// Dumps: RenderJson for `ddctool flightrec`, and an async-signal-safe
+// DumpToFd path (snprintf into a stack buffer + write(2)) used both by the
+// DDC_FAULTPOINT crash branch and by the fatal-signal handlers, writing to
+// the file named by $DDC_FLIGHTREC_DUMP. The PR 5 crashloop harness asserts
+// that dump exists and parses after an injected crash.
+//
+// The class always compiles; recording sites are guarded by obs::Enabled(),
+// so the -DDDC_OBS=OFF build carries an empty ring at zero hot-path cost.
+
+#ifndef DDC_OBS_FLIGHT_RECORDER_H_
+#define DDC_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace ddc {
+namespace obs {
+
+struct FlightRecord {
+  uint64_t seq = 0;    // Assigned by Record(); monotone per recorder.
+  uint64_t ts_ns = 0;  // NowNanos() when recorded.
+  uint32_t tid = 0;    // Small sequential thread id (FlightThreadId()).
+  uint32_t kind = 0;   // FlightRecorder::k{Read,Write,Explain,Batch}.
+  uint64_t statement_hash = 0;  // FNV-1a of the statement text.
+  int64_t nodes_visited = 0;
+  int64_t values_read = 0;
+  int64_t values_written = 0;
+  int64_t corner_terms = 0;
+  int64_t duration_ns = 0;
+  int64_t arg = 0;  // Kind-specific payload (rows returned, batch size...).
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kCapacity = 512;  // Power of two.
+  static constexpr uint32_t kKindRead = 1;
+  static constexpr uint32_t kKindWrite = 2;
+  static constexpr uint32_t kKindExplain = 3;
+  static constexpr uint32_t kKindBatch = 4;
+
+  // Process-wide ring. Never destroyed (crash paths dump it at _exit time).
+  static FlightRecorder& Default();
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Appends `record` (its seq/ts/tid are filled in here). Lock-free.
+  void Record(FlightRecord record);
+
+  // Total records ever appended (>= kCapacity means the ring has wrapped).
+  uint64_t TotalRecorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  // Copies the retained records, oldest first.
+  void Snapshot(std::vector<FlightRecord>* out) const;
+
+  void Reset();
+
+  // {"total": N, "capacity": C, "records": [...]} — the ddctool surface.
+  void RenderJson(std::ostream& os) const;
+
+  // Async-signal-safe dump of the same JSON (fixed stack buffers, write(2)
+  // only). `crash_site` (may be null) is recorded in the header. Returns 0
+  // on success.
+  int DumpToFd(int fd, const char* crash_site, size_t crash_site_len) const;
+
+  // open/DumpToFd/close. Returns true on success.
+  bool DumpToFile(const char* path, const char* crash_site,
+                  size_t crash_site_len) const;
+
+ private:
+  std::atomic<uint64_t> head_{0};
+  FlightRecord slots_[kCapacity];
+};
+
+// FNV-1a over the statement text; stable across runs for the same input.
+uint64_t HashStatement(const char* data, size_t size);
+
+// Small sequential id for the calling thread (1-based, stable per thread).
+uint32_t FlightThreadId();
+
+// Dumps the default recorder to the file named by $DDC_FLIGHTREC_DUMP (no-op
+// when unset), tagging the dump with `site`. Called from the DDC_FAULTPOINT
+// crash branch immediately before _exit.
+void FlightRecorderCrashDump(const char* site, size_t site_len);
+
+// Installs SIGSEGV/SIGBUS/SIGABRT handlers that dump to $DDC_FLIGHTREC_DUMP
+// and re-raise with the default disposition. The dump path is cached here so
+// the handler itself never calls getenv. Safe to call more than once.
+void InstallFlightRecorderSignalHandlers();
+
+}  // namespace obs
+}  // namespace ddc
+
+#endif  // DDC_OBS_FLIGHT_RECORDER_H_

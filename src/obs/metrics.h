@@ -121,6 +121,25 @@ class Histogram {
     }
   }
 
+  // Bulk merge used by batch accumulators (obs/workload_recorder.h): folds
+  // `bucket_counts` plus the precomputed count/sum/max in O(non-zero
+  // buckets) atomic ops — equivalent to the corresponding Record sequence.
+  void Merge(const int64_t bucket_counts[kNumBuckets], int64_t count,
+             int64_t sum, int64_t max) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      if (bucket_counts[b] != 0) {
+        counts_[b].fetch_add(bucket_counts[b], std::memory_order_relaxed);
+      }
+    }
+    count_.fetch_add(count, std::memory_order_relaxed);
+    sum_.fetch_add(sum, std::memory_order_relaxed);
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (max > seen &&
+           !max_.compare_exchange_weak(seen, max,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
   int64_t Count() const { return count_.load(std::memory_order_relaxed); }
   int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
   int64_t Max() const { return max_.load(std::memory_order_relaxed); }

@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <utility>
 
 namespace ddc {
 namespace obs {
@@ -20,12 +21,23 @@ struct Ring {
   std::mutex mutex;
   std::array<TraceEvent, kCapacity> events;
   uint64_t head = 0;  // Total events ever appended; ring index = head % cap.
+  uint64_t dropped = 0;  // Events overwritten since the last ResetTrace.
   uint32_t tid = 0;
 
   void Append(const TraceEvent& event) {
-    std::lock_guard<std::mutex> lock(mutex);
-    events[static_cast<size_t>(head % kCapacity)] = event;
-    ++head;
+    bool overwrote;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      overwrote = head >= kCapacity;
+      if (overwrote) ++dropped;
+      events[static_cast<size_t>(head % kCapacity)] = event;
+      ++head;
+    }
+    if (overwrote) {
+      static Counter* drop_counter =
+          MetricsRegistry::Default().GetCounter("trace.dropped");
+      drop_counter->Increment();
+    }
   }
 };
 
@@ -97,22 +109,54 @@ void ResetTrace() {
   for (const std::unique_ptr<Ring>& ring : list.rings) {
     std::lock_guard<std::mutex> ring_lock(ring->mutex);
     ring->head = 0;
+    ring->dropped = 0;
   }
+}
+
+uint64_t TraceDroppedTotal() {
+  uint64_t total = 0;
+  RingList& list = Rings();
+  std::lock_guard<std::mutex> list_lock(list.mutex);
+  for (const std::unique_ptr<Ring>& ring : list.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    total += ring->dropped;
+  }
+  return total;
 }
 
 void RenderTraceJson(std::ostream& os) {
   std::vector<TraceEvent> events;
   DrainTrace(&events);
+  // Per-ring drop counts, exported as chrome-trace counter events so a wrap
+  // is visible right in the viewer next to the surviving spans.
+  std::vector<std::pair<uint32_t, uint64_t>> drops;
+  {
+    RingList& list = Rings();
+    std::lock_guard<std::mutex> list_lock(list.mutex);
+    for (const std::unique_ptr<Ring>& ring : list.rings) {
+      std::lock_guard<std::mutex> ring_lock(ring->mutex);
+      if (ring->dropped > 0) drops.emplace_back(ring->tid, ring->dropped);
+    }
+  }
   os << "[";
-  for (size_t i = 0; i < events.size(); ++i) {
-    const TraceEvent& e = events[i];
-    os << (i == 0 ? "" : ",") << "\n  {\"name\": \"" << e.name
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    os << (first ? "" : ",") << "\n  {\"name\": \"" << e.name
        << "\", \"ph\": \"X\", \"ts\": " << e.start_ns / 1000
        << ", \"dur\": " << (e.end_ns - e.start_ns) / 1000
        << ", \"pid\": 1, \"tid\": " << e.tid << ", \"args\": {\"arg0\": "
        << e.arg0 << ", \"arg1\": " << e.arg1 << "}}";
+    first = false;
   }
-  os << (events.empty() ? "" : "\n") << "]\n";
+  const uint64_t last_ts =
+      events.empty() ? 0 : events.back().start_ns / 1000;
+  for (const auto& [tid, dropped] : drops) {
+    os << (first ? "" : ",") << "\n  {\"name\": \"trace.dropped\", "
+       << "\"ph\": \"C\", \"ts\": " << last_ts << ", \"pid\": 1, \"tid\": "
+       << tid << ", \"args\": {\"dropped\": " << dropped << "}}";
+    first = false;
+  }
+  os << (first ? "" : "\n") << "]\n";
 }
 
 }  // namespace obs

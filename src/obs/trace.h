@@ -74,8 +74,14 @@ class TraceSpan {
 // their rings (dumping is repeatable); exact once recording threads quiesce.
 void DrainTrace(std::vector<TraceEvent>* out);
 
-// Clears every ring (rings stay registered to their threads).
+// Clears every ring (rings stay registered to their threads), including the
+// per-ring dropped counts.
 void ResetTrace();
+
+// Events overwritten by ring wrap-around since the last ResetTrace, summed
+// over all thread rings. Also mirrored into the `trace.dropped` registry
+// counter and exported as "ph":"C" counter events in RenderTraceJson.
+uint64_t TraceDroppedTotal();
 
 // Chrome-trace-viewer-compatible JSON array of complete ("ph":"X") events.
 void RenderTraceJson(std::ostream& os);

@@ -1,0 +1,401 @@
+#include "obs/workload_recorder.h"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+namespace ddc {
+namespace obs {
+
+namespace {
+
+// Saturating volume of an inclusive box, in cells.
+int64_t BoxVolume(const int64_t* lo, const int64_t* hi, int dims) {
+  unsigned __int128 vol = 1;
+  for (int d = 0; d < dims; ++d) {
+    const int64_t extent = hi[d] >= lo[d] ? hi[d] - lo[d] + 1 : 0;
+    vol *= static_cast<unsigned __int128>(extent);
+    if (vol > static_cast<unsigned __int128>(INT64_MAX)) return INT64_MAX;
+  }
+  return static_cast<int64_t>(vol);
+}
+
+bool SameBox(const WorkloadRecorder::HotBox& a, const int64_t* lo,
+             const int64_t* hi, int dims) {
+  if (a.dims != dims) return false;
+  for (int d = 0; d < dims; ++d) {
+    if (a.lo[d] != lo[d] || a.hi[d] != hi[d]) return false;
+  }
+  return true;
+}
+
+void WriteJsonCoordArray(std::ostream& os, const int64_t* v, int dims) {
+  os << "[";
+  for (int d = 0; d < dims; ++d) os << (d == 0 ? "" : ", ") << v[d];
+  os << "]";
+}
+
+}  // namespace
+
+int WorkloadRecorder::CoordBucket(int64_t v) {
+  constexpr int kCenter = kCoordBuckets / 2;  // 18
+  if (v == 0) return kCenter;
+  // Magnitude in bits, clamped so the grid stays bounded. INT64_MIN is
+  // handled by the unsigned negation.
+  const uint64_t mag =
+      v > 0 ? static_cast<uint64_t>(v) : -static_cast<uint64_t>(v);
+  const int width = std::min(static_cast<int>(std::bit_width(mag)), kCenter);
+  return v > 0 ? kCenter + width : kCenter - width;
+}
+
+int WorkloadRecorder::ExtentBucket(int64_t extent) {
+  if (extent <= 0) return 0;
+  const int width =
+      static_cast<int>(std::bit_width(static_cast<uint64_t>(extent)));
+  return width < kExtentBuckets ? width : kExtentBuckets - 1;
+}
+
+WorkloadRecorder& WorkloadRecorder::Default() {
+  // Leaked: instrumented cube destructors may record during program exit.
+  static WorkloadRecorder* recorder = new WorkloadRecorder();
+  return *recorder;
+}
+
+namespace {
+std::atomic<bool> g_recording{true};
+}  // namespace
+
+void WorkloadRecorder::SetRecording(bool on) {
+  g_recording.store(on, std::memory_order_relaxed);
+}
+
+bool WorkloadRecorder::RecordingEnabled() {
+  return g_recording.load(std::memory_order_relaxed);
+}
+
+// FNV-1a over the box corners; the top-K scan compares fingerprints first
+// so a slot miss costs one word compare instead of 2 * dims.
+uint64_t BoxFingerprint(const int64_t* lo, const int64_t* hi, int tracked) {
+  uint64_t h = 0xcbf29ce484222325ull ^ static_cast<uint64_t>(tracked);
+  for (int d = 0; d < tracked; ++d) {
+    h = (h ^ static_cast<uint64_t>(lo[d])) * 0x100000001b3ull;
+    h = (h ^ static_cast<uint64_t>(hi[d])) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+void WorkloadRecorder::ClassStats::Record(const int64_t* lo, const int64_t* hi,
+                                          int dims) {
+  const int tracked = std::min(dims, kMaxDims);
+  ops.fetch_add(1, std::memory_order_relaxed);
+  const int64_t vol = BoxVolume(lo, hi, dims);
+  cells.fetch_add(vol, std::memory_order_relaxed);
+  volume.Record(vol);
+  int64_t seen = max_dims.load(std::memory_order_relaxed);
+  while (tracked > seen &&
+         !max_dims.compare_exchange_weak(seen, tracked,
+                                         std::memory_order_relaxed)) {
+  }
+  for (int d = 0; d < tracked; ++d) {
+    origin[d][CoordBucket(lo[d])].fetch_add(1, std::memory_order_relaxed);
+    const int64_t e = hi[d] >= lo[d] ? hi[d] - lo[d] + 1 : 0;
+    extent[d][ExtentBucket(e)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::lock_guard<std::mutex> lock(topk_mutex);
+  TopKInsertLocked(BoxFingerprint(lo, hi, tracked), lo, hi, tracked,
+                   /*weight=*/1);
+}
+
+// Space-saving top-K over the exact (first kMaxDims dims of the) box.
+void WorkloadRecorder::ClassStats::TopKInsertLocked(uint64_t fp,
+                                                    const int64_t* lo,
+                                                    const int64_t* hi,
+                                                    int tracked,
+                                                    int64_t weight) {
+  int min_at = 0;
+  for (int i = 0; i < topk_size; ++i) {
+    if (topk_fp[i] == fp && SameBox(topk[i], lo, hi, tracked)) {
+      topk_count[i] += weight;
+      return;
+    }
+    if (topk_count[i] < topk_count[min_at]) min_at = i;
+  }
+  int at;
+  int64_t inherited = 0;
+  if (topk_size < kTopK) {
+    at = topk_size++;
+  } else {
+    at = min_at;
+    inherited = topk_count[at];
+  }
+  HotBox& slot = topk[at];
+  slot.dims = tracked;
+  for (int d = 0; d < tracked; ++d) {
+    slot.lo[d] = lo[d];
+    slot.hi[d] = hi[d];
+  }
+  topk_count[at] = inherited + weight;
+  topk_overcount[at] = inherited;
+  topk_fp[at] = fp;
+}
+
+WorkloadRecorder::BatchScope::BatchScope(WorkloadRecorder& recorder,
+                                         bool mutations, int dims)
+    : mutations_(mutations), dims_(dims) {
+  if (!RecordingEnabled() || dims <= 0) return;
+  stats_ = mutations ? &recorder.mutations_ : &recorder.reads_;
+  tracked_ = std::min(dims, kMaxDims);
+  topk_lock_ = std::unique_lock<std::mutex>(stats_->topk_mutex);
+}
+
+void WorkloadRecorder::BatchScope::Record(const int64_t* lo,
+                                          const int64_t* hi) {
+  if (stats_ == nullptr) return;
+  ++ops_;
+  const int64_t vol = BoxVolume(lo, hi, dims_);
+  cells_ += vol;
+  ++volume_counts_[Histogram::BucketIndex(vol)];
+  volume_sum_ += vol;
+  if (vol > volume_max_) volume_max_ = vol;
+  for (int d = 0; d < tracked_; ++d) {
+    ++origin_[d][CoordBucket(lo[d])];
+    const int64_t e = hi[d] >= lo[d] ? hi[d] - lo[d] + 1 : 0;
+    ++extent_[d][ExtentBucket(e)];
+  }
+  // Deterministic 1-in-stride top-K sampling (weight-compensated); the
+  // fingerprint is only computed for sampled boxes. See the header.
+  if (((ops_ - 1) & (kBatchTopKStride - 1)) == 0) {
+    stats_->TopKInsertLocked(BoxFingerprint(lo, hi, tracked_), lo, hi,
+                             tracked_, kBatchTopKStride);
+  }
+}
+
+WorkloadRecorder::BatchScope::~BatchScope() {
+  if (stats_ == nullptr) return;
+  topk_lock_.unlock();
+  if (ops_ == 0) return;
+  ClassStats& s = *stats_;
+  s.ops.fetch_add(ops_, std::memory_order_relaxed);
+  s.cells.fetch_add(cells_, std::memory_order_relaxed);
+  int64_t seen = s.max_dims.load(std::memory_order_relaxed);
+  while (tracked_ > seen &&
+         !s.max_dims.compare_exchange_weak(seen, tracked_,
+                                           std::memory_order_relaxed)) {
+  }
+  for (int d = 0; d < tracked_; ++d) {
+    for (int b = 0; b < kCoordBuckets; ++b) {
+      if (origin_[d][b] != 0) {
+        s.origin[d][b].fetch_add(origin_[d][b], std::memory_order_relaxed);
+      }
+    }
+    for (int b = 0; b < kExtentBuckets; ++b) {
+      if (extent_[d][b] != 0) {
+        s.extent[d][b].fetch_add(extent_[d][b], std::memory_order_relaxed);
+      }
+    }
+  }
+  s.volume.Merge(volume_counts_, ops_, volume_sum_, volume_max_);
+  if (Enabled()) {
+    static Counter* read_ops =
+        MetricsRegistry::Default().GetCounter("workload.reads");
+    static Counter* read_cells =
+        MetricsRegistry::Default().GetCounter("workload.read_cells");
+    static Counter* mut_ops =
+        MetricsRegistry::Default().GetCounter("workload.mutations");
+    static Counter* mut_cells =
+        MetricsRegistry::Default().GetCounter("workload.mutation_cells");
+    (mutations_ ? mut_ops : read_ops)->Add(ops_);
+    (mutations_ ? mut_cells : read_cells)->Add(cells_);
+  }
+}
+
+std::vector<WorkloadRecorder::HotBox> WorkloadRecorder::ClassStats::HotList()
+    const {
+  std::vector<HotBox> out;
+  {
+    std::lock_guard<std::mutex> lock(topk_mutex);
+    out.assign(topk, topk + topk_size);
+    for (int i = 0; i < topk_size; ++i) {
+      out[static_cast<size_t>(i)].count = topk_count[i];
+      out[static_cast<size_t>(i)].overcount = topk_overcount[i];
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const HotBox& a, const HotBox& b) {
+                     return a.count > b.count;
+                   });
+  return out;
+}
+
+void WorkloadRecorder::ClassStats::Reset() {
+  ops.store(0, std::memory_order_relaxed);
+  cells.store(0, std::memory_order_relaxed);
+  max_dims.store(0, std::memory_order_relaxed);
+  for (auto& dim : origin) {
+    for (auto& bucket : dim) bucket.store(0, std::memory_order_relaxed);
+  }
+  for (auto& dim : extent) {
+    for (auto& bucket : dim) bucket.store(0, std::memory_order_relaxed);
+  }
+  volume.Reset();
+  std::lock_guard<std::mutex> lock(topk_mutex);
+  topk_size = 0;
+}
+
+void WorkloadRecorder::RecordRead(const int64_t* lo, const int64_t* hi,
+                                  int dims) {
+  if (!RecordingEnabled()) return;
+  reads_.Record(lo, hi, dims);
+  if (Enabled()) {
+    static Counter* ops = MetricsRegistry::Default().GetCounter("workload.reads");
+    static Counter* cells =
+        MetricsRegistry::Default().GetCounter("workload.read_cells");
+    ops->Increment();
+    cells->Add(BoxVolume(lo, hi, dims));
+  }
+}
+
+void WorkloadRecorder::RecordMutation(const int64_t* lo, const int64_t* hi,
+                                      int dims) {
+  if (!RecordingEnabled()) return;
+  mutations_.Record(lo, hi, dims);
+  if (Enabled()) {
+    static Counter* ops =
+        MetricsRegistry::Default().GetCounter("workload.mutations");
+    static Counter* cells =
+        MetricsRegistry::Default().GetCounter("workload.mutation_cells");
+    ops->Increment();
+    cells->Add(BoxVolume(lo, hi, dims));
+  }
+}
+
+void WorkloadRecorder::Reset() {
+  reads_.Reset();
+  mutations_.Reset();
+}
+
+void WorkloadRecorder::RenderClassText(const char* prefix,
+                                       const ClassStats& s,
+                                       std::ostream& os) const {
+  const int dims =
+      static_cast<int>(s.max_dims.load(std::memory_order_relaxed));
+  os << "# TYPE " << prefix << "_ops counter\n"
+     << prefix << "_ops " << s.ops.load(std::memory_order_relaxed) << "\n";
+  os << "# TYPE " << prefix << "_cells counter\n"
+     << prefix << "_cells " << s.cells.load(std::memory_order_relaxed)
+     << "\n";
+
+  os << "# TYPE " << prefix << "_origin counter\n";
+  for (int d = 0; d < dims; ++d) {
+    for (int b = 0; b < kCoordBuckets; ++b) {
+      const int64_t n = s.origin[d][b].load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      os << prefix << "_origin{dim=\"" << d << "\",bucket=\"" << b << "\"} "
+         << n << "\n";
+    }
+  }
+  os << "# TYPE " << prefix << "_extent counter\n";
+  for (int d = 0; d < dims; ++d) {
+    for (int b = 0; b < kExtentBuckets; ++b) {
+      const int64_t n = s.extent[d][b].load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      os << prefix << "_extent{dim=\"" << d << "\",bucket=\"" << b << "\"} "
+         << n << "\n";
+    }
+  }
+
+  const Histogram::Snapshot vol = s.volume.Read();
+  os << "# TYPE " << prefix << "_volume summary\n"
+     << prefix << "_volume_count " << vol.count << "\n"
+     << prefix << "_volume_sum " << vol.sum << "\n"
+     << prefix << "_volume_p50 " << vol.Percentile(0.50) << "\n"
+     << prefix << "_volume_p99 " << vol.Percentile(0.99) << "\n"
+     << prefix << "_volume_max " << vol.max << "\n";
+
+  os << "# TYPE " << prefix << "_hot gauge\n";
+  const std::vector<HotBox> hot = s.HotList();
+  for (size_t i = 0; i < hot.size(); ++i) {
+    const HotBox& h = hot[i];
+    os << prefix << "_hot{rank=\"" << i << "\",box=\"";
+    for (int d = 0; d < h.dims; ++d) {
+      os << (d == 0 ? "" : ",") << h.lo[d] << ":" << h.hi[d];
+    }
+    os << "\",overcount=\"" << h.overcount << "\"} " << h.count << "\n";
+  }
+}
+
+void WorkloadRecorder::RenderClassJson(const ClassStats& s,
+                                       std::ostream& os) const {
+  const int dims =
+      static_cast<int>(s.max_dims.load(std::memory_order_relaxed));
+  os << "{\"ops\": " << s.ops.load(std::memory_order_relaxed)
+     << ", \"cells\": " << s.cells.load(std::memory_order_relaxed);
+
+  const Histogram::Snapshot vol = s.volume.Read();
+  os << ", \"volume\": {\"count\": " << vol.count << ", \"sum\": " << vol.sum
+     << ", \"p50\": " << vol.Percentile(0.50)
+     << ", \"p99\": " << vol.Percentile(0.99) << ", \"max\": " << vol.max
+     << "}";
+
+  os << ", \"origin\": {";
+  bool first_dim = true;
+  for (int d = 0; d < dims; ++d) {
+    os << (first_dim ? "" : ", ") << "\"d" << d << "\": {";
+    first_dim = false;
+    bool first = true;
+    for (int b = 0; b < kCoordBuckets; ++b) {
+      const int64_t n = s.origin[d][b].load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      os << (first ? "" : ", ") << "\"" << b << "\": " << n;
+      first = false;
+    }
+    os << "}";
+  }
+  os << "}";
+
+  os << ", \"extent\": {";
+  first_dim = true;
+  for (int d = 0; d < dims; ++d) {
+    os << (first_dim ? "" : ", ") << "\"d" << d << "\": {";
+    first_dim = false;
+    bool first = true;
+    for (int b = 0; b < kExtentBuckets; ++b) {
+      const int64_t n = s.extent[d][b].load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      os << (first ? "" : ", ") << "\"" << b << "\": " << n;
+      first = false;
+    }
+    os << "}";
+  }
+  os << "}";
+
+  os << ", \"hot\": [";
+  const std::vector<HotBox> hot = s.HotList();
+  for (size_t i = 0; i < hot.size(); ++i) {
+    const HotBox& h = hot[i];
+    os << (i == 0 ? "" : ", ") << "{\"lo\": ";
+    WriteJsonCoordArray(os, h.lo, h.dims);
+    os << ", \"hi\": ";
+    WriteJsonCoordArray(os, h.hi, h.dims);
+    os << ", \"count\": " << h.count << ", \"overcount\": " << h.overcount
+       << "}";
+  }
+  os << "]}";
+}
+
+void WorkloadRecorder::RenderText(std::ostream& os) const {
+  RenderClassText("workload_read", reads_, os);
+  RenderClassText("workload_mutation", mutations_, os);
+}
+
+void WorkloadRecorder::RenderJson(std::ostream& os) const {
+  os << "{\"reads\": ";
+  RenderClassJson(reads_, os);
+  os << ", \"mutations\": ";
+  RenderClassJson(mutations_, os);
+  os << "}\n";
+}
+
+}  // namespace obs
+}  // namespace ddc

@@ -1,0 +1,189 @@
+// WorkloadRecorder: a bounded sketch of the executed range traffic.
+//
+// Every executed range — reads and mutations tracked separately — is folded
+// into three fixed-size summaries per class:
+//
+//   1. A per-dimension signed-log coordinate grid (37 buckets per dim,
+//      centered on zero) over range origins: which part of the coordinate
+//      space is being hit.
+//   2. Per-dimension log-bucketed extent counts plus a log-bucketed volume
+//      histogram: what shapes and sizes the ranges have.
+//   3. A top-K (K = 16) list of exact hot boxes maintained with the
+//      space-saving algorithm: `count` is an overestimate of the box's true
+//      frequency by at most `overcount`, and any box whose true frequency
+//      exceeds total/K is guaranteed to be present.
+//
+// This is the "observed traffic" input the workload-adaptive caching
+// roadmap item consumes. All state is fixed-size: recording allocates
+// nothing (grid/extent updates are relaxed atomics; the top-K list is a
+// small fixed array under a mutex). The obs layer sits below common/, so
+// the API takes raw coordinate pointers rather than Box/Cell.
+//
+// Recording sites (DynamicDataCube::RangeSum/RangeSumBatch/ApplyBatch) are
+// guarded by obs::Enabled(), preserving the -DDDC_OBS=OFF zero-cost
+// contract; the class itself always compiles so tools can render an empty
+// sketch in disabled builds.
+
+#ifndef DDC_OBS_WORKLOAD_RECORDER_H_
+#define DDC_OBS_WORKLOAD_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ddc {
+namespace obs {
+
+class WorkloadRecorder {
+ private:
+  struct ClassStats;  // Defined below; forward-declared for BatchScope.
+
+ public:
+  static constexpr int kMaxDims = 8;       // Dims beyond this are ignored.
+  static constexpr int kCoordBuckets = 37; // Signed log grid, bucket 18 = 0.
+  static constexpr int kExtentBuckets = 20;
+  static constexpr int kTopK = 16;
+  // BatchScope samples every kBatchTopKStride-th box into the top-K list
+  // with weight kBatchTopKStride (power of two; see BatchScope docs).
+  static constexpr int kBatchTopKStride = 4;
+
+  // One exact hot range from the space-saving list. True frequency f obeys
+  // count - overcount <= f <= count.
+  struct HotBox {
+    int dims = 0;
+    int64_t lo[kMaxDims] = {};
+    int64_t hi[kMaxDims] = {};
+    int64_t count = 0;
+    int64_t overcount = 0;
+  };
+
+  // Process-wide recorder the cube layers feed. Never destroyed.
+  static WorkloadRecorder& Default();
+
+  // Runtime toggle for the sketch alone (default on): lets deployments keep
+  // the metrics registry while skipping heatmap collection, and lets the
+  // bench overhead gate measure the recorder+ledger marginal cost against
+  // an obs-enabled baseline. Record* calls return immediately when off.
+  static void SetRecording(bool on);
+  static bool RecordingEnabled();
+
+  WorkloadRecorder() = default;
+  WorkloadRecorder(const WorkloadRecorder&) = delete;
+  WorkloadRecorder& operator=(const WorkloadRecorder&) = delete;
+
+  // Fold one inclusive box [lo, hi] into the read / mutation sketch. A
+  // point op passes lo == hi. Also bumps the registry counters
+  // workload.reads / workload.mutations (and .cells) when obs is enabled.
+  void RecordRead(const int64_t* lo, const int64_t* hi, int dims);
+  void RecordMutation(const int64_t* lo, const int64_t* hi, int dims);
+
+  // Batched recording for the hot paths (RangeSumBatch / ApplyBatch):
+  // accumulates same-dimensionality boxes with plain stores and folds them
+  // into the sketch once, at destruction — one pass of atomic adds plus a
+  // single top-K lock for the whole batch, which keeps the recorder inside
+  // the <=5% introspection overhead budget (bench_query_batch gate). The
+  // grid / extent / volume sketches see every box exactly; the top-K list
+  // is fed a deterministic 1-in-kBatchTopKStride sample, each insert
+  // weighted by the stride, so a batch of B boxes costs B/stride space-
+  // saving updates instead of B. The weighted counts stay unbiased for
+  // boxes that recur across the sampled positions; the "frequency >
+  // total/K implies present" guarantee holds exactly for the single-op
+  // Record* entry points and approximately (to within the stride) for
+  // batched traffic. The scope holds the class's top-K lock for its
+  // lifetime, so keep it tight: construct, loop Record, destroy.
+  class BatchScope {
+   public:
+    BatchScope(WorkloadRecorder& recorder, bool mutations, int dims);
+    ~BatchScope();
+    BatchScope(const BatchScope&) = delete;
+    BatchScope& operator=(const BatchScope&) = delete;
+
+    // Folds one inclusive box; lo/hi carry the scope's dims coordinates.
+    void Record(const int64_t* lo, const int64_t* hi);
+
+   private:
+    ClassStats* stats_ = nullptr;  // nullptr: recording off, all no-ops.
+    std::unique_lock<std::mutex> topk_lock_;
+    bool mutations_ = false;
+    int dims_ = 0;
+    int tracked_ = 0;
+    int64_t ops_ = 0;
+    int64_t cells_ = 0;
+    int64_t volume_sum_ = 0;
+    int64_t volume_max_ = 0;
+    int64_t volume_counts_[Histogram::kNumBuckets] = {};
+    int64_t origin_[kMaxDims][kCoordBuckets] = {};
+    int64_t extent_[kMaxDims][kExtentBuckets] = {};
+  };
+
+  int64_t ReadCount() const { return reads_.ops.load(std::memory_order_relaxed); }
+  int64_t MutationCount() const {
+    return mutations_.ops.load(std::memory_order_relaxed);
+  }
+
+  // Current hot lists, highest count first.
+  std::vector<HotBox> HotReads() const { return reads_.HotList(); }
+  std::vector<HotBox> HotMutations() const { return mutations_.HotList(); }
+
+  void Reset();
+
+  // Prometheus-style text (workload_* families, zero buckets elided) and
+  // JSON ({"reads": {...}, "mutations": {...}}). Deterministic for a
+  // deterministic workload.
+  void RenderText(std::ostream& os) const;
+  void RenderJson(std::ostream& os) const;
+
+  // Bucketing, exposed for tests. CoordBucket maps v = 0 to 18, positive v
+  // to 19..36 and negative v to 17..0 by magnitude bit width (clamped).
+  // ExtentBucket maps extent e >= 1 to min(bit_width(e), 19), else 0.
+  static int CoordBucket(int64_t v);
+  static int ExtentBucket(int64_t extent);
+
+ private:
+  struct ClassStats {
+    std::atomic<int64_t> ops{0};
+    std::atomic<int64_t> cells{0};
+    std::atomic<int64_t> max_dims{0};
+    std::atomic<int64_t> origin[kMaxDims][kCoordBuckets] = {};
+    std::atomic<int64_t> extent[kMaxDims][kExtentBuckets] = {};
+    Histogram volume;  // Box volume in cells (saturating product).
+
+    mutable std::mutex topk_mutex;
+    // Struct-of-arrays: the insert scan only touches the contiguous
+    // fingerprint and count arrays (three cache lines for K = 16) instead
+    // of striding across 150-byte HotBox slots; coords live in topk[] and
+    // are only read on a fingerprint hit or rewritten on eviction. The
+    // count/overcount fields inside topk[] are dead storage — HotList()
+    // fills them from the arrays.
+    HotBox topk[kTopK];
+    uint64_t topk_fp[kTopK] = {};  // Fingerprints: cheap scan, rare compare.
+    int64_t topk_count[kTopK] = {};
+    int64_t topk_overcount[kTopK] = {};
+    int topk_size = 0;
+
+    void Record(const int64_t* lo, const int64_t* hi, int dims);
+    // Space-saving insert of `weight` occurrences; caller holds topk_mutex.
+    // `fp` is the box's fingerprint (BoxFingerprint): equality is checked
+    // on the fingerprint first so a miss costs one word compare per slot.
+    void TopKInsertLocked(uint64_t fp, const int64_t* lo, const int64_t* hi,
+                          int tracked, int64_t weight);
+    std::vector<HotBox> HotList() const;
+    void Reset();
+  };
+
+  void RenderClassText(const char* prefix, const ClassStats& s,
+                       std::ostream& os) const;
+  void RenderClassJson(const ClassStats& s, std::ostream& os) const;
+
+  ClassStats reads_;
+  ClassStats mutations_;
+};
+
+}  // namespace obs
+}  // namespace ddc
+
+#endif  // DDC_OBS_WORKLOAD_RECORDER_H_

@@ -1,8 +1,12 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <sstream>
 
+#include "common/kernels.h"
 #include "common/table_printer.h"
+#include "obs/flight_recorder.h"
+#include "obs/introspect.h"
 #include "obs/trace.h"
 #include "olap/rollup.h"
 #include "query/parser.h"
@@ -53,6 +57,35 @@ bool BuildBox(const Query& query, int dims, const Cell& lo, const Cell& hi,
     return false;
   }
   return true;
+}
+
+// Aligned group slices of `box` along the GROUP BY dimension — the per-row
+// boxes a grouped query resolves. A query with no GROUP BY is one slice
+// (the box itself). Shared by execution and EXPLAIN so the planned and
+// executed decompositions always agree.
+std::vector<Box> BuildSlices(const Query& query, const Box& box) {
+  std::vector<Box> slices;
+  if (!query.group_by.has_value()) {
+    slices.push_back(box);
+    return slices;
+  }
+  const int64_t size = query.group_by->group_size;
+  const size_t ud = static_cast<size_t>(query.group_by->dim);
+  auto floor_div = [](Coord a, Coord b) {
+    Coord q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+    return q;
+  };
+  Coord group_start = floor_div(box.lo[ud], size) * size;
+  while (group_start <= box.hi[ud]) {
+    const Coord group_end = group_start + size - 1;
+    Box slice = box;
+    slice.lo[ud] = std::max(box.lo[ud], group_start);
+    slice.hi[ud] = std::min(box.hi[ud], group_end);
+    slices.push_back(std::move(slice));
+    group_start = group_end + 1;
+  }
+  return slices;
 }
 
 QueryResultRow MakeRow(Aggregate aggregate, Coord start, Coord end,
@@ -134,37 +167,17 @@ QueryResult ExecuteQuery(const Query& query, const DynamicDataCube& cube) {
     result.ok = true;
     return result;
   }
-  if (!query.group_by.has_value()) {
-    const int64_t sum = cube.RangeSum(box);
-    result.rows.push_back(
-        MakeRow(Aggregate::kSum, box.lo[0], box.hi[0], sum, 0));
-    result.ok = true;
-    return result;
-  }
-  // Grouped SUM over the bare cube: slice per aligned group.
-  const int dim = query.group_by->dim;
-  const int64_t size = query.group_by->group_size;
-  const size_t ud = static_cast<size_t>(dim);
-  auto floor_div = [](Coord a, Coord b) {
-    Coord q = a / b;
-    if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
-    return q;
-  };
-  // One batched call for the whole report: adjacent group slices share
-  // corner prefix sums, which RangeSumBatch deduplicates.
-  std::vector<Box> slices;
-  Coord group_start = floor_div(box.lo[ud], size) * size;
-  while (group_start <= box.hi[ud]) {
-    const Coord group_end = group_start + size - 1;
-    Box slice = box;
-    slice.lo[ud] = std::max(box.lo[ud], group_start);
-    slice.hi[ud] = std::min(box.hi[ud], group_end);
-    slices.push_back(std::move(slice));
-    group_start = group_end + 1;
-  }
+  // One batched call for the whole report, grouped or not: adjacent group
+  // slices share corner prefix sums, which RangeSumBatch deduplicates, and
+  // an ungrouped query is simply a one-slice batch — so every executor read
+  // pays (and accounts) the same corner-decomposition path.
+  const std::vector<Box> slices = BuildSlices(query, box);
   std::vector<int64_t> sums(slices.size());
   cube.RangeSumBatch(slices, sums);
   result.rows.reserve(slices.size());
+  const size_t ud = query.group_by.has_value()
+                        ? static_cast<size_t>(query.group_by->dim)
+                        : 0;
   for (size_t i = 0; i < slices.size(); ++i) {
     result.rows.push_back(MakeRow(Aggregate::kSum, slices[i].lo[ud],
                                   slices[i].hi[ud], sums[i], 0));
@@ -235,7 +248,147 @@ QueryResult RunQuery(const std::string& text, const DynamicDataCube& cube) {
   return RunQueryImpl(text, cube);
 }
 
+bool QueryBox(const Query& query, const DynamicDataCube& cube, Box* box,
+              std::string* error) {
+  return BuildBox(query, cube.dims(), cube.DomainLo(), cube.DomainHi(), box,
+                  error);
+}
+
+namespace {
+
+// Appends the executed-cost section of EXPLAIN ANALYZE. Every count is the
+// ledger's exact value — the numbers a differential test can equate with
+// the metrics-registry deltas for the same statement.
+void AppendLedger(const obs::CostLedger& ledger, std::ostream& os) {
+  os << "executed:\n"
+     << "  nodes visited: " << ledger.nodes_visited << "\n"
+     << "  values read: " << ledger.values_read << "\n"
+     << "  values written: " << ledger.values_written << "\n"
+     << "  face lookups: " << ledger.face_lookups << "\n"
+     << "  corner terms: " << ledger.corner_terms << "\n"
+     << "  corners deduped: " << ledger.corners_deduped << "\n"
+     << "  unique corners: " << ledger.unique_corners << "\n"
+     << "  overlay trees: " << ledger.overlay_terms << "\n"
+     << "  tree depth: " << ledger.tree_depth << "\n"
+     << "  shard groups: " << ledger.shard_groups << "\n"
+     << "  shard subqueries: " << ledger.shard_subqueries << "\n"
+     << "timing:\n"
+     << "  parse ns: " << ledger.parse_ns << "\n"
+     << "  plan ns: " << ledger.plan_ns << "\n"
+     << "  exec ns: " << ledger.exec_ns << "\n";
+}
+
+}  // namespace
+
+QueryResult ExplainStatement(const Statement& statement,
+                             const DynamicDataCube& cube, int64_t parse_ns) {
+  QueryResult result;
+  result.is_explain = true;
+  const bool analyze = statement.explain == ExplainMode::kAnalyze;
+  const uint64_t plan_start = obs::NowNanos();
+  Statement inner = statement;
+  inner.explain = ExplainMode::kNone;
+
+  std::ostringstream os;
+  os << (analyze ? "EXPLAIN ANALYZE\n" : "EXPLAIN\n");
+  os << "statement: " << StatementToString(inner) << "\n";
+  os << "cube: dims=" << cube.dims() << " side=" << cube.side()
+     << " domain=" << CellToString(cube.DomainLo()) << ".."
+     << CellToString(cube.DomainHi()) << "\n";
+
+  if (statement.query.has_value()) {
+    const Query& query = *statement.query;
+    result.aggregate = query.aggregate;
+    os << "kind: read (" << AggregateName(query.aggregate) << ")\n";
+    if (query.aggregate != Aggregate::kSum) {
+      result.error =
+          "this cube stores sums only; COUNT/AVG need a MeasureCube";
+      return result;
+    }
+    Box box;
+    if (!QueryBox(query, cube, &box, &result.error)) return result;
+    std::vector<Box> slices;
+    if (!box.IsEmpty()) slices = BuildSlices(query, box);
+    const DynamicDataCube::RangeSumPlan plan =
+        cube.PlanRangeSumBatch(slices);
+    os << "plan:\n"
+       << "  rows: " << slices.size() << "\n"
+       << "  boxes after clipping: " << plan.ranges << "\n"
+       << "  corner terms: " << plan.corner_terms << "\n"
+       << "  corners deduped: " << plan.corners_deduped << "\n"
+       << "  unique corners: " << plan.unique_corners << "\n"
+       << "  overlay trees: " << plan.overlay_trees << "\n"
+       << "  tree depth: " << plan.descent_levels << "\n"
+       << "  kernel path: " << (kernels::UseScalar() ? "scalar" : "simd")
+       << "\n";
+    if (analyze) {
+      obs::CostLedger ledger;
+      QueryResult executed;
+      const uint64_t exec_start = obs::NowNanos();
+      {
+        obs::ScopedCostLedger scope(&ledger);
+        executed = ExecuteQuery(query, cube);
+      }
+      ledger.exec_ns = static_cast<int64_t>(obs::NowNanos() - exec_start);
+      ledger.parse_ns = parse_ns;
+      ledger.plan_ns = static_cast<int64_t>(exec_start - plan_start);
+      if (!executed.ok) {
+        result.error = executed.error;
+        return result;
+      }
+      AppendLedger(ledger, os);
+      os << "result rows: " << executed.rows.size() << "\n";
+    }
+  } else if (statement.write.has_value()) {
+    const WriteStatement& write = *statement.write;
+    const bool is_set =
+        !write.mutations.empty() &&
+        (write.mutations.front().kind == MutationKind::kSet ||
+         write.mutations.front().kind == MutationKind::kRangeSet);
+    os << "kind: write (" << (is_set ? "SET" : "ADD") << ")\n";
+    int64_t points = 0;
+    int64_t ranges = 0;
+    for (const Mutation& m : write.mutations) {
+      if (m.cell.size() != static_cast<size_t>(cube.dims()) ||
+          (m.is_range() &&
+           m.hi.size() != static_cast<size_t>(cube.dims()))) {
+        result.error = "write target arity does not match cube dims=" +
+                       std::to_string(cube.dims());
+        return result;
+      }
+      ++(m.is_range() ? ranges : points);
+    }
+    // Plan the coalesce program the executed batch would run (the same
+    // common/mutation.h fold ApplyBatch uses); nothing is applied.
+    int64_t steps = 0;
+    int64_t coalesced_cells = 0;
+    int64_t barriers = 0;
+    for (const CoalescedStep& step :
+         BuildCoalesceProgram(write.mutations)) {
+      ++steps;
+      coalesced_cells += static_cast<int64_t>(step.points.size());
+      if (step.has_range) ++barriers;
+    }
+    os << "plan:\n"
+       << "  mutations: " << write.mutations.size() << " (points: " << points
+       << ", ranges: " << ranges << ")\n"
+       << "  coalesce steps: " << steps << "\n"
+       << "  coalesced point cells: " << coalesced_cells << "\n"
+       << "  range barriers: " << barriers << "\n";
+    os << "note: writes are planned only; EXPLAIN"
+       << (analyze ? " ANALYZE" : "") << " does not mutate the cube\n";
+  } else {
+    result.error = "empty statement";
+    return result;
+  }
+
+  result.explain_text = os.str();
+  result.ok = true;
+  return result;
+}
+
 QueryResult RunStatement(const std::string& text, DynamicDataCube* cube) {
+  const uint64_t parse_start = obs::NowNanos();
   std::string error;
   const std::optional<Statement> statement = ParseStatement(text, &error);
   if (!statement.has_value()) {
@@ -243,14 +396,58 @@ QueryResult RunStatement(const std::string& text, DynamicDataCube* cube) {
     result.error = "parse error: " + error;
     return result;
   }
-  if (statement->write.has_value()) {
-    return ExecuteWrite(*statement->write, cube);
+  const int64_t parse_ns =
+      static_cast<int64_t>(obs::NowNanos() - parse_start);
+
+  if (statement->explain != ExplainMode::kNone) {
+    QueryResult result = ExplainStatement(*statement, *cube, parse_ns);
+    if (obs::Enabled()) {
+      obs::FlightRecord record;
+      record.kind = obs::FlightRecorder::kKindExplain;
+      record.statement_hash = obs::HashStatement(text.data(), text.size());
+      record.duration_ns =
+          static_cast<int64_t>(obs::NowNanos() - parse_start);
+      record.arg = result.ok ? 1 : 0;
+      obs::FlightRecorder::Default().Record(record);
+    }
+    return result;
   }
-  return ExecuteQuery(*statement->query, *cube);
+
+  if (!obs::Enabled()) {
+    // Zero-instrumentation path: no ledger, no flight record.
+    if (statement->write.has_value()) {
+      return ExecuteWrite(*statement->write, cube);
+    }
+    return ExecuteQuery(*statement->query, *cube);
+  }
+
+  obs::CostLedger ledger;
+  QueryResult result;
+  {
+    obs::ScopedCostLedger scope(&ledger);
+    result = statement->write.has_value()
+                 ? ExecuteWrite(*statement->write, cube)
+                 : ExecuteQuery(*statement->query, *cube);
+  }
+  obs::FlightRecord record;
+  record.kind = statement->write.has_value()
+                    ? obs::FlightRecorder::kKindWrite
+                    : obs::FlightRecorder::kKindRead;
+  record.statement_hash = obs::HashStatement(text.data(), text.size());
+  record.nodes_visited = ledger.nodes_visited;
+  record.values_read = ledger.values_read;
+  record.values_written = ledger.values_written;
+  record.corner_terms = ledger.corner_terms;
+  record.duration_ns = static_cast<int64_t>(obs::NowNanos() - parse_start);
+  record.arg = result.is_write ? result.mutations_applied
+                               : static_cast<int64_t>(result.rows.size());
+  obs::FlightRecorder::Default().Record(record);
+  return result;
 }
 
 std::string FormatResult(const QueryResult& result) {
   if (!result.ok) return "error: " + result.error + "\n";
+  if (result.is_explain) return result.explain_text;
   if (result.is_write) {
     return "applied " + std::to_string(result.mutations_applied) +
            " mutation" + (result.mutations_applied == 1 ? "" : "s") + "\n";

@@ -43,6 +43,10 @@ struct QueryResult {
   // (rows stays empty).
   bool is_write = false;
   int64_t mutations_applied = 0;
+  // EXPLAIN [ANALYZE] statements only: the rendered plan (rows stays
+  // empty; an EXPLAIN never mutates the cube).
+  bool is_explain = false;
+  std::string explain_text;
 };
 
 // Executes against a MeasureCube (supports SUM, COUNT and AVG).
@@ -64,8 +68,27 @@ QueryResult RunQuery(const std::string& text, const DynamicDataCube& cube);
 
 // Parses and runs a full statement — a read query or an ADD/SET write —
 // against one cube. Writes land through ExecuteWrite (batched); reads
-// behave exactly like RunQuery.
+// behave exactly like RunQuery. EXPLAIN-prefixed statements route through
+// ExplainStatement and never mutate the cube. With observability enabled,
+// every executed statement also installs a per-operation cost ledger and
+// appends one record to the flight recorder (obs/flight_recorder.h).
 QueryResult RunStatement(const std::string& text, DynamicDataCube* cube);
+
+// Computes the box a read query targets over the cube's current domain
+// (predicates intersected; no GROUP BY split). Exposed for tools that want
+// the planned geometry without executing. Returns false with *error on a
+// bad dimension reference.
+bool QueryBox(const Query& query, const DynamicDataCube& cube, Box* box,
+              std::string* error);
+
+// Renders the EXPLAIN [ANALYZE] plan for a parsed statement. Reads print
+// the corner decomposition (from DynamicDataCube::PlanRangeSumBatch) and —
+// under ANALYZE — execute and report exact ledger costs. Writes print the
+// coalesce-program shape only: an EXPLAIN never mutates the cube, even
+// with ANALYZE. `parse_ns` (optional) is echoed into the timing section.
+QueryResult ExplainStatement(const Statement& statement,
+                             const DynamicDataCube& cube,
+                             int64_t parse_ns = 0);
 
 // Renders a result as a fixed-width table (one line per row).
 std::string FormatResult(const QueryResult& result);

@@ -62,17 +62,29 @@ class Parser {
       : tokens_(std::move(tokens)), error_(error) {}
 
   std::optional<Statement> ParseStatement() {
+    ExplainMode explain = ExplainMode::kNone;
+    if (!AtEnd() && Peek().text == "EXPLAIN") {
+      Next();
+      explain = ExplainMode::kPlan;
+      if (!AtEnd() && Peek().text == "ANALYZE") {
+        Next();
+        explain = ExplainMode::kAnalyze;
+      }
+      if (AtEnd()) return Fail("expected a statement after EXPLAIN");
+    }
     if (!AtEnd() && (Peek().text == "ADD" || Peek().text == "SET")) {
       std::optional<WriteStatement> write = ParseWrite();
       if (!write.has_value()) return std::nullopt;
       Statement statement;
       statement.write = std::move(write);
+      statement.explain = explain;
       return statement;
     }
     std::optional<Query> query = Parse();
     if (!query.has_value()) return std::nullopt;
     Statement statement;
     statement.query = std::move(query);
+    statement.explain = explain;
     return statement;
   }
 

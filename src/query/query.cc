@@ -74,9 +74,23 @@ std::string WriteToString(const WriteStatement& write) {
 }
 
 std::string StatementToString(const Statement& statement) {
-  if (statement.query.has_value()) return QueryToString(*statement.query);
-  if (statement.write.has_value()) return WriteToString(*statement.write);
-  return "";
+  std::string inner;
+  if (statement.query.has_value()) {
+    inner = QueryToString(*statement.query);
+  } else if (statement.write.has_value()) {
+    inner = WriteToString(*statement.write);
+  } else {
+    return "";
+  }
+  switch (statement.explain) {
+    case ExplainMode::kNone:
+      return inner;
+    case ExplainMode::kPlan:
+      return "EXPLAIN " + inner;
+    case ExplainMode::kAnalyze:
+      return "EXPLAIN ANALYZE " + inner;
+  }
+  return inner;
 }
 
 }  // namespace ddc

@@ -2,7 +2,7 @@
 //
 // Grammar (case-insensitive keywords, whitespace-separated):
 //
-//   statement := query | write
+//   statement := ("EXPLAIN" "ANALYZE"?)? (query | write)
 //   query     := aggregate groupby? where?
 //   aggregate := "SUM" | "COUNT" | "AVG"
 //   groupby   := "GROUP" "BY" dim ("SIZE" int)?        -- default SIZE 1
@@ -22,6 +22,13 @@
 //   SET AT [0, 0] = 100
 //   ADD 5 IN [0, 0 .. 9, 9]
 //   SET 0 IN [3, 3 .. 5, 5], AT [4, 4] = 7
+//   EXPLAIN SUM GROUP BY d0 WHERE d1 IN [0, 7]
+//   EXPLAIN ANALYZE SUM WHERE d0 IN [2, 9]
+//
+// EXPLAIN prints the planned decomposition of the inner statement without
+// mutating anything; EXPLAIN ANALYZE additionally executes a *read*
+// statement and reports its exact measured costs (writes are still only
+// planned — an EXPLAIN never changes cube state). See DESIGN.md §14.
 //
 // Dimensions without a predicate span the cube's whole domain. Repeated
 // predicates on one dimension intersect. The language is deliberately tiny:
@@ -73,10 +80,15 @@ struct WriteStatement {
   MutationBatch mutations;
 };
 
+// Introspection prefix of a statement: plain execution, EXPLAIN (plan
+// only), or EXPLAIN ANALYZE (plan + measured execution; reads only).
+enum class ExplainMode { kNone, kPlan, kAnalyze };
+
 // A parsed statement: exactly one of `query` (a read) or `write` is set.
 struct Statement {
   std::optional<Query> query;
   std::optional<WriteStatement> write;
+  ExplainMode explain = ExplainMode::kNone;
 };
 
 // Renders a query back to its canonical text (for diagnostics and tests).

@@ -207,6 +207,111 @@ TEST_F(DdcToolTest, StatsRendersUnifiedMetricSurface) {
   EXPECT_NE(Run({"stats", "--side", "3"}, nullptr, &err), 0);
 }
 
+TEST_F(DdcToolTest, StatsDeltaModeReportsWindowedCounterRates) {
+  obs::SetEnabled(true);
+  if (!obs::Enabled()) GTEST_SKIP() << "built with DDC_OBS=OFF";
+  std::string out;
+  ASSERT_EQ(Run({"stats", "--ops", "64", "--delta", "1"}, &out), 0);
+  EXPECT_NE(out.find("# stats delta"), std::string::npos);
+  EXPECT_NE(out.find("window_ns="), std::string::npos);
+  // Windowed counter lines: "name +delta (rate/s)".
+  EXPECT_NE(out.find("ddc.nodes_visited +"), std::string::npos);
+  EXPECT_NE(out.find("/s)"), std::string::npos);
+
+  std::string json, again;
+  ASSERT_EQ(Run({"stats", "--ops", "64", "--delta", "1", "--format", "json"},
+                &json),
+            0);
+  EXPECT_EQ(json.find("{\"window_ns\": "), 0u);
+  EXPECT_NE(json.find("\"counters\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"ddc.nodes_visited\": {\"delta\": "),
+            std::string::npos);
+  // The deltas themselves are workload-determined: a second run reports the
+  // same counter names and deltas (rates differ with wall time).
+  ASSERT_EQ(Run({"stats", "--ops", "64", "--delta", "1", "--format", "json"},
+                &again),
+            0);
+  const auto delta_field = [](const std::string& text) {
+    const size_t at = text.find("\"ddc.nodes_visited\"");
+    EXPECT_NE(at, std::string::npos);
+    if (at == std::string::npos) return std::string();
+    return text.substr(at, text.find(", \"per_sec\"", at) - at);
+  };
+  EXPECT_EQ(delta_field(json), delta_field(again));
+  EXPECT_FALSE(delta_field(json).empty());
+}
+
+TEST_F(DdcToolTest, ExplainCommandPrintsPlanAndAnalyzeExecutes) {
+  std::string out;
+  // The ANALYZE form prints both the planned decomposition and the executed
+  // ledger section.
+  ASSERT_EQ(Run({"explain",
+                 "EXPLAIN ANALYZE SUM GROUP BY d0 SIZE 2 WHERE d1 IN [1, 5]",
+                 "--dims", "2", "--side", "8", "--ops", "64"},
+                &out),
+            0);
+  EXPECT_EQ(out.find("EXPLAIN ANALYZE\n"), 0u);
+  EXPECT_NE(out.find("plan:"), std::string::npos);
+  EXPECT_NE(out.find("executed:"), std::string::npos);
+  EXPECT_NE(out.find("corner terms: "), std::string::npos);
+  EXPECT_NE(out.find("kernel path: "), std::string::npos);
+
+  // A bare statement gets the EXPLAIN prefix added for free.
+  ASSERT_EQ(Run({"explain", "SUM", "--ops", "32"}, &out), 0);
+  EXPECT_EQ(out.find("EXPLAIN\n"), 0u);
+  EXPECT_EQ(out.find("executed:"), std::string::npos);
+
+  std::string err;
+  EXPECT_EQ(Run({"explain", "NOT A STATEMENT"}, nullptr, &err), 1);
+  EXPECT_FALSE(err.empty());
+  EXPECT_EQ(Run({"explain"}, nullptr, &err), 2);  // Usage: missing statement.
+}
+
+TEST_F(DdcToolTest, HeatmapCommandRendersDeterministicSketch) {
+  std::string text, json, both;
+  ASSERT_EQ(Run({"heatmap", "--ops", "64", "--format", "text"}, &text), 0);
+  ASSERT_EQ(Run({"heatmap", "--ops", "64", "--format", "json"}, &json), 0);
+  ASSERT_EQ(Run({"heatmap", "--ops", "64", "--format", "both"}, &both), 0);
+  if (obs::Enabled()) {
+    EXPECT_NE(text.find("workload_read_ops"), std::string::npos);
+    EXPECT_NE(text.find("workload_mutation_ops"), std::string::npos);
+    EXPECT_NE(text.find("workload_read_hot{rank=\"0\""), std::string::npos);
+    EXPECT_NE(json.find("\"reads\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"hot\": ["), std::string::npos);
+    EXPECT_NE(both.find("workload_read_ops"), std::string::npos);
+    EXPECT_NE(both.find("\"reads\": {"), std::string::npos);
+    // The seeded workload is deterministic, so the rendered sketch is too.
+    std::string again;
+    ASSERT_EQ(Run({"heatmap", "--ops", "64", "--format", "text"}, &again), 0);
+    EXPECT_EQ(text, again);
+  }
+  std::string err;
+  EXPECT_NE(Run({"heatmap", "--format", "yaml"}, nullptr, &err), 0);
+}
+
+TEST_F(DdcToolTest, FlightrecCommandDumpsRingInlineAndToFile) {
+  std::string out;
+  ASSERT_EQ(Run({"flightrec", "--ops", "8"}, &out), 0);
+  if (obs::Enabled()) {
+    EXPECT_NE(out.find("\"total\": 8"), std::string::npos);
+    EXPECT_NE(out.find("\"records\": ["), std::string::npos);
+    EXPECT_NE(out.find("\"stmt_hash\": "), std::string::npos);
+  }
+
+  const std::string dump_path = "/tmp/ddctool_test_flightrec.json";
+  std::remove(dump_path.c_str());
+  ASSERT_EQ(Run({"flightrec", "--ops", "8", "--dump", dump_path}, &out), 0);
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream contents;
+  contents << in.rdbuf();
+  const std::string dump = contents.str();
+  EXPECT_EQ(dump.front(), '{');
+  EXPECT_NE(dump.find("\"crash_site\": \"ddctool flightrec\""),
+            std::string::npos);
+  std::remove(dump_path.c_str());
+}
+
 TEST_F(DdcToolTest, FaultRunCompletesAndResumesWithoutFaults) {
   const std::string base = "/tmp/ddctool_test_faultrun";
   for (const char* suffix : {".snap", ".log", ".acks"}) {

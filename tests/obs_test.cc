@@ -216,6 +216,26 @@ TEST(TraceRing, WrapsAtCapacityKeepingNewestEvents) {
   EXPECT_TRUE(events.empty());
 }
 
+TEST(TraceRing, CountsDroppedEventsAndMirrorsToRegistry) {
+  if (!RuntimeToggleAvailable()) GTEST_SKIP() << "built with DDC_OBS=OFF";
+  ResetTrace();
+  EXPECT_EQ(TraceDroppedTotal(), 0u);
+  // The `trace.dropped` registry counter is process-global and survives
+  // ResetTrace (it is a lifetime tally, not a window), so measure a delta.
+  Counter* mirror = MetricsRegistry::Default().GetCounter("trace.dropped");
+  const int64_t before = mirror->Value();
+  const size_t capacity = TraceCapacityPerThread();
+  for (size_t i = 0; i < capacity + 10; ++i) {
+    TraceSpan span("obs_test.drop", static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(TraceDroppedTotal(), 10u);
+  EXPECT_EQ(mirror->Value() - before, 10);
+  // Reset clears the per-ring window but not the lifetime mirror.
+  ResetTrace();
+  EXPECT_EQ(TraceDroppedTotal(), 0u);
+  EXPECT_EQ(mirror->Value() - before, 10);
+}
+
 TEST(TraceSpan, FeedsOptionalLatencyHistogram) {
   if (!RuntimeToggleAvailable()) GTEST_SKIP() << "built with DDC_OBS=OFF";
   Histogram hist;

@@ -215,6 +215,41 @@ TEST(QueryFuzzTest, ExecutingFuzzedStatementsNeverAborts) {
   EXPECT_EQ(cube.dims(), 2);
 }
 
+TEST(QueryFuzzTest, ExplainPrefixedStatementsNeverCrashAndNeverMutate) {
+  uint64_t rng = TestSeed(868686);
+  DynamicDataCube cube(2, 16);
+  cube.Add({1, 1}, 5);
+  const int64_t baseline = cube.TotalSum();
+  for (int i = 0; i < 300; ++i) {
+    std::string text;
+    if (SplitMix(&rng) % 2 == 0) {
+      text = QueryToString(RandomQuery(&rng));
+    } else {
+      WriteStatement write = RandomWrite(&rng, 2);
+      for (Mutation& m : write.mutations) {
+        for (Coord& c : m.cell) c = ((c % 32) + 32) % 32;
+        for (Coord& c : m.hi) c = ((c % 32) + 32) % 32;
+        m.delta %= 1000;
+      }
+      text = WriteToString(write);
+    }
+    // Damage only the statement body: the prefix must survive, or a lucky
+    // deletion turns an EXPLAIN into a live write and the no-mutation
+    // invariant below stops being the thing under test.
+    if (SplitMix(&rng) % 4 == 0) text = MutateText(&rng, text);
+    text = (SplitMix(&rng) % 2 == 0 ? "EXPLAIN " : "EXPLAIN ANALYZE ") + text;
+    const QueryResult result = RunStatement(text, &cube);
+    EXPECT_TRUE(result.ok || !result.error.empty()) << text;
+    if (result.ok) {
+      EXPECT_TRUE(result.is_explain) << text;
+      EXPECT_FALSE(result.explain_text.empty()) << text;
+    }
+    // EXPLAIN — even EXPLAIN ANALYZE of a write — must never change the
+    // cube. ANALYZE executes reads for real costs but only plans writes.
+    ASSERT_EQ(cube.TotalSum(), baseline) << "mutated by: " << text;
+  }
+}
+
 TEST(QueryFuzzTest, RangeStatementEdgeCases) {
   DynamicDataCube cube(2, 16);
   // Inverted bounds: parses, executes, writes nothing.

@@ -1,7 +1,10 @@
 #include "tools/commands.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <ostream>
 #include <sstream>
@@ -18,8 +21,11 @@
 #include "ddc/dynamic_data_cube.h"
 #include "ddc/snapshot.h"
 #include "fault/failpoint.h"
+#include "obs/flight_recorder.h"
+#include "obs/introspect.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/workload_recorder.h"
 #include "olap/measure.h"
 #include "query/executor.h"
 #include "tools/csv.h"
@@ -151,7 +157,17 @@ std::string UsageText() {
          "  ddctool export CUBE --csv OUT\n"
          "  ddctool shrink CUBE\n"
          "  ddctool stats  [--dims D] [--side S] [--ops N] [--shards K]\n"
-         "                 [--format text|json|both] [--trace OUT|-]\n"
+         "                 [--format text|json|both] [--trace OUT|-] "
+         "[--delta 1]\n"
+         "  ddctool explain [--dims D] [--side S] [--ops N] \"<statement>\"\n"
+         "                 (renders EXPLAIN [ANALYZE] for the statement "
+         "against a seeded cube)\n"
+         "  ddctool heatmap [--dims D] [--side S] [--ops N] "
+         "[--format text|json|both]\n"
+         "                 (seeded range workload -> hot-range heatmap "
+         "sketch)\n"
+         "  ddctool flightrec [--dims D] [--side S] [--ops N] [--dump PATH]\n"
+         "                 (seeded statements -> flight-recorder ring dump)\n"
          "  ddctool faultrun --base PATH [--dims D] [--side S] [--seed N]\n"
          "                 [--batches N] [--batch-size K] [--acks FILE]\n"
          "                 (crash-recovery child for tools/crashloop.sh; "
@@ -515,6 +531,9 @@ int CmdStats(const std::vector<std::string>& args, std::ostream& out,
     err << "stats: --format must be text, json or both\n";
     return 2;
   }
+  std::string delta_flag;
+  const bool delta = parsed.GetFlag("delta", &delta_flag) &&
+                     (delta_flag == "1" || delta_flag == "true");
 
   if (!obs::Enabled()) {
     err << "stats: observability is disabled "
@@ -525,6 +544,56 @@ int CmdStats(const std::vector<std::string>& args, std::ostream& out,
   obs::ResetTrace();
   RunStatsWorkload(static_cast<int>(dims), side, ops,
                    static_cast<int>(shards));
+
+  if (delta) {
+    // Two snapshots around a second identical workload run: report each
+    // counter's delta and its rate per second of wall time.
+    std::map<std::string, int64_t> before;
+    obs::MetricsRegistry::Default().ForEach(
+        [&](const std::string& name, const obs::Counter& c) {
+          before[name] = c.Value();
+        },
+        [](const std::string&, const obs::Gauge&) {},
+        [](const std::string&, const obs::Histogram&) {});
+    const uint64_t t0 = obs::NowNanos();
+    RunStatsWorkload(static_cast<int>(dims), side, ops,
+                     static_cast<int>(shards));
+    const uint64_t t1 = obs::NowNanos();
+    const double seconds =
+        std::max(1e-9, static_cast<double>(t1 - t0) / 1e9);
+    std::map<std::string, int64_t> deltas;
+    obs::MetricsRegistry::Default().ForEach(
+        [&](const std::string& name, const obs::Counter& c) {
+          const auto it = before.find(name);
+          const int64_t d =
+              c.Value() - (it == before.end() ? 0 : it->second);
+          if (d != 0) deltas[name] = d;
+        },
+        [](const std::string&, const obs::Gauge&) {},
+        [](const std::string&, const obs::Histogram&) {});
+    if (format == "text" || format == "both") {
+      out << "# stats delta: second workload run, window_ns=" << (t1 - t0)
+          << "\n";
+      for (const auto& [name, d] : deltas) {
+        out << name << " +" << d << " ("
+            << static_cast<int64_t>(static_cast<double>(d) / seconds)
+            << "/s)\n";
+      }
+    }
+    if (format == "json" || format == "both") {
+      out << "{\"window_ns\": " << (t1 - t0) << ", \"counters\": {";
+      bool first = true;
+      for (const auto& [name, d] : deltas) {
+        if (!first) out << ", ";
+        first = false;
+        out << "\"" << name << "\": {\"delta\": " << d << ", \"per_sec\": "
+            << static_cast<int64_t>(static_cast<double>(d) / seconds)
+            << "}";
+      }
+      out << "}}\n";
+    }
+    return 0;
+  }
 
   if (format == "text" || format == "both") obs::RenderText(out);
   if (format == "json" || format == "both") obs::RenderJson(out);
@@ -541,6 +610,201 @@ int CmdStats(const std::vector<std::string>& args, std::ostream& out,
       obs::RenderTraceJson(trace_out);
       out << "trace written to " << trace_path << "\n";
     }
+  }
+  return 0;
+}
+
+namespace {
+
+// Deterministic fill shared by the introspection commands, so `ddctool
+// explain` plans and `flightrec` dumps are stable across runs.
+void SeedIntrospectionCube(DynamicDataCube* cube, int64_t ops) {
+  const size_t ud = static_cast<size_t>(cube->dims());
+  const int64_t side = cube->side();
+  MutationBatch batch;
+  Cell cell(ud);
+  for (int64_t i = 0; i < ops; ++i) {
+    for (size_t j = 0; j < ud; ++j) {
+      cell[j] = (i * 7 + static_cast<int64_t>(j) * 13) % side;
+    }
+    batch.push_back(Mutation{cell, 1 + i % 5, MutationKind::kAdd});
+  }
+  cube->ApplyBatch(batch);
+}
+
+// Common --dims/--side/--ops parsing for the introspection commands.
+bool IntrospectionDims(const ParsedArgs& parsed, const char* cmd,
+                       int64_t* dims, int64_t* side, int64_t* ops,
+                       std::ostream& err) {
+  if (parsed.GetInt("dims", dims) && (*dims < 1 || *dims > 20)) {
+    err << cmd << ": --dims must be in [1, 20]\n";
+    return false;
+  }
+  if (parsed.GetInt("side", side) && (*side < 2 || !IsPowerOfTwo(*side))) {
+    err << cmd << ": --side must be a power of two >= 2\n";
+    return false;
+  }
+  if (parsed.GetInt("ops", ops) && *ops < 1) {
+    err << cmd << ": --ops must be >= 1\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int CmdExplain(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  ParsedArgs parsed;
+  if (!ParseArgs(args, &parsed, err)) return 2;
+  int64_t dims = 2;
+  int64_t side = 8;
+  int64_t ops = 64;
+  if (!IntrospectionDims(parsed, "explain", &dims, &side, &ops, err)) {
+    return 2;
+  }
+  if (parsed.positional.size() != 1) {
+    err << "explain: exactly one quoted statement expected\n";
+    return 2;
+  }
+  DynamicDataCube cube(static_cast<int>(dims), side);
+  SeedIntrospectionCube(&cube, ops);
+  std::string text = parsed.positional[0];
+  // Prepend the EXPLAIN prefix when absent, so `ddctool explain "SUM"` and
+  // `ddctool explain "EXPLAIN ANALYZE SUM"` both work.
+  std::string head;
+  for (size_t i = text.find_first_not_of(" \t");
+       i != std::string::npos && i < text.size() &&
+       std::isalpha(static_cast<unsigned char>(text[i]));
+       ++i) {
+    head += static_cast<char>(
+        std::toupper(static_cast<unsigned char>(text[i])));
+  }
+  if (head != "EXPLAIN") text = "EXPLAIN " + text;
+  const QueryResult result = RunStatement(text, &cube);
+  if (!result.ok) {
+    err << "explain: " << result.error << "\n";
+    return 1;
+  }
+  out << FormatResult(result);
+  return 0;
+}
+
+int CmdHeatmap(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  ParsedArgs parsed;
+  if (!ParseArgs(args, &parsed, err)) return 2;
+  int64_t dims = 2;
+  int64_t side = 16;
+  int64_t ops = 256;
+  if (!IntrospectionDims(parsed, "heatmap", &dims, &side, &ops, err)) {
+    return 2;
+  }
+  std::string format = "both";
+  parsed.GetFlag("format", &format);
+  if (format != "text" && format != "json" && format != "both") {
+    err << "heatmap: --format must be text, json or both\n";
+    return 2;
+  }
+  if (!obs::Enabled()) {
+    err << "heatmap: observability is disabled "
+           "(DDC_OBS_ENABLED=0 or built with -DDDC_OBS=OFF); "
+           "the sketch below will be empty\n";
+  }
+  obs::WorkloadRecorder& recorder = obs::WorkloadRecorder::Default();
+  recorder.Reset();
+
+  // Seeded traffic: point and range mutations in one batch, then a read
+  // sweep of growing boxes plus one deliberately hot box so the top-K list
+  // has an unambiguous head.
+  const size_t ud = static_cast<size_t>(dims);
+  DynamicDataCube cube(static_cast<int>(dims), side);
+  MutationBatch batch;
+  Cell lo(ud);
+  Cell hi(ud);
+  for (int64_t i = 0; i < ops; ++i) {
+    for (size_t j = 0; j < ud; ++j) {
+      lo[j] = (i * 7 + static_cast<int64_t>(j) * 13) % side;
+    }
+    if (i % 4 == 0) {
+      for (size_t j = 0; j < ud; ++j) {
+        hi[j] = std::min<Coord>(side - 1, lo[j] + 1 + (i / 4) % 4);
+      }
+      batch.push_back(MakeRangeAdd(Cell(lo), Cell(hi), 1));
+    } else {
+      batch.push_back(Mutation{lo, 1 + i % 3, MutationKind::kAdd});
+    }
+  }
+  cube.ApplyBatch(batch);
+  const Box hot{UniformCell(static_cast<int>(dims), 0),
+                UniformCell(static_cast<int>(dims),
+                            std::min<Coord>(side - 1, 3))};
+  for (int64_t i = 0; i < ops; ++i) {
+    Box box;
+    box.lo.resize(ud);
+    box.hi.resize(ud);
+    for (size_t j = 0; j < ud; ++j) {
+      box.lo[j] = (i * 5 + static_cast<int64_t>(j) * 3) % side;
+      box.hi[j] = std::min<Coord>(side - 1, box.lo[j] + (1 << (i % 3)));
+    }
+    (void)cube.RangeSum(box);
+    if (i % 2 == 0) (void)cube.RangeSum(hot);
+  }
+
+  if (format == "text" || format == "both") recorder.RenderText(out);
+  if (format == "json" || format == "both") recorder.RenderJson(out);
+  return 0;
+}
+
+int CmdFlightrec(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  ParsedArgs parsed;
+  if (!ParseArgs(args, &parsed, err)) return 2;
+  int64_t dims = 2;
+  int64_t side = 8;
+  int64_t ops = 32;
+  if (!IntrospectionDims(parsed, "flightrec", &dims, &side, &ops, err)) {
+    return 2;
+  }
+  if (!obs::Enabled()) {
+    err << "flightrec: observability is disabled "
+           "(DDC_OBS_ENABLED=0 or built with -DDDC_OBS=OFF); "
+           "the ring below will be empty\n";
+  }
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Default();
+  recorder.Reset();
+
+  DynamicDataCube cube(static_cast<int>(dims), side);
+  SeedIntrospectionCube(&cube, 32);
+  for (int64_t i = 0; i < ops; ++i) {
+    const int64_t a = i % side;
+    const int64_t b = std::min<int64_t>(side - 1, a + 3);
+    std::string stmt;
+    if (i % 4 == 0) {
+      stmt = "ADD AT [" + std::to_string(a);
+      for (int64_t j = 1; j < dims; ++j) stmt += ", " + std::to_string(a);
+      stmt += "] = 1";
+    } else if (i % 7 == 0) {
+      stmt = "EXPLAIN ANALYZE SUM WHERE d0 IN [" + std::to_string(a) + ", " +
+             std::to_string(b) + "]";
+    } else {
+      stmt = "SUM WHERE d0 IN [" + std::to_string(a) + ", " +
+             std::to_string(b) + "]";
+    }
+    (void)RunStatement(stmt, &cube);
+  }
+
+  std::string dump_path;
+  if (parsed.GetFlag("dump", &dump_path)) {
+    static constexpr char kSite[] = "ddctool flightrec";
+    if (!recorder.DumpToFile(dump_path.c_str(), kSite, sizeof(kSite) - 1)) {
+      err << "flightrec: cannot write dump to '" << dump_path << "'\n";
+      return 1;
+    }
+    out << "flight recorder dumped " << recorder.TotalRecorded()
+        << " records to " << dump_path << "\n";
+  } else {
+    recorder.RenderJson(out);
   }
   return 0;
 }
@@ -672,6 +936,11 @@ int CmdFaultRun(const std::vector<std::string>& args, std::ostream& out,
   std::string acks = base + ".acks";
   parsed.GetFlag("acks", &acks);
 
+  // Post-mortem visibility for the crashloop harness: fatal signals (and
+  // the DDC_FAULTPOINT crash branch, which hooks this itself) dump the
+  // flight-recorder ring to $DDC_FLIGHTREC_DUMP.
+  obs::InstallFlightRecorderSignalHandlers();
+
   const int64_t acked = ReadAckCount(acks);
   if (acked < 0) {
     err << "faultrun: corrupt ack file '" << acks << "'\n";
@@ -718,12 +987,17 @@ int CmdFaultRun(const std::vector<std::string>& args, std::ostream& out,
     const MutationBatch batch = FaultrunBatch(
         static_cast<uint64_t>(seed), i, static_cast<int>(dims), side,
         batch_size);
+    obs::CostLedger ledger;
+    const uint64_t batch_start = obs::NowNanos();
     bool ok = false;
     try {
+      obs::ScopedCostLedger ledger_scope(&ledger);
       ok = durable.ApplyBatch(batch, /*sync=*/true);
     } catch (const fault::AllocFailure&) {
       // The in-memory tree may hold a partial batch; the WAL already has
       // the record. Only a crash + recovery yields a consistent state.
+      static constexpr char kSite[] = "faultrun.alloc_failure";
+      obs::FlightRecorderCrashDump(kSite, sizeof(kSite) - 1);
       _exit(fault::kCrashExitCode);
     }
     if (!ok) {
@@ -733,7 +1007,24 @@ int CmdFaultRun(const std::vector<std::string>& args, std::ostream& out,
       err << "faultrun: WAL append failed at batch " << i
           << " (crash point)\n";
       err.flush();
+      static constexpr char kSite[] = "faultrun.wal_append_failed";
+      obs::FlightRecorderCrashDump(kSite, sizeof(kSite) - 1);
       _exit(fault::kCrashExitCode);
+    }
+    // One flight record per durable batch: the last things a crashed run
+    // was doing show up in the post-mortem dump.
+    if (obs::Enabled()) {
+      const std::string tag = "faultrun batch " + std::to_string(i);
+      obs::FlightRecord rec;
+      rec.kind = obs::FlightRecorder::kKindBatch;
+      rec.statement_hash = obs::HashStatement(tag.data(), tag.size());
+      rec.nodes_visited = ledger.nodes_visited;
+      rec.values_read = ledger.values_read;
+      rec.values_written = ledger.values_written;
+      rec.duration_ns =
+          static_cast<int64_t>(obs::NowNanos() - batch_start);
+      rec.arg = static_cast<int64_t>(batch.size());
+      obs::FlightRecorder::Default().Record(rec);
     }
     AppendAck(acks, i);
     if (i % 7 == 3) {
@@ -773,6 +1064,9 @@ int RunDdcTool(const std::vector<std::string>& args, std::ostream& out,
   if (command == "export") return CmdExport(rest, out, err);
   if (command == "shrink") return CmdShrink(rest, out, err);
   if (command == "stats") return CmdStats(rest, out, err);
+  if (command == "explain") return CmdExplain(rest, out, err);
+  if (command == "heatmap") return CmdHeatmap(rest, out, err);
+  if (command == "flightrec") return CmdFlightrec(rest, out, err);
   if (command == "faultrun") return CmdFaultRun(rest, out, err);
   if (command == "help" || command == "--help") {
     out << UsageText();

@@ -11,7 +11,10 @@
 //   ddctool export  CUBE --csv OUT
 //   ddctool shrink  CUBE
 //   ddctool stats   [--dims D] [--side S] [--ops N] [--shards K]
-//                   [--format text|json|both] [--trace OUT|-]
+//                   [--format text|json|both] [--trace OUT|-] [--delta 1]
+//   ddctool explain [--dims D] [--side S] [--ops N] "<statement>"
+//   ddctool heatmap [--dims D] [--side S] [--ops N] [--format text|json|both]
+//   ddctool flightrec [--dims D] [--side S] [--ops N] [--dump PATH]
 //   ddctool faultrun --base PATH [--dims D] [--side S] [--seed N]
 //                   [--batches N] [--batch-size K] [--acks FILE]
 //
@@ -52,8 +55,22 @@ int CmdShrink(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err);
 // Runs a seeded mixed workload across every instrumented subsystem and
 // renders the metrics registry (text and/or JSON; optional trace dump).
+// With --delta 1 it runs the workload twice, snapshots the counters around
+// the second run, and prints per-counter deltas with rates per second.
 int CmdStats(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err);
+// Builds a seeded cube and renders EXPLAIN [ANALYZE] for a statement (the
+// EXPLAIN prefix is prepended when absent). See DESIGN.md §14.
+int CmdExplain(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err);
+// Runs a seeded read+mutation range workload and renders the hot-range
+// heatmap sketch from obs::WorkloadRecorder (text and/or JSON).
+int CmdHeatmap(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err);
+// Runs seeded statements through the executor and dumps the flight-recorder
+// ring as JSON (to stdout, or to --dump PATH via the signal-safe writer).
+int CmdFlightrec(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err);
 // Crash-recovery differential child for tools/crashloop.sh: applies a
 // deterministic (seed, index)-derived batch sequence to a DurableCube,
 // acking each durable batch to a sidecar file, and on startup verifies the

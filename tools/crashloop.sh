@@ -50,6 +50,12 @@ BASE="$WORKDIR/cube"
 RUN=("$DDCTOOL" faultrun --base "$BASE" --dims 2 --side 16
      --seed "$SEED" --batches "$BATCHES")
 
+# Post-mortem visibility: every injected crash dumps the flight-recorder
+# ring here (obs/flight_recorder.h). After the loop we assert the dump
+# exists and parses, so a crash is never a black box.
+FLIGHTREC_DUMP="$WORKDIR/flightrec.json"
+export DDC_FLIGHTREC_DUMP="$FLIGHTREC_DUMP"
+
 # Rotate through the crash sites so every commit-path window gets killed:
 # a torn record write, a failed sync, a torn checkpoint, an allocation
 # failure mid-apply, and the synced-but-unacked ack window.
@@ -79,6 +85,24 @@ done
 
 if [ "$cycle" -eq "$CYCLES" ] && [ "${rc:-87}" -eq 87 ]; then
   echo "crashloop: $CYCLES crash cycles injected; finishing fault-free"
+fi
+
+# Every injected crash must have left a readable flight-recorder dump: the
+# crash branch writes it immediately before _exit(87). Skipped when no crash
+# fired (fresh binaries may finish inside cycle 0) or when the binary was
+# built with -DDDC_OBS=OFF (the dump is written but carries zero records).
+if [ "$cycle" -gt 0 ]; then
+  if [ ! -s "$FLIGHTREC_DUMP" ]; then
+    echo "crashloop: no flight-recorder dump at $FLIGHTREC_DUMP after" \
+         "$cycle injected crashes" >&2
+    exit 1
+  fi
+  if ! python3 -m json.tool "$FLIGHTREC_DUMP" > /dev/null 2>&1; then
+    echo "crashloop: flight-recorder dump $FLIGHTREC_DUMP is not valid" \
+         "JSON" >&2
+    exit 1
+  fi
+  echo "crashloop: flight-recorder dump verified ($FLIGHTREC_DUMP)"
 fi
 
 # Final pass with no faults armed: must recover, finish every remaining
