@@ -10,10 +10,21 @@
 // (everything in between) is the reproduced shape.
 
 // Part 2 (below the paper sweep): concurrent throughput of the coarse
-// ConcurrentCube versus the lock-striped ShardedCube across threads×shards,
-// on a read-heavy (95/5) and a write-heavy (50/50) mix, plus the batched
-// write path. Results are printed as tables and written to
-// BENCH_throughput.json (override the path with DDC_BENCH_JSON).
+// ConcurrentCube versus the shared-nothing ShardedCube (per-shard owner
+// threads fed by SPSC mailboxes) across threads×shards, on a read-heavy
+// (95/5) and a write-heavy (50/50) mix, plus the batched write path.
+// Results are printed as tables and written to BENCH_throughput.json
+// (override the path with DDC_BENCH_JSON).
+//
+// Honesty rule: the sharded-vs-coarse speedup is a scaling claim, and a
+// single-hardware-thread host cannot measure scaling — every curve is a
+// pure scheduling artifact there. On such hosts the speedup keys are
+// omitted entirely and the JSON carries "gate_skipped": true instead; the
+// regression gate (tools/check_bench_regression.py --skip-if-key) turns
+// that into a ctest SKIP rather than a green "passed" that asserted
+// nothing. Setting DDC_BENCH_SMOKE shrinks the sweep for the
+// `bench_smoke_throughput` gate; in smoke mode on a multi-core host the
+// binary also enforces the sharded>=coarse floor itself (nonzero exit).
 
 #include <algorithm>
 #include <atomic>
@@ -37,6 +48,11 @@
 
 namespace ddc {
 namespace {
+
+bool SmokeMode() {
+  const char* env = std::getenv("DDC_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
 
 double MeasureOpsPerSec(CubeInterface* cube, const Shape& shape,
                         double update_fraction, int ops, uint64_t seed) {
@@ -153,20 +169,33 @@ struct TraceOp {
   Box box;
 };
 
-constexpr int64_t kConcSide = 256;
 constexpr int kConcDims = 2;
-constexpr int kOpsPerThread = 6000;
-constexpr int kPrepopulate = 2000;
 constexpr size_t kWriteBatch = 32;
-// Queries sized to usually fit inside one slab at S=8 (slab width 32), the
-// locality a partitioned deployment would aim for.
+// Queries sized to usually fit inside one slab at S=8, the locality a
+// partitioned deployment would aim for.
 constexpr double kQuerySideFraction = 0.08;
 
-std::vector<TraceOp> MakeTrace(double update_fraction, uint64_t seed) {
-  WorkloadGenerator gen(Shape::Cube(kConcDims, kConcSide), seed);
+// Sweep sizes; smoke mode shrinks everything so the whole concurrency
+// sweep finishes in seconds (the bench_smoke_throughput ctest gate runs it
+// on every `ctest -L bench_smoke` invocation).
+struct ConcParams {
+  int64_t side;
+  int ops_per_thread;
+  int prepopulate;
+  int reps;
+};
+
+ConcParams ConcParamsFor(bool smoke) {
+  if (smoke) return {64, 800, 300, 2};
+  return {256, 6000, 2000, 3};
+}
+
+std::vector<TraceOp> MakeTrace(const ConcParams& params,
+                               double update_fraction, uint64_t seed) {
+  WorkloadGenerator gen(Shape::Cube(kConcDims, params.side), seed);
   std::vector<TraceOp> trace;
-  trace.reserve(kOpsPerThread);
-  for (int i = 0; i < kOpsPerThread; ++i) {
+  trace.reserve(static_cast<size_t>(params.ops_per_thread));
+  for (int i = 0; i < params.ops_per_thread; ++i) {
     TraceOp op;
     op.is_update =
         gen.Value(0, 999) < static_cast<int64_t>(update_fraction * 1000.0);
@@ -180,18 +209,20 @@ std::vector<TraceOp> MakeTrace(double update_fraction, uint64_t seed) {
 
 // One timed run on a fresh, identically pre-populated cube. Returns ops/sec
 // aggregated over all threads.
-double MeasureConcurrentTput(Impl impl, int num_shards, int threads,
+double MeasureConcurrentTput(const ConcParams& params, Impl impl,
+                             int num_shards, int threads,
                              double update_fraction, uint64_t seed) {
   std::unique_ptr<ConcurrentCube> coarse;
   std::unique_ptr<ShardedCube> sharded;
   if (impl == Impl::kCoarse) {
-    coarse = std::make_unique<ConcurrentCube>(kConcDims, kConcSide);
+    coarse = std::make_unique<ConcurrentCube>(kConcDims, params.side);
   } else {
     sharded =
-        std::make_unique<ShardedCube>(kConcDims, kConcSide, num_shards);
+        std::make_unique<ShardedCube>(kConcDims, params.side, num_shards);
   }
-  WorkloadGenerator seed_gen(Shape::Cube(kConcDims, kConcSide), 1);
-  for (const UpdateOp& op : seed_gen.UniformUpdates(kPrepopulate, 1, 9)) {
+  WorkloadGenerator seed_gen(Shape::Cube(kConcDims, params.side), 1);
+  for (const UpdateOp& op :
+       seed_gen.UniformUpdates(params.prepopulate, 1, 9)) {
     if (coarse) {
       coarse->Add(op.cell, op.delta);
     } else {
@@ -202,7 +233,7 @@ double MeasureConcurrentTput(Impl impl, int num_shards, int threads,
   std::vector<std::vector<TraceOp>> traces;
   traces.reserve(static_cast<size_t>(threads));
   for (int t = 0; t < threads; ++t) {
-    traces.push_back(MakeTrace(update_fraction, seed + 31u * (t + 1)));
+    traces.push_back(MakeTrace(params, update_fraction, seed + 31u * (t + 1)));
   }
 
   std::atomic<bool> go{false};
@@ -249,7 +280,7 @@ double MeasureConcurrentTput(Impl impl, int num_shards, int threads,
   const auto end = std::chrono::steady_clock::now();
   (void)sink.load();
   const double seconds = std::chrono::duration<double>(end - start).count();
-  return static_cast<double>(threads) * kOpsPerThread / seconds;
+  return static_cast<double>(threads) * params.ops_per_thread / seconds;
 }
 
 // Repeated-run summary of one configuration. A first (discarded) warmup run
@@ -263,16 +294,15 @@ struct TputStats {
   double p99 = 0;
 };
 
-constexpr int kConcReps = 3;
-
-TputStats MeasureConcurrentStats(Impl impl, int num_shards, int threads,
+TputStats MeasureConcurrentStats(const ConcParams& params, Impl impl,
+                                 int num_shards, int threads,
                                  double update_fraction, uint64_t seed) {
-  (void)MeasureConcurrentTput(impl, num_shards, threads, update_fraction,
-                              seed);  // Warmup, discarded.
+  (void)MeasureConcurrentTput(params, impl, num_shards, threads,
+                              update_fraction, seed);  // Warmup, discarded.
   std::vector<double> reps;
-  reps.reserve(kConcReps);
-  for (int r = 0; r < kConcReps; ++r) {
-    reps.push_back(MeasureConcurrentTput(impl, num_shards, threads,
+  reps.reserve(static_cast<size_t>(params.reps));
+  for (int r = 0; r < params.reps; ++r) {
+    reps.push_back(MeasureConcurrentTput(params, impl, num_shards, threads,
                                          update_fraction, seed + 977u * r));
   }
   std::sort(reps.begin(), reps.end());
@@ -291,11 +321,14 @@ struct CurvePoint {
   TputStats tput;
 };
 
-void RunConcurrencySweep() {
+int RunConcurrencySweep(bool smoke) {
+  const ConcParams params = ConcParamsFor(smoke);
   const int hardware = static_cast<int>(std::thread::hardware_concurrency());
   std::printf(
-      "== Concurrent throughput (ops/sec), d=%d, n=%lld, %d hw threads ==\n",
-      kConcDims, static_cast<long long>(kConcSide), hardware);
+      "== Concurrent throughput (ops/sec), d=%d, n=%lld, %d hw threads%s "
+      "==\n",
+      kConcDims, static_cast<long long>(params.side), hardware,
+      smoke ? " [smoke]" : "");
 
   const std::vector<int> thread_counts = {1, 2, 4, 8};
   struct Config {
@@ -317,7 +350,7 @@ void RunConcurrencySweep() {
                                       std::to_string(config.shards)};
       for (int threads : thread_counts) {
         const TputStats tput = MeasureConcurrentStats(
-            config.impl, config.shards, threads, frac, 1234);
+            params, config.impl, config.shards, threads, frac, 1234);
         curve.push_back(
             {config.impl, config.shards, threads, frac, tput});
         row.push_back(TablePrinter::FormatDouble(tput.median, 0));
@@ -328,22 +361,47 @@ void RunConcurrencySweep() {
     std::printf("\n");
   }
 
-  // Headline number: read-heavy scaling of S=8 sharded over coarse at the
-  // maximum thread count.
-  double coarse_8t = 0;
-  double sharded_8t = 0;
+  // Scaling headline — only when the hardware can actually scale. On a
+  // single-hardware-thread host every multi-thread curve is a scheduling
+  // artifact (the threads time-slice one core), so printing a "speedup"
+  // would be measuring the scheduler, not the cube. In that case the
+  // speedup keys are omitted and the JSON says so via "gate_skipped".
+  const int max_threads =
+      *std::max_element(thread_counts.begin(), thread_counts.end());
+  const bool gate_skipped = hardware <= 1;
+  // The gate compares at the widest thread count the hardware genuinely
+  // runs in parallel, so the floor is a contention measurement even on
+  // hosts narrower than the widest curve.
+  int gate_threads = 1;
+  for (int t : thread_counts) {
+    if (t <= hardware && t > gate_threads) gate_threads = t;
+  }
+
+  double coarse_8t = 0, sharded_8t = 0, coarse_gate = 0, sharded_gate = 0;
   for (const CurvePoint& p : curve) {
-    if (p.threads == 8 && p.update_fraction == 0.05) {
-      if (p.impl == Impl::kCoarse) coarse_8t = p.tput.median;
-      if (p.impl == Impl::kSharded && p.shards == 8) {
-        sharded_8t = p.tput.median;
-      }
+    if (p.update_fraction != 0.05) continue;
+    if (p.impl == Impl::kCoarse) {
+      if (p.threads == max_threads) coarse_8t = p.tput.median;
+      if (p.threads == gate_threads) coarse_gate = p.tput.median;
+    }
+    if (p.impl == Impl::kSharded && p.shards == 8) {
+      if (p.threads == max_threads) sharded_8t = p.tput.median;
+      if (p.threads == gate_threads) sharded_gate = p.tput.median;
     }
   }
   const double speedup = coarse_8t > 0 ? sharded_8t / coarse_8t : 0;
-  std::printf("read-heavy (95/5) 8-thread speedup, sharded S=8 vs coarse: "
-              "%.2fx\n\n",
-              speedup);
+  const double gate_speedup =
+      coarse_gate > 0 ? sharded_gate / coarse_gate : 0;
+  if (gate_skipped) {
+    std::printf(
+        "scaling GATE SKIPPED: 1 hardware thread — multi-thread curves "
+        "above are time-sliced, no speedup claim is made\n\n");
+  } else {
+    std::printf(
+        "read-heavy (95/5) %d-thread speedup, sharded S=8 vs coarse: "
+        "%.2fx (gate at %d threads: %.2fx)\n\n",
+        max_threads, speedup, gate_threads, gate_speedup);
+  }
 
   const char* json_path = std::getenv("DDC_BENCH_JSON");
   if (json_path == nullptr || json_path[0] == '\0') {
@@ -352,19 +410,17 @@ void RunConcurrencySweep() {
   std::FILE* out = std::fopen(json_path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", json_path);
-    return;
+    return 1;
   }
-  // The 8-thread curves are only a true scaling measurement when the host
-  // has >= 8 cores; record the actual hardware and the over-subscription
-  // factor of the widest configuration so a reader (or the regression
-  // checker) can tell contention effects from scheduling artifacts.
-  const int max_threads =
-      *std::max_element(thread_counts.begin(), thread_counts.end());
+  // Record the actual hardware and the over-subscription factor of the
+  // widest configuration so a reader (or the regression checker) can tell
+  // contention effects from scheduling artifacts.
   const double oversubscription =
       static_cast<double>(max_threads) / std::max(hardware, 1);
   std::fprintf(out,
                "{\n"
                "  \"bench\": \"throughput\",\n"
+               "  \"smoke\": %d,\n"
                "  \"dims\": %d,\n"
                "  \"domain_side\": %lld,\n"
                "  \"ops_per_thread\": %d,\n"
@@ -372,37 +428,66 @@ void RunConcurrencySweep() {
                "  \"max_bench_threads\": %d,\n"
                "  \"oversubscription_factor\": %.2f,\n"
                "  \"write_batch\": %zu,\n"
-               "  \"query_side_fraction\": %.3f,\n"
-               "  \"read_heavy_speedup_8t_s8_vs_coarse\": %.3f,\n"
-               "  \"curves\": [\n",
-               kConcDims, static_cast<long long>(kConcSide), kOpsPerThread,
-               hardware, max_threads, oversubscription, kWriteBatch,
-               kQuerySideFraction, speedup);
+               "  \"query_side_fraction\": %.3f,\n",
+               smoke ? 1 : 0, kConcDims, static_cast<long long>(params.side),
+               params.ops_per_thread, hardware, max_threads, oversubscription,
+               kWriteBatch, kQuerySideFraction);
+  if (gate_skipped) {
+    // The key is present only when the gate is skipped, so
+    // `check_bench_regression.py --skip-if-key gate_skipped` fires iff
+    // either side of a comparison was produced on a can't-scale host.
+    std::fprintf(out, "  \"gate_skipped\": true,\n");
+  } else {
+    std::fprintf(out,
+                 "  \"read_heavy_speedup_%dt_s8_vs_coarse\": %.3f,\n"
+                 "  \"gate_threads\": %d,\n"
+                 "  \"gate_speedup_s8_vs_coarse\": %.3f,\n",
+                 max_threads, speedup, gate_threads, gate_speedup);
+  }
+  std::fprintf(out, "  \"curves\": [\n");
   for (size_t i = 0; i < curve.size(); ++i) {
     const CurvePoint& p = curve[i];
     std::fprintf(out,
                  "    {\"impl\": \"%s\", \"shards\": %d, \"threads\": %d, "
                  "\"update_fraction\": %.2f, \"ops_per_sec\": %.1f, "
                  "\"ops_per_sec_min\": %.1f, \"ops_per_sec_p99\": %.1f, "
-                 "\"reps\": %d}%s\n",
+                 "\"reps\": %d, \"oversubscribed\": %s}%s\n",
                  ImplName(p.impl), p.shards, p.threads, p.update_fraction,
-                 p.tput.median, p.tput.min, p.tput.p99, kConcReps,
+                 p.tput.median, p.tput.min, p.tput.p99, params.reps,
+                 p.threads > hardware ? "true" : "false",
                  i + 1 == curve.size() ? "" : ",");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", json_path);
+
+  // Acceptance floor, enforced where the regression gate can see it: with
+  // real parallelism available, the shared-nothing executor must at least
+  // match the coarse global lock on the read-heavy mix at the widest
+  // parallel thread count. Smoke-only so a full run stays a measurement.
+  if (smoke && !gate_skipped && gate_speedup < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: read-heavy sharded S=8 vs coarse at %d threads is "
+                 "%.2fx, below the 1.0x floor\n",
+                 gate_threads, gate_speedup);
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace ddc
 
 int main() {
-  ddc::RunMixSweep(256);
-  ddc::RunMixSweep(512);
-  // Larger domain: the RPS update cascade (O(n) cells at d=2) becomes the
-  // bottleneck and the DDC overtakes it on update-heavy mixes.
-  ddc::RunMixSweep(2048);
-  ddc::RunConcurrencySweep();
-  return 0;
+  const bool smoke = ddc::SmokeMode();
+  if (!smoke) {
+    ddc::RunMixSweep(256);
+    ddc::RunMixSweep(512);
+    // Larger domain: the RPS update cascade (O(n) cells at d=2) becomes the
+    // bottleneck and the DDC overtakes it on update-heavy mixes.
+    ddc::RunMixSweep(2048);
+  }
+  // Smoke mode gates only the concurrent sweep: the paper mix sweep has no
+  // speedup contract, just the reproduced shape.
+  return ddc::RunConcurrencySweep(smoke);
 }

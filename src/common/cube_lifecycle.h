@@ -9,9 +9,10 @@
 //
 // Threading: the hub itself is NOT synchronized. Subscribe/Unsubscribe and
 // Notify must be serialized by the owner — in practice all three happen on
-// the mutating thread, under whatever write lock guards the cube (the same
-// contract the old single-listener hook had). Callbacks run inline on the
-// mutating thread and must not call back into the cube that is mid-re-root.
+// whatever thread exclusively mutates the cube (for ShardedCube that is the
+// shard's owner thread, where exclusivity is structural; for lock-guarded
+// cubes, the mutating thread under the write lock). Callbacks run inline on
+// that thread and must not call back into the cube that is mid-re-root.
 
 #ifndef DDC_COMMON_CUBE_LIFECYCLE_H_
 #define DDC_COMMON_CUBE_LIFECYCLE_H_

@@ -82,7 +82,7 @@ inline bool BatchWellFormed(std::span<const Mutation> batch, int dims) {
 }
 
 // True iff any mutation in `batch` is a range kind. Layers whose fast path
-// only understands points (seqlock sharding, coalesce-outside-lock) use
+// only understands points (per-slab scatter, coalesce-before-submit) use
 // this to route range-carrying batches through their exact slow path.
 inline bool BatchHasRange(std::span<const Mutation> batch) {
   for (const Mutation& m : batch) {

@@ -1,0 +1,134 @@
+// Bounded single-producer / single-consumer mailbox: the message channel of
+// the shared-nothing sharded executor (concurrent/sharded_cube.h).
+//
+// This is a classic Lamport ring with the two standard refinements that
+// matter on real hardware:
+//
+//   1. Cache-line padding. The producer index (`tail_`) and the consumer
+//      index (`head_`) each live on their own 64-byte line, so a producer
+//      publishing and a consumer draining never invalidate each other's
+//      index line — the only coherence traffic on the fast path is the slot
+//      itself plus one index line per side.
+//   2. Cached peer indices. The producer keeps a private copy of the last
+//      head it observed and only re-reads the shared `head_` when the ring
+//      *looks* full against the cache (symmetrically for the consumer and
+//      `tail_`). A producer therefore touches the consumer's index line once
+//      per wrap-around in the common case, not once per push.
+//
+// Memory ordering: a push writes the slot, then publishes with a release
+// store of `tail_`; the consumer acquires `tail_` before reading slots, so
+// every slot read happens-after the write that filled it. Pops release
+// `head_` after the slot has been copied out, so the producer's acquire of
+// `head_` guarantees the slot is reusable. Indices are monotonically
+// increasing uint64s (never wrapped), masked into the power-of-two slot
+// array — full/empty is the plain difference, no reserved empty slot.
+//
+// Single-producer/single-consumer is a *contract*, not a property the type
+// enforces: exactly one thread may call the producer end (TryPush) and one
+// the consumer end (TryPop/PopBatch). The sharded executor guarantees it
+// structurally — one mailbox per (producer thread, shard) lane, drained only
+// by the shard's owner thread. T must be trivially copyable: slots are raw
+// storage published by index, never constructed/destroyed per message.
+
+#ifndef DDC_COMMON_SPSC_MAILBOX_H_
+#define DDC_COMMON_SPSC_MAILBOX_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+namespace ddc {
+
+template <typename T>
+class SpscMailbox {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "mailbox slots are raw storage published by index");
+
+ public:
+  // Capacity is rounded up to a power of two (>= 2) so slot selection is a
+  // mask, not a modulo.
+  explicit SpscMailbox(size_t min_capacity)
+      : capacity_(std::bit_ceil(min_capacity < 2 ? size_t{2} : min_capacity)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<T[]>(capacity_)) {}
+
+  SpscMailbox(const SpscMailbox&) = delete;
+  SpscMailbox& operator=(const SpscMailbox&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  // Producer side. Returns false when the ring is full (the caller decides
+  // whether to spin, yield, or count a stall — the mailbox never blocks).
+  bool TryPush(const T& item) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == capacity_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == capacity_) return false;
+    }
+    slots_[tail & mask_] = item;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    *out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Batched dequeue: drains up to `max` messages in one acquire/release
+  // round trip. Returns the number popped (0 when empty). This is what the
+  // owner loop uses — one index publication amortized over the whole batch.
+  size_t PopBatch(T* out, size_t max) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    uint64_t avail = cached_tail_ - head;
+    if (avail == 0) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      avail = cached_tail_ - head;
+      if (avail == 0) return 0;
+    }
+    const size_t n = avail < max ? static_cast<size_t>(avail) : max;
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = slots_[(head + i) & mask_];
+    }
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  // Approximate occupancy (exact at quiescence; a racy lower/upper mix in
+  // flight). For gauges and tests, never for flow control.
+  size_t SizeApprox() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+ private:
+  const size_t capacity_;
+  const size_t mask_;
+  std::unique_ptr<T[]> slots_;
+
+  // Consumer-owned index of the next slot to pop; producer reads it only on
+  // apparent-full. `cached_head_` is the producer's private copy.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) uint64_t cached_head_ = 0;
+  // Producer-owned index of the next slot to fill; consumer reads it only on
+  // apparent-empty. `cached_tail_` is the consumer's private copy.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  alignas(64) uint64_t cached_tail_ = 0;
+};
+
+}  // namespace ddc
+
+#endif  // DDC_COMMON_SPSC_MAILBOX_H_

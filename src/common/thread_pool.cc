@@ -121,8 +121,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     Enqueue([&state, drain] {
       if (DDC_FAULTPOINT("pool.task.delay")) {
         // Stall this helper lane only (the caller lane keeps draining):
-        // long enough for a writer to slip in under a seqlock-validated
-        // read, which forces ShardedCube retries and all-locks fallbacks.
+        // exercises the uneven-progress paths of ParallelFor users. (The
+        // sharded executor has its own site, "sharded.owner.delay".)
         std::this_thread::sleep_for(std::chrono::microseconds(
             50 + static_cast<int64_t>(fault::RandBelow(451))));
       }

@@ -11,11 +11,13 @@
 // contract the EXPLAIN ANALYZE differential test enforces.
 //
 // Threading: the active ledger is a thread-local pointer. Work an operation
-// fans out to OTHER threads (ShardedCube's pool tasks) is attributed to the
-// pool thread's (normally absent) ledger, not the caller's — the sharded
-// layer therefore reports its decomposition shape (shard groups and
-// sub-queries, recorded on the calling thread) rather than per-shard node
-// counts. See DESIGN.md §14.
+// fans out to OTHER threads (ShardedCube's shard owner threads) cannot fold
+// into the caller's thread-local ledger directly; the sharded layer ships a
+// private CostLedger slot inside each mailbox request, each owner installs
+// it with ScopedCostLedger around the shard work, and the caller merges the
+// slots after gathering completions (counts add, tree_depth takes the max).
+// The decomposition shape (shard groups and sub-queries) is recorded on the
+// calling thread. See DESIGN.md §14–15.
 //
 // Zero-cost contract: with -DDDC_OBS=OFF, ActiveLedger() is a constexpr
 // nullptr and every `if (auto* l = obs::ActiveLedger())` site folds away;

@@ -453,7 +453,7 @@ TEST_F(FaultRecoveryTest, ArmFromSpecParsesTheEnvGrammar) {
   }
 }
 
-TEST_F(FaultRecoveryTest, PoolTaskDelayLeavesBatchedReadsExact) {
+TEST_F(FaultRecoveryTest, OwnerDelayLeavesBatchedReadsExact) {
   fault::SetSeed(TestSeed(15));
   ShardedCube cube(2, 32, 4);
   uint64_t rng = 99;
@@ -474,7 +474,7 @@ TEST_F(FaultRecoveryTest, PoolTaskDelayLeavesBatchedReadsExact) {
   std::vector<int64_t> baseline(boxes.size(), 0);
   cube.RangeSumBatch(boxes, baseline);
 
-  fault::Arm("pool.task.delay", fault::Trigger::Every(1));
+  fault::Arm("sharded.owner.delay", fault::Trigger::Every(1));
   std::vector<int64_t> delayed(boxes.size(), 0);
   cube.RangeSumBatch(boxes, delayed);
   MutationBatch writes;
@@ -485,10 +485,10 @@ TEST_F(FaultRecoveryTest, PoolTaskDelayLeavesBatchedReadsExact) {
                               MutationKind::kAdd});
   }
   EXPECT_TRUE(cube.ApplyBatch(writes));
-  // The delay site sat on the helper-lane path; batched work above must
-  // have crossed it at least once for this test to mean anything. (Read
-  // before DisarmAll — disarming clears the counters.)
-  EXPECT_GT(fault::Hits("pool.task.delay"), 0u);
+  // The delay site sits in the shard owners' request loop; the batched
+  // work above must have crossed it at least once for this test to mean
+  // anything. (Read before DisarmAll — disarming clears the counters.)
+  EXPECT_GT(fault::Hits("sharded.owner.delay"), 0u);
   fault::DisarmAll();
 
   EXPECT_EQ(delayed, baseline);

@@ -170,8 +170,8 @@ TEST(QueryBatchTest, ShardedCubeAcrossShardCounts) {
     for (int i = 0; i < 500; ++i) {
       cube.Add(gen.UniformCell(), gen.Value(-9, 9));
     }
-    // Batches repeatedly, so both the parallel seqlock fan-out and the
-    // single-shard path (boxes confined to one slab) get exercised.
+    // Batches repeatedly, so both the cross-shard scatter/gather fan-out
+    // and the single-shard path (boxes confined to one slab) get exercised.
     ExpectBatchMatchesLoop(cube, MakeBatch(gen, 2, 64, 60));
     Box slab_local;
     slab_local.lo = {1, 1};

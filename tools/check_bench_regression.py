@@ -33,6 +33,17 @@ to --tolerance when not given).
 one leaf key must contain each given substring, so a bench that silently
 stops emitting its percentile block fails even if every surviving ratio
 passes.
+
+--skip-if-key SUBSTR (repeatable) skips the metric comparison entirely —
+after the --require schema checks still ran on the fresh file — when any
+leaf key in EITHER the fresh or the baseline file contains the substring.
+Benches use this to opt a file out of comparison honestly: e.g.
+bench_throughput emits "gate_skipped": true on single-hardware-thread
+hosts, where its scaling ratios would be scheduling artifacts. Checking
+both sides matters: a 1-core baseline must not silently "pass" against a
+multi-core fresh run, and vice versa. The skip prints a line starting
+with "SKIPPED:" so a ctest SKIP_REGULAR_EXPRESSION can report the test as
+skipped rather than passed.
 """
 
 import argparse
@@ -86,6 +97,11 @@ def main():
                         metavar="SUBSTR",
                         help="Fail unless some fresh leaf key contains "
                              "SUBSTR (repeatable schema check)")
+    parser.add_argument("--skip-if-key", action="append", default=[],
+                        metavar="SUBSTR",
+                        help="Skip the metric comparison (after --require) "
+                             "when any leaf key in the fresh OR baseline "
+                             "file contains SUBSTR")
     args = parser.parse_args()
     if args.p99_tolerance is None:
         args.p99_tolerance = args.tolerance
@@ -105,6 +121,29 @@ def main():
         baseline = dict(flatten(json.load(f)))
     with open(args.fresh) as f:
         fresh = dict(flatten(json.load(f)))
+
+    # Schema checks run before any skip: a skipped comparison still
+    # asserts the fresh file has the promised shape.
+    schema_failures = []
+    for required in args.require:
+        if not any(required in key for key in fresh):
+            schema_failures.append(
+                f"--require {required}: no fresh key contains it "
+                f"(schema drifted?)")
+    if schema_failures:
+        print(f"FAIL: {len(schema_failures)} problem(s):")
+        for failure in schema_failures:
+            print(f"  {failure}")
+        return 1
+
+    for marker in args.skip_if_key:
+        sides = [side for side, keys in (("fresh", fresh),
+                                         ("baseline", baseline))
+                 if any(marker in key for key in keys)]
+        if sides:
+            print(f"SKIPPED: key containing '{marker}' present in "
+                  f"{' and '.join(sides)} — metric comparison not run")
+            return 0
 
     failures = []
     checked = 0
@@ -134,12 +173,6 @@ def main():
     for key in sorted(fresh):
         if is_metric(key, args.ratios_only) and key not in baseline:
             failures.append(f"{key}: present in fresh, missing in baseline")
-
-    for required in args.require:
-        if not any(required in key for key in fresh):
-            failures.append(
-                f"--require {required}: no fresh key contains it "
-                f"(schema drifted?)")
 
     if checked == 0:
         failures.append("no metric keys matched — wrong file or filter?")
