@@ -81,6 +81,55 @@ inline bool BatchWellFormed(std::span<const Mutation> batch, int dims) {
   return true;
 }
 
+// The box of cells a mutation can change: the degenerate one-cell box for
+// point kinds, the carried box for range kinds. This is the "dirty box" the
+// query-result cache intersects against cached entries — a mutation whose
+// dirty box is disjoint from an entry's box cannot change that entry's sum.
+// Precondition: the mutation is well formed (see BatchWellFormed); a range
+// mutation with inverted bounds yields an empty box, matching its no-op
+// apply semantics.
+inline Box MutationDirtyBox(const Mutation& m) {
+  return m.is_range() ? m.box() : Box{m.cell, m.cell};
+}
+
+// The bounding box of every dirty box in `batch` (componentwise min of the
+// low corners, max of the high corners). Used as a one-test fast reject
+// before the per-mutation overlap scan, and to detect batches that write
+// outside a cached domain snapshot. Returns false (leaving *bounds
+// untouched) when the batch contains no non-empty dirty box. Precondition:
+// BatchWellFormed(batch, dims).
+inline bool BatchDirtyBounds(std::span<const Mutation> batch, Box* bounds) {
+  // Accumulates in place: the write path calls this once per batch, and a
+  // temporary Box (or CellMin/CellMax result) per mutation is four Cell
+  // allocations each — measurable against the batch apply itself.
+  bool any = false;
+  for (const Mutation& m : batch) {
+    const Cell& lo = m.cell;
+    const Cell& hi = m.is_range() ? m.hi : m.cell;
+    if (m.is_range()) {
+      bool empty = false;
+      for (size_t d = 0; d < lo.size(); ++d) {
+        if (lo[d] > hi[d]) {
+          empty = true;
+          break;
+        }
+      }
+      if (empty) continue;
+    }
+    if (!any) {
+      bounds->lo = lo;
+      bounds->hi = hi;
+      any = true;
+      continue;
+    }
+    for (size_t d = 0; d < lo.size(); ++d) {
+      if (lo[d] < bounds->lo[d]) bounds->lo[d] = lo[d];
+      if (hi[d] > bounds->hi[d]) bounds->hi[d] = hi[d];
+    }
+  }
+  return any;
+}
+
 // True iff any mutation in `batch` is a range kind. Layers whose fast path
 // only understands points (per-slab scatter, coalesce-before-submit) use
 // this to route range-carrying batches through their exact slow path.

@@ -38,6 +38,15 @@ Box IntersectBoxes(const Box& a, const Box& b) {
   return Box{CellMax(a.lo, b.lo), CellMin(a.hi, b.hi)};
 }
 
+bool BoxesOverlap(const Box& a, const Box& b) {
+  DDC_DCHECK(a.lo.size() == b.lo.size());
+  for (size_t i = 0; i < a.lo.size(); ++i) {
+    if (a.lo[i] > a.hi[i] || b.lo[i] > b.hi[i]) return false;
+    if (a.hi[i] < b.lo[i] || b.hi[i] < a.lo[i]) return false;
+  }
+  return true;
+}
+
 void ForEachCellInBox(const Box& box,
                       const std::function<void(const Cell&)>& fn) {
   DDC_CHECK(box.lo.size() == box.hi.size());

@@ -35,6 +35,13 @@ struct Box {
 // Returns the box clipped to `bounds` (may be empty).
 Box IntersectBoxes(const Box& a, const Box& b);
 
+// True iff the closed boxes share at least one cell. Allocation-free (unlike
+// testing IntersectBoxes(a, b).IsEmpty(), which materializes the corner
+// cells) — this is the predicate the query-result cache runs once per cached
+// entry per mutation batch, so it must stay a plain coordinate scan. Empty
+// operands (inverted bounds) overlap nothing.
+bool BoxesOverlap(const Box& a, const Box& b);
+
 // Invokes `fn(cell)` for every cell of the closed box in row-major order
 // (last dimension fastest). An empty box invokes nothing. Cost is
 // Theta(NumCells()) — callers on the hot write path should prefer the

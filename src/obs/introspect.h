@@ -53,6 +53,12 @@ struct CostLedger {
   // ShardedCube fan-out shape (recorded on the calling thread).
   int64_t shard_groups = 0;      // Touched shards.
   int64_t shard_subqueries = 0;  // Slab sub-queries handed to shards.
+  // Query-result cache consultation (CachedCube, src/cache). Probes count
+  // canonicalized lookups issued; hits the probes answered without touching
+  // the backing cube. probes - hits is exactly the misses the statement
+  // paid a real descent for.
+  int64_t cache_probes = 0;
+  int64_t cache_hits = 0;
   // Executor stage wall times.
   int64_t parse_ns = 0;
   int64_t plan_ns = 0;

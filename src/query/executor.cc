@@ -150,7 +150,14 @@ QueryResult ExecuteQuery(const Query& query, const MeasureCube& cube) {
   return result;
 }
 
-QueryResult ExecuteQuery(const Query& query, const DynamicDataCube& cube) {
+namespace {
+
+// The SUM-only execution body, shared by the bare DynamicDataCube and the
+// CachedCube overloads — one batched RangeSumBatch per statement either
+// way, so cached and uncached execution decompose identically (the
+// differential fuzz harness depends on that).
+template <typename CubeT>
+QueryResult ExecuteSumQuery(const Query& query, const CubeT& cube) {
   QueryResult result;
   obs::TraceSpan span("query.execute", 0, 0, &ExecNsHist());
   result.aggregate = query.aggregate;
@@ -188,6 +195,16 @@ QueryResult ExecuteQuery(const Query& query, const DynamicDataCube& cube) {
   }
   result.ok = true;
   return result;
+}
+
+}  // namespace
+
+QueryResult ExecuteQuery(const Query& query, const DynamicDataCube& cube) {
+  return ExecuteSumQuery(query, cube);
+}
+
+QueryResult ExecuteQuery(const Query& query, const CachedCube& cube) {
+  return ExecuteSumQuery(query, cube);
 }
 
 QueryResult ExecuteWrite(const WriteStatement& write, CubeInterface* cube) {
@@ -271,11 +288,59 @@ void AppendLedger(const obs::CostLedger& ledger, std::ostream& os) {
      << "  overlay trees: " << ledger.overlay_terms << "\n"
      << "  tree depth: " << ledger.tree_depth << "\n"
      << "  shard groups: " << ledger.shard_groups << "\n"
-     << "  shard subqueries: " << ledger.shard_subqueries << "\n"
-     << "timing:\n"
+     << "  shard subqueries: " << ledger.shard_subqueries << "\n";
+  if (ledger.cache_probes > 0) {
+    // Only cache-enabled execution probes; bare cubes keep the golden
+    // EXPLAIN ANALYZE output unchanged.
+    os << "  cache probes: " << ledger.cache_probes << "\n"
+       << "  cache hits: " << ledger.cache_hits << "\n";
+  }
+  os << "timing:\n"
      << "  parse ns: " << ledger.parse_ns << "\n"
      << "  plan ns: " << ledger.plan_ns << "\n"
      << "  exec ns: " << ledger.exec_ns << "\n";
+}
+
+// Renders the write half of EXPLAIN, shared by the bare-cube and cached
+// overloads — pure planning (the same common/mutation.h fold ApplyBatch
+// uses); nothing is applied. Returns false with result->error set on an
+// arity mismatch.
+bool AppendWritePlan(const WriteStatement& write, int dims, bool analyze,
+                     std::ostream& os, QueryResult* result) {
+  const bool is_set = !write.mutations.empty() &&
+                      (write.mutations.front().kind == MutationKind::kSet ||
+                       write.mutations.front().kind == MutationKind::kRangeSet);
+  os << "kind: write (" << (is_set ? "SET" : "ADD") << ")\n";
+  int64_t points = 0;
+  int64_t ranges = 0;
+  for (const Mutation& m : write.mutations) {
+    if (m.cell.size() != static_cast<size_t>(dims) ||
+        (m.is_range() && m.hi.size() != static_cast<size_t>(dims))) {
+      result->error = "write target arity does not match cube dims=" +
+                      std::to_string(dims);
+      return false;
+    }
+    ++(m.is_range() ? ranges : points);
+  }
+  // Plan the coalesce program the executed batch would run (the same
+  // common/mutation.h fold ApplyBatch uses); nothing is applied.
+  int64_t steps = 0;
+  int64_t coalesced_cells = 0;
+  int64_t barriers = 0;
+  for (const CoalescedStep& step : BuildCoalesceProgram(write.mutations)) {
+    ++steps;
+    coalesced_cells += static_cast<int64_t>(step.points.size());
+    if (step.has_range) ++barriers;
+  }
+  os << "plan:\n"
+     << "  mutations: " << write.mutations.size() << " (points: " << points
+     << ", ranges: " << ranges << ")\n"
+     << "  coalesce steps: " << steps << "\n"
+     << "  coalesced point cells: " << coalesced_cells << "\n"
+     << "  range barriers: " << barriers << "\n";
+  os << "note: writes are planned only; EXPLAIN" << (analyze ? " ANALYZE" : "")
+     << " does not mutate the cube\n";
+  return true;
 }
 
 }  // namespace
@@ -340,43 +405,10 @@ QueryResult ExplainStatement(const Statement& statement,
       os << "result rows: " << executed.rows.size() << "\n";
     }
   } else if (statement.write.has_value()) {
-    const WriteStatement& write = *statement.write;
-    const bool is_set =
-        !write.mutations.empty() &&
-        (write.mutations.front().kind == MutationKind::kSet ||
-         write.mutations.front().kind == MutationKind::kRangeSet);
-    os << "kind: write (" << (is_set ? "SET" : "ADD") << ")\n";
-    int64_t points = 0;
-    int64_t ranges = 0;
-    for (const Mutation& m : write.mutations) {
-      if (m.cell.size() != static_cast<size_t>(cube.dims()) ||
-          (m.is_range() &&
-           m.hi.size() != static_cast<size_t>(cube.dims()))) {
-        result.error = "write target arity does not match cube dims=" +
-                       std::to_string(cube.dims());
-        return result;
-      }
-      ++(m.is_range() ? ranges : points);
+    if (!AppendWritePlan(*statement.write, cube.dims(), analyze, os,
+                         &result)) {
+      return result;
     }
-    // Plan the coalesce program the executed batch would run (the same
-    // common/mutation.h fold ApplyBatch uses); nothing is applied.
-    int64_t steps = 0;
-    int64_t coalesced_cells = 0;
-    int64_t barriers = 0;
-    for (const CoalescedStep& step :
-         BuildCoalesceProgram(write.mutations)) {
-      ++steps;
-      coalesced_cells += static_cast<int64_t>(step.points.size());
-      if (step.has_range) ++barriers;
-    }
-    os << "plan:\n"
-       << "  mutations: " << write.mutations.size() << " (points: " << points
-       << ", ranges: " << ranges << ")\n"
-       << "  coalesce steps: " << steps << "\n"
-       << "  coalesced point cells: " << coalesced_cells << "\n"
-       << "  range barriers: " << barriers << "\n";
-    os << "note: writes are planned only; EXPLAIN"
-       << (analyze ? " ANALYZE" : "") << " does not mutate the cube\n";
   } else {
     result.error = "empty statement";
     return result;
@@ -387,7 +419,105 @@ QueryResult ExplainStatement(const Statement& statement,
   return result;
 }
 
-QueryResult RunStatement(const std::string& text, DynamicDataCube* cube) {
+QueryResult ExplainStatement(const Statement& statement,
+                             const CachedCube& cube, int64_t parse_ns) {
+  QueryResult result;
+  result.is_explain = true;
+  const bool analyze = statement.explain == ExplainMode::kAnalyze;
+  const uint64_t plan_start = obs::NowNanos();
+  Statement inner = statement;
+  inner.explain = ExplainMode::kNone;
+
+  std::ostringstream os;
+  os << (analyze ? "EXPLAIN ANALYZE\n" : "EXPLAIN\n");
+  os << "statement: " << StatementToString(inner) << "\n";
+  os << "cube: cached(" << cube.inner()->name() << ") dims=" << cube.dims()
+     << " domain=" << CellToString(cube.DomainLo()) << ".."
+     << CellToString(cube.DomainHi()) << "\n";
+  const CacheStats stats = cube.Stats();
+  os << "cache: entries=" << stats.entries
+     << " pinned=" << stats.pinned_entries << " hits=" << stats.hits
+     << " misses=" << stats.misses << "\n";
+
+  if (statement.query.has_value()) {
+    const Query& query = *statement.query;
+    result.aggregate = query.aggregate;
+    os << "kind: read (" << AggregateName(query.aggregate) << ")\n";
+    if (query.aggregate != Aggregate::kSum) {
+      result.error =
+          "this cube stores sums only; COUNT/AVG need a MeasureCube";
+      return result;
+    }
+    Box box;
+    if (!BuildBox(query, cube.dims(), cube.DomainLo(), cube.DomainHi(), &box,
+                  &result.error)) {
+      return result;
+    }
+    std::vector<Box> slices;
+    if (!box.IsEmpty()) slices = BuildSlices(query, box);
+    if (const DynamicDataCube* ddc = cube.inner_ddc()) {
+      // The corner plan describes the *miss* path: a resident entry skips
+      // the descent entirely, which ANALYZE's cache probes/hits report.
+      const DynamicDataCube::RangeSumPlan plan =
+          ddc->PlanRangeSumBatch(slices);
+      os << "plan:\n"
+         << "  rows: " << slices.size() << "\n"
+         << "  boxes after clipping: " << plan.ranges << "\n"
+         << "  corner terms: " << plan.corner_terms << "\n"
+         << "  corners deduped: " << plan.corners_deduped << "\n"
+         << "  unique corners: " << plan.unique_corners << "\n"
+         << "  overlay trees: " << plan.overlay_trees << "\n"
+         << "  tree depth: " << plan.descent_levels << "\n"
+         << "  kernel path: " << (kernels::UseScalar() ? "scalar" : "simd")
+         << "\n";
+    } else {
+      os << "plan:\n"
+         << "  rows: " << slices.size() << "\n"
+         << "  backend: " << cube.inner()->name()
+         << " (no corner planner)\n";
+    }
+    if (analyze) {
+      obs::CostLedger ledger;
+      QueryResult executed;
+      const uint64_t exec_start = obs::NowNanos();
+      {
+        obs::ScopedCostLedger scope(&ledger);
+        // An explained statement must never populate the cache: probes are
+        // counted (the ledger lines below) but misses are discarded.
+        CachedCube::ScopedNoPopulate no_populate;
+        executed = ExecuteQuery(query, cube);
+      }
+      ledger.exec_ns = static_cast<int64_t>(obs::NowNanos() - exec_start);
+      ledger.parse_ns = parse_ns;
+      ledger.plan_ns = static_cast<int64_t>(exec_start - plan_start);
+      if (!executed.ok) {
+        result.error = executed.error;
+        return result;
+      }
+      AppendLedger(ledger, os);
+      os << "result rows: " << executed.rows.size() << "\n";
+    }
+  } else if (statement.write.has_value()) {
+    if (!AppendWritePlan(*statement.write, cube.dims(), analyze, os,
+                         &result)) {
+      return result;
+    }
+  } else {
+    result.error = "empty statement";
+    return result;
+  }
+
+  result.explain_text = os.str();
+  result.ok = true;
+  return result;
+}
+
+namespace {
+
+// Shared statement driver: the bare-cube and cached paths differ only in
+// which ExecuteQuery / ExplainStatement overloads resolve.
+template <typename CubeT>
+QueryResult RunStatementImpl(const std::string& text, CubeT* cube) {
   const uint64_t parse_start = obs::NowNanos();
   std::string error;
   const std::optional<Statement> statement = ParseStatement(text, &error);
@@ -443,6 +573,16 @@ QueryResult RunStatement(const std::string& text, DynamicDataCube* cube) {
                                : static_cast<int64_t>(result.rows.size());
   obs::FlightRecorder::Default().Record(record);
   return result;
+}
+
+}  // namespace
+
+QueryResult RunStatement(const std::string& text, DynamicDataCube* cube) {
+  return RunStatementImpl(text, cube);
+}
+
+QueryResult RunStatement(const std::string& text, CachedCube* cube) {
+  return RunStatementImpl(text, cube);
 }
 
 std::string FormatResult(const QueryResult& result) {

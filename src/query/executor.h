@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cached_cube.h"
 #include "common/cube_interface.h"
 #include "common/range.h"
 #include "ddc/dynamic_data_cube.h"
@@ -56,6 +57,12 @@ QueryResult ExecuteQuery(const Query& query, const MeasureCube& cube);
 // error result because the cube carries no observation counts).
 QueryResult ExecuteQuery(const Query& query, const DynamicDataCube& cube);
 
+// Executes against a query-result-cached cube (SUM only, like the bare
+// cube): the per-row boxes route through CachedCube::RangeSumBatch, so
+// repeated reports serve from cache and misses still share one batched
+// descent on the backing cube.
+QueryResult ExecuteQuery(const Query& query, const CachedCube& cube);
+
 // Applies a write statement through the cube's batched write path: the
 // whole statement is ONE ApplyBatch call (one shared descent on a DDC).
 // Cells whose dimensionality doesn't match the cube produce an error
@@ -74,6 +81,12 @@ QueryResult RunQuery(const std::string& text, const DynamicDataCube& cube);
 // appends one record to the flight recorder (obs/flight_recorder.h).
 QueryResult RunStatement(const std::string& text, DynamicDataCube* cube);
 
+// Cache-enabled statement execution: reads probe (and on a miss populate)
+// the cache, writes run the precise-invalidation pipeline before landing in
+// the backing cube, and EXPLAIN [ANALYZE] never mutates or populates the
+// cache (probes under ANALYZE are counted but their misses are discarded).
+QueryResult RunStatement(const std::string& text, CachedCube* cube);
+
 // Computes the box a read query targets over the cube's current domain
 // (predicates intersected; no GROUP BY split). Exposed for tools that want
 // the planned geometry without executing. Returns false with *error on a
@@ -89,6 +102,14 @@ bool QueryBox(const Query& query, const DynamicDataCube& cube, Box* box,
 QueryResult ExplainStatement(const Statement& statement,
                              const DynamicDataCube& cube,
                              int64_t parse_ns = 0);
+
+// EXPLAIN [ANALYZE] over a cached cube. Read plans come from the backing
+// DynamicDataCube's corner planner when the cache wraps one (plus a cache
+// section: resident/pinned entries); ANALYZE executes under
+// CachedCube::ScopedNoPopulate and reports cache probes/hits through the
+// ledger — an explained statement never inserts into the cache.
+QueryResult ExplainStatement(const Statement& statement,
+                             const CachedCube& cube, int64_t parse_ns = 0);
 
 // Renders a result as a fixed-width table (one line per row).
 std::string FormatResult(const QueryResult& result);

@@ -24,6 +24,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cache/cached_cube.h"
 #include "common/cell.h"
 #include "common/mutation.h"
 #include "concurrent/sharded_cube.h"
@@ -497,6 +498,69 @@ TEST_F(FaultRecoveryTest, OwnerDelayLeavesBatchedReadsExact) {
   int64_t total = 0;
   cube.ForEachNonZero([&total](const Cell&, int64_t v) { total += v; });
   EXPECT_EQ(total, cube.TotalSum());
+}
+
+TEST_F(FaultRecoveryTest, CacheInsertFailureDegradesToMiss) {
+  fault::SetSeed(TestSeed(16));
+  DynamicDataCube backend(2, 16);
+  CachedCube cached(&backend);
+  backend.Add({1, 1}, 9);
+  const Box box{{0, 0}, {3, 3}};
+
+  // cache.insert.fail models allocation failure at population time: the
+  // caller still gets the freshly computed value, and cache state is
+  // exactly what it was — a degraded miss, never an error.
+  fault::Arm("cache.insert.fail", fault::Trigger::Count(1));
+  EXPECT_EQ(cached.RangeSum(box), 9);
+  EXPECT_EQ(fault::Triggers("cache.insert.fail"), 1u);
+  fault::DisarmAll();
+  CacheStats stats = cached.Stats();
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.inserts, 0);
+  EXPECT_EQ(stats.insert_failures, 1);
+  EXPECT_EQ(stats.misses, 1);
+
+  // Fault cleared: the same read populates normally, then hits.
+  EXPECT_EQ(cached.RangeSum(box), 9);
+  EXPECT_EQ(cached.Stats().entries, 1);
+  EXPECT_EQ(cached.RangeSum(box), 9);
+  EXPECT_EQ(cached.Stats().hits, 1);
+
+  // Batched-probe population degrades the same way, entry by entry.
+  cached.Flush();
+  fault::Arm("cache.insert.fail", fault::Trigger::Every(2));
+  std::vector<Box> boxes{Box{{0, 0}, {1, 1}}, Box{{2, 2}, {3, 3}},
+                         Box{{0, 0}, {5, 5}}, Box{{4, 4}, {7, 7}}};
+  std::vector<int64_t> sums(boxes.size());
+  cached.RangeSumBatch(boxes, sums);
+  fault::DisarmAll();
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    EXPECT_EQ(sums[i], backend.RangeSum(boxes[i])) << i;
+  }
+  stats = cached.Stats();
+  EXPECT_EQ(stats.entries, 2);          // Every second insert failed...
+  EXPECT_EQ(stats.insert_failures, 3);  // ...on top of the point-read one.
+}
+
+// The invalidation fault site is pure crash-arming for tools/crashloop.sh
+// (its return value is discarded), so triggering it in-process must change
+// nothing: invalidation completes and stays precise.
+TEST_F(FaultRecoveryTest, InvalidateMidSiteIsInert) {
+  fault::SetSeed(TestSeed(17));
+  DynamicDataCube backend(2, 16);
+  CachedCube cached(&backend);
+  (void)cached.RangeSum(Box{{0, 0}, {3, 3}});
+  (void)cached.RangeSum(Box{{8, 8}, {11, 11}});
+  ASSERT_EQ(cached.Stats().entries, 2);
+
+  fault::Arm("cache.invalidate.mid", fault::Trigger::Every(1));
+  cached.Add({2, 2}, 5);  // Overlaps the first entry only.
+  EXPECT_EQ(fault::Triggers("cache.invalidate.mid"), 1u);
+  fault::DisarmAll();
+  EXPECT_EQ(cached.Stats().invalidated, 1);
+  EXPECT_EQ(cached.Stats().entries, 1);
+  EXPECT_EQ(cached.RangeSum(Box{{0, 0}, {3, 3}}), 5);
+  EXPECT_EQ(cached.RangeSum(Box{{8, 8}, {11, 11}}), 0);
 }
 
 }  // namespace

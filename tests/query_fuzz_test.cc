@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cache/cached_cube.h"
 #include "ddc/dynamic_data_cube.h"
 #include "query/executor.h"
 #include "query/parser.h"
@@ -248,6 +249,75 @@ TEST(QueryFuzzTest, ExplainPrefixedStatementsNeverCrashAndNeverMutate) {
     // cube. ANALYZE executes reads for real costs but only plans writes.
     ASSERT_EQ(cube.TotalSum(), baseline) << "mutated by: " << text;
   }
+}
+
+// Every fuzzed statement runs against a cache-enabled cube and an uncached
+// shadow twin fed the identical text; results must match exactly. The cache
+// is invisible to query semantics by construction (DESIGN.md §16) — any
+// divergence here is a stale entry or an invalidation gap. EXPLAIN-prefixed
+// statements additionally must never mutate or populate the cache.
+TEST(QueryFuzzTest, CachedAndUncachedTwinsAgreeOnEveryStatement) {
+  uint64_t rng = TestSeed(979797);
+  DynamicDataCube shadow(2, 16);
+  DynamicDataCube backend(2, 16);
+  CachedCube cached(&backend);
+  shadow.Add({1, 1}, 5);
+  cached.Add({1, 1}, 5);
+
+  for (int i = 0; i < 400; ++i) {
+    std::string text;
+    if (SplitMix(&rng) % 2 == 0) {
+      text = QueryToString(RandomQuery(&rng));
+    } else {
+      WriteStatement write = RandomWrite(&rng, 2);
+      for (Mutation& m : write.mutations) {
+        for (Coord& c : m.cell) c = ((c % 32) + 32) % 32;
+        for (Coord& c : m.hi) c = ((c % 32) + 32) % 32;
+        m.delta %= 1000;
+      }
+      text = WriteToString(write);
+    }
+    if (SplitMix(&rng) % 4 == 0) text = MutateText(&rng, text);
+    const bool explain = SplitMix(&rng) % 5 == 0;
+    if (explain) {
+      text = (SplitMix(&rng) % 2 == 0 ? "EXPLAIN " : "EXPLAIN ANALYZE ") +
+             text;
+    }
+
+    const CacheStats before = cached.Stats();
+    const QueryResult want = RunStatement(text, &shadow);
+    const QueryResult got = RunStatement(text, &cached);
+
+    ASSERT_EQ(got.ok, want.ok)
+        << text << ": '" << got.error << "' vs '" << want.error << "'";
+    if (explain) {
+      // The rendered plans differ (the cached header names the cache), but
+      // an explained statement must never mutate or populate the cache.
+      const CacheStats after = cached.Stats();
+      ASSERT_EQ(after.inserts, before.inserts) << text;
+      ASSERT_EQ(after.entries, before.entries) << text;
+      ASSERT_EQ(backend.TotalSum(), shadow.TotalSum()) << text;
+      continue;
+    }
+    if (!want.ok) {
+      ASSERT_EQ(got.error, want.error) << text;
+      continue;
+    }
+    ASSERT_EQ(got.is_write, want.is_write) << text;
+    ASSERT_EQ(got.mutations_applied, want.mutations_applied) << text;
+    ASSERT_EQ(got.rows.size(), want.rows.size()) << text;
+    for (size_t r = 0; r < want.rows.size(); ++r) {
+      ASSERT_EQ(got.rows[r].group_start, want.rows[r].group_start) << text;
+      ASSERT_EQ(got.rows[r].group_end, want.rows[r].group_end) << text;
+      ASSERT_EQ(got.rows[r].sum, want.rows[r].sum)
+          << text << " row " << r;
+    }
+  }
+
+  // Final state differential: the twin cubes saw identical write traffic.
+  EXPECT_EQ(backend.TotalSum(), shadow.TotalSum());
+  const CacheStats stats = cached.Stats();
+  EXPECT_GT(stats.hits + stats.misses, 0);  // The cache actually engaged.
 }
 
 TEST(QueryFuzzTest, RangeStatementEdgeCases) {

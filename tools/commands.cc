@@ -6,12 +6,14 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
 #include <unistd.h>
 
+#include "cache/cached_cube.h"
 #include "common/bit_util.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
@@ -163,9 +165,11 @@ std::string UsageText() {
          "                 (renders EXPLAIN [ANALYZE] for the statement "
          "against a seeded cube)\n"
          "  ddctool heatmap [--dims D] [--side S] [--ops N] "
-         "[--format text|json|both]\n"
+         "[--format text|json|both] [--cached 0|1]\n"
          "                 (seeded range workload -> hot-range heatmap "
-         "sketch)\n"
+         "sketch; --cached 1\n"
+         "                  routes reads through a CachedCube and reports "
+         "hit/pin counts)\n"
          "  ddctool flightrec [--dims D] [--side S] [--ops N] [--dump PATH]\n"
          "                 (seeded statements -> flight-recorder ring dump)\n"
          "  ddctool faultrun --base PATH [--dims D] [--side S] [--seed N]\n"
@@ -459,6 +463,33 @@ void RunStatsWorkload(int dims, int64_t side, int64_t ops, int shards) {
   for (Coord c = 0; c < side; ++c) coarse.Add(UniformCell(dims, c % side), 1);
   coarse.RangeSumBatch(slices, sums);
 
+  // Query-result cache: misses, hits, a hot-range adoption, precise
+  // invalidations (point, additive range, assigning range) and a flush —
+  // covers the whole cache.* family (DESIGN.md §16).
+  {
+    DynamicDataCube backend(dims, side);
+    for (int64_t i = 0; i < ops / 4 + 4; ++i) {
+      for (size_t j = 0; j < ud; ++j) {
+        cell[j] = (i * 5 + static_cast<int64_t>(j) * 11) % side;
+      }
+      backend.Add(cell, 1 + i % 3);
+    }
+    CachedCube cached(&backend);
+    // Two passes over the report slices: pass one misses and populates,
+    // pass two hits, so both sides of cache.hit_ratio move.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const Box& slice : slices) (void)cached.RangeSum(slice);
+    }
+    (void)cached.AdoptHotRanges();
+    cached.Add(UniformCell(dims, 0), 1);  // Point invalidation / pin patch.
+    cached.RangeAdd(all, 1);              // Additive range: pins patched.
+    Box corner = all;
+    corner.hi = corner.lo;
+    cached.RangeSet(corner, 3);           // Assigning range: evicts pins.
+    (void)RunStatement("SUM GROUP BY d0 SIZE 4", &cached);
+    cached.Flush();
+  }
+
   // A private pool guarantees threadpool.* samples even on hosts where the
   // shared pool sizes itself to zero workers.
   {
@@ -706,6 +737,9 @@ int CmdHeatmap(const std::vector<std::string>& args, std::ostream& out,
     err << "heatmap: --format must be text, json or both\n";
     return 2;
   }
+  std::string cached_flag;
+  const bool use_cache = parsed.GetFlag("cached", &cached_flag) &&
+                         (cached_flag == "1" || cached_flag == "true");
   if (!obs::Enabled()) {
     err << "heatmap: observability is disabled "
            "(DDC_OBS_ENABLED=0 or built with -DDDC_OBS=OFF); "
@@ -736,6 +770,12 @@ int CmdHeatmap(const std::vector<std::string>& args, std::ostream& out,
     }
   }
   cube.ApplyBatch(batch);
+  // With --cached 1 the read sweep routes through a CachedCube: hits
+  // re-record into the same sketch (so hot boxes stay hot when served from
+  // cache) and the summary line below shows how the top-K ranges convert
+  // into pinned materializations.
+  std::optional<CachedCube> cached;
+  if (use_cache) cached.emplace(&cube);
   const Box hot{UniformCell(static_cast<int>(dims), 0),
                 UniformCell(static_cast<int>(dims),
                             std::min<Coord>(side - 1, 3))};
@@ -747,12 +787,24 @@ int CmdHeatmap(const std::vector<std::string>& args, std::ostream& out,
       box.lo[j] = (i * 5 + static_cast<int64_t>(j) * 3) % side;
       box.hi[j] = std::min<Coord>(side - 1, box.lo[j] + (1 << (i % 3)));
     }
-    (void)cube.RangeSum(box);
-    if (i % 2 == 0) (void)cube.RangeSum(hot);
+    if (use_cache) {
+      (void)cached->RangeSum(box);
+      if (i % 2 == 0) (void)cached->RangeSum(hot);
+    } else {
+      (void)cube.RangeSum(box);
+      if (i % 2 == 0) (void)cube.RangeSum(hot);
+    }
   }
 
   if (format == "text" || format == "both") recorder.RenderText(out);
   if (format == "json" || format == "both") recorder.RenderJson(out);
+  if (use_cache) {
+    const int adopted = cached->AdoptHotRanges();
+    const CacheStats stats = cached->Stats();
+    out << "cache: hits=" << stats.hits << " misses=" << stats.misses
+        << " entries=" << stats.entries << " pinned=" << stats.pinned_entries
+        << " adopted=" << adopted << "\n";
+  }
   return 0;
 }
 
@@ -983,6 +1035,13 @@ int CmdFaultRun(const std::vector<std::string>& args, std::ostream& out,
   out << "faultrun: recovered acked=" << acked << " resume=" << resume
       << " replayed=" << durable.recovery().batches << " batches\n";
 
+  // Query-result cache over the recovered cube, rebuilt cold every run: the
+  // cache is never WAL-durable, so recovery must not depend on it. Writes
+  // land in the durable cube directly and are *reported* via
+  // InvalidateBatch — whose cache.invalidate.mid fault site is where
+  // tools/crashloop.sh kills this process mid-invalidation.
+  CachedCube cache(&durable.cube());
+
   for (int64_t i = resume; i < batches; ++i) {
     const MutationBatch batch = FaultrunBatch(
         static_cast<uint64_t>(seed), i, static_cast<int>(dims), side,
@@ -1025,6 +1084,34 @@ int CmdFaultRun(const std::vector<std::string>& args, std::ostream& out,
           static_cast<int64_t>(obs::NowNanos() - batch_start);
       rec.arg = static_cast<int64_t>(batch.size());
       obs::FlightRecorder::Default().Record(rec);
+    }
+    // The durable batch is committed; bring the cache in line before the
+    // ack. A crash inside this call lands in the applied-but-unacked
+    // window, which the next run's prefix+1 reconciliation covers.
+    cache.InvalidateBatch(batch);
+    // Cached-vs-direct differential: a seeded probe box read through the
+    // cache twice (miss-populate, then hit) must equal the direct read.
+    {
+      uint64_t ps = static_cast<uint64_t>(seed) ^
+                    (0xD1B54A32D192ED03ull * (static_cast<uint64_t>(i) + 1));
+      Box probe;
+      probe.lo.resize(static_cast<size_t>(dims));
+      probe.hi.resize(static_cast<size_t>(dims));
+      for (int d = 0; d < dims; ++d) {
+        const Coord a = static_cast<Coord>(FaultrunMix(&ps) %
+                                           static_cast<uint64_t>(side * 4));
+        const Coord b = static_cast<Coord>(FaultrunMix(&ps) %
+                                           static_cast<uint64_t>(side * 4));
+        probe.lo[static_cast<size_t>(d)] = std::min(a, b);
+        probe.hi[static_cast<size_t>(d)] = std::max(a, b);
+      }
+      const int64_t direct = durable.cube().RangeSum(probe);
+      if (cache.RangeSum(probe) != direct ||
+          cache.RangeSum(probe) != direct) {
+        err << "faultrun: cached read diverges from the durable cube at "
+            << "batch " << i << "\n";
+        return 3;
+      }
     }
     AppendAck(acks, i);
     if (i % 7 == 3) {

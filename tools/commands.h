@@ -14,6 +14,7 @@
 //                   [--format text|json|both] [--trace OUT|-] [--delta 1]
 //   ddctool explain [--dims D] [--side S] [--ops N] "<statement>"
 //   ddctool heatmap [--dims D] [--side S] [--ops N] [--format text|json|both]
+//                   [--cached 0|1]
 //   ddctool flightrec [--dims D] [--side S] [--ops N] [--dump PATH]
 //   ddctool faultrun --base PATH [--dims D] [--side S] [--seed N]
 //                   [--batches N] [--batch-size K] [--acks FILE]
@@ -64,7 +65,9 @@ int CmdStats(const std::vector<std::string>& args, std::ostream& out,
 int CmdExplain(const std::vector<std::string>& args, std::ostream& out,
                std::ostream& err);
 // Runs a seeded read+mutation range workload and renders the hot-range
-// heatmap sketch from obs::WorkloadRecorder (text and/or JSON).
+// heatmap sketch from obs::WorkloadRecorder (text and/or JSON). With
+// --cached 1 the read sweep routes through a CachedCube and a summary line
+// reports hit/miss/pin counts alongside the sketch.
 int CmdHeatmap(const std::vector<std::string>& args, std::ostream& out,
                std::ostream& err);
 // Runs seeded statements through the executor and dumps the flight-recorder

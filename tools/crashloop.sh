@@ -58,13 +58,18 @@ export DDC_FLIGHTREC_DUMP="$FLIGHTREC_DUMP"
 
 # Rotate through the crash sites so every commit-path window gets killed:
 # a torn record write, a failed sync, a torn checkpoint, an allocation
-# failure mid-apply, and the synced-but-unacked ack window.
+# failure mid-apply, the synced-but-unacked ack window, and the query
+# cache's per-entry invalidation loop (the cache is never durable, so a
+# kill mid-invalidation must leave nothing stale after the cold rebuild —
+# faultrun's post-batch cached-vs-durable probe differential checks this).
 SPECS=(
   "wal.write.short=after:6:crash"
   "wal.sync.fail=after:9:crash"
+  "cache.invalidate.mid=after:3:crash"
   "wal.commit.acked=after:4:crash"
   "arena.alloc.fail=after:20:crash"
   "wal.checkpoint.tear=after:1:crash"
+  "cache.invalidate.mid=after:11:crash"
 )
 
 cycle=0

@@ -20,7 +20,8 @@ SANITIZE_TARGETS=(concurrent_test sharded_cube_test sharded_stress_test
                   query_batch_test update_batch_test obs_concurrent_test
                   fault_recovery_test query_fuzz_test wal_test
                   range_mutation_test kernel_layout_test ddctool
-                  mailbox_test sharded_drain_test)
+                  mailbox_test sharded_drain_test
+                  cached_cube_test cache_invalidation_property_test)
 
 # Sanitizer runs exercise the SIMD dispatch paths too: DDC_NATIVE=ON (the
 # default here, on top of the sanitizer flags) compiles the AVX2 kernels on
